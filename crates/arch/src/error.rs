@@ -1,0 +1,82 @@
+//! Error type for architecture construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a CIM architecture description is invalid.
+///
+/// Returned by [`crate::CimArchitectureBuilder::build`] and the validation
+/// methods on the tier types. The contained message names the offending
+/// parameter in the vocabulary of the paper's abstraction (Figures 5, 6, 8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A tier parameter is zero or otherwise outside its legal range.
+    InvalidParameter {
+        /// Abstraction parameter name, e.g. `"parallel_row"`.
+        parameter: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// Two parameters are individually legal but mutually inconsistent.
+    Inconsistent {
+        /// Description of the inconsistency.
+        message: String,
+    },
+}
+
+impl ArchError {
+    /// Creates an [`ArchError::InvalidParameter`].
+    pub fn invalid(parameter: &'static str, message: impl Into<String>) -> Self {
+        ArchError::InvalidParameter {
+            parameter,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an [`ArchError::Inconsistent`].
+    pub fn inconsistent(message: impl Into<String>) -> Self {
+        ArchError::Inconsistent {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid architecture parameter `{parameter}`: {message}")
+            }
+            ArchError::Inconsistent { message } => {
+                write!(f, "inconsistent architecture description: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let err = ArchError::invalid("parallel_row", "must not exceed crossbar rows");
+        let text = err.to_string();
+        assert!(text.contains("parallel_row"));
+        assert!(text.contains("must not exceed"));
+    }
+
+    #[test]
+    fn inconsistent_display() {
+        let err = ArchError::inconsistent("mode WLM requires parallel_row");
+        assert!(err.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Computing-mode abstraction (Abs-com).
+
+use std::fmt;
+
+/// The computing-mode abstraction of a CIM accelerator (paper §3.2,
+/// Figure 4 d–f).
+///
+/// The computing mode records the *minimum scheduling granularity* the
+/// accelerator's programming interface exposes to software, and therefore
+/// which tiers of the architecture abstraction the compiler may see and
+/// which meta-operator set code generation uses:
+///
+/// | Mode | Granularity | Visible tiers | Meta-operators |
+/// |------|-------------|---------------|----------------|
+/// | [`Cm`](ComputingMode::Cm)  | whole cores     | chip               | `cim.readcore` |
+/// | [`Xbm`](ComputingMode::Xbm)| whole crossbars | chip + core        | `cim.readxb` / `cim.writexb` |
+/// | [`Wlm`](ComputingMode::Wlm)| wordline groups | chip + core + xbar | `cim.readrow` / `cim.writerow` |
+///
+/// Modes are ordered from coarse to fine: `Cm < Xbm < Wlm`. A finer mode
+/// subsumes the scheduling options of every coarser one, which is what the
+/// multi-level scheduler exploits (CG-grained optimization always runs;
+/// MVM-grained runs for `Xbm` and `Wlm`; VVM-grained only for `Wlm`).
+///
+/// ```
+/// use cim_arch::ComputingMode;
+///
+/// assert!(ComputingMode::Wlm.supports(ComputingMode::Xbm));
+/// assert!(!ComputingMode::Cm.supports(ComputingMode::Wlm));
+/// assert_eq!(ComputingMode::Xbm.to_string(), "XBM");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComputingMode {
+    /// Core mode: the interface activates one or more cores to run a whole
+    /// DNN operator (e.g. a convolution). Example: Jia et al., ISSCC'21.
+    Cm,
+    /// Crossbar mode: the interface activates physical crossbars to run one
+    /// matrix-vector multiplication. Example: PUMA, ISAAC.
+    Xbm,
+    /// Wordline mode: the interface activates groups of rows
+    /// (`parallel_row` at a time) inside a crossbar, enabling vector-vector
+    /// granularity. Example: Jain et al., JSSC'21.
+    Wlm,
+}
+
+impl ComputingMode {
+    /// All modes, coarse to fine.
+    pub const ALL: [ComputingMode; 3] =
+        [ComputingMode::Cm, ComputingMode::Xbm, ComputingMode::Wlm];
+
+    /// Returns `true` if an accelerator exposing `self` can also be driven
+    /// at the (coarser or equal) granularity `other`.
+    ///
+    /// A finer programming interface can always emulate a coarser one
+    /// (activating every row group of every crossbar of a core reproduces a
+    /// core-level activation), but not vice versa.
+    #[must_use]
+    pub fn supports(self, other: ComputingMode) -> bool {
+        self >= other
+    }
+
+    /// The scheduling levels of the multi-level scheduler that apply to this
+    /// mode, coarse to fine: 1 for CM (CG only), 2 for XBM (CG+MVM),
+    /// 3 for WLM (CG+MVM+VVM).
+    #[must_use]
+    pub fn scheduling_levels(self) -> u8 {
+        match self {
+            ComputingMode::Cm => 1,
+            ComputingMode::Xbm => 2,
+            ComputingMode::Wlm => 3,
+        }
+    }
+
+    /// Short name used in diagnostics and generated-code headers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ComputingMode::Cm => "CM",
+            ComputingMode::Xbm => "XBM",
+            ComputingMode::Wlm => "WLM",
+        }
+    }
+}
+
+impl fmt::Display for ComputingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_coarse_to_fine() {
+        assert!(ComputingMode::Cm < ComputingMode::Xbm);
+        assert!(ComputingMode::Xbm < ComputingMode::Wlm);
+    }
+
+    #[test]
+    fn supports_is_reflexive_and_downward() {
+        for mode in ComputingMode::ALL {
+            assert!(mode.supports(mode));
+        }
+        assert!(ComputingMode::Wlm.supports(ComputingMode::Cm));
+        assert!(ComputingMode::Wlm.supports(ComputingMode::Xbm));
+        assert!(ComputingMode::Xbm.supports(ComputingMode::Cm));
+        assert!(!ComputingMode::Cm.supports(ComputingMode::Xbm));
+        assert!(!ComputingMode::Xbm.supports(ComputingMode::Wlm));
+    }
+
+    #[test]
+    fn scheduling_levels_match_paper_workflow() {
+        assert_eq!(ComputingMode::Cm.scheduling_levels(), 1);
+        assert_eq!(ComputingMode::Xbm.scheduling_levels(), 2);
+        assert_eq!(ComputingMode::Wlm.scheduling_levels(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        let names: Vec<String> = ComputingMode::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, ["CM", "XBM", "WLM"]);
+    }
+}

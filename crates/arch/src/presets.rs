@@ -1,0 +1,330 @@
+//! Architecture presets used in the paper's evaluation (§4.1–§4.2).
+//!
+//! Each function reproduces one published `Abs-arch` description:
+//!
+//! * [`isaac_baseline`] — Table 3, the ISAAC-like baseline every Figure
+//!   20d/21/22 experiment runs on.
+//! * [`jia_isscc21`] — Figure 17, Jia et al.'s ISSCC'21 SRAM accelerator
+//!   exposing core mode (CM).
+//! * [`puma`] — Figure 18, the PUMA programmable ReRAM accelerator
+//!   exposing crossbar mode (XBM).
+//! * [`jain_sram`] — Figure 19, Jain et al.'s JSSC'21 SRAM macro exposing
+//!   wordline mode (WLM) with at most 32 parallel rows.
+//! * [`table2_example`] — the didactic 2-core × 2-crossbar machine used for
+//!   the Figure 16 Conv-ReLU walkthrough.
+
+use crate::{
+    CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier, NocCost, NocKind,
+    XbShape,
+};
+
+/// The ISAAC-like CIM architecture baseline of Table 3.
+///
+/// 768 cores × 16 crossbars × (128 × 128) 2-bit ReRAM cells,
+/// `parallel_row` 8, 1-bit DAC / 8-bit ADC, 1024-op/cycle ALUs at both
+/// chip and core tier, L0 bandwidth 384 b/cycle, L1 bandwidth
+/// 8192 b/cycle. Exposed in XBM (ISAAC schedules whole-crossbar MVMs);
+/// sweeps that need WLM/VVM scheduling call
+/// [`CimArchitecture::with_mode`].
+#[must_use]
+pub fn isaac_baseline() -> CimArchitecture {
+    CimArchitecture::builder("ISAAC-like baseline (Table 3)")
+        .chip(
+            ChipTier::with_core_count(768)
+                .expect("non-zero core count")
+                .with_noc(NocKind::Mesh, NocCost::UniformPerBit(1.0 / 384.0))
+                .with_l0_bw(384)
+                .with_alu_ops(1024),
+        )
+        .core(
+            CoreTier::with_xb_count(16)
+                .expect("non-zero crossbar count")
+                .with_noc(NocKind::HTree, NocCost::UniformPerBit(1.0 / 8192.0))
+                .with_l1_bw(8192)
+                .with_alu_ops(1024),
+        )
+        .crossbar(
+            CrossbarTier::new(
+                XbShape::new(128, 128).expect("valid shape"),
+                8,
+                1,
+                8,
+                CellType::Reram,
+                2,
+            )
+            .expect("valid crossbar tier"),
+        )
+        .mode(ComputingMode::Xbm)
+        .build()
+        .expect("preset is valid")
+}
+
+/// Variant of [`isaac_baseline`] exposed in wordline mode, used wherever the
+/// paper applies VVM-grained optimization to the baseline
+/// (Figures 20d, 21c/d, 22).
+#[must_use]
+pub fn isaac_baseline_wlm() -> CimArchitecture {
+    isaac_baseline().with_mode(ComputingMode::Wlm)
+}
+
+/// Jia et al.'s programmable SRAM inference accelerator (ISSCC'21),
+/// abstracted in Figure 17.
+///
+/// 16 CIMUs ("cores"), each a single 1152 × 256 SRAM array with all 1152
+/// rows activating in parallel, 1-bit cells, 1-bit DAC / 8-bit ADC, a
+/// disjoint-buffer-switch chip NoC. Computing mode: CM.
+#[must_use]
+pub fn jia_isscc21() -> CimArchitecture {
+    CimArchitecture::builder("Jia et al. ISSCC'21 (Figure 17)")
+        .chip(
+            ChipTier::with_core_count(16)
+                .expect("non-zero core count")
+                .with_noc(NocKind::DisjointBufferSwitch, NocCost::Ideal),
+        )
+        .core(CoreTier::with_xb_count(1).expect("non-zero crossbar count"))
+        .crossbar(
+            CrossbarTier::new(
+                XbShape::new(1152, 256).expect("valid shape"),
+                1152,
+                1,
+                8,
+                CellType::Sram,
+                1,
+            )
+            .expect("valid crossbar tier"),
+        )
+        .mode(ComputingMode::Cm)
+        .build()
+        .expect("preset is valid")
+}
+
+/// PUMA, the programmable ReRAM ML accelerator, abstracted in Figure 18.
+///
+/// 138 cores over a mesh NoC, 96 KB L0 at 384 b/cycle, 2 crossbars per
+/// core with 1 KB L1, 128 × 128 2-bit ReRAM cells with full-row
+/// activation, 8-bit DAC / 1-bit ADC *as printed in Figure 18* (the paper
+/// swaps the usual roles; we reproduce the figure). Computing mode: XBM.
+#[must_use]
+pub fn puma() -> CimArchitecture {
+    CimArchitecture::builder("PUMA (Figure 18)")
+        .chip(
+            ChipTier::with_core_count(138)
+                .expect("non-zero core count")
+                .with_noc(NocKind::Mesh, NocCost::UniformPerBit(1.0 / 384.0))
+                .with_l0_size_bits(96 * 1024 * 8)
+                .with_l0_bw(384),
+        )
+        .core(
+            CoreTier::with_xb_count(2)
+                .expect("non-zero crossbar count")
+                .with_l1_size_bits(1024 * 8),
+        )
+        .crossbar(
+            CrossbarTier::new(
+                XbShape::new(128, 128).expect("valid shape"),
+                128,
+                8,
+                1,
+                CellType::Reram,
+                2,
+            )
+            .expect("valid crossbar tier"),
+        )
+        .mode(ComputingMode::Xbm)
+        .build()
+        .expect("preset is valid")
+}
+
+/// Jain et al.'s ±CIM SRAM macro (JSSC'21), abstracted in Figure 19.
+///
+/// 4 cores × 2 crossbars × (256 × 64) 1-bit SRAM cells; only 32 of the
+/// 256 rows may activate simultaneously (variation control), 1-bit DAC /
+/// 6-bit ADC. Computing mode: WLM.
+#[must_use]
+pub fn jain_sram() -> CimArchitecture {
+    CimArchitecture::builder("Jain et al. JSSC'21 (Figure 19)")
+        .chip(ChipTier::with_core_count(4).expect("non-zero core count"))
+        .core(
+            CoreTier::with_xb_count(2)
+                .expect("non-zero crossbar count")
+                .with_analog_partial_sum(false),
+        )
+        .crossbar(
+            CrossbarTier::new(
+                XbShape::new(256, 64).expect("valid shape"),
+                32,
+                1,
+                6,
+                CellType::Sram,
+                1,
+            )
+            .expect("valid crossbar tier"),
+        )
+        .mode(ComputingMode::Wlm)
+        .build()
+        .expect("preset is valid")
+}
+
+/// The didactic architecture of Table 2 / §3.4: 2 cores × 2 crossbars ×
+/// (32 × 128) 2-bit cells, `parallel_row` 16, shared-buffer NoC, ample
+/// bandwidth, all digital operators supported.
+///
+/// The walkthrough drives it at each computing mode in turn; the returned
+/// architecture defaults to WLM (the finest interface it offers).
+#[must_use]
+pub fn table2_example() -> CimArchitecture {
+    CimArchitecture::builder("Table 2 walkthrough example")
+        .chip(
+            ChipTier::new(2, 1)
+                .expect("non-zero core count")
+                .with_noc(NocKind::SharedBuffer, NocCost::Ideal),
+        )
+        .core(
+            CoreTier::new(2, 1)
+                .expect("non-zero crossbar count")
+                .with_analog_partial_sum(false),
+        )
+        .crossbar(
+            CrossbarTier::new(
+                XbShape::new(32, 128).expect("valid shape"),
+                16,
+                1,
+                8,
+                CellType::Sram,
+                2,
+            )
+            .expect("valid crossbar tier"),
+        )
+        .mode(ComputingMode::Wlm)
+        .build()
+        .expect("preset is valid")
+}
+
+/// The Figure 22 sensitivity-study baseline: Table 3 parameters with a
+/// 128 × 256 crossbar (§4.4), exposed in WLM so all three scheduling
+/// levels can run.
+#[must_use]
+pub fn sensitivity_baseline() -> CimArchitecture {
+    let base = isaac_baseline_wlm();
+    base.with_crossbar(
+        CrossbarTier::new(
+            XbShape::new(128, 256).expect("valid shape"),
+            8,
+            1,
+            8,
+            CellType::Reram,
+            2,
+        )
+        .expect("valid crossbar tier"),
+    )
+}
+
+/// Every preset paired with its name, for exhaustive iteration in tests
+/// and the generality matrix (Table 1).
+#[must_use]
+pub fn all() -> Vec<CimArchitecture> {
+    vec![
+        isaac_baseline(),
+        isaac_baseline_wlm(),
+        jia_isscc21(),
+        puma(),
+        jain_sram(),
+        table2_example(),
+        sensitivity_baseline(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_parameters() {
+        let a = isaac_baseline();
+        assert_eq!(a.chip().core_count(), 768);
+        assert_eq!(a.core().xb_count(), 16);
+        assert_eq!(a.crossbar().shape(), XbShape::new(128, 128).unwrap());
+        assert_eq!(a.crossbar().parallel_row(), 8);
+        assert_eq!(a.crossbar().dac_bits(), 1);
+        assert_eq!(a.crossbar().adc_bits(), 8);
+        assert_eq!(a.crossbar().cell_type(), CellType::Reram);
+        assert_eq!(a.crossbar().cell_bits(), 2);
+        assert_eq!(a.chip().l0_bw_bits_per_cycle(), Some(384));
+        assert_eq!(a.core().l1_bw_bits_per_cycle(), Some(8192));
+        assert_eq!(a.chip().alu_ops_per_cycle(), Some(1024));
+    }
+
+    #[test]
+    fn figure17_jia() {
+        let a = jia_isscc21();
+        assert_eq!(a.mode(), ComputingMode::Cm);
+        assert_eq!(a.chip().core_count(), 16);
+        assert_eq!(a.core().xb_count(), 1);
+        assert_eq!(a.crossbar().shape(), XbShape::new(1152, 256).unwrap());
+        assert!(a.crossbar().full_parallel());
+        assert_eq!(a.crossbar().cell_type(), CellType::Sram);
+        assert_eq!(a.chip().noc(), NocKind::DisjointBufferSwitch);
+    }
+
+    #[test]
+    fn figure18_puma() {
+        let a = puma();
+        assert_eq!(a.mode(), ComputingMode::Xbm);
+        assert_eq!(a.chip().core_count(), 138);
+        assert_eq!(a.core().xb_count(), 2);
+        assert_eq!(a.chip().l0_size_bits(), Some(96 * 1024 * 8));
+        assert_eq!(a.core().l1_size_bits(), Some(1024 * 8));
+        assert_eq!(a.crossbar().cell_bits(), 2);
+    }
+
+    #[test]
+    fn figure19_jain() {
+        let a = jain_sram();
+        assert_eq!(a.mode(), ComputingMode::Wlm);
+        assert_eq!(a.chip().core_count(), 4);
+        assert_eq!(a.core().xb_count(), 2);
+        assert_eq!(a.crossbar().shape(), XbShape::new(256, 64).unwrap());
+        assert_eq!(a.crossbar().parallel_row(), 32);
+        assert_eq!(a.crossbar().adc_bits(), 6);
+        assert!(!a.crossbar().full_parallel());
+    }
+
+    #[test]
+    fn table2_example_matches_walkthrough() {
+        let a = table2_example();
+        assert_eq!(a.chip().core_count(), 2);
+        assert_eq!(a.core().xb_count(), 2);
+        assert_eq!(a.crossbar().shape(), XbShape::new(32, 128).unwrap());
+        assert_eq!(a.crossbar().parallel_row(), 16);
+        assert_eq!(a.crossbar().cell_bits(), 2);
+    }
+
+    #[test]
+    fn sensitivity_baseline_has_wide_crossbars() {
+        let a = sensitivity_baseline();
+        assert_eq!(a.crossbar().shape(), XbShape::new(128, 256).unwrap());
+        assert_eq!(a.mode(), ComputingMode::Wlm);
+        assert_eq!(a.chip().core_count(), 768);
+    }
+
+    #[test]
+    fn all_presets_describe_without_panicking() {
+        for arch in all() {
+            let d = arch.describe();
+            assert!(d.contains("Computing_Mode"));
+        }
+    }
+
+    #[test]
+    fn presets_cover_every_mode_and_multiple_devices() {
+        let archs = all();
+        for mode in ComputingMode::ALL {
+            assert!(
+                archs.iter().any(|a| a.mode() == mode),
+                "no preset exposes {mode}"
+            );
+        }
+        assert!(archs.iter().any(|a| a.crossbar().cell_type() == CellType::Sram));
+        assert!(archs.iter().any(|a| a.crossbar().cell_type() == CellType::Reram));
+    }
+}

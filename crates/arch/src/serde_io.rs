@@ -1,0 +1,347 @@
+//! JSON exchange format for `Abs-arch` descriptions.
+//!
+//! Mirrors the paper's description blocks (Figures 17–19): one object per
+//! tier plus the computing mode. Deserialization rebuilds the architecture
+//! through the validated constructors, so a document with, say,
+//! `parallel_row > xb_size.rows` is rejected with the same [`ArchError`]
+//! the builder would raise.
+//!
+//! ```
+//! use cim_arch::{presets, from_json, to_json};
+//!
+//! let arch = presets::jain_sram();
+//! let round_tripped = from_json(&to_json(&arch)).unwrap();
+//! assert_eq!(round_tripped, arch);
+//! ```
+
+use crate::{
+    ArchError, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier,
+    NocCost, NocKind, Result, XbShape,
+};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum NocKindDoc {
+    Mesh,
+    HTree,
+    SharedBuffer,
+    DisjointBufferSwitch,
+    Ideal,
+}
+
+impl From<NocKind> for NocKindDoc {
+    fn from(k: NocKind) -> Self {
+        match k {
+            NocKind::Mesh => NocKindDoc::Mesh,
+            NocKind::HTree => NocKindDoc::HTree,
+            NocKind::SharedBuffer => NocKindDoc::SharedBuffer,
+            NocKind::DisjointBufferSwitch => NocKindDoc::DisjointBufferSwitch,
+            _ => NocKindDoc::Ideal,
+        }
+    }
+}
+
+impl From<NocKindDoc> for NocKind {
+    fn from(k: NocKindDoc) -> Self {
+        match k {
+            NocKindDoc::Mesh => NocKind::Mesh,
+            NocKindDoc::HTree => NocKind::HTree,
+            NocKindDoc::SharedBuffer => NocKind::SharedBuffer,
+            NocKindDoc::DisjointBufferSwitch => NocKind::DisjointBufferSwitch,
+            NocKindDoc::Ideal => NocKind::Ideal,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum NocCostDoc {
+    Ideal,
+    UniformPerBit(f64),
+    Matrix(Vec<Vec<f64>>),
+}
+
+impl From<&NocCost> for NocCostDoc {
+    fn from(c: &NocCost) -> Self {
+        match c {
+            NocCost::UniformPerBit(x) => NocCostDoc::UniformPerBit(*x),
+            NocCost::Matrix(m) => NocCostDoc::Matrix(m.clone()),
+            _ => NocCostDoc::Ideal,
+        }
+    }
+}
+
+impl From<NocCostDoc> for NocCost {
+    fn from(c: NocCostDoc) -> Self {
+        match c {
+            NocCostDoc::Ideal => NocCost::Ideal,
+            NocCostDoc::UniformPerBit(x) => NocCost::UniformPerBit(x),
+            NocCostDoc::Matrix(m) => NocCost::Matrix(m),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "SCREAMING-KEBAB-CASE")]
+enum CellTypeDoc {
+    Sram,
+    Reram,
+    Flash,
+    Pcm,
+    SttMram,
+}
+
+impl From<CellType> for CellTypeDoc {
+    fn from(c: CellType) -> Self {
+        match c {
+            CellType::Sram => CellTypeDoc::Sram,
+            CellType::Reram => CellTypeDoc::Reram,
+            CellType::Flash => CellTypeDoc::Flash,
+            CellType::Pcm => CellTypeDoc::Pcm,
+            _ => CellTypeDoc::SttMram,
+        }
+    }
+}
+
+impl From<CellTypeDoc> for CellType {
+    fn from(c: CellTypeDoc) -> Self {
+        match c {
+            CellTypeDoc::Sram => CellType::Sram,
+            CellTypeDoc::Reram => CellType::Reram,
+            CellTypeDoc::Flash => CellType::Flash,
+            CellTypeDoc::Pcm => CellType::Pcm,
+            CellTypeDoc::SttMram => CellType::SttMram,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ChipDoc {
+    core_number: [u32; 2],
+    #[serde(default)]
+    core_noc: Option<NocKindDoc>,
+    #[serde(default)]
+    core_noc_cost: Option<NocCostDoc>,
+    #[serde(default)]
+    l0_size_bits: Option<u64>,
+    #[serde(default)]
+    l0_bw_bits_per_cycle: Option<u64>,
+    #[serde(default)]
+    alu_ops_per_cycle: Option<u64>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CoreDoc {
+    xb_number: [u32; 2],
+    #[serde(default)]
+    xb_noc: Option<NocKindDoc>,
+    #[serde(default)]
+    xb_noc_cost: Option<NocCostDoc>,
+    #[serde(default)]
+    l1_size_bits: Option<u64>,
+    #[serde(default)]
+    l1_bw_bits_per_cycle: Option<u64>,
+    #[serde(default)]
+    alu_ops_per_cycle: Option<u64>,
+    #[serde(default = "default_true")]
+    analog_partial_sum: bool,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct XbDoc {
+    xb_size: [u32; 2],
+    parallel_row: u32,
+    dac_bits: u32,
+    adc_bits: u32,
+    cell_type: CellTypeDoc,
+    cell_bits: u32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArchDoc {
+    name: String,
+    chip: ChipDoc,
+    core: CoreDoc,
+    crossbar: XbDoc,
+    computing_mode: ComputingModeDoc,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[serde(rename_all = "UPPERCASE")]
+enum ComputingModeDoc {
+    Cm,
+    Xbm,
+    Wlm,
+}
+
+impl From<ComputingMode> for ComputingModeDoc {
+    fn from(m: ComputingMode) -> Self {
+        match m {
+            ComputingMode::Cm => ComputingModeDoc::Cm,
+            ComputingMode::Xbm => ComputingModeDoc::Xbm,
+            ComputingMode::Wlm => ComputingModeDoc::Wlm,
+        }
+    }
+}
+
+impl From<ComputingModeDoc> for ComputingMode {
+    fn from(m: ComputingModeDoc) -> Self {
+        match m {
+            ComputingModeDoc::Cm => ComputingMode::Cm,
+            ComputingModeDoc::Xbm => ComputingMode::Xbm,
+            ComputingModeDoc::Wlm => ComputingMode::Wlm,
+        }
+    }
+}
+
+/// Serializes an architecture description to JSON.
+#[must_use]
+pub fn to_json(arch: &CimArchitecture) -> String {
+    let chip = arch.chip();
+    let core = arch.core();
+    let xb = arch.crossbar();
+    let doc = ArchDoc {
+        name: arch.name().to_owned(),
+        chip: ChipDoc {
+            core_number: [chip.core_grid().0, chip.core_grid().1],
+            core_noc: Some(chip.noc().into()),
+            core_noc_cost: Some(chip.noc_cost().into()),
+            l0_size_bits: chip.l0_size_bits(),
+            l0_bw_bits_per_cycle: chip.l0_bw_bits_per_cycle(),
+            alu_ops_per_cycle: chip.alu_ops_per_cycle(),
+        },
+        core: CoreDoc {
+            xb_number: [core.xb_grid().0, core.xb_grid().1],
+            xb_noc: Some(core.noc().into()),
+            xb_noc_cost: Some(core.noc_cost().into()),
+            l1_size_bits: core.l1_size_bits(),
+            l1_bw_bits_per_cycle: core.l1_bw_bits_per_cycle(),
+            alu_ops_per_cycle: core.alu_ops_per_cycle(),
+            analog_partial_sum: core.analog_partial_sum(),
+        },
+        crossbar: XbDoc {
+            xb_size: [xb.shape().rows, xb.shape().cols],
+            parallel_row: xb.parallel_row(),
+            dac_bits: xb.dac_bits(),
+            adc_bits: xb.adc_bits(),
+            cell_type: xb.cell_type().into(),
+            cell_bits: xb.cell_bits(),
+        },
+        computing_mode: arch.mode().into(),
+    };
+    serde_json::to_string_pretty(&doc).expect("architecture documents always serialize")
+}
+
+/// Parses an architecture description from JSON, re-validating every
+/// parameter through the tier constructors.
+///
+/// # Errors
+/// Returns [`ArchError`] when the document is not valid JSON or any tier
+/// parameter is out of range.
+pub fn from_json(json: &str) -> Result<CimArchitecture> {
+    let doc: ArchDoc = serde_json::from_str(json)
+        .map_err(|e| ArchError::inconsistent(format!("JSON parse error: {e}")))?;
+    let mut chip = ChipTier::new(doc.chip.core_number[0], doc.chip.core_number[1])?;
+    chip = chip.with_noc(
+        doc.chip.core_noc.map(NocKind::from).unwrap_or(NocKind::Ideal),
+        doc.chip
+            .core_noc_cost
+            .map(NocCost::from)
+            .unwrap_or(NocCost::Ideal),
+    );
+    if let Some(b) = doc.chip.l0_size_bits {
+        chip = chip.with_l0_size_bits(b);
+    }
+    if let Some(b) = doc.chip.l0_bw_bits_per_cycle {
+        chip = chip.with_l0_bw(b);
+    }
+    if let Some(b) = doc.chip.alu_ops_per_cycle {
+        chip = chip.with_alu_ops(b);
+    }
+    let mut core = CoreTier::new(doc.core.xb_number[0], doc.core.xb_number[1])?;
+    core = core
+        .with_noc(
+            doc.core.xb_noc.map(NocKind::from).unwrap_or(NocKind::Ideal),
+            doc.core
+                .xb_noc_cost
+                .map(NocCost::from)
+                .unwrap_or(NocCost::Ideal),
+        )
+        .with_analog_partial_sum(doc.core.analog_partial_sum);
+    if let Some(b) = doc.core.l1_size_bits {
+        core = core.with_l1_size_bits(b);
+    }
+    if let Some(b) = doc.core.l1_bw_bits_per_cycle {
+        core = core.with_l1_bw(b);
+    }
+    if let Some(b) = doc.core.alu_ops_per_cycle {
+        core = core.with_alu_ops(b);
+    }
+    let crossbar = CrossbarTier::new(
+        XbShape::new(doc.crossbar.xb_size[0], doc.crossbar.xb_size[1])?,
+        doc.crossbar.parallel_row,
+        doc.crossbar.dac_bits,
+        doc.crossbar.adc_bits,
+        doc.crossbar.cell_type.into(),
+        doc.crossbar.cell_bits,
+    )?;
+    CimArchitecture::builder(doc.name)
+        .chip(chip)
+        .core(core)
+        .crossbar(crossbar)
+        .mode(doc.computing_mode.into())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn every_preset_round_trips() {
+        for arch in presets::all() {
+            let json = to_json(&arch);
+            let back = from_json(&json).unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
+            assert_eq!(back, arch, "{}", arch.name());
+        }
+    }
+
+    #[test]
+    fn invalid_parallel_row_rejected_on_load() {
+        let mut json = to_json(&presets::jain_sram());
+        json = json.replace("\"parallel_row\": 32", "\"parallel_row\": 9999");
+        let err = from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("parallel_row"));
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        assert!(from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn minimal_document_defaults_to_ideal() {
+        let json = r#"{
+            "name": "minimal",
+            "chip": { "core_number": [1, 4] },
+            "core": { "xb_number": [1, 2] },
+            "crossbar": {
+                "xb_size": [64, 64], "parallel_row": 8,
+                "dac_bits": 1, "adc_bits": 8,
+                "cell_type": "SRAM", "cell_bits": 1
+            },
+            "computing_mode": "WLM"
+        }"#;
+        let arch = from_json(json).unwrap();
+        assert_eq!(arch.chip().core_count(), 4);
+        assert_eq!(arch.mode(), ComputingMode::Wlm);
+        assert!(arch.chip().noc_cost().is_ideal());
+        assert!(arch.core().analog_partial_sum());
+    }
+}

@@ -1,0 +1,739 @@
+//! The three architecture-abstraction tiers (paper §3.2.1–§3.2.3).
+//!
+//! Each tier owns exactly the parameters the paper lists for it
+//! (Figures 5, 6 and 8). Parameters the paper marks `\` ("considered
+//! ideal, their influence disregarded") are modelled as `Option::None`.
+
+use crate::ArchError;
+
+/// Memory-cell technology of a crossbar (Figure 8, parameter `Type`).
+///
+/// The device type drives the scheduling policy: technologies with costly
+/// writes (ReRAM, Flash, PCM) keep weights frozen in the crossbars during
+/// inference, whereas SRAM-based CIMs may rewrite crossbar contents between
+/// operators (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CellType {
+    /// Static RAM cell — fast symmetric read/write.
+    Sram,
+    /// Resistive RAM cell — fast read, slow and endurance-limited write.
+    Reram,
+    /// NOR-Flash cell — very slow write, high density.
+    Flash,
+    /// Phase-change memory cell.
+    Pcm,
+    /// Spin-transfer-torque MRAM cell.
+    SttMram,
+}
+
+impl CellType {
+    /// Whether in-inference weight rewriting is considered affordable for
+    /// this technology. SRAM (and STT-MRAM) support flexible updates; the
+    /// resistive/floating-gate technologies "ford write operations during
+    /// computation" (paper §2.1).
+    #[must_use]
+    pub fn writes_are_cheap(self) -> bool {
+        matches!(self, CellType::Sram | CellType::SttMram)
+    }
+
+    /// Crossbar write latency relative to a read, used by the cost model.
+    /// Reads are comparable across technologies; writes differ by orders of
+    /// magnitude (paper §1 challenge 1, citing its reference \[3\]).
+    #[must_use]
+    pub fn write_read_latency_ratio(self) -> u64 {
+        match self {
+            CellType::Sram => 1,
+            CellType::SttMram => 4,
+            CellType::Pcm => 32,
+            CellType::Reram => 64,
+            CellType::Flash => 512,
+        }
+    }
+
+    /// Canonical name as written in an `Abs-arch` description
+    /// (e.g. `"ReRAM"`, `"SRAM"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CellType::Sram => "SRAM",
+            CellType::Reram => "ReRAM",
+            CellType::Flash => "FLASH",
+            CellType::Pcm => "PCM",
+            CellType::SttMram => "STT-MRAM",
+        }
+    }
+}
+
+impl std::fmt::Display for CellType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Network-on-chip topology (Figures 5 and 6, parameters `core_noc` /
+/// `xb_noc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NocKind {
+    /// 2-D mesh (e.g. PUMA's tile interconnect).
+    Mesh,
+    /// H-tree (e.g. ISAAC's intra-tile network).
+    HTree,
+    /// Communication through a shared buffer (Table 2 example).
+    SharedBuffer,
+    /// Disjoint buffer switch (Jia et al., Figure 17).
+    DisjointBufferSwitch,
+    /// Ideal interconnect: transfers are free. Used for parameters the
+    /// paper marks `\`.
+    Ideal,
+}
+
+impl NocKind {
+    /// Name as it appears in `Abs-arch` descriptions.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NocKind::Mesh => "mesh",
+            NocKind::HTree => "H-tree",
+            NocKind::SharedBuffer => "shared buffer",
+            NocKind::DisjointBufferSwitch => "disjoint buffer switch",
+            NocKind::Ideal => "ideal",
+        }
+    }
+}
+
+impl std::fmt::Display for NocKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Data-transfer cost of a NoC (parameters `core_noc_cost` / `xb_noc_cost`).
+///
+/// The paper abstracts this as a matrix recording the transfer cost between
+/// each pair of units; in practice most designs are regular enough for a
+/// uniform per-hop cost, so both forms are supported.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NocCost {
+    /// Transfers are free (ideal `\` parameter).
+    Ideal,
+    /// Constant cost in cycles per transferred bit, regardless of endpoints.
+    UniformPerBit(f64),
+    /// Full endpoint-to-endpoint cost matrix, cycles per bit;
+    /// `matrix[src][dst]`.
+    Matrix(Vec<Vec<f64>>),
+}
+
+impl NocCost {
+    /// Cycles per bit to move data from unit `src` to unit `dst`.
+    ///
+    /// For [`NocCost::Matrix`], out-of-range indices cost the maximum entry
+    /// of the matrix (conservative), or 0.0 for an empty matrix.
+    #[must_use]
+    pub fn cycles_per_bit(&self, src: usize, dst: usize) -> f64 {
+        match self {
+            NocCost::Ideal => 0.0,
+            NocCost::UniformPerBit(c) => {
+                if src == dst {
+                    0.0
+                } else {
+                    *c
+                }
+            }
+            NocCost::Matrix(m) => m
+                .get(src)
+                .and_then(|row| row.get(dst))
+                .copied()
+                .unwrap_or_else(|| {
+                    m.iter()
+                        .flat_map(|r| r.iter().copied())
+                        .fold(0.0, f64::max)
+                }),
+        }
+    }
+
+    /// The worst-case (maximum) per-bit cost over all endpoint pairs.
+    #[must_use]
+    pub fn worst_case_cycles_per_bit(&self) -> f64 {
+        match self {
+            NocCost::Ideal => 0.0,
+            NocCost::UniformPerBit(c) => *c,
+            NocCost::Matrix(m) => m
+                .iter()
+                .flat_map(|r| r.iter().copied())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Returns `true` if every transfer is free.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.worst_case_cycles_per_bit() == 0.0
+    }
+}
+
+/// Shape of a memory crossbar: `[rows × cols]` memory cells
+/// (Figure 8, parameter `xb_size`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XbShape {
+    /// Number of wordlines (matrix-row dimension binding target XBR).
+    pub rows: u32,
+    /// Number of bitlines (matrix-column dimension binding target XBC).
+    pub cols: u32,
+}
+
+impl XbShape {
+    /// Creates a shape; both dimensions must be non-zero.
+    ///
+    /// # Errors
+    /// Returns [`ArchError::InvalidParameter`] if either dimension is zero.
+    pub fn new(rows: u32, cols: u32) -> crate::Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(ArchError::invalid(
+                "xb_size",
+                format!("crossbar dimensions must be non-zero, got [{rows}, {cols}]"),
+            ));
+        }
+        Ok(XbShape { rows, cols })
+    }
+
+    /// Total number of memory cells in the crossbar.
+    #[must_use]
+    pub fn cells(self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+}
+
+impl std::fmt::Display for XbShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.rows, self.cols)
+    }
+}
+
+/// Chip-tier architecture abstraction (paper §3.2.1, Figure 5).
+///
+/// Describes everything the compiler can see of the whole chip in core mode:
+/// how many cores exist, how they talk to each other, how big and fast the
+/// global (L0) buffer is, and how fast the chip-level digital ALU is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipTier {
+    core_rows: u32,
+    core_cols: u32,
+    core_noc: NocKind,
+    core_noc_cost: NocCost,
+    l0_size_bits: Option<u64>,
+    l0_bw_bits_per_cycle: Option<u64>,
+    alu_ops_per_cycle: Option<u64>,
+}
+
+impl ChipTier {
+    /// Creates a chip tier with `core_rows * core_cols` cores and every
+    /// other parameter ideal (`\` in the paper's notation).
+    ///
+    /// # Errors
+    /// Returns [`ArchError::InvalidParameter`] if either grid dimension is 0.
+    pub fn new(core_rows: u32, core_cols: u32) -> crate::Result<Self> {
+        if core_rows == 0 || core_cols == 0 {
+            return Err(ArchError::invalid(
+                "core_number",
+                format!("core grid must be non-empty, got [{core_rows} * {core_cols}]"),
+            ));
+        }
+        Ok(ChipTier {
+            core_rows,
+            core_cols,
+            core_noc: NocKind::Ideal,
+            core_noc_cost: NocCost::Ideal,
+            l0_size_bits: None,
+            l0_bw_bits_per_cycle: None,
+            alu_ops_per_cycle: None,
+        })
+    }
+
+    /// Creates a chip tier from a flat core count (single-row grid).
+    ///
+    /// # Errors
+    /// Returns [`ArchError::InvalidParameter`] if `core_number` is 0.
+    pub fn with_core_count(core_number: u32) -> crate::Result<Self> {
+        ChipTier::new(1, core_number)
+    }
+
+    /// Sets the NoC topology and cost.
+    #[must_use]
+    pub fn with_noc(mut self, kind: NocKind, cost: NocCost) -> Self {
+        self.core_noc = kind;
+        self.core_noc_cost = cost;
+        self
+    }
+
+    /// Sets the global-buffer capacity in bits (`L0 size`).
+    #[must_use]
+    pub fn with_l0_size_bits(mut self, bits: u64) -> Self {
+        self.l0_size_bits = Some(bits);
+        self
+    }
+
+    /// Sets the global-buffer bandwidth in bits per cycle (`L0 BW`).
+    #[must_use]
+    pub fn with_l0_bw(mut self, bits_per_cycle: u64) -> Self {
+        self.l0_bw_bits_per_cycle = Some(bits_per_cycle);
+        self
+    }
+
+    /// Sets the chip-level digital ALU throughput (`ALU`, operations per
+    /// cycle). This bounds CIM-unsupported operators such as ReLU/pooling.
+    #[must_use]
+    pub fn with_alu_ops(mut self, ops_per_cycle: u64) -> Self {
+        self.alu_ops_per_cycle = Some(ops_per_cycle);
+        self
+    }
+
+    /// Total number of cores in the chip (`core_number`).
+    #[must_use]
+    pub fn core_count(&self) -> u32 {
+        self.core_rows * self.core_cols
+    }
+
+    /// Core grid dimensions `[rows, cols]`.
+    #[must_use]
+    pub fn core_grid(&self) -> (u32, u32) {
+        (self.core_rows, self.core_cols)
+    }
+
+    /// NoC topology between cores.
+    #[must_use]
+    pub fn noc(&self) -> NocKind {
+        self.core_noc
+    }
+
+    /// NoC transfer-cost model between cores.
+    #[must_use]
+    pub fn noc_cost(&self) -> &NocCost {
+        &self.core_noc_cost
+    }
+
+    /// Global-buffer capacity in bits; `None` means ideal/unbounded.
+    #[must_use]
+    pub fn l0_size_bits(&self) -> Option<u64> {
+        self.l0_size_bits
+    }
+
+    /// Global-buffer bandwidth in bits/cycle; `None` means ideal.
+    #[must_use]
+    pub fn l0_bw_bits_per_cycle(&self) -> Option<u64> {
+        self.l0_bw_bits_per_cycle
+    }
+
+    /// Digital-ALU throughput in ops/cycle; `None` means ideal.
+    #[must_use]
+    pub fn alu_ops_per_cycle(&self) -> Option<u64> {
+        self.alu_ops_per_cycle
+    }
+}
+
+/// Core-tier architecture abstraction (paper §3.2.2, Figure 6).
+///
+/// Describes the inside of one core: its crossbars, the NoC connecting
+/// them, the local (L1) buffer, and the core-level digital ALU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreTier {
+    xb_rows: u32,
+    xb_cols: u32,
+    xb_noc: NocKind,
+    xb_noc_cost: NocCost,
+    l1_size_bits: Option<u64>,
+    l1_bw_bits_per_cycle: Option<u64>,
+    alu_ops_per_cycle: Option<u64>,
+    analog_partial_sum: bool,
+}
+
+impl CoreTier {
+    /// Creates a core tier with `xb_rows * xb_cols` crossbars per core and
+    /// every other parameter ideal.
+    ///
+    /// # Errors
+    /// Returns [`ArchError::InvalidParameter`] if either grid dimension is 0.
+    pub fn new(xb_rows: u32, xb_cols: u32) -> crate::Result<Self> {
+        if xb_rows == 0 || xb_cols == 0 {
+            return Err(ArchError::invalid(
+                "xb_number",
+                format!("crossbar grid must be non-empty, got [{xb_rows} * {xb_cols}]"),
+            ));
+        }
+        Ok(CoreTier {
+            xb_rows,
+            xb_cols,
+            xb_noc: NocKind::Ideal,
+            xb_noc_cost: NocCost::Ideal,
+            l1_size_bits: None,
+            l1_bw_bits_per_cycle: None,
+            alu_ops_per_cycle: None,
+            analog_partial_sum: true,
+        })
+    }
+
+    /// Creates a core tier from a flat crossbar count (single-row grid).
+    ///
+    /// # Errors
+    /// Returns [`ArchError::InvalidParameter`] if `xb_number` is 0.
+    pub fn with_xb_count(xb_number: u32) -> crate::Result<Self> {
+        CoreTier::new(1, xb_number)
+    }
+
+    /// Sets the intra-core NoC topology and cost.
+    #[must_use]
+    pub fn with_noc(mut self, kind: NocKind, cost: NocCost) -> Self {
+        self.xb_noc = kind;
+        self.xb_noc_cost = cost;
+        self
+    }
+
+    /// Sets the local-buffer capacity in bits (`L1 size`).
+    #[must_use]
+    pub fn with_l1_size_bits(mut self, bits: u64) -> Self {
+        self.l1_size_bits = Some(bits);
+        self
+    }
+
+    /// Sets the local-buffer bandwidth in bits per cycle (`L1 BW`).
+    #[must_use]
+    pub fn with_l1_bw(mut self, bits_per_cycle: u64) -> Self {
+        self.l1_bw_bits_per_cycle = Some(bits_per_cycle);
+        self
+    }
+
+    /// Sets the core-level digital ALU throughput in ops/cycle.
+    #[must_use]
+    pub fn with_alu_ops(mut self, ops_per_cycle: u64) -> Self {
+        self.alu_ops_per_cycle = Some(ops_per_cycle);
+        self
+    }
+
+    /// Declares whether the core has an analog shift-and-accumulate tree
+    /// merging the partial sums of vertically-stacked crossbars in
+    /// parallel (ISAAC/PUMA-style S&A, Figure 2's `S&A` block).
+    ///
+    /// Macro-style designs without it (e.g. Jain et al.'s ±CIM macro, the
+    /// Table 2 walkthrough machine) must read out and accumulate vertical
+    /// partial sums serially through the shared converter chain — unless
+    /// VVM-grained scheduling remaps the rows and merges partials on the
+    /// digital ALU, which is exactly the paper's "converting serial
+    /// computations into parallel computations" (§4.2, Work 3).
+    #[must_use]
+    pub fn with_analog_partial_sum(mut self, has: bool) -> Self {
+        self.analog_partial_sum = has;
+        self
+    }
+
+    /// Whether vertically-stacked crossbars accumulate in parallel through
+    /// analog S&A hardware. See [`CoreTier::with_analog_partial_sum`].
+    #[must_use]
+    pub fn analog_partial_sum(&self) -> bool {
+        self.analog_partial_sum
+    }
+
+    /// Number of crossbars per core (`xb_number`).
+    #[must_use]
+    pub fn xb_count(&self) -> u32 {
+        self.xb_rows * self.xb_cols
+    }
+
+    /// Crossbar grid dimensions `[rows, cols]`.
+    #[must_use]
+    pub fn xb_grid(&self) -> (u32, u32) {
+        (self.xb_rows, self.xb_cols)
+    }
+
+    /// Intra-core NoC topology.
+    #[must_use]
+    pub fn noc(&self) -> NocKind {
+        self.xb_noc
+    }
+
+    /// Intra-core NoC transfer-cost model.
+    #[must_use]
+    pub fn noc_cost(&self) -> &NocCost {
+        &self.xb_noc_cost
+    }
+
+    /// Local-buffer capacity in bits; `None` means ideal/unbounded.
+    #[must_use]
+    pub fn l1_size_bits(&self) -> Option<u64> {
+        self.l1_size_bits
+    }
+
+    /// Local-buffer bandwidth in bits/cycle; `None` means ideal.
+    #[must_use]
+    pub fn l1_bw_bits_per_cycle(&self) -> Option<u64> {
+        self.l1_bw_bits_per_cycle
+    }
+
+    /// Core-level ALU throughput in ops/cycle; `None` means ideal.
+    #[must_use]
+    pub fn alu_ops_per_cycle(&self) -> Option<u64> {
+        self.alu_ops_per_cycle
+    }
+}
+
+/// Crossbar-tier architecture abstraction (paper §3.2.3, Figure 8).
+///
+/// The fundamental computational unit: the crossbar array with its
+/// peripheral circuits (wordline drivers, DAC on the input side, ADC /
+/// sense amplifiers on the output side) and its memory-cell technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarTier {
+    shape: XbShape,
+    parallel_row: u32,
+    dac_bits: u32,
+    adc_bits: u32,
+    cell_type: CellType,
+    cell_bits: u32,
+}
+
+impl CrossbarTier {
+    /// Creates a crossbar tier.
+    ///
+    /// * `shape` — crossbar dimensions (`xb_size`).
+    /// * `parallel_row` — max number of wordlines activated at once.
+    /// * `dac_bits` / `adc_bits` — converter precisions.
+    /// * `cell_type` / `cell_bits` — memory-cell technology and bits stored
+    ///   per cell (`Type` / `Precision`).
+    ///
+    /// # Errors
+    /// Returns [`ArchError`] if `parallel_row` is 0 or exceeds `shape.rows`,
+    /// or if any precision is 0.
+    pub fn new(
+        shape: XbShape,
+        parallel_row: u32,
+        dac_bits: u32,
+        adc_bits: u32,
+        cell_type: CellType,
+        cell_bits: u32,
+    ) -> crate::Result<Self> {
+        if parallel_row == 0 {
+            return Err(ArchError::invalid("parallel_row", "must be at least 1"));
+        }
+        if parallel_row > shape.rows {
+            return Err(ArchError::invalid(
+                "parallel_row",
+                format!(
+                    "cannot activate {parallel_row} rows in a crossbar with {} rows",
+                    shape.rows
+                ),
+            ));
+        }
+        if dac_bits == 0 {
+            return Err(ArchError::invalid("DAC", "precision must be at least 1 bit"));
+        }
+        if adc_bits == 0 {
+            return Err(ArchError::invalid("ADC", "precision must be at least 1 bit"));
+        }
+        if cell_bits == 0 {
+            return Err(ArchError::invalid(
+                "Precision",
+                "cell precision must be at least 1 bit",
+            ));
+        }
+        Ok(CrossbarTier {
+            shape,
+            parallel_row,
+            dac_bits,
+            adc_bits,
+            cell_type,
+            cell_bits,
+        })
+    }
+
+    /// Crossbar dimensions (`xb_size`).
+    #[must_use]
+    pub fn shape(&self) -> XbShape {
+        self.shape
+    }
+
+    /// Maximum number of simultaneously activated wordlines
+    /// (`parallel row`).
+    #[must_use]
+    pub fn parallel_row(&self) -> u32 {
+        self.parallel_row
+    }
+
+    /// DAC precision in bits.
+    #[must_use]
+    pub fn dac_bits(&self) -> u32 {
+        self.dac_bits
+    }
+
+    /// ADC precision in bits.
+    #[must_use]
+    pub fn adc_bits(&self) -> u32 {
+        self.adc_bits
+    }
+
+    /// Memory-cell technology (`Type`).
+    #[must_use]
+    pub fn cell_type(&self) -> CellType {
+        self.cell_type
+    }
+
+    /// Bits stored per memory cell (`Precision`).
+    #[must_use]
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Number of cell columns needed to hold one `weight_bits`-bit weight
+    /// (bit slicing across adjacent columns, Figure 7's B→XBC binding).
+    #[must_use]
+    pub fn columns_per_weight(&self, weight_bits: u32) -> u32 {
+        weight_bits.div_ceil(self.cell_bits)
+    }
+
+    /// Number of row-group activations required to engage `used_rows`
+    /// wordlines of one crossbar (WLM cost of a full-depth MVM).
+    #[must_use]
+    pub fn activations_for_rows(&self, used_rows: u32) -> u32 {
+        used_rows.min(self.shape.rows).div_ceil(self.parallel_row)
+    }
+
+    /// Number of input bit-slices needed to feed an `activation_bits`-bit
+    /// input vector through the DAC (bit-serial input streaming).
+    #[must_use]
+    pub fn input_slices(&self, activation_bits: u32) -> u32 {
+        activation_bits.div_ceil(self.dac_bits)
+    }
+
+    /// True when the whole crossbar can be engaged in a single activation
+    /// (`parallel_row == rows`), i.e. XBM-style operation has no row
+    /// serialization penalty.
+    #[must_use]
+    pub fn full_parallel(&self) -> bool {
+        self.parallel_row == self.shape.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xb() -> CrossbarTier {
+        CrossbarTier::new(
+            XbShape::new(128, 128).unwrap(),
+            8,
+            1,
+            8,
+            CellType::Reram,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn xb_shape_rejects_zero() {
+        assert!(XbShape::new(0, 128).is_err());
+        assert!(XbShape::new(128, 0).is_err());
+        assert_eq!(XbShape::new(32, 128).unwrap().cells(), 32 * 128);
+    }
+
+    #[test]
+    fn chip_tier_counts_cores() {
+        let chip = ChipTier::new(24, 32).unwrap();
+        assert_eq!(chip.core_count(), 768);
+        assert_eq!(chip.core_grid(), (24, 32));
+        assert!(ChipTier::new(0, 4).is_err());
+    }
+
+    #[test]
+    fn chip_tier_defaults_are_ideal() {
+        let chip = ChipTier::with_core_count(4).unwrap();
+        assert_eq!(chip.noc(), NocKind::Ideal);
+        assert!(chip.noc_cost().is_ideal());
+        assert_eq!(chip.l0_size_bits(), None);
+        assert_eq!(chip.alu_ops_per_cycle(), None);
+    }
+
+    #[test]
+    fn core_tier_builder_chain() {
+        let core = CoreTier::with_xb_count(16)
+            .unwrap()
+            .with_noc(NocKind::HTree, NocCost::UniformPerBit(0.25))
+            .with_l1_size_bits(8 * 1024)
+            .with_l1_bw(8192)
+            .with_alu_ops(1024);
+        assert_eq!(core.xb_count(), 16);
+        assert_eq!(core.noc(), NocKind::HTree);
+        assert_eq!(core.l1_bw_bits_per_cycle(), Some(8192));
+        assert_eq!(core.alu_ops_per_cycle(), Some(1024));
+    }
+
+    #[test]
+    fn crossbar_tier_validation() {
+        let shape = XbShape::new(128, 128).unwrap();
+        assert!(CrossbarTier::new(shape, 0, 1, 8, CellType::Sram, 1).is_err());
+        assert!(CrossbarTier::new(shape, 129, 1, 8, CellType::Sram, 1).is_err());
+        assert!(CrossbarTier::new(shape, 8, 0, 8, CellType::Sram, 1).is_err());
+        assert!(CrossbarTier::new(shape, 8, 1, 0, CellType::Sram, 1).is_err());
+        assert!(CrossbarTier::new(shape, 8, 1, 8, CellType::Sram, 0).is_err());
+        assert!(CrossbarTier::new(shape, 128, 1, 8, CellType::Sram, 1)
+            .unwrap()
+            .full_parallel());
+    }
+
+    #[test]
+    fn columns_per_weight_bit_slices() {
+        // 8-bit weights on 2-bit cells -> 4 adjacent columns per weight.
+        assert_eq!(xb().columns_per_weight(8), 4);
+        // 8-bit weights on 1-bit cells -> 8 columns.
+        let b = CrossbarTier::new(XbShape::new(256, 64).unwrap(), 32, 1, 6, CellType::Sram, 1)
+            .unwrap();
+        assert_eq!(b.columns_per_weight(8), 8);
+        // exact fit
+        assert_eq!(xb().columns_per_weight(2), 1);
+    }
+
+    #[test]
+    fn activations_for_rows_groups_wordlines() {
+        // 128-row crossbar, parallel_row = 8 -> 16 activations for full use.
+        assert_eq!(xb().activations_for_rows(128), 16);
+        assert_eq!(xb().activations_for_rows(1), 1);
+        assert_eq!(xb().activations_for_rows(9), 2);
+        // requesting more rows than exist clamps to the crossbar height
+        assert_eq!(xb().activations_for_rows(10_000), 16);
+    }
+
+    #[test]
+    fn input_slices_bit_serial() {
+        // 8-bit activations through a 1-bit DAC -> 8 slices.
+        assert_eq!(xb().input_slices(8), 8);
+        let wide_dac =
+            CrossbarTier::new(XbShape::new(128, 128).unwrap(), 128, 8, 8, CellType::Sram, 1)
+                .unwrap();
+        assert_eq!(wide_dac.input_slices(8), 1);
+    }
+
+    #[test]
+    fn noc_cost_lookup() {
+        let ideal = NocCost::Ideal;
+        assert_eq!(ideal.cycles_per_bit(0, 5), 0.0);
+        let uniform = NocCost::UniformPerBit(0.5);
+        assert_eq!(uniform.cycles_per_bit(1, 1), 0.0);
+        assert_eq!(uniform.cycles_per_bit(0, 1), 0.5);
+        let m = NocCost::Matrix(vec![vec![0.0, 1.0], vec![2.0, 0.0]]);
+        assert_eq!(m.cycles_per_bit(1, 0), 2.0);
+        // out-of-range is conservative (max entry)
+        assert_eq!(m.cycles_per_bit(5, 0), 2.0);
+        assert_eq!(m.worst_case_cycles_per_bit(), 2.0);
+    }
+
+    #[test]
+    fn cell_type_write_policy() {
+        assert!(CellType::Sram.writes_are_cheap());
+        assert!(!CellType::Reram.writes_are_cheap());
+        assert!(!CellType::Flash.writes_are_cheap());
+        assert!(
+            CellType::Flash.write_read_latency_ratio()
+                > CellType::Reram.write_read_latency_ratio()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests on the hardware abstraction: arbitrary valid tier
+//! parameters build, describe, serialize and cost-model consistently.
+
+use cim_arch::{
+    from_json, to_json, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CostModel,
+    CrossbarTier, NocCost, NocKind, XbShape,
+};
+use proptest::prelude::*;
+
+fn cells() -> impl Strategy<Value = CellType> {
+    prop_oneof![
+        Just(CellType::Sram),
+        Just(CellType::Reram),
+        Just(CellType::Flash),
+        Just(CellType::Pcm),
+        Just(CellType::SttMram),
+    ]
+}
+
+fn nocs() -> impl Strategy<Value = NocKind> {
+    prop_oneof![
+        Just(NocKind::Mesh),
+        Just(NocKind::HTree),
+        Just(NocKind::SharedBuffer),
+        Just(NocKind::DisjointBufferSwitch),
+        Just(NocKind::Ideal),
+    ]
+}
+
+fn arches() -> impl Strategy<Value = CimArchitecture> {
+    (
+        (1u32..64, 1u32..64),
+        1u32..32,
+        (1u32..512, 1u32..512),
+        1u32..16,
+        1u32..16,
+        cells(),
+        1u32..8,
+        nocs(),
+        proptest::option::of(0.0f64..2.0),
+        prop_oneof![
+            Just(ComputingMode::Cm),
+            Just(ComputingMode::Xbm),
+            Just(ComputingMode::Wlm)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(
+            |(grid, xbs, (rows, cols), dac, adc, cell, bits, noc, noc_cost, mode, aps)| {
+                let shape = XbShape::new(rows, cols).expect("non-zero");
+                let pr = (rows / 2).max(1);
+                let cost = noc_cost
+                    .map(NocCost::UniformPerBit)
+                    .unwrap_or(NocCost::Ideal);
+                CimArchitecture::builder("prop")
+                    .chip(ChipTier::new(grid.0, grid.1).expect("valid").with_noc(noc, cost))
+                    .core(
+                        CoreTier::with_xb_count(xbs)
+                            .expect("valid")
+                            .with_analog_partial_sum(aps),
+                    )
+                    .crossbar(
+                        CrossbarTier::new(shape, pr, dac, adc, cell, bits).expect("valid"),
+                    )
+                    .mode(mode)
+                    .build()
+                    .expect("valid architecture")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn describe_contains_every_headline_parameter(arch in arches()) {
+        let d = arch.describe();
+        let has_cores = d.contains(&format!("\"core_number\": {}", arch.chip().core_count()));
+        let has_xbs = d.contains(&format!("\"xb_number\": {}", arch.core().xb_count()));
+        let has_pr = d.contains(&format!("\"parallel row\": {}", arch.crossbar().parallel_row()));
+        prop_assert!(has_cores && has_xbs && has_pr, "describe() missing parameters:\n{d}");
+        prop_assert!(d.contains(arch.crossbar().cell_type().name()));
+        prop_assert!(d.contains(arch.mode().name()));
+    }
+
+    #[test]
+    fn json_round_trip_is_identity(arch in arches()) {
+        let back = from_json(&to_json(&arch)).unwrap();
+        prop_assert_eq!(back, arch);
+    }
+
+    #[test]
+    fn capacity_arithmetic_is_consistent(arch in arches()) {
+        let total = arch.total_crossbars();
+        prop_assert_eq!(
+            total,
+            u64::from(arch.chip().core_count()) * u64::from(arch.core().xb_count())
+        );
+        prop_assert_eq!(
+            arch.weight_capacity_bits(),
+            total * arch.crossbar().shape().cells() * u64::from(arch.crossbar().cell_bits())
+        );
+    }
+
+    #[test]
+    fn cost_model_write_at_least_as_costly_as_read(arch in arches()) {
+        let cost = arch.cost();
+        prop_assert!(cost.xb_write_cycles_per_row >= cost.xb_read_cycles);
+        // Write energy per cell is never below activation energy per cell.
+        prop_assert!(cost.e_write_per_cell >= cost.e_cell - 1e-12);
+        // Activation energy grows with engaged rows.
+        let small = cost.activation_energy(1, arch.crossbar().shape().cols);
+        let large = cost.activation_energy(arch.crossbar().parallel_row(), arch.crossbar().shape().cols);
+        prop_assert!(large.total() >= small.total());
+    }
+
+    #[test]
+    fn mode_sweeps_preserve_physical_tiers(arch in arches()) {
+        for mode in ComputingMode::ALL {
+            let swept = arch.with_mode(mode);
+            prop_assert_eq!(swept.chip(), arch.chip());
+            prop_assert_eq!(swept.core(), arch.core());
+            prop_assert_eq!(swept.crossbar(), arch.crossbar());
+            prop_assert_eq!(swept.mode(), mode);
+        }
+    }
+
+    #[test]
+    fn crossbar_helpers_are_exact(arch in arches(), weight_bits in 1u32..16, act_bits in 1u32..16) {
+        let xb = arch.crossbar();
+        let cpw = xb.columns_per_weight(weight_bits);
+        prop_assert!(cpw * xb.cell_bits() >= weight_bits);
+        prop_assert!((cpw - 1) * xb.cell_bits() < weight_bits);
+        let slices = xb.input_slices(act_bits);
+        prop_assert!(slices * xb.dac_bits() >= act_bits);
+        let groups = xb.activations_for_rows(xb.shape().rows);
+        prop_assert!(groups * xb.parallel_row() >= xb.shape().rows);
+    }
+}
+
+#[test]
+fn derived_cost_model_matches_manual() {
+    let xb = CrossbarTier::new(
+        XbShape::new(128, 128).unwrap(),
+        8,
+        1,
+        8,
+        CellType::Reram,
+        2,
+    )
+    .unwrap();
+    let derived = CostModel::derived(&xb);
+    assert_eq!(
+        derived.xb_write_cycles_per_row,
+        CellType::Reram.write_read_latency_ratio()
+    );
+}

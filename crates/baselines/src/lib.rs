@@ -1,0 +1,252 @@
+//! # cim-baselines — comparator schedulers
+//!
+//! The paper's evaluation (§4.2) compares CIM-MLC against four baselines.
+//! Each is reimplemented here **on the same mapping and latency model** as
+//! the CIM-MLC scheduler (`cim-compiler`), so every comparison is
+//! apples-to-apples — exactly the role the original authors' extended
+//! simulator plays:
+//!
+//! * [`no_opt`] — the unoptimized schedule: operators run serially, one
+//!   replica each ("w/o optimization" in Figure 20d).
+//! * [`poly_schedule`] — Poly-Schedule \[22\]: graph-level operator
+//!   duplication with a *greedy proportional* core allocation and a batch
+//!   (inter-image) pipeline. The batch pipeline improves throughput but
+//!   not single-image latency, which is what the paper measures, so its
+//!   latency benefit comes from duplication alone; it also has no notion
+//!   of the finer MVM/VVM scheduling space.
+//! * [`jia_schedule`] — Jia et al.'s own deployment \[29\]: sequential
+//!   layer-by-layer execution on the CM accelerator (Figure 20a's 1×
+//!   bar).
+//! * [`puma_schedule`] — PUMA's compiler \[4\]: graph partitioning with
+//!   replication and an inter-layer pipeline, but *lockstep* crossbar
+//!   activation (no staggering), which sets the Figure 20b peak-power
+//!   reference.
+//! * [`jain_schedule`] — Jain et al.'s conservative macro driving \[27\]
+//!   (Figure 20c's 1× bar).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cim_arch::CimArchitecture;
+use cim_compiler::cg::{schedule_cg, CgOptions, CgSchedule};
+use cim_compiler::mapping::OpMapping;
+use cim_compiler::perf::PerfReport;
+use cim_compiler::stage::extract_stages;
+use cim_compiler::{CompileError, Result};
+use cim_graph::Graph;
+
+/// The unoptimized schedule: serial execution, one replica per operator.
+///
+/// # Errors
+/// Propagates scheduling errors from the underlying model.
+pub fn no_opt(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
+    let mut report = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?.report;
+    report.level = "no-opt";
+    Ok(report)
+}
+
+/// Jia et al.'s vendor schedule: the accelerator runs each operator to
+/// completion before the next (their deployment flow has no inter-layer
+/// pipeline or duplication).
+///
+/// # Errors
+/// Propagates scheduling errors.
+pub fn jia_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
+    let mut report = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?.report;
+    report.level = "jia-et-al";
+    Ok(report)
+}
+
+/// Jain et al.'s vendor schedule: conservative serial macro driving.
+///
+/// # Errors
+/// Propagates scheduling errors.
+pub fn jain_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
+    let mut report = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?.report;
+    report.level = "jain-et-al";
+    Ok(report)
+}
+
+/// PUMA's compiler schedule: duplication + inter-layer pipeline (their
+/// graph partitioner replicates aggressively) with lockstep VXB
+/// activation — every crossbar of an operator's replicas fires
+/// simultaneously, which is what CIM-MLC's staggered MVM pipeline
+/// improves on (Figure 20b).
+///
+/// # Errors
+/// Propagates scheduling errors.
+pub fn puma_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<CgSchedule> {
+    let mut sched = schedule_cg(graph, arch, CgOptions::full(), 8, 8)?;
+    sched.report.level = "puma";
+    Ok(sched)
+}
+
+/// Poly-Schedule: greedy proportional duplication + batch pipeline.
+///
+/// The greedy strategy splits the spare cores proportionally to each
+/// operator's share of total compute — reasonable, but blind to the
+/// marginal-gain structure the CIM-MLC allocator exploits, and to every
+/// scheduling opportunity below the graph level.
+///
+/// # Errors
+/// Propagates scheduling errors.
+pub fn poly_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
+    let stages = extract_stages(graph, arch, 8);
+    if stages.is_empty() {
+        return Err(CompileError::NothingToMap {
+            model: graph.name().to_owned(),
+        });
+    }
+    // Start from the serial schedule to inherit segmentation/folding
+    // behaviour, then re-derive per-stage latencies with the greedy
+    // duplication numbers.
+    let base = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?;
+    let core_count = u64::from(arch.chip().core_count());
+
+    let mut total_latency = 0.0;
+    let mut peak_power = 0.0_f64;
+    let mut peak_active = 0u64;
+    let mut peak_breakdown = Default::default();
+    for seg in &base.segments {
+        // Proportional shares within the segment.
+        let seg_stages: Vec<_> = seg.plans.iter().map(|p| &base.stages[p.stage]).collect();
+        let weights: Vec<f64> = seg_stages
+            .iter()
+            .map(|s| s.mapping.mvm_count as f64 * s.mapping.cycles_per_mvm(arch, 8) as f64)
+            .collect();
+        let total_work: f64 = weights.iter().sum();
+        let mut seg_latency = 0.0;
+        let mut seg_active = 0u64;
+        let mut used: u64 = 0;
+        for (plan, (stage, work)) in seg.plans.iter().zip(seg_stages.iter().zip(&weights)) {
+            let cores_per_replica = u64::from(stage.mapping.cores_per_replica(arch));
+            let fair_cores = (core_count as f64 * work / total_work.max(1.0)).floor() as u64;
+            let mut dup = (fair_cores / cores_per_replica.max(1)).max(1) as u32;
+            // Clamp to remaining budget.
+            while u64::from(dup) * cores_per_replica + used > core_count && dup > 1 {
+                dup -= 1;
+            }
+            used += u64::from(dup) * cores_per_replica;
+            let dup = dup.min(stage.mapping.mvm_count.max(1) as u32);
+            let cpm = stage.mapping.cycles_per_mvm(arch, 8);
+            let compute =
+                stage.mapping.mvm_count as f64 * cpm as f64 / f64::from(dup) * f64::from(plan.folds);
+            let mov = cim_compiler::stage::movement_cycles(stage, arch, 8);
+            let alu = stage.alu_cycles(
+                arch.chip().alu_ops_per_cycle(),
+                (dup * stage.mapping.cores_per_replica(arch)).min(arch.chip().core_count()),
+            );
+            seg_latency += compute.max(mov).max(alu);
+            seg_active = seg_active
+                .max(u64::from(dup) * u64::from(stage.mapping.vxb_size()));
+        }
+        let (power, breakdown) = cim_compiler::perf::phase_power(
+            arch,
+            seg_active,
+            seg.streaming_bits_per_cycle,
+        );
+        if power > peak_power {
+            peak_power = power;
+            peak_active = seg_active;
+            peak_breakdown = breakdown;
+        }
+        total_latency += seg_latency;
+    }
+
+    Ok(PerfReport {
+        level: "poly-schedule",
+        latency_cycles: total_latency + base.report.reprogram_cycles,
+        peak_active_crossbars: peak_active,
+        peak_power,
+        peak_breakdown,
+        energy: base.report.energy,
+        segments: base.report.segments,
+        reprogram_cycles: base.report.reprogram_cycles,
+    })
+}
+
+/// Sanity helper used by benches/tests: crossbars one replica of every CIM
+/// operator needs.
+#[must_use]
+pub fn model_footprint_crossbars(graph: &Graph, arch: &CimArchitecture) -> u64 {
+    graph
+        .cim_nodes()
+        .into_iter()
+        .filter_map(|id| OpMapping::of(graph, id, arch, 8))
+        .map(|m| u64::from(m.vxb_size()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::presets;
+    use cim_compiler::mvm::{schedule_mvm, MvmOptions};
+    use cim_graph::zoo;
+
+    #[test]
+    fn ordering_no_opt_poly_cimmlc() {
+        // Figure 20d: no-opt > Poly-Schedule > CIM-MLC.
+        let arch = presets::isaac_baseline();
+        let g = zoo::vgg16();
+        let none = no_opt(&g, &arch).unwrap();
+        let poly = poly_schedule(&g, &arch).unwrap();
+        let cg = schedule_cg(&g, &arch, CgOptions::full(), 8, 8).unwrap();
+        let ours = schedule_mvm(&cg, &arch, MvmOptions::full(), 8).report;
+        assert!(
+            poly.latency_cycles < none.latency_cycles,
+            "poly {} >= none {}",
+            poly.latency_cycles,
+            none.latency_cycles
+        );
+        assert!(
+            ours.latency_cycles < poly.latency_cycles,
+            "ours {} >= poly {}",
+            ours.latency_cycles,
+            poly.latency_cycles
+        );
+        // CIM-MLC wins by a factor in the paper's ballpark (3.2x).
+        let factor = poly.latency_cycles / ours.latency_cycles;
+        assert!(factor > 1.5, "only {factor}x over Poly-Schedule");
+    }
+
+    #[test]
+    fn poly_respects_core_budget_implicitly() {
+        // Latency must be at least total work / total cores.
+        let arch = presets::isaac_baseline();
+        let g = zoo::resnet18();
+        let poly = poly_schedule(&g, &arch).unwrap();
+        let none = no_opt(&g, &arch).unwrap();
+        let max_speedup = f64::from(arch.chip().core_count());
+        assert!(none.latency_cycles / poly.latency_cycles <= max_speedup);
+    }
+
+    #[test]
+    fn puma_schedule_has_lockstep_peak() {
+        let arch = presets::puma();
+        let g = zoo::vgg16();
+        let vendor = puma_schedule(&g, &arch).unwrap();
+        let ours = schedule_mvm(&vendor, &arch, MvmOptions::full(), 8);
+        // CIM-MLC's staggered activation cuts peak power substantially
+        // (Figure 20b reports 75%).
+        let reduction = 1.0 - ours.report.peak_power / vendor.report.peak_power;
+        assert!(reduction > 0.4, "only {:.0}% reduction", reduction * 100.0);
+    }
+
+    #[test]
+    fn vendor_schedules_are_serial() {
+        let g = zoo::vgg7();
+        let jia = jia_schedule(&g, &presets::jia_isscc21()).unwrap();
+        let jain = jain_schedule(&g, &presets::jain_sram()).unwrap();
+        assert_eq!(jia.level, "jia-et-al");
+        assert_eq!(jain.level, "jain-et-al");
+        assert!(jia.latency_cycles > 0.0 && jain.latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn footprint_matches_mapping() {
+        let g = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        assert!(model_footprint_crossbars(&g, &arch) >= g.cim_nodes().len() as u64);
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion benches over the ablation studies (see
+//! `cim_bench::ablations`): each bench regenerates one ablation series and
+//! prints it once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+macro_rules! ablation_bench {
+    ($fn_name:ident, $series:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            static ONCE: Once = Once::new();
+            let series = cim_bench::ablations::$series();
+            ONCE.call_once(|| println!("\n{}", series.render()));
+            c.bench_function(concat!("ablation_", stringify!($series)), |b| {
+                b.iter(|| black_box(cim_bench::ablations::$series()))
+            });
+        }
+    };
+}
+
+ablation_bench!(bench_binding, ablation_binding);
+ablation_bench!(bench_allocator, ablation_allocator);
+ablation_bench!(bench_residency, ablation_residency);
+ablation_bench!(bench_stagger, ablation_stagger);
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = ablations;
+    config = configure();
+    targets = bench_binding, bench_allocator, bench_residency, bench_stagger
+}
+criterion_main!(ablations);

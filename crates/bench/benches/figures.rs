@@ -1,0 +1,91 @@
+//! Criterion benches: one benchmark per evaluation figure plus compiler /
+//! simulator micro-benchmarks.
+//!
+//! Each figure bench measures the end-to-end regeneration of that
+//! figure's series (scheduling every configuration it sweeps) and prints
+//! the series once, so `cargo bench` both times the stack and reproduces
+//! the paper's rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn print_once(once: &'static Once, series: &cim_bench::Series) {
+    once.call_once(|| println!("\n{}", series.render()));
+}
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $figure:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            static ONCE: Once = Once::new();
+            let series = cim_bench::$figure();
+            print_once(&ONCE, &series);
+            c.bench_function(concat!("figure_", stringify!($figure)), |b| {
+                b.iter(|| black_box(cim_bench::$figure()))
+            });
+        }
+    };
+}
+
+figure_bench!(bench_fig20a, fig20a);
+figure_bench!(bench_fig20b, fig20b);
+figure_bench!(bench_fig20c, fig20c);
+figure_bench!(bench_fig20d, fig20d);
+figure_bench!(bench_fig21a, fig21a);
+figure_bench!(bench_fig21b, fig21b);
+figure_bench!(bench_fig21c, fig21c);
+figure_bench!(bench_fig21d, fig21d);
+figure_bench!(bench_fig22a, fig22a);
+figure_bench!(bench_fig22b, fig22b);
+figure_bench!(bench_fig22c, fig22c);
+figure_bench!(bench_fig22d, fig22d);
+
+/// Compiler micro-benchmarks: scheduling throughput per model/arch.
+fn bench_compiler(c: &mut Criterion) {
+    let arch = cim_arch::presets::isaac_baseline();
+    let wlm = cim_arch::presets::isaac_baseline_wlm();
+    let resnet50 = cim_graph::zoo::resnet50();
+    let vit = cim_graph::zoo::vit_base();
+    let compiler = cim_compiler::Compiler::new();
+    c.bench_function("compile_resnet50_xbm", |b| {
+        b.iter(|| black_box(compiler.compile(&resnet50, &arch).unwrap()))
+    });
+    c.bench_function("compile_vit_wlm", |b| {
+        b.iter(|| black_box(compiler.compile(&vit, &wlm).unwrap()))
+    });
+}
+
+/// Functional-simulator micro-benchmark: execute LeNet-5's generated flow.
+fn bench_functional_sim(c: &mut Criterion) {
+    let arch = cim_arch::presets::isaac_baseline();
+    let graph = cim_graph::zoo::lenet5();
+    let compiled = cim_compiler::Compiler::new().compile(&graph, &arch).unwrap();
+    let (flow, layout) = cim_compiler::codegen::generate_flow(&compiled, &graph, &arch).unwrap();
+    let store = cim_sim::WeightStore::for_flow(&flow);
+    c.bench_function("functional_sim_lenet5", |b| {
+        b.iter(|| {
+            let mut machine = cim_sim::Machine::new(&arch);
+            machine.load_inputs(&graph, &layout);
+            machine.execute(&flow, &store).unwrap();
+            black_box(machine)
+        })
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = configure();
+    targets = bench_fig20a, bench_fig20b, bench_fig20c, bench_fig20d,
+              bench_fig21a, bench_fig21b, bench_fig21c, bench_fig21d,
+              bench_fig22a, bench_fig22b, bench_fig22c, bench_fig22d
+}
+criterion_group! {
+    name = micro;
+    config = configure();
+    targets = bench_compiler, bench_functional_sim
+}
+criterion_main!(figures, micro);

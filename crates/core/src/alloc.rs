@@ -1,0 +1,376 @@
+//! Duplication-allocation solvers.
+//!
+//! CG-grained optimization assigns each operator a *duplication number*
+//! under the total `core_number` budget (paper §3.3.2). Two objectives
+//! arise:
+//!
+//! * **pipelined** schedules care about the bottleneck stage —
+//!   [`minimize_bottleneck`] minimizes `max_i latency_i / D_i`;
+//! * **non-pipelined** schedules care about the serial sum —
+//!   [`minimize_total`] minimizes `Σ_i latency_i / D_i`.
+//!
+//! The paper solves the allocation with dynamic programming; because both
+//! objectives are separable and convex in the integer duplication numbers,
+//! the optimal allocation is also reachable by parametric search
+//! (bottleneck) and by optimal marginal allocation (sum — Fox's algorithm
+//! for convex separable resource allocation). Those run in
+//! `O(n log n + B log B)` instead of the DP's `O(n·B·D)` and return the
+//! same optima, which our tests cross-check against a reference DP on
+//! small instances.
+
+/// One operator from the allocator's perspective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocItem {
+    /// Cores consumed per replica.
+    pub cost: u32,
+    /// Latency of the operator with a single replica (cycles).
+    pub latency: f64,
+    /// Upper bound on the duplication number (resource-independent caps:
+    /// MVM count, bandwidth, ALU — computed by the caller).
+    pub max_dup: u32,
+}
+
+/// Minimizes `max_i latency_i / D_i` subject to `Σ D_i·cost_i ≤ budget`
+/// and `1 ≤ D_i ≤ max_dup_i`.
+///
+/// Returns the duplication vector; all-ones if even the base allocation
+/// exceeds the budget (the caller is responsible for segmentation).
+#[must_use]
+pub fn minimize_bottleneck(items: &[AllocItem], budget: u64) -> Vec<u32> {
+    let mut dup = vec![1u32; items.len()];
+    if items.is_empty() || !base_fits(items, budget) {
+        return dup;
+    }
+    // D_i(λ) = clamp(ceil(latency_i / λ), 1, cap_i); feasibility is
+    // monotone in λ, so bisect λ over [tiny, max latency].
+    let hi_start = items
+        .iter()
+        .map(|i| i.latency)
+        .fold(1.0_f64, f64::max);
+    let mut lo = hi_start
+        / items
+            .iter()
+            .map(|i| f64::from(i.max_dup.max(1)))
+            .fold(1.0, f64::max)
+        / 2.0;
+    let mut hi = hi_start;
+    let feasible = |lambda: f64| -> bool {
+        let mut used: u64 = 0;
+        for item in items {
+            let want = (item.latency / lambda).ceil().max(1.0);
+            let d = (want as u64).min(u64::from(item.max_dup.max(1)));
+            used = used.saturating_add(d * u64::from(item.cost.max(1)));
+            if used > budget {
+                return false;
+            }
+        }
+        true
+    };
+    if !feasible(hi) {
+        return dup; // caps alone exceed budget even at D_i = 1? base fits, so hi is feasible; defensive.
+    }
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let mut used: u64 = 0;
+    for (i, item) in items.iter().enumerate() {
+        let want = (item.latency / hi).ceil().max(1.0);
+        dup[i] = (want as u64).min(u64::from(item.max_dup.max(1))) as u32;
+        used += u64::from(dup[i]) * u64::from(item.cost.max(1));
+    }
+    // Spend any leftover budget on the current bottleneck stages.
+    spend_leftover_on_bottleneck(items, &mut dup, budget, &mut used);
+    dup
+}
+
+fn spend_leftover_on_bottleneck(
+    items: &[AllocItem],
+    dup: &mut [u32],
+    budget: u64,
+    used: &mut u64,
+) {
+    loop {
+        let mut best: Option<usize> = None;
+        let mut best_lat = 0.0;
+        for (i, item) in items.iter().enumerate() {
+            if dup[i] >= item.max_dup.max(1) {
+                continue;
+            }
+            if *used + u64::from(item.cost.max(1)) > budget {
+                continue;
+            }
+            let lat = item.latency / f64::from(dup[i]);
+            if lat > best_lat {
+                best_lat = lat;
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                dup[i] += 1;
+                *used += u64::from(items[i].cost.max(1));
+            }
+            None => break,
+        }
+    }
+}
+
+/// Minimizes `Σ_i latency_i / D_i` subject to `Σ D_i·cost_i ≤ budget` and
+/// `1 ≤ D_i ≤ max_dup_i`, via optimal marginal allocation (the objective
+/// is separable convex, so granting each increment to the best marginal
+/// gain per core is optimal).
+///
+/// Returns all-ones if the base allocation exceeds the budget.
+#[must_use]
+pub fn minimize_total(items: &[AllocItem], budget: u64) -> Vec<u32> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Cand {
+        gain_per_core: f64,
+        idx: usize,
+    }
+    impl Eq for Cand {}
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.gain_per_core
+                .partial_cmp(&other.gain_per_core)
+                .unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let mut dup = vec![1u32; items.len()];
+    if items.is_empty() || !base_fits(items, budget) {
+        return dup;
+    }
+    let mut used: u64 = items.iter().map(|i| u64::from(i.cost.max(1))).sum();
+    let gain = |item: &AllocItem, d: u32| -> f64 {
+        (item.latency / f64::from(d) - item.latency / f64::from(d + 1))
+            / f64::from(item.cost.max(1))
+    };
+    let mut heap: BinaryHeap<Cand> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| it.max_dup > 1)
+        .map(|(idx, it)| Cand {
+            gain_per_core: gain(it, 1),
+            idx,
+        })
+        .collect();
+    while let Some(c) = heap.pop() {
+        let item = &items[c.idx];
+        let cost = u64::from(item.cost.max(1));
+        if used + cost > budget {
+            continue; // cannot afford this one; cheaper ones may still fit
+        }
+        dup[c.idx] += 1;
+        used += cost;
+        if dup[c.idx] < item.max_dup {
+            heap.push(Cand {
+                gain_per_core: gain(item, dup[c.idx]),
+                idx: c.idx,
+            });
+        }
+    }
+    dup
+}
+
+/// Whether the all-ones allocation fits the budget.
+#[must_use]
+pub fn base_fits(items: &[AllocItem], budget: u64) -> bool {
+    let base: u64 = items.iter().map(|i| u64::from(i.cost.max(1))).sum();
+    base <= budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(spec: &[(u32, f64, u32)]) -> Vec<AllocItem> {
+        spec.iter()
+            .map(|&(cost, latency, max_dup)| AllocItem {
+                cost,
+                latency,
+                max_dup,
+            })
+            .collect()
+    }
+
+    fn bottleneck(items: &[AllocItem], dup: &[u32]) -> f64 {
+        items
+            .iter()
+            .zip(dup)
+            .map(|(i, &d)| i.latency / f64::from(d))
+            .fold(0.0, f64::max)
+    }
+
+    fn total(items: &[AllocItem], dup: &[u32]) -> f64 {
+        items
+            .iter()
+            .zip(dup)
+            .map(|(i, &d)| i.latency / f64::from(d))
+            .sum()
+    }
+
+    fn used(items: &[AllocItem], dup: &[u32]) -> u64 {
+        items
+            .iter()
+            .zip(dup)
+            .map(|(i, &d)| u64::from(i.cost) * u64::from(d))
+            .sum()
+    }
+
+    /// Exhaustive reference optimum for tiny instances.
+    fn brute_force(items: &[AllocItem], budget: u64, max_obj: bool) -> f64 {
+        fn rec(
+            items: &[AllocItem],
+            budget: u64,
+            idx: usize,
+            dup: &mut Vec<u32>,
+            best: &mut f64,
+            max_obj: bool,
+        ) {
+            if idx == items.len() {
+                let obj = if max_obj {
+                    items
+                        .iter()
+                        .zip(dup.iter())
+                        .map(|(i, &d)| i.latency / f64::from(d))
+                        .fold(0.0, f64::max)
+                } else {
+                    items
+                        .iter()
+                        .zip(dup.iter())
+                        .map(|(i, &d)| i.latency / f64::from(d))
+                        .sum()
+                };
+                if obj < *best {
+                    *best = obj;
+                }
+                return;
+            }
+            for d in 1..=items[idx].max_dup {
+                let cost: u64 = items
+                    .iter()
+                    .zip(dup.iter())
+                    .take(idx)
+                    .map(|(i, &x)| u64::from(i.cost) * u64::from(x))
+                    .sum::<u64>()
+                    + u64::from(items[idx].cost) * u64::from(d)
+                    + items[idx + 1..]
+                        .iter()
+                        .map(|i| u64::from(i.cost))
+                        .sum::<u64>();
+                if cost > budget {
+                    break;
+                }
+                dup.push(d);
+                rec(items, budget, idx + 1, dup, best, max_obj);
+                dup.pop();
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(items, budget, 0, &mut Vec::new(), &mut best, max_obj);
+        best
+    }
+
+    #[test]
+    fn bottleneck_matches_brute_force() {
+        let cases = vec![
+            items(&[(1, 100.0, 10), (2, 50.0, 10), (1, 10.0, 10)]),
+            items(&[(3, 90.0, 4), (1, 80.0, 8), (2, 70.0, 8)]),
+            items(&[(1, 5.0, 2), (1, 5.0, 2), (1, 5.0, 2)]),
+        ];
+        for its in cases {
+            for budget in [6u64, 10, 20] {
+                if !base_fits(&its, budget) {
+                    continue;
+                }
+                let dup = minimize_bottleneck(&its, budget);
+                assert!(used(&its, &dup) <= budget);
+                let got = bottleneck(&its, &dup);
+                let opt = brute_force(&its, budget, true);
+                assert!(
+                    got <= opt * 1.0 + 1e-9,
+                    "budget {budget}: got {got}, optimal {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_matches_brute_force() {
+        let cases = vec![
+            items(&[(1, 100.0, 10), (2, 50.0, 10), (1, 10.0, 10)]),
+            items(&[(3, 90.0, 4), (1, 80.0, 8), (2, 70.0, 8)]),
+        ];
+        for its in cases {
+            for budget in [6u64, 12, 24] {
+                if !base_fits(&its, budget) {
+                    continue;
+                }
+                let dup = minimize_total(&its, budget);
+                assert!(used(&its, &dup) <= budget);
+                let got = total(&its, &dup);
+                let opt = brute_force(&its, budget, false);
+                assert!(
+                    got <= opt + 1e-9,
+                    "budget {budget}: got {got}, optimal {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_caps_and_budget() {
+        let its = items(&[(1, 1000.0, 3), (1, 1.0, 100)]);
+        let dup = minimize_bottleneck(&its, 1000);
+        assert_eq!(dup[0], 3); // capped despite huge latency
+        assert!(used(&its, &dup) <= 1000);
+        let dup2 = minimize_total(&its, 1000);
+        assert_eq!(dup2[0], 3);
+    }
+
+    #[test]
+    fn infeasible_base_returns_ones() {
+        let its = items(&[(100, 10.0, 5), (100, 10.0, 5)]);
+        assert_eq!(minimize_bottleneck(&its, 50), vec![1, 1]);
+        assert_eq!(minimize_total(&its, 50), vec![1, 1]);
+        assert!(!base_fits(&its, 50));
+    }
+
+    #[test]
+    fn empty_items() {
+        assert!(minimize_bottleneck(&[], 10).is_empty());
+        assert!(minimize_total(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn big_instance_runs_fast_and_improves() {
+        // 100 ops, heavy head — the shape of a ResNet on the baseline.
+        let its: Vec<AllocItem> = (0..100)
+            .map(|i| AllocItem {
+                cost: 1 + (i % 7),
+                latency: 1000.0 / f64::from(i + 1),
+                max_dup: 64,
+            })
+            .collect();
+        let dup = minimize_bottleneck(&its, 768);
+        assert!(used(&its, &dup) <= 768);
+        let base = bottleneck(&its, &vec![1; 100]);
+        assert!(bottleneck(&its, &dup) < base / 4.0);
+        let dup2 = minimize_total(&its, 768);
+        assert!(total(&its, &dup2) < total(&its, &vec![1; 100]) / 2.0);
+    }
+}

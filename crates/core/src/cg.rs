@@ -1,0 +1,587 @@
+//! CG-grained optimization (paper §3.3.2, Figure 9).
+//!
+//! Operating purely on the computation graph and the chip-tier abstraction,
+//! this level decides:
+//!
+//! * **segmentation** — when the model's weights exceed the chip's CIM
+//!   capacity, split the (topologically ordered) operator list into
+//!   maximal segments that fit, executed serially with crossbar
+//!   reprogramming in between;
+//! * **duplication** — assign each operator a duplication number under the
+//!   `core_number` budget (and bandwidth/MVM caps) via the resource
+//!   allocator of [`crate::alloc`];
+//! * **pipeline** — overlap adjacent operators at feature-map-row
+//!   granularity; a stage starts once its producer has emitted the rows
+//!   its first window needs.
+
+use crate::alloc::{self, AllocItem};
+use crate::perf::{phase_power, PerfReport};
+use crate::stage::{extract_stages, movement_cycles, Stage};
+use crate::{CompileError, Result};
+use cim_arch::CimArchitecture;
+
+/// Feature toggles for CG-grained optimization (used standalone for the
+/// Figure 21a ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgOptions {
+    /// Enable the inter-operator pipeline.
+    pub pipeline: bool,
+    /// Enable operator duplication.
+    pub duplication: bool,
+}
+
+impl CgOptions {
+    /// Pipeline + duplication (the paper's CG-P&D).
+    #[must_use]
+    pub fn full() -> Self {
+        CgOptions {
+            pipeline: true,
+            duplication: true,
+        }
+    }
+
+    /// Neither optimization: the sequential, single-replica schedule the
+    /// paper calls "w/o optimization".
+    #[must_use]
+    pub fn none() -> Self {
+        CgOptions {
+            pipeline: false,
+            duplication: false,
+        }
+    }
+}
+
+/// Scheduling decisions for one stage within a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePlan {
+    /// Index into the global stage list.
+    pub stage: usize,
+    /// CG-grained duplication number (`D_i`).
+    pub duplication: u32,
+    /// Cores consumed (`D_i · cores_per_replica`, capped at the chip).
+    pub cores: u32,
+    /// Intra-operator folds: >1 when even one replica exceeds the chip and
+    /// the operator must be processed in passes with reprogramming.
+    pub folds: u32,
+    /// Stage latency in cycles under this plan (compute ∥ movement ∥ ALU).
+    pub latency: f64,
+}
+
+/// One compute-graph segment: a run of stages that fits on the chip
+/// simultaneously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Plans for the stages of this segment, in topological order.
+    pub plans: Vec<StagePlan>,
+    /// Segment latency (pipelined or serial, per the options).
+    pub latency: f64,
+    /// Crossbars simultaneously active in the segment's steady state.
+    pub active_crossbars: u64,
+    /// Bits per cycle streamed while the segment runs.
+    pub streaming_bits_per_cycle: f64,
+}
+
+/// The CG-grained schedule of a whole model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSchedule {
+    /// All pipeline stages of the model, in topological order.
+    pub stages: Vec<Stage>,
+    /// The segments, in execution order.
+    pub segments: Vec<Segment>,
+    /// Cycles to reprogram the chip's crossbars once (between segments or
+    /// folds; all crossbars program in parallel, rows serially).
+    pub reprogram_cycles: f64,
+    /// Options used.
+    pub options: CgOptions,
+    /// Summary report.
+    pub report: PerfReport,
+}
+
+/// Latency of one stage given its duplication, including movement overlap
+/// and attached-ALU work. Movement and ALU run concurrently with compute;
+/// the stage is as slow as its slowest resource (the paper's assumption
+/// that transfers hide under compute when bandwidth suffices, §4.1).
+pub(crate) fn stage_latency(
+    stage: &Stage,
+    arch: &CimArchitecture,
+    act_bits: u32,
+    dup: u32,
+    cycles_per_mvm: u64,
+    folds: u32,
+) -> f64 {
+    let compute = stage.mapping.mvm_count as f64 * cycles_per_mvm as f64 / f64::from(dup.max(1))
+        * f64::from(folds.max(1));
+    let mov = movement_cycles(stage, arch, act_bits);
+    let cores = dup.max(1) * stage.mapping.cores_per_replica(arch);
+    let alu = stage.alu_cycles(
+        arch.chip().alu_ops_per_cycle(),
+        cores.min(arch.chip().core_count()),
+    );
+    let mut latency = compute.max(mov).max(alu);
+    if stage.dynamic_weights {
+        // Dynamic MatMul: the crossbar contents must be rewritten each
+        // inference before compute can start.
+        latency += arch.cost().write_cycles(stage.mapping.rows.min(arch.crossbar().shape().rows))
+            as f64;
+    }
+    latency
+}
+
+/// Bandwidth-derived duplication cap: duplicating beyond the point where
+/// compute time falls under movement time wastes cores.
+fn bandwidth_cap(stage: &Stage, arch: &CimArchitecture, act_bits: u32, cycles_per_mvm: u64) -> u32 {
+    let mov = movement_cycles(stage, arch, act_bits);
+    if mov <= 0.0 {
+        return u32::MAX;
+    }
+    let compute1 = stage.mapping.mvm_count as f64 * cycles_per_mvm as f64;
+    ((compute1 / mov).ceil() as u64).clamp(1, u64::from(u32::MAX)) as u32
+}
+
+/// Full duplication cap for a stage.
+pub(crate) fn duplication_cap(
+    stage: &Stage,
+    arch: &CimArchitecture,
+    act_bits: u32,
+    cycles_per_mvm: u64,
+) -> u32 {
+    let mvm_cap = stage.mapping.mvm_count.clamp(1, u64::from(u32::MAX)) as u32;
+    mvm_cap.min(bandwidth_cap(stage, arch, act_bits, cycles_per_mvm))
+}
+
+/// Pipelined latency of a chain of stages with fill fractions.
+///
+/// Stage `i` starts once every predecessor has produced the fraction its
+/// consumer needs: `start_i = Σ_{j<i} fill_j · L_j`; the chain completes
+/// at `max_i (start_i + L_i)`. This is never worse than the serial sum
+/// (`fill ≤ 1`), degrades gracefully to it when every stage blocks
+/// (`fill = 1`), and is monotone in the per-stage latencies.
+pub(crate) fn pipeline_latency(lat_fill: &[(f64, f64)]) -> f64 {
+    let mut start = 0.0_f64;
+    let mut completion = 0.0_f64;
+    for &(latency, fill) in lat_fill {
+        completion = completion.max(start + latency);
+        start += latency * fill.clamp(0.0, 1.0);
+    }
+    completion
+}
+
+/// Runs CG-grained scheduling.
+///
+/// # Errors
+/// Returns [`CompileError::NothingToMap`] for graphs without CIM operators
+/// and [`CompileError::DynamicWeightsUnsupported`] when a dynamic `MatMul`
+/// targets a write-expensive device.
+pub fn schedule_cg(
+    graph: &cim_graph::Graph,
+    arch: &CimArchitecture,
+    options: CgOptions,
+    weight_bits: u32,
+    act_bits: u32,
+) -> Result<CgSchedule> {
+    let stages = extract_stages(graph, arch, weight_bits);
+    if stages.is_empty() {
+        return Err(CompileError::NothingToMap {
+            model: graph.name().to_owned(),
+        });
+    }
+    for stage in &stages {
+        if stage.dynamic_weights && !arch.crossbar().cell_type().writes_are_cheap() {
+            // Permitted but costly — the paper's ReRAM designs "ford write
+            // operations"; we allow it and charge the write latency, but
+            // flag the combination when it would dominate: only reject if
+            // writes are three orders slower than a read.
+            if arch.crossbar().cell_type().write_read_latency_ratio() >= 512 {
+                return Err(CompileError::DynamicWeightsUnsupported {
+                    node: stage.name.clone(),
+                    device: arch.crossbar().cell_type().name(),
+                });
+            }
+        }
+    }
+
+    let core_count = u64::from(arch.chip().core_count());
+    let xb_per_core = arch.core().xb_count();
+    let reprogram_cycles = arch
+        .cost()
+        .write_cycles(arch.crossbar().shape().rows) as f64;
+
+    // ---- Resource-adaptive segmentation (Figure 9b).
+    //
+    // Whole-model residency: on write-expensive devices (ReRAM/Flash/PCM)
+    // weights are frozen in the crossbars, so if the whole model fits it
+    // occupies one segment and duplication uses only the leftover cores —
+    // the paper's premise (§2.1) and the behaviour behind Figure 21a's
+    // shrinking duplication speedups. On write-cheap devices (SRAM), and
+    // whenever the model does not fit, segments are contiguous runs chosen
+    // by dynamic programming over total latency including inter-segment
+    // reprogramming: a maximal prefix is not always best (an exactly-full
+    // segment leaves no cores for duplication — the paper pops trailing
+    // nodes while the DP latency improves). Stages whose single replica
+    // exceeds the chip fold across it and stand alone.
+    let n = stages.len();
+    let whole_model_cores: u64 = stages
+        .iter()
+        .map(|s| u64::from(s.mapping.cores_per_replica(arch)))
+        .sum();
+    let prefer_resident =
+        !arch.crossbar().cell_type().writes_are_cheap() && whole_model_cores <= core_count;
+    let eval = |idxs: &[usize]| -> Segment {
+        schedule_segment(&stages, idxs, arch, options, act_bits, core_count, xb_per_core)
+    };
+    let mut dp = vec![f64::INFINITY; n + 1];
+    let mut cut = vec![n + 1; n + 1];
+    dp[n] = 0.0;
+    if prefer_resident {
+        cut.iter_mut().take(n).for_each(|c| *c = n);
+    }
+    for i in (0..n).rev() {
+        if prefer_resident {
+            continue;
+        }
+        let need_i = u64::from(stages[i].mapping.cores_per_replica(arch));
+        if need_i > core_count {
+            let seg = eval(&[i]);
+            let boundary = if i + 1 < n { reprogram_cycles } else { 0.0 };
+            dp[i] = seg.latency + boundary + dp[i + 1];
+            cut[i] = i + 1;
+            continue;
+        }
+        let mut cores: u64 = 0;
+        let mut idxs: Vec<usize> = Vec::new();
+        for k in i..n {
+            let need = u64::from(stages[k].mapping.cores_per_replica(arch));
+            if need > core_count || cores + need > core_count {
+                break;
+            }
+            cores += need;
+            idxs.push(k);
+            let seg = eval(&idxs);
+            let boundary = if k + 1 < n { reprogram_cycles } else { 0.0 };
+            let total = seg.latency + boundary + dp[k + 1];
+            if total < dp[i] {
+                dp[i] = total;
+                cut[i] = k + 1;
+            }
+        }
+        debug_assert!(cut[i] > i, "segmentation made no progress at stage {i}");
+    }
+    let mut segments_idx: Vec<Vec<usize>> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let k = cut[i];
+        segments_idx.push((i..k).collect());
+        i = k;
+    }
+
+    // ---- Per-segment duplication + latency.
+    let mut segments = Vec::with_capacity(segments_idx.len());
+    let mut total_latency = 0.0;
+    let mut total_reprogram = 0.0;
+    let mut peak_power = 0.0;
+    let mut peak_active = 0u64;
+    let mut peak_breakdown = Default::default();
+    let needs_initial_program = true;
+    for (seg_no, idxs) in segments_idx.iter().enumerate() {
+        // Reprogramming happens before every segment except that the very
+        // first programming of a frozen-weight device is offline (weights
+        // pre-loaded); segments after the first always pay.
+        if seg_no > 0 || !needs_initial_program {
+            total_reprogram += reprogram_cycles;
+        }
+        let seg = schedule_segment(&stages, idxs, arch, options, act_bits, core_count, xb_per_core);
+        total_latency += seg.latency;
+        let (power, breakdown) = phase_power(arch, seg.active_crossbars, seg.streaming_bits_per_cycle);
+        if power > peak_power {
+            peak_power = power;
+            peak_active = seg.active_crossbars;
+            peak_breakdown = breakdown;
+        }
+        segments.push(seg);
+    }
+    // Folds inside segments also pay reprogramming.
+    for seg in &segments {
+        for plan in &seg.plans {
+            if plan.folds > 1 {
+                total_reprogram += f64::from(plan.folds - 1) * reprogram_cycles;
+            }
+        }
+    }
+
+    let reprogram_events = if reprogram_cycles > 0.0 {
+        (total_reprogram / reprogram_cycles).round() as u64
+    } else {
+        0
+    };
+    let report = PerfReport {
+        level: match (options.pipeline, options.duplication) {
+            (false, false) => "no-opt",
+            (true, false) => "cg-pipeline",
+            (false, true) => "cg-duplication",
+            (true, true) => "cg",
+        },
+        latency_cycles: total_latency + total_reprogram,
+        peak_active_crossbars: peak_active,
+        peak_power,
+        peak_breakdown,
+        energy: crate::perf::model_energy(&stages, arch, act_bits, reprogram_events),
+        segments: segments.len(),
+        reprogram_cycles: total_reprogram,
+    };
+    Ok(CgSchedule {
+        stages,
+        segments,
+        reprogram_cycles,
+        options,
+        report,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_segment(
+    stages: &[Stage],
+    idxs: &[usize],
+    arch: &CimArchitecture,
+    options: CgOptions,
+    act_bits: u32,
+    core_count: u64,
+    _xb_per_core: u32,
+) -> Segment {
+    // Folded single-stage segment?
+    if idxs.len() == 1 {
+        let stage = &stages[idxs[0]];
+        let need = u64::from(stage.mapping.cores_per_replica(arch));
+        if need > core_count {
+            let folds = need.div_ceil(core_count) as u32;
+            let cpm = stage.mapping.cycles_per_mvm(arch, act_bits);
+            let latency = stage_latency(stage, arch, act_bits, 1, cpm, folds);
+            let active = core_count * u64::from(arch.core().xb_count());
+            return Segment {
+                plans: vec![StagePlan {
+                    stage: idxs[0],
+                    duplication: 1,
+                    cores: arch.chip().core_count(),
+                    folds,
+                    latency,
+                }],
+                latency,
+                active_crossbars: active,
+                streaming_bits_per_cycle: stream_rate(&[idxs[0]], stages, latency, act_bits),
+            };
+        }
+    }
+
+    let items: Vec<AllocItem> = idxs
+        .iter()
+        .map(|&i| {
+            let stage = &stages[i];
+            let cpm = stage.mapping.cycles_per_mvm(arch, act_bits);
+            AllocItem {
+                cost: stage.mapping.cores_per_replica(arch),
+                latency: stage.mapping.mvm_count as f64 * cpm as f64,
+                max_dup: duplication_cap(stage, arch, act_bits, cpm),
+            }
+        })
+        .collect();
+    let dup = if options.duplication {
+        if options.pipeline {
+            alloc::minimize_bottleneck(&items, core_count)
+        } else {
+            alloc::minimize_total(&items, core_count)
+        }
+    } else {
+        vec![1; idxs.len()]
+    };
+
+    let mut plans = Vec::with_capacity(idxs.len());
+    let mut lat_fill = Vec::with_capacity(idxs.len());
+    for (k, &i) in idxs.iter().enumerate() {
+        let stage = &stages[i];
+        let cpm = stage.mapping.cycles_per_mvm(arch, act_bits);
+        let latency = stage_latency(stage, arch, act_bits, dup[k], cpm, 1);
+        plans.push(StagePlan {
+            stage: i,
+            duplication: dup[k],
+            cores: dup[k] * stage.mapping.cores_per_replica(arch),
+            folds: 1,
+            latency,
+        });
+        lat_fill.push((latency, stage.fill_fraction));
+    }
+    let latency = if options.pipeline {
+        pipeline_latency(&lat_fill)
+    } else {
+        lat_fill.iter().map(|&(l, _)| l).sum()
+    };
+    // Steady-state active crossbars: all stages concurrently when
+    // pipelined; one stage (the widest) otherwise.
+    let active: u64 = if options.pipeline {
+        plans
+            .iter()
+            .map(|p| u64::from(p.duplication) * u64::from(stages[p.stage].mapping.vxb_size()))
+            .sum()
+    } else {
+        plans
+            .iter()
+            .map(|p| u64::from(p.duplication) * u64::from(stages[p.stage].mapping.vxb_size()))
+            .max()
+            .unwrap_or(0)
+    };
+    Segment {
+        streaming_bits_per_cycle: stream_rate(idxs, stages, latency.max(1.0), act_bits),
+        plans,
+        latency,
+        active_crossbars: active,
+    }
+}
+
+/// Average bits per cycle moved while a segment runs.
+fn stream_rate(idxs: &[usize], stages: &[Stage], latency: f64, act_bits: u32) -> f64 {
+    let bits: u64 = idxs
+        .iter()
+        .map(|&i| (stages[i].in_elements + stages[i].out_elements) * u64::from(act_bits))
+        .sum();
+    bits as f64 / latency.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::presets;
+    use cim_graph::zoo;
+
+    fn latency(g: &cim_graph::Graph, arch: &CimArchitecture, opts: CgOptions) -> f64 {
+        schedule_cg(g, arch, opts, 8, 8).unwrap().report.latency_cycles
+    }
+
+    #[test]
+    fn optimizations_never_hurt() {
+        let arch = presets::isaac_baseline();
+        for g in [zoo::vgg7(), zoo::resnet18()] {
+            let none = latency(&g, &arch, CgOptions::none());
+            let pipe = latency(&g, &arch, CgOptions { pipeline: true, duplication: false });
+            let dup = latency(&g, &arch, CgOptions { pipeline: false, duplication: true });
+            let full = latency(&g, &arch, CgOptions::full());
+            assert!(pipe <= none, "{}: pipe {pipe} > none {none}", g.name());
+            assert!(dup <= none, "{}: dup {dup} > none {none}", g.name());
+            assert!(full <= pipe.min(dup) * 1.001, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn duplication_speedup_shrinks_with_depth() {
+        // Figure 21a: CG-Duplication speedup decreases from ResNet18 to
+        // ResNet101 as spare cores vanish.
+        let arch = presets::isaac_baseline();
+        let speedup = |g: &cim_graph::Graph| {
+            latency(g, &arch, CgOptions::none())
+                / latency(g, &arch, CgOptions { pipeline: false, duplication: true })
+        };
+        let s18 = speedup(&zoo::resnet18());
+        let s101 = speedup(&zoo::resnet101());
+        assert!(s18 > s101, "s18 {s18} <= s101 {s101}");
+        assert!(s18 > 4.0, "s18 {s18}");
+    }
+
+    #[test]
+    fn pipeline_speedup_grows_with_depth() {
+        // Figure 21a: CG-Pipeline speedup increases with model depth.
+        let arch = presets::isaac_baseline();
+        let speedup = |g: &cim_graph::Graph| {
+            latency(g, &arch, CgOptions::none())
+                / latency(g, &arch, CgOptions { pipeline: true, duplication: false })
+        };
+        let s18 = speedup(&zoo::resnet18());
+        let s101 = speedup(&zoo::resnet101());
+        assert!(s101 > s18, "s101 {s101} <= s18 {s18}");
+        assert!(s18 > 1.5, "s18 {s18}");
+    }
+
+    #[test]
+    fn pipelining_raises_peak_power() {
+        // Figure 21d: CG-grained optimization raises peak power because
+        // many more crossbars are active simultaneously.
+        let arch = presets::isaac_baseline();
+        let g = zoo::resnet34();
+        let none = schedule_cg(&g, &arch, CgOptions::none(), 8, 8).unwrap();
+        let full = schedule_cg(&g, &arch, CgOptions::full(), 8, 8).unwrap();
+        assert!(full.report.peak_power > 3.0 * none.report.peak_power);
+    }
+
+    #[test]
+    fn segmentation_triggers_when_model_exceeds_chip() {
+        // VGG16 on Jia's 16-core SRAM chip does not fit at once.
+        let arch = presets::jia_isscc21();
+        let sched = schedule_cg(&zoo::vgg16(), &arch, CgOptions::full(), 8, 8).unwrap();
+        assert!(sched.report.segments > 1, "{}", sched.report.segments);
+        assert!(sched.report.reprogram_cycles > 0.0);
+    }
+
+    #[test]
+    fn small_model_single_segment() {
+        let arch = presets::isaac_baseline();
+        let sched = schedule_cg(&zoo::lenet5(), &arch, CgOptions::full(), 8, 8).unwrap();
+        assert_eq!(sched.report.segments, 1);
+        assert_eq!(sched.report.reprogram_cycles, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let mut g = cim_graph::Graph::new("digital-only");
+        let x = g
+            .add("x", cim_graph::OpKind::Input { shape: cim_graph::Shape::vec(8) }, [])
+            .unwrap();
+        let _ = g.add("r", cim_graph::OpKind::Relu, [x]).unwrap();
+        let arch = presets::isaac_baseline();
+        assert!(matches!(
+            schedule_cg(&g, &arch, CgOptions::full(), 8, 8),
+            Err(CompileError::NothingToMap { .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_latency_formula() {
+        // Single stage: just its latency.
+        assert_eq!(pipeline_latency(&[(100.0, 0.5)]), 100.0);
+        // Two stages: the second starts after the first's fill (at 10)
+        // and finishes at 90, but the first itself runs until 100.
+        let l = pipeline_latency(&[(100.0, 0.1), (80.0, 1.0)]);
+        assert!((l - 100.0).abs() < 1e-9, "{l}");
+        // An early bottleneck is not double-counted: [10, 1] with a large
+        // fill completes at 10 (stage 2 finishes within stage 1's span
+        // plus epsilon), never above the serial sum.
+        let l = pipeline_latency(&[(10.0, 0.9), (1.0, 1.0)]);
+        assert!((l - 10.0).abs() < 1e-9, "{l}");
+        // Blocking fills reproduce serial execution.
+        let serial = pipeline_latency(&[(5.0, 1.0), (7.0, 1.0), (3.0, 1.0)]);
+        assert!((serial - 15.0).abs() < 1e-9, "{serial}");
+        assert_eq!(pipeline_latency(&[]), 0.0);
+    }
+
+    #[test]
+    fn pipeline_never_exceeds_serial_sum() {
+        let chains = [
+            vec![(100.0, 0.1), (50.0, 0.3), (200.0, 1.0), (10.0, 0.5)],
+            vec![(1.0, 0.9); 20],
+            vec![(1000.0, 0.05), (1.0, 1.0)],
+        ];
+        for chain in chains {
+            let serial: f64 = chain.iter().map(|&(l, _)| l).sum();
+            let pipe = pipeline_latency(&chain);
+            assert!(pipe <= serial + 1e-9, "pipe {pipe} > serial {serial}");
+        }
+    }
+
+    #[test]
+    fn duplication_respects_core_budget() {
+        let arch = presets::isaac_baseline();
+        let sched = schedule_cg(&zoo::resnet50(), &arch, CgOptions::full(), 8, 8).unwrap();
+        for seg in &sched.segments {
+            let used: u64 = seg.plans.iter().map(|p| u64::from(p.cores)).sum();
+            assert!(
+                used <= u64::from(arch.chip().core_count()),
+                "segment uses {used} cores"
+            );
+        }
+    }
+}

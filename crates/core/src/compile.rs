@@ -1,0 +1,401 @@
+//! The top-level compiler driver (paper Figure 3).
+
+use crate::cg::{schedule_cg, CgOptions, CgSchedule};
+use crate::mvm::{schedule_mvm, MvmOptions, MvmSchedule};
+use crate::perf::PerfReport;
+use crate::vvm::{schedule_vvm, VvmSchedule};
+use crate::Result;
+use cim_arch::{CimArchitecture, ComputingMode};
+use cim_graph::Graph;
+
+/// How far down the multi-level scheduler should go.
+///
+/// The default, [`OptLevel::Auto`], follows the paper's workflow
+/// (Figure 3): the computing mode of the target decides which levels run —
+/// CG for CM, CG+MVM for XBM, CG+MVM+VVM for WLM. The explicit levels
+/// exist for the ablation studies of Figures 21 and 22.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Decide from the target's computing mode.
+    #[default]
+    Auto,
+    /// Stop after CG-grained optimization.
+    Cg,
+    /// Stop after MVM-grained optimization (requires XBM or WLM).
+    CgMvm,
+    /// Run all three levels (requires WLM).
+    CgMvmVvm,
+}
+
+/// Compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileOptions {
+    /// Weight precision in bits (the paper's evaluation uses 8).
+    pub weight_bits: u32,
+    /// Activation precision in bits (8 in the paper).
+    pub act_bits: u32,
+    /// CG-grained feature toggles.
+    pub cg: CgOptions,
+    /// MVM-grained feature toggles.
+    pub mvm: MvmOptions,
+    /// Scheduling depth.
+    pub level: OptLevel,
+    /// Upper bound on generated meta-operators when code generation is
+    /// requested (guards against emitting multi-gigabyte flows for
+    /// ImageNet-scale models).
+    pub max_flow_ops: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            weight_bits: 8,
+            act_bits: 8,
+            cg: CgOptions::full(),
+            mvm: MvmOptions::full(),
+            level: OptLevel::Auto,
+            max_flow_ops: 20_000_000,
+        }
+    }
+}
+
+/// The CIM-MLC compiler.
+///
+/// Stateless apart from its options; reuse one instance across models and
+/// architectures.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// A compiler with default options (full optimization, 8-bit data).
+    #[must_use]
+    pub fn new() -> Self {
+        Compiler::default()
+    }
+
+    /// A compiler with explicit options.
+    #[must_use]
+    pub fn with_options(options: CompileOptions) -> Self {
+        Compiler { options }
+    }
+
+    /// The active options.
+    #[must_use]
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Compiles `graph` for `arch`, running the scheduling levels the
+    /// target's computing mode admits (or fewer, per
+    /// [`CompileOptions::level`]).
+    ///
+    /// # Errors
+    /// Propagates scheduling errors (nothing to map, operator too large,
+    /// unsupported dynamic weights).
+    pub fn compile(&self, graph: &Graph, arch: &CimArchitecture) -> Result<Compiled> {
+        let opts = &self.options;
+        let cg = schedule_cg(graph, arch, opts.cg, opts.weight_bits, opts.act_bits)?;
+
+        let want_mvm = match opts.level {
+            OptLevel::Auto => arch.mode().supports(ComputingMode::Xbm),
+            OptLevel::Cg => false,
+            OptLevel::CgMvm | OptLevel::CgMvmVvm => true,
+        } && arch.mode().supports(ComputingMode::Xbm);
+        let mvm = want_mvm.then(|| schedule_mvm(&cg, arch, opts.mvm, opts.act_bits));
+
+        let want_vvm = match opts.level {
+            OptLevel::Auto => arch.mode().supports(ComputingMode::Wlm),
+            OptLevel::CgMvmVvm => true,
+            _ => false,
+        } && arch.mode().supports(ComputingMode::Wlm);
+        let vvm = match (&mvm, want_vvm) {
+            (Some(m), true) => Some(schedule_vvm(&cg, m, arch, opts.act_bits)),
+            _ => None,
+        };
+
+        Ok(Compiled {
+            model: graph.name().to_owned(),
+            arch_name: arch.name().to_owned(),
+            options: *opts,
+            cg,
+            mvm,
+            vvm,
+        })
+    }
+}
+
+/// The result of compiling one model for one architecture: the per-level
+/// schedules and their reports.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    model: String,
+    arch_name: String,
+    options: CompileOptions,
+    /// CG-grained schedule (always present).
+    pub cg: CgSchedule,
+    /// MVM-grained refinement (XBM/WLM targets).
+    pub mvm: Option<MvmSchedule>,
+    /// VVM-grained refinement (WLM targets).
+    pub vvm: Option<VvmSchedule>,
+}
+
+impl Compiled {
+    /// The compiled model's name.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The target architecture's name.
+    #[must_use]
+    pub fn arch_name(&self) -> &str {
+        &self.arch_name
+    }
+
+    /// The options used.
+    #[must_use]
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The report of the deepest scheduling level that ran.
+    #[must_use]
+    pub fn report(&self) -> &PerfReport {
+        if let Some(v) = &self.vvm {
+            &v.report
+        } else if let Some(m) = &self.mvm {
+            &m.report
+        } else {
+            &self.cg.report
+        }
+    }
+
+    /// Reports of every level that ran, coarse to fine.
+    #[must_use]
+    pub fn reports(&self) -> Vec<&PerfReport> {
+        let mut out = vec![&self.cg.report];
+        if let Some(m) = &self.mvm {
+            out.push(&m.report);
+        }
+        if let Some(v) = &self.vvm {
+            out.push(&v.report);
+        }
+        out
+    }
+
+    /// The steady-state initiation interval for batch processing: with the
+    /// inter-operator pipeline running, a new image can enter the chip
+    /// every bottleneck-stage interval; without it (or across segments),
+    /// images serialize. This is the quantity a batch pipeline
+    /// (Poly-Schedule's strength) optimizes — single-image latency, which
+    /// the paper reports, is [`PerfReport::latency_cycles`].
+    #[must_use]
+    pub fn steady_state_interval(&self) -> f64 {
+        let segments: Vec<&crate::cg::Segment> = if let Some(v) = &self.vvm {
+            v.segments.iter().collect()
+        } else if let Some(m) = &self.mvm {
+            m.segments.iter().collect()
+        } else {
+            self.cg.segments.iter().collect()
+        };
+        if !self.cg.options.pipeline || segments.len() > 1 {
+            // Reprogramming between segments blocks overlap entirely.
+            return self.report().latency_cycles;
+        }
+        segments
+            .iter()
+            .flat_map(|s| s.plans.iter())
+            .map(|p| p.latency)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the final schedule as a text table: one row per stage with
+    /// its segment, duplication, cores, folds and latency — the compiler's
+    /// explain-plan.
+    #[must_use]
+    pub fn render_schedule(&self) -> String {
+        let segments: Vec<&[crate::cg::StagePlan]> = if let Some(v) = &self.vvm {
+            v.segments.iter().map(|s| s.plans.as_slice()).collect()
+        } else if let Some(m) = &self.mvm {
+            m.segments.iter().map(|s| s.plans.as_slice()).collect()
+        } else {
+            self.cg.segments.iter().map(|s| s.plans.as_slice()).collect()
+        };
+        let mut out = format!(
+            "schedule: {} on {} (level {})\n{:<4} {:<24} {:>5} {:>6} {:>6} {:>6} {:>14}\n",
+            self.model,
+            self.arch_name,
+            self.report().level,
+            "seg",
+            "stage",
+            "dup",
+            "cores",
+            "folds",
+            "VXB",
+            "latency(cyc)"
+        );
+        for (si, plans) in segments.iter().enumerate() {
+            for plan in *plans {
+                let stage = &self.cg.stages[plan.stage];
+                out.push_str(&format!(
+                    "{:<4} {:<24} {:>5} {:>6} {:>6} {:>6} {:>14.0}\n",
+                    si,
+                    stage.name,
+                    plan.duplication,
+                    plan.cores,
+                    plan.folds,
+                    stage.mapping.vxb_size(),
+                    plan.latency
+                ));
+            }
+        }
+        let r = self.report();
+        out.push_str(&format!(
+            "total: {:.0} cycles ({} segments, {:.0} reprogram), peak power {:.1}, energy {:.1}\n",
+            r.latency_cycles,
+            r.segments,
+            r.reprogram_cycles,
+            r.peak_power,
+            r.energy.total()
+        ));
+        out
+    }
+
+    /// The final per-stage plans (deepest level), flattened across
+    /// segments in execution order.
+    #[must_use]
+    pub fn final_plans(&self) -> Vec<&crate::cg::StagePlan> {
+        let segments = if let Some(v) = &self.vvm {
+            &v.segments
+        } else if let Some(m) = &self.mvm {
+            &m.segments
+        } else {
+            &self.cg.segments
+        };
+        segments.iter().flat_map(|s| s.plans.iter()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::presets;
+    use cim_graph::zoo;
+
+    #[test]
+    fn auto_level_follows_computing_mode() {
+        let g = zoo::lenet5();
+        let cm = Compiler::new().compile(&g, &presets::jia_isscc21()).unwrap();
+        assert!(cm.mvm.is_none() && cm.vvm.is_none());
+        assert_eq!(cm.report().level, "cg");
+
+        let xbm = Compiler::new().compile(&g, &presets::isaac_baseline()).unwrap();
+        assert!(xbm.mvm.is_some() && xbm.vvm.is_none());
+        assert_eq!(xbm.report().level, "cg+mvm");
+
+        let wlm = Compiler::new().compile(&g, &presets::jain_sram()).unwrap();
+        assert!(wlm.mvm.is_some() && wlm.vvm.is_some());
+        assert_eq!(wlm.report().level, "cg+mvm+vvm");
+    }
+
+    #[test]
+    fn explicit_level_caps_depth() {
+        let g = zoo::lenet5();
+        let opts = CompileOptions { level: OptLevel::Cg, ..CompileOptions::default() };
+        let c = Compiler::with_options(opts)
+            .compile(&g, &presets::jain_sram())
+            .unwrap();
+        assert!(c.mvm.is_none());
+    }
+
+    #[test]
+    fn explicit_level_never_exceeds_mode() {
+        // Requesting VVM on a CM machine silently degrades to CG: the
+        // hardware interface simply does not exist.
+        let g = zoo::lenet5();
+        let opts = CompileOptions { level: OptLevel::CgMvmVvm, ..CompileOptions::default() };
+        let c = Compiler::with_options(opts)
+            .compile(&g, &presets::jia_isscc21())
+            .unwrap();
+        assert!(c.mvm.is_none() && c.vvm.is_none());
+    }
+
+    #[test]
+    fn deeper_levels_never_slower() {
+        let g = zoo::vgg7();
+        let c = Compiler::new()
+            .compile(&g, &presets::isaac_baseline_wlm())
+            .unwrap();
+        let reports = c.reports();
+        for w in reports.windows(2) {
+            assert!(
+                w[1].latency_cycles <= w[0].latency_cycles * 1.0001,
+                "{} ({}) slower than {} ({})",
+                w[1].level,
+                w[1].latency_cycles,
+                w[0].level,
+                w[0].latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_interval_bounded_by_latency() {
+        for arch in [presets::isaac_baseline(), presets::jia_isscc21()] {
+            for g in [zoo::lenet5(), zoo::vgg7()] {
+                let c = Compiler::new().compile(&g, &arch).unwrap();
+                let interval = c.steady_state_interval();
+                assert!(interval > 0.0);
+                assert!(
+                    interval <= c.report().latency_cycles * 1.0001,
+                    "{} on {}: interval {} > latency {}",
+                    g.name(),
+                    arch.name(),
+                    interval,
+                    c.report().latency_cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_invariant_across_levels() {
+        // Scheduling rearranges when activations happen, not how many —
+        // every level reports the same inference energy.
+        let g = zoo::vgg7();
+        let c = Compiler::new()
+            .compile(&g, &presets::isaac_baseline_wlm())
+            .unwrap();
+        let energies: Vec<f64> = c.reports().iter().map(|r| r.energy.total()).collect();
+        for e in &energies {
+            assert!(*e > 0.0);
+            assert!((e - energies[0]).abs() < 1e-6 * energies[0]);
+        }
+        // Crossbar activation dominates inference energy on CIM designs.
+        let b = &c.report().energy;
+        assert!(b.crossbar > b.movement + b.alu, "{b:?}");
+    }
+
+    #[test]
+    fn render_schedule_lists_every_stage() {
+        let g = zoo::lenet5();
+        let c = Compiler::new().compile(&g, &presets::isaac_baseline()).unwrap();
+        let text = c.render_schedule();
+        for stage in &c.cg.stages {
+            assert!(text.contains(&stage.name), "missing {}", stage.name);
+        }
+        assert!(text.contains("total:"));
+        assert!(text.contains("cg+mvm"));
+    }
+
+    #[test]
+    fn final_plans_cover_all_stages() {
+        let g = zoo::vgg7();
+        let c = Compiler::new().compile(&g, &presets::isaac_baseline()).unwrap();
+        assert_eq!(c.final_plans().len(), c.cg.stages.len());
+        assert_eq!(c.model(), "vgg7");
+        assert!(c.arch_name().contains("ISAAC"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced during compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The graph has no CIM-supported operators, so there is nothing to map.
+    NothingToMap {
+        /// Model name.
+        model: String,
+    },
+    /// A single operator replica does not fit on the whole chip even once
+    /// (its weight matrix needs more crossbars than exist).
+    OperatorTooLarge {
+        /// Offending node name.
+        node: String,
+        /// Crossbars required by one replica.
+        required: u64,
+        /// Crossbars available on the chip.
+        available: u64,
+    },
+    /// The target device forbids in-inference weight writes but the graph
+    /// requires them (dynamic `MatMul` on ReRAM/Flash without rewrites).
+    DynamicWeightsUnsupported {
+        /// Offending node name.
+        node: String,
+        /// Device name.
+        device: &'static str,
+    },
+    /// Code generation would exceed the configured flow-size budget.
+    FlowTooLarge {
+        /// Estimated meta-operator count.
+        estimated: u64,
+        /// Configured limit.
+        limit: u64,
+    },
+    /// Internal invariant violation (a bug in the scheduler).
+    Internal {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NothingToMap { model } => {
+                write!(f, "model `{model}` contains no CIM-supported operators")
+            }
+            CompileError::OperatorTooLarge {
+                node,
+                required,
+                available,
+            } => write!(
+                f,
+                "operator `{node}` needs {required} crossbars but the chip has only {available}"
+            ),
+            CompileError::DynamicWeightsUnsupported { node, device } => write!(
+                f,
+                "operator `{node}` needs per-inference weight writes, unsupported on {device}"
+            ),
+            CompileError::FlowTooLarge { estimated, limit } => write!(
+                f,
+                "generated flow would hold ~{estimated} meta-operators (limit {limit}); raise \
+                 CompileOptions::max_flow_ops or compile a smaller model"
+            ),
+            CompileError::Internal { message } => write!(f, "internal scheduler error: {message}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = CompileError::OperatorTooLarge {
+            node: "fc1".into(),
+            required: 100,
+            available: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("fc1") && s.contains("100") && s.contains('4'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # cim-compiler — the CIM-MLC multi-level scheduler
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (ASPLOS'24, §3.3): a compiler that lowers a DNN computation graph onto a
+//! CIM accelerator described by the [`cim_arch`] abstraction, optimizing at
+//! up to three granularities according to the accelerator's computing mode:
+//!
+//! 1. **CG-grained** ([`cg`]) — always runs. Resource-adaptive compute-graph
+//!    segmentation, dynamic operator *duplication* under the
+//!    `core_number` / bandwidth / ALU constraints, and an inter-operator
+//!    *pipeline* (§3.3.2, Figure 9).
+//! 2. **MVM-grained** ([`mvm`]) — for XBM/WLM targets. Unrolls CIM operators
+//!    into matrix-vector multiplies on *virtual crossbars* (VXBs, Figure 7),
+//!    refines duplication with the paper's Equation 1 using idle crossbars,
+//!    and staggers crossbar activations to cut peak power (§3.3.3,
+//!    Figure 12).
+//! 3. **VVM-grained** ([`vvm`]) — for WLM targets. Remaps wordlines that
+//!    accumulate into the same output across different crossbars so a full
+//!    MVM completes in fewer `parallel_row` activations (§3.3.4,
+//!    Figure 14).
+//!
+//! The result of [`Compiler::compile`] is a [`Compiled`] artifact holding
+//! the mapping, the per-level schedules with their latency/peak-power
+//! reports, and (on demand) an executable meta-operator flow
+//! ([`codegen`]).
+//!
+//! ```
+//! use cim_arch::presets;
+//! use cim_compiler::Compiler;
+//! use cim_graph::zoo;
+//!
+//! # fn main() -> Result<(), cim_compiler::CompileError> {
+//! let arch = presets::isaac_baseline();
+//! let compiled = Compiler::new().compile(&zoo::lenet5(), &arch)?;
+//! assert!(compiled.report().latency_cycles > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod cg;
+pub mod codegen;
+mod compile;
+mod error;
+pub mod mapping;
+pub mod mvm;
+pub mod perf;
+pub mod stage;
+pub mod vvm;
+
+pub use compile::{Compiled, CompileOptions, Compiler, OptLevel};
+pub use error::CompileError;
+pub use perf::PerfReport;
+
+/// Convenient result alias for fallible compilation operations.
+pub type Result<T> = std::result::Result<T, CompileError>;

@@ -1,0 +1,325 @@
+//! Virtual-crossbar construction and dimension binding (paper §3.3.3,
+//! Figure 7).
+//!
+//! A CIM operator's weight matrix (R rows × C columns at `weight_bits`
+//! precision) is bound to physical crossbars as:
+//!
+//! * matrix rows **R → XBR** (crossbar rows) — `ceil(R / xb_rows)`
+//!   *vertical* crossbars whose partial sums accumulate;
+//! * matrix columns **C → XBC** (crossbar columns);
+//! * weight bits **B → XBC** — each weight occupies
+//!   `ceil(weight_bits / cell_bits)` adjacent columns (bit slicing), so the
+//!   horizontal extent is `C · ceil(wb/cb)` cells across
+//!   `ceil(C·ceil(wb/cb) / xb_cols)` *horizontal* crossbars.
+//!
+//! One **VXB** (virtual crossbar) is the `v × h` group of physical
+//! crossbars jointly performing one MVM.
+
+use cim_arch::CimArchitecture;
+use cim_graph::{Graph, NodeId};
+
+/// The Figure 7 dimension-binding choice for the weight-bit dimension
+/// (`B`). Matrix rows always bind to crossbar rows (`R → XBR`) and matrix
+/// columns to crossbar columns (`C → XBC`); the bits of each weight can
+/// go either way:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DimBinding {
+    /// `B → XBC`: "the data bits are spread to the adjacent column in the
+    /// crossbar" — each weight occupies `ceil(wb/cb)` adjacent columns.
+    /// The paper's (and this compiler's) default.
+    #[default]
+    BitsToColumns,
+    /// `B → XB`: "the data bits will be spread to the different
+    /// crossbars" — one bit-plane crossbar per `cb`-bit slice, merged by
+    /// shift-accumulate. Trades wider output parallelism per crossbar for
+    /// `ceil(wb/cb)` times more crossbars.
+    BitsToCrossbars,
+}
+
+/// How one CIM operator maps onto crossbars (one replica).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMapping {
+    /// The mapped graph node.
+    pub node: NodeId,
+    /// Weight-matrix rows (reduction extent).
+    pub rows: u32,
+    /// Weight-matrix columns (output extent).
+    pub cols: u32,
+    /// Cell columns per weight within one crossbar (bit-slicing factor;
+    /// 1 under [`DimBinding::BitsToCrossbars`]).
+    pub cols_per_weight: u32,
+    /// Bit-plane crossbars per tile (1 under
+    /// [`DimBinding::BitsToColumns`]).
+    pub bit_planes: u32,
+    /// Vertical physical crossbars per VXB (`ceil(rows / xb_rows)`).
+    pub v_xbs: u32,
+    /// Horizontal physical crossbars per VXB
+    /// (`ceil(cols·cols_per_weight / xb_cols)`).
+    pub h_xbs: u32,
+    /// Number of MVMs the operator unrolls into.
+    pub mvm_count: u64,
+    /// Rows actually used in the *last* vertical crossbar
+    /// (`rows − (v_xbs−1)·xb_rows`).
+    pub last_rows: u32,
+    /// Logical columns used in the last horizontal crossbar.
+    pub last_cols: u32,
+}
+
+impl OpMapping {
+    /// Computes the mapping of graph node `node` onto `arch`'s crossbars
+    /// with `weight_bits`-bit weights, using the default `B → XBC`
+    /// binding.
+    ///
+    /// Returns `None` for non-CIM nodes.
+    #[must_use]
+    pub fn of(graph: &Graph, node: NodeId, arch: &CimArchitecture, weight_bits: u32) -> Option<Self> {
+        Self::with_binding(graph, node, arch, weight_bits, DimBinding::BitsToColumns)
+    }
+
+    /// Computes the mapping under an explicit dimension binding.
+    ///
+    /// Returns `None` for non-CIM nodes.
+    #[must_use]
+    pub fn with_binding(
+        graph: &Graph,
+        node: NodeId,
+        arch: &CimArchitecture,
+        weight_bits: u32,
+        binding: DimBinding,
+    ) -> Option<Self> {
+        let (rows, cols) = graph.weight_matrix(node)?;
+        let rows = u32::try_from(rows).expect("weight rows fit u32");
+        let cols = u32::try_from(cols).expect("weight cols fit u32");
+        let xb = arch.crossbar();
+        let (cols_per_weight, bit_planes) = match binding {
+            DimBinding::BitsToColumns => (xb.columns_per_weight(weight_bits), 1),
+            DimBinding::BitsToCrossbars => (1, xb.columns_per_weight(weight_bits)),
+        };
+        let shape = xb.shape();
+        let v_xbs = rows.div_ceil(shape.rows);
+        // Whole weights are packed per crossbar: a crossbar holds
+        // floor(xb_cols / cols_per_weight) logical columns.
+        let logical_cols_per_xb = (shape.cols / cols_per_weight).max(1);
+        let h_xbs = cols.div_ceil(logical_cols_per_xb);
+        let last_rows = rows - (v_xbs - 1) * shape.rows;
+        let last_cols = cols - (h_xbs - 1) * logical_cols_per_xb;
+        Some(OpMapping {
+            node,
+            rows,
+            cols,
+            cols_per_weight,
+            bit_planes,
+            v_xbs,
+            h_xbs,
+            mvm_count: graph.mvm_count(node),
+            last_rows,
+            last_cols,
+        })
+    }
+
+    /// Physical crossbars in one VXB (one replica of the operator).
+    #[must_use]
+    pub fn vxb_size(&self) -> u32 {
+        self.v_xbs * self.h_xbs * self.bit_planes
+    }
+
+    /// Logical (weight) columns held by one crossbar:
+    /// `floor(xb_cols / cols_per_weight)`, at least 1.
+    #[must_use]
+    pub fn logical_cols_per_xb(&self, arch: &CimArchitecture) -> u32 {
+        (arch.crossbar().shape().cols / self.cols_per_weight).max(1)
+    }
+
+    /// Cores one replica occupies on `arch` (`ceil(vxb / xb_number)`).
+    #[must_use]
+    pub fn cores_per_replica(&self, arch: &CimArchitecture) -> u32 {
+        self.vxb_size().div_ceil(arch.core().xb_count())
+    }
+
+    /// Idle crossbars in the last, partially-filled core of one replica.
+    #[must_use]
+    pub fn idle_xbs_per_replica(&self, arch: &CimArchitecture) -> u32 {
+        let per_core = arch.core().xb_count();
+        let used = self.vxb_size();
+        self.cores_per_replica(arch) * per_core - used
+    }
+
+    /// Row-group activations needed per crossbar activation wave: the
+    /// deepest vertical crossbar dominates
+    /// (`ceil(min(rows, xb_rows) / parallel_row)`).
+    #[must_use]
+    pub fn activation_groups(&self, arch: &CimArchitecture) -> u32 {
+        let xb = arch.crossbar();
+        xb.activations_for_rows(self.rows.min(xb.shape().rows))
+    }
+
+    /// Cycles for one MVM at CG/MVM granularity: bit-serial input slices ×
+    /// row-group activations. Vertical crossbars run concurrently when the
+    /// core has an analog shift-and-accumulate tree; macro-style cores
+    /// without one serialize the vertical partial-sum readouts (the
+    /// serialization that VVM-grained remapping later removes, §4.2
+    /// Work 3).
+    #[must_use]
+    pub fn cycles_per_mvm(&self, arch: &CimArchitecture, act_bits: u32) -> u64 {
+        let xb = arch.crossbar();
+        let base =
+            u64::from(xb.input_slices(act_bits)) * u64::from(self.activation_groups(arch));
+        if arch.core().analog_partial_sum() {
+            base
+        } else {
+            base * u64::from(self.v_xbs)
+        }
+    }
+
+    /// Total compute cycles of the whole operator with `dup` parallel
+    /// replicas (no pipeline overlap).
+    #[must_use]
+    pub fn compute_cycles(&self, arch: &CimArchitecture, act_bits: u32, dup: u32) -> f64 {
+        debug_assert!(dup >= 1);
+        self.mvm_count as f64 * self.cycles_per_mvm(arch, act_bits) as f64 / f64::from(dup)
+    }
+}
+
+/// Computes the mapping of every CIM node of `graph`, in topological order.
+#[must_use]
+pub fn map_graph(graph: &Graph, arch: &CimArchitecture, weight_bits: u32) -> Vec<OpMapping> {
+    graph
+        .cim_nodes()
+        .into_iter()
+        .filter_map(|id| OpMapping::of(graph, id, arch, weight_bits))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::presets;
+    use cim_graph::{Graph, OpKind, Shape};
+
+    fn conv_graph() -> (Graph, NodeId) {
+        let mut g = Graph::new("t");
+        let x = g
+            .add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])
+            .unwrap();
+        let c = g.add("conv", OpKind::conv2d(32, 3, 1, 1), [x]).unwrap();
+        (g, c)
+    }
+
+    #[test]
+    fn figure16_conv_on_table2_arch() {
+        // Table 2: 32x128 crossbars, 2-bit cells; conv weights 27x32 at 8
+        // bits -> 4 columns per weight -> 128 cell columns = exactly one
+        // crossbar wide; 27 rows fit in 32 -> v = 1.
+        let (g, c) = conv_graph();
+        let arch = presets::table2_example();
+        let m = OpMapping::of(&g, c, &arch, 8).unwrap();
+        assert_eq!((m.rows, m.cols), (27, 32));
+        assert_eq!(m.cols_per_weight, 4);
+        assert_eq!(m.v_xbs, 1);
+        assert_eq!(m.h_xbs, 1);
+        assert_eq!(m.vxb_size(), 1);
+        assert_eq!(m.mvm_count, 1024);
+        // One VXB = one crossbar -> a core with 2 xbs holds 2 replicas.
+        assert_eq!(m.cores_per_replica(&arch), 1);
+        assert_eq!(m.idle_xbs_per_replica(&arch), 1);
+        // parallel_row 16 of 27 used rows -> 2 activation groups; 8-bit
+        // input through 1-bit DAC -> 8 slices -> 16 cycles per MVM.
+        assert_eq!(m.activation_groups(&arch), 2);
+        assert_eq!(m.cycles_per_mvm(&arch, 8), 16);
+    }
+
+    #[test]
+    fn large_matrix_spans_crossbars() {
+        // VGG16 fc1: 25088 x 4096 at 8 bits on 128x128, 2-bit cells.
+        let mut g = Graph::new("fc");
+        let x = g
+            .add("x", OpKind::Input { shape: Shape::vec(25088) }, [])
+            .unwrap();
+        let l = g.add("fc1", OpKind::linear(4096), [x]).unwrap();
+        let arch = presets::isaac_baseline();
+        let m = OpMapping::of(&g, l, &arch, 8).unwrap();
+        assert_eq!(m.v_xbs, 196); // 25088 / 128
+        assert_eq!(m.h_xbs, 128); // 4096*4 / 128
+        assert_eq!(m.vxb_size(), 196 * 128);
+        // 16 xbs per core -> 1568 cores per replica.
+        assert_eq!(m.cores_per_replica(&arch), 1568);
+    }
+
+    #[test]
+    fn non_cim_nodes_have_no_mapping() {
+        let (mut g, c) = conv_graph();
+        let arch = presets::isaac_baseline();
+        let r = g.add("r", OpKind::Relu, [c]).unwrap();
+        assert!(OpMapping::of(&g, c, &arch, 8).is_some());
+        assert!(OpMapping::of(&g, r, &arch, 8).is_none());
+    }
+
+    #[test]
+    fn map_graph_covers_all_cim_nodes() {
+        let g = cim_graph::zoo::vgg7();
+        let arch = presets::isaac_baseline();
+        let maps = map_graph(&g, &arch, 8);
+        assert_eq!(maps.len(), g.cim_nodes().len());
+        for m in &maps {
+            assert!(m.vxb_size() >= 1);
+            assert!(m.mvm_count >= 1);
+        }
+    }
+
+    #[test]
+    fn one_bit_cells_expand_columns() {
+        let (g, c) = conv_graph();
+        let arch = presets::jain_sram(); // 256x64 crossbars, 1-bit cells
+        let m = OpMapping::of(&g, c, &arch, 8).unwrap();
+        assert_eq!(m.cols_per_weight, 8);
+        // 32 weights * 8 bits = 256 cell columns over 64-wide xbs -> 4.
+        assert_eq!(m.h_xbs, 4);
+        assert_eq!(m.v_xbs, 1);
+        // parallel_row 32 over 27 used rows -> 1 activation group.
+        assert_eq!(m.activation_groups(&arch), 1);
+    }
+
+    #[test]
+    fn bits_to_crossbars_binding_trades_planes_for_columns() {
+        // Figure 7's alternative B -> XB binding: 8-bit weights on 2-bit
+        // cells become 4 bit-plane crossbars, each holding whole columns.
+        let (g, c) = conv_graph();
+        let arch = presets::isaac_baseline();
+        let cols_binding =
+            OpMapping::with_binding(&g, c, &arch, 8, DimBinding::BitsToColumns).unwrap();
+        let plane_binding =
+            OpMapping::with_binding(&g, c, &arch, 8, DimBinding::BitsToCrossbars).unwrap();
+        assert_eq!(plane_binding.cols_per_weight, 1);
+        assert_eq!(plane_binding.bit_planes, 4);
+        // conv 27x32 on 128x128: B->XBC needs 1 crossbar (32*4=128 cols);
+        // B->XB needs 4 bit planes of 1 crossbar each.
+        assert_eq!(cols_binding.vxb_size(), 1);
+        assert_eq!(plane_binding.vxb_size(), 4);
+        // Both store the same number of weight cells overall.
+        let cells = |m: &OpMapping| {
+            u64::from(m.rows) * u64::from(m.cols) * u64::from(m.cols_per_weight)
+                * u64::from(m.bit_planes)
+        };
+        assert_eq!(cells(&cols_binding), cells(&plane_binding));
+    }
+
+    #[test]
+    fn default_binding_is_bits_to_columns() {
+        let (g, c) = conv_graph();
+        let arch = presets::isaac_baseline();
+        assert_eq!(
+            OpMapping::of(&g, c, &arch, 8),
+            OpMapping::with_binding(&g, c, &arch, 8, DimBinding::default())
+        );
+    }
+
+    #[test]
+    fn compute_cycles_scale_inverse_with_duplication() {
+        let (g, c) = conv_graph();
+        let arch = presets::isaac_baseline();
+        let m = OpMapping::of(&g, c, &arch, 8).unwrap();
+        let t1 = m.compute_cycles(&arch, 8, 1);
+        let t4 = m.compute_cycles(&arch, 8, 4);
+        assert!((t1 / 4.0 - t4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Performance reports: latency and peak-power estimates for a schedule.
+
+use cim_arch::{CimArchitecture, EnergyBreakdown};
+
+/// Latency / peak-power summary of one compiled schedule level.
+///
+/// Latency is in cycles of the accelerator's crossbar-activation clock;
+/// power is in the cost model's energy-per-cycle units. All evaluation
+/// claims reproduced from the paper are *relative* (speedups, normalized
+/// peak power), so the units cancel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Scheduling level that produced this report (`"no-opt"`, `"cg"`,
+    /// `"cg+mvm"`, `"cg+mvm+vvm"`, or a baseline name).
+    pub level: &'static str,
+    /// End-to-end single-image inference latency in cycles.
+    pub latency_cycles: f64,
+    /// Maximum number of crossbars simultaneously active.
+    pub peak_active_crossbars: u64,
+    /// Peak instantaneous power (energy units per cycle).
+    pub peak_power: f64,
+    /// Component breakdown at the peak cycle.
+    pub peak_breakdown: EnergyBreakdown,
+    /// Total energy of one inference. Unlike latency, energy is a
+    /// work-dependent quantity: the scheduling levels rearrange *when*
+    /// activations happen, not how many there are, so it is invariant
+    /// across levels up to reprogramming overheads (asserted in tests).
+    pub energy: EnergyBreakdown,
+    /// Number of compute-graph segments the model was split into.
+    pub segments: usize,
+    /// Cycles spent reprogramming crossbars between segments/folds.
+    pub reprogram_cycles: f64,
+}
+
+impl PerfReport {
+    /// Speedup of this schedule over `baseline` (baseline latency divided
+    /// by ours).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &PerfReport) -> f64 {
+        baseline.latency_cycles / self.latency_cycles
+    }
+
+    /// This schedule's peak power normalized to `baseline`'s.
+    #[must_use]
+    pub fn normalized_peak_power(&self, baseline: &PerfReport) -> f64 {
+        self.peak_power / baseline.peak_power
+    }
+}
+
+/// Total energy of executing one stage's work once (compute + converter +
+/// movement + ALU), independent of duplication or activation order.
+#[must_use]
+pub fn stage_energy(
+    stage: &crate::stage::Stage,
+    arch: &CimArchitecture,
+    act_bits: u32,
+) -> EnergyBreakdown {
+    let xb = arch.crossbar();
+    let cost = arch.cost();
+    let m = &stage.mapping;
+    // Every MVM engages each of the replica's vxb crossbars for
+    // `slices × groups` row-group activations.
+    let activations = m.mvm_count
+        * u64::from(m.vxb_size())
+        * u64::from(xb.input_slices(act_bits))
+        * u64::from(m.activation_groups(arch));
+    let per_activation =
+        cost.activation_energy(xb.parallel_row().min(m.rows), xb.shape().cols);
+    let mut energy = per_activation.scale(activations as f64);
+    energy = energy.add(&cost.movement_energy(
+        (stage.in_elements + stage.out_elements) * u64::from(act_bits),
+    ));
+    energy = energy.add(&cost.alu_energy(stage.alu_ops));
+    if stage.dynamic_weights {
+        energy = energy.add(&cost.write_energy(
+            m.rows.min(xb.shape().rows),
+            xb.shape().cols,
+        ));
+    }
+    energy
+}
+
+/// Total energy of one inference: every stage's work plus
+/// `reprogram_events` whole-chip crossbar rewrites.
+#[must_use]
+pub fn model_energy(
+    stages: &[crate::stage::Stage],
+    arch: &CimArchitecture,
+    act_bits: u32,
+    reprogram_events: u64,
+) -> EnergyBreakdown {
+    let mut total = EnergyBreakdown::default();
+    for stage in stages {
+        total = total.add(&stage_energy(stage, arch, act_bits));
+    }
+    let per_reprogram = arch
+        .cost()
+        .write_energy(arch.crossbar().shape().rows, arch.crossbar().shape().cols)
+        .scale(arch.total_crossbars() as f64);
+    total.add(&per_reprogram.scale(reprogram_events as f64))
+}
+
+/// Computes the peak instantaneous power of a schedule phase in which
+/// `active_crossbars` crossbars fire concurrently (each engaging
+/// `parallel_row` wordlines and its full column set) while
+/// `streaming_bits_per_cycle` bits move through the buffer hierarchy.
+#[must_use]
+pub fn phase_power(
+    arch: &CimArchitecture,
+    active_crossbars: u64,
+    streaming_bits_per_cycle: f64,
+) -> (f64, EnergyBreakdown) {
+    let xb = arch.crossbar();
+    let cost = arch.cost();
+    let per_xb = cost.activation_energy(xb.parallel_row(), xb.shape().cols);
+    let mut breakdown = per_xb.scale(active_crossbars as f64);
+    breakdown.movement = cost.e_mov_per_bit * streaming_bits_per_cycle;
+    (breakdown.total(), breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::presets;
+
+    fn report(level: &'static str, latency: f64, peak: f64) -> PerfReport {
+        PerfReport {
+            level,
+            latency_cycles: latency,
+            peak_active_crossbars: 0,
+            peak_power: peak,
+            peak_breakdown: EnergyBreakdown::default(),
+            energy: EnergyBreakdown::default(),
+            segments: 1,
+            reprogram_cycles: 0.0,
+        }
+    }
+
+    #[test]
+    fn speedup_and_normalization() {
+        let base = report("no-opt", 1000.0, 10.0);
+        let ours = report("cg", 250.0, 25.0);
+        assert!((ours.speedup_over(&base) - 4.0).abs() < 1e-12);
+        assert!((ours.normalized_peak_power(&base) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_power_scales_with_active_crossbars() {
+        let arch = presets::isaac_baseline();
+        let (p1, b1) = phase_power(&arch, 10, 0.0);
+        let (p2, _) = phase_power(&arch, 20, 0.0);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+        assert_eq!(b1.movement, 0.0);
+        let (p3, b3) = phase_power(&arch, 10, 384.0);
+        assert!(p3 > p1);
+        assert!(b3.movement > 0.0);
+    }
+
+    #[test]
+    fn crossbar_term_dominates_under_calibration() {
+        // With full-row activation (PUMA), the crossbar share must be near
+        // the calibrated 83%.
+        let arch = presets::puma();
+        let (_, b) = phase_power(&arch, 1, 2.0 * 128.0 * 8.0);
+        let total = b.total();
+        assert!(b.crossbar / total > 0.7, "{}", b.crossbar / total);
+    }
+}

@@ -1,0 +1,304 @@
+//! VVM-grained optimization (paper §3.3.4, Figure 14).
+//!
+//! On WLM targets only `parallel_row` wordlines of a crossbar can fire per
+//! cycle, so a full-depth MVM needs `⌈used_rows / parallel_row⌉`
+//! sequential activation groups. The *data remapping* strategy spreads
+//! wordlines that accumulate into the same output across different
+//! crossbars: `k` crossbars each firing `parallel_row` rows complete the
+//! same reduction in `⌈groups / k⌉` steps, with the partial sums merged by
+//! the core ALU (shift-accumulate).
+//!
+//! Remapping consumes idle crossbars — each replica spreads over
+//! `spread × v × h` physical crossbars, each 1/spread full — so the spread
+//! factor is bounded by the crossbars left idle after MVM-grained
+//! duplication.
+
+use crate::cg::{pipeline_latency, CgSchedule, Segment, StagePlan};
+use crate::mvm::MvmSchedule;
+use crate::perf::{phase_power, PerfReport};
+use crate::stage::{movement_cycles, Stage};
+use cim_arch::CimArchitecture;
+
+/// The VVM-grained refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VvmSchedule {
+    /// Refined segments.
+    pub segments: Vec<Segment>,
+    /// Spread factor chosen per (segment, plan) — 1 means no remapping.
+    pub spreads: Vec<Vec<u32>>,
+    /// Summary report.
+    pub report: PerfReport,
+}
+
+/// The spread factor available to one stage: how many copies of its
+/// crossbar footprint fit in the cores it was assigned.
+#[must_use]
+pub fn spread_factor(
+    assigned_cores: u32,
+    xb_per_core: u32,
+    vxb_size: u32,
+    dup: u32,
+    activation_groups: u32,
+) -> u32 {
+    if vxb_size == 0 || dup == 0 {
+        return 1;
+    }
+    let slots = u64::from(assigned_cores) * u64::from(xb_per_core);
+    let footprint = u64::from(dup) * u64::from(vxb_size);
+    if footprint == 0 {
+        return 1;
+    }
+    let k = (slots / footprint) as u32;
+    k.clamp(1, activation_groups.max(1))
+}
+
+/// Stage latency with a remapping spread factor applied: activation groups
+/// shrink by `spread`, everything else as in the base model.
+fn vvm_stage_latency(
+    stage: &Stage,
+    arch: &CimArchitecture,
+    act_bits: u32,
+    dup: u32,
+    folds: u32,
+    spread: u32,
+) -> f64 {
+    let xb = arch.crossbar();
+    let groups = stage.mapping.activation_groups(arch).div_ceil(spread.max(1));
+    // VVM remapping merges partial sums on the digital ALU (shift-
+    // accumulate), so vertical crossbars no longer serialize even on cores
+    // without analog S&A hardware: the `v` factor of
+    // `OpMapping::cycles_per_mvm` disappears here.
+    let cpm = u64::from(xb.input_slices(act_bits)) * u64::from(groups.max(1));
+    let compute = stage.mapping.mvm_count as f64 * cpm as f64 / f64::from(dup.max(1))
+        * f64::from(folds.max(1));
+    let mov = movement_cycles(stage, arch, act_bits);
+    let cores = dup.max(1) * stage.mapping.cores_per_replica(arch);
+    let alu = stage.alu_cycles(
+        arch.chip().alu_ops_per_cycle(),
+        cores.min(arch.chip().core_count()),
+    );
+    let mut latency = compute.max(mov).max(alu);
+    if stage.dynamic_weights {
+        latency += arch.cost().write_cycles(stage.mapping.rows.min(xb.shape().rows)) as f64;
+    }
+    latency
+}
+
+/// Runs VVM-grained optimization on top of an MVM schedule.
+///
+/// Only meaningful on WLM targets where `parallel_row < xb_rows`; on
+/// full-parallel crossbars the spread factor is always 1 and the schedule
+/// is returned unchanged (modulo the report level).
+#[must_use]
+pub fn schedule_vvm(
+    cg: &CgSchedule,
+    mvm: &MvmSchedule,
+    arch: &CimArchitecture,
+    act_bits: u32,
+) -> VvmSchedule {
+    let xb_per_core = arch.core().xb_count();
+    let mut segments = Vec::with_capacity(mvm.segments.len());
+    let mut spreads = Vec::with_capacity(mvm.segments.len());
+    let mut total_latency = 0.0;
+    let mut peak_power = 0.0;
+    let mut peak_active = 0u64;
+    let mut peak_breakdown = Default::default();
+
+    for seg in &mvm.segments {
+        let mut plans = Vec::with_capacity(seg.plans.len());
+        let mut seg_spreads = Vec::with_capacity(seg.plans.len());
+        let mut lat_fill = Vec::with_capacity(seg.plans.len());
+        for plan in &seg.plans {
+            let stage = &cg.stages[plan.stage];
+            let groups = stage.mapping.activation_groups(arch);
+            let vxb = stage.mapping.vxb_size();
+            // Choose the best split of the stage's crossbar slots between
+            // extra replicas (duplication `d`) and row spreading (`k`):
+            // latency ∝ ⌈groups/k⌉ / d with d·k·vxb ≤ slots. Pure Eq.-1
+            // duplication (k = 1) and pure spreading are both special
+            // cases; ceiling effects make mixed splits win by the modest
+            // margins the paper reports (Figure 21c).
+            let slots = u64::from(plan.cores) * u64::from(xb_per_core);
+            let (mut best_d, mut best_k) = (plan.duplication.max(1), 1u32);
+            let mut best_latency = vvm_stage_latency(
+                stage,
+                arch,
+                act_bits,
+                best_d,
+                plan.folds,
+                best_k,
+            );
+            if plan.folds == 1 && vxb > 0 {
+                let cpm = stage.mapping.cycles_per_mvm(arch, act_bits);
+                let cap = crate::cg::duplication_cap(stage, arch, act_bits, cpm);
+                let max_d =
+                    ((slots / u64::from(vxb)).clamp(1, u64::from(u32::MAX)) as u32).min(cap);
+                for d in 1..=max_d {
+                    let k = spread_factor(plan.cores, xb_per_core, vxb, d, groups);
+                    let lat = vvm_stage_latency(stage, arch, act_bits, d, plan.folds, k);
+                    // Tie-break toward fewer replicas (more spreading):
+                    // equal throughput with half the weight copies to
+                    // program — and it is the Figure 16(e) layout.
+                    if lat < best_latency || (lat == best_latency && d < best_d) {
+                        best_latency = lat;
+                        best_d = d;
+                        best_k = k;
+                    }
+                }
+            }
+            seg_spreads.push(best_k);
+            // Figure 14's pipeline effect: remapping completes each output
+            // accumulation in one activation wave instead of `groups`
+            // serial ones, so the consumer's first inputs are ready one
+            // granularity step earlier — the pipeline hand-off chunk
+            // halves once more relative to the MVM-grained pipeline.
+            let fill = stage.fill_fraction / 4.0;
+            lat_fill.push((best_latency, fill));
+            plans.push(StagePlan {
+                duplication: best_d,
+                latency: best_latency,
+                ..plan.clone()
+            });
+        }
+        let latency = if cg.options.pipeline {
+            pipeline_latency(&lat_fill)
+        } else {
+            lat_fill.iter().map(|&(l, _)| l).sum()
+        };
+        // Remapped stages co-activate `spread` crossbars per vertical wave.
+        let chip_slots = u64::from(arch.chip().core_count()) * u64::from(xb_per_core);
+        let per_plan_active = |(p, s): (&StagePlan, &u32)| -> u64 {
+            let m = &cg.stages[p.stage].mapping;
+            let raw = if p.folds > 1 {
+                // One vertical wave of the resident fold tiles at a time.
+                u64::from(m.h_xbs)
+            } else {
+                u64::from(p.duplication) * u64::from(m.h_xbs) * u64::from(*s)
+            };
+            raw.min(chip_slots)
+        };
+        let active: u64 = if cg.options.pipeline {
+            plans
+                .iter()
+                .zip(&seg_spreads)
+                .map(per_plan_active)
+                .sum::<u64>()
+                .min(chip_slots)
+        } else {
+            plans
+                .iter()
+                .zip(&seg_spreads)
+                .map(per_plan_active)
+                .max()
+                .unwrap_or(0)
+        };
+        let (power, breakdown) = phase_power(arch, active, seg.streaming_bits_per_cycle);
+        if power > peak_power {
+            peak_power = power;
+            peak_active = active;
+            peak_breakdown = breakdown;
+        }
+        total_latency += latency;
+        segments.push(Segment {
+            plans,
+            latency,
+            active_crossbars: active,
+            streaming_bits_per_cycle: seg.streaming_bits_per_cycle,
+        });
+        spreads.push(seg_spreads);
+    }
+
+    let report = PerfReport {
+        level: "cg+mvm+vvm",
+        latency_cycles: total_latency + cg.report.reprogram_cycles,
+        peak_active_crossbars: peak_active,
+        peak_power,
+        peak_breakdown,
+        // Remapping relocates wordlines; the activation count (and its
+        // energy) is unchanged.
+        energy: cg.report.energy,
+        segments: segments.len(),
+        reprogram_cycles: cg.report.reprogram_cycles,
+    };
+    VvmSchedule {
+        segments,
+        spreads,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{schedule_cg, CgOptions};
+    use crate::mvm::{schedule_mvm, MvmOptions};
+    use cim_arch::presets;
+    use cim_graph::zoo;
+
+    #[test]
+    fn spread_factor_bounds() {
+        // 4 idle-slot copies available but only 2 activation groups ->
+        // spread capped at 2.
+        assert_eq!(spread_factor(8, 2, 2, 2, 2), 2);
+        // No slack -> 1.
+        assert_eq!(spread_factor(1, 2, 2, 1, 16), 1);
+        // Degenerate inputs.
+        assert_eq!(spread_factor(1, 2, 0, 1, 4), 1);
+        assert_eq!(spread_factor(1, 2, 2, 0, 4), 1);
+    }
+
+    #[test]
+    fn figure14_example_spread() {
+        // Figure 14: one op with a 2-group reduction spread over 2 VXBs
+        // completes in one activation.
+        // xb 32 rows, parallel_row 16 -> 2 groups; slack 2x -> spread 2.
+        assert_eq!(spread_factor(2, 2, 1, 2, 2), 2);
+    }
+
+    #[test]
+    fn vvm_never_slower_than_mvm() {
+        let arch = presets::isaac_baseline_wlm();
+        for g in [zoo::vgg7(), zoo::resnet50()] {
+            let cg = schedule_cg(&g, &arch, CgOptions::full(), 8, 8).unwrap();
+            let mvm = schedule_mvm(&cg, &arch, MvmOptions::full(), 8);
+            let vvm = schedule_vvm(&cg, &mvm, &arch, 8);
+            assert!(
+                vvm.report.latency_cycles <= mvm.report.latency_cycles * 1.0001,
+                "{}: vvm {} > mvm {}",
+                g.name(),
+                vvm.report.latency_cycles,
+                mvm.report.latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn full_parallel_crossbars_get_no_spread() {
+        // Jia's crossbars activate all rows at once; spread must be 1
+        // everywhere.
+        let arch = presets::jia_isscc21().with_mode(cim_arch::ComputingMode::Wlm);
+        let cg = schedule_cg(&zoo::vgg7(), &arch, CgOptions::full(), 8, 8).unwrap();
+        let mvm = schedule_mvm(&cg, &arch, MvmOptions::full(), 8);
+        let vvm = schedule_vvm(&cg, &mvm, &arch, 8);
+        for seg in &vvm.spreads {
+            assert!(seg.iter().all(|&s| s == 1));
+        }
+    }
+
+    #[test]
+    fn jain_macro_benefits_from_remapping() {
+        // Figure 20c: the WLM SRAM macro (parallel_row 32 of 256 rows)
+        // gains from VVM remapping.
+        let arch = presets::jain_sram();
+        let g = zoo::vgg7();
+        let cg = schedule_cg(&g, &arch, CgOptions::full(), 8, 8).unwrap();
+        let mvm = schedule_mvm(&cg, &arch, MvmOptions::full(), 8);
+        let vvm = schedule_vvm(&cg, &mvm, &arch, 8);
+        assert!(
+            vvm.report.latency_cycles < mvm.report.latency_cycles,
+            "vvm {} >= mvm {}",
+            vvm.report.latency_cycles,
+            mvm.report.latency_cycles
+        );
+    }
+}

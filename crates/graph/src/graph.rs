@@ -1,0 +1,447 @@
+//! The computation-graph IR.
+
+use crate::{OpKind, Shape};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a node inside one [`Graph`].
+///
+/// Ids are dense indices assigned in insertion order, which is also a
+/// topological order (a node's inputs must already exist when it is added).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Error produced by graph construction or analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced input node does not exist in the graph.
+    UnknownNode {
+        /// The offending id.
+        id: u32,
+    },
+    /// An operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        got: usize,
+    },
+    /// Input shapes are incompatible with the operator.
+    ShapeMismatch {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// The graph (or a serialized document) is structurally invalid.
+    Malformed {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { id } => write!(f, "unknown node id %{id}"),
+            GraphError::ArityMismatch { op, expected, got } => {
+                write!(f, "operator `{op}` expects {expected} inputs, got {got}")
+            }
+            GraphError::ShapeMismatch { op, message } => {
+                write!(f, "shape mismatch in `{op}`: {message}")
+            }
+            GraphError::Malformed { message } => write!(f, "malformed graph: {message}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// One operator instance in a [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    id: NodeId,
+    name: String,
+    op: OpKind,
+    inputs: Vec<NodeId>,
+    out_shape: Shape,
+}
+
+impl Node {
+    /// The node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's user-facing name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator.
+    #[must_use]
+    pub fn op(&self) -> &OpKind {
+        &self.op
+    }
+
+    /// Ids of the data inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The inferred output shape.
+    #[must_use]
+    pub fn out_shape(&self) -> &Shape {
+        &self.out_shape
+    }
+}
+
+/// A DNN computation graph: nodes are operators, edges are data
+/// dependencies (paper §3.3.1).
+///
+/// The graph maintains two invariants enforced at [`Graph::add`] time:
+/// every edge points to an existing node (hence the graph is acyclic), and
+/// every node's output shape has been successfully inferred from its
+/// inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a node and infers its output shape.
+    ///
+    /// # Errors
+    /// Returns [`GraphError`] if an input id is unknown or shape inference
+    /// fails.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: OpKind,
+        inputs: impl IntoIterator<Item = NodeId>,
+    ) -> crate::Result<NodeId> {
+        let inputs: Vec<NodeId> = inputs.into_iter().collect();
+        for input in &inputs {
+            if input.index() >= self.nodes.len() {
+                return Err(GraphError::UnknownNode { id: input.0 });
+            }
+        }
+        let shapes: Vec<&Shape> = inputs
+            .iter()
+            .map(|id| self.nodes[id.index()].out_shape())
+            .collect();
+        let out_shape = op.infer(&shapes)?;
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("graph node count fits u32"));
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            op,
+            inputs,
+            out_shape,
+        });
+        Ok(id)
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this graph; ids are only minted by
+    /// [`Graph::add`], so this indicates cross-graph id confusion.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in insertion (= topological) order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids in topological order (insertion order, by construction).
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(Node::id).collect()
+    }
+
+    /// Map from node to the nodes that consume its output.
+    #[must_use]
+    pub fn successors(&self) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut out: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for node in &self.nodes {
+            for input in node.inputs() {
+                out.entry(*input).or_default().push(node.id());
+            }
+        }
+        out
+    }
+
+    /// Nodes whose output nobody consumes (the graph outputs).
+    #[must_use]
+    pub fn outputs(&self) -> Vec<NodeId> {
+        let succ = self.successors();
+        self.nodes
+            .iter()
+            .map(Node::id)
+            .filter(|id| !succ.contains_key(id))
+            .collect()
+    }
+
+    /// Nodes executing in CIM arrays, in topological order.
+    #[must_use]
+    pub fn cim_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.op().is_cim_supported())
+            .map(Node::id)
+            .collect()
+    }
+
+    /// The stationary weight-matrix dimensions `(rows, cols)` of a CIM
+    /// node: `rows` is the reduction extent bound to crossbar rows (XBR),
+    /// `cols` the output extent bound to crossbar columns (XBC)
+    /// (Figure 7's dimension binding).
+    ///
+    /// Returns `None` for digital operators.
+    #[must_use]
+    pub fn weight_matrix(&self, id: NodeId) -> Option<(usize, usize)> {
+        let node = self.node(id);
+        match node.op() {
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => {
+                let (in_c, _, _) = self.input_shape(node, 0).as_chw()?;
+                Some((in_c * kernel * kernel, *out_channels))
+            }
+            OpKind::Linear { out_features } => {
+                Some((self.input_shape(node, 0).last(), *out_features))
+            }
+            OpKind::MatMul => {
+                let (k, n) = self.input_shape(node, 1).as_tokens()?;
+                Some((k, n))
+            }
+            _ => None,
+        }
+    }
+
+    /// The number of matrix-vector multiplications a CIM node unrolls into
+    /// (paper §3.3.3: a convolution becomes one MVM per sliding-window
+    /// position; a linear/matmul becomes one MVM per input row).
+    ///
+    /// Returns 0 for digital operators.
+    #[must_use]
+    pub fn mvm_count(&self, id: NodeId) -> u64 {
+        let node = self.node(id);
+        match node.op() {
+            OpKind::Conv2d { .. } => {
+                let (_, oh, ow) = node
+                    .out_shape()
+                    .as_chw()
+                    .expect("conv output is rank 3");
+                (oh * ow) as u64
+            }
+            OpKind::Linear { .. } => {
+                let dims = node.out_shape().dims();
+                dims[..dims.len() - 1].iter().map(|&d| d as u64).product::<u64>().max(1)
+            }
+            OpKind::MatMul => {
+                let (m, _) = node.out_shape().as_tokens().expect("matmul output is rank 2");
+                m as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate count of a node (digital ops report their
+    /// element-operation count instead).
+    #[must_use]
+    pub fn macs(&self, id: NodeId) -> u64 {
+        let node = self.node(id);
+        match node.op() {
+            OpKind::Conv2d { .. } | OpKind::Linear { .. } | OpKind::MatMul => {
+                let (rows, cols) = self.weight_matrix(id).expect("CIM op has a weight matrix");
+                self.mvm_count(id) * rows as u64 * cols as u64
+            }
+            OpKind::Attention { .. } => {
+                let (t, d) = node
+                    .out_shape()
+                    .as_tokens()
+                    .expect("attention output is rank 2");
+                2 * (t as u64) * (t as u64) * (d as u64)
+            }
+            _ => node.out_shape().elements(),
+        }
+    }
+
+    /// Total weight parameters held in CIM arrays across the graph.
+    #[must_use]
+    pub fn total_weights(&self) -> u64 {
+        self.cim_nodes()
+            .iter()
+            .filter_map(|&id| self.weight_matrix(id))
+            .map(|(r, c)| r as u64 * c as u64)
+            .sum()
+    }
+
+    /// Total MACs across the graph.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.nodes.iter().map(|n| self.macs(n.id())).sum()
+    }
+
+    fn input_shape(&self, node: &Node, idx: usize) -> &Shape {
+        self.node(node.inputs()[idx]).out_shape()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new("tiny");
+        let x = g
+            .add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])
+            .unwrap();
+        let c = g.add("conv1", OpKind::conv2d(32, 3, 1, 1), [x]).unwrap();
+        let r = g.add("relu1", OpKind::Relu, [c]).unwrap();
+        (g, x, c, r)
+    }
+
+    #[test]
+    fn add_infers_shapes() {
+        let (g, _, c, r) = tiny();
+        assert_eq!(g.node(c).out_shape(), &Shape::chw(32, 32, 32));
+        assert_eq!(g.node(r).out_shape(), &Shape::chw(32, 32, 32));
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn add_rejects_unknown_input() {
+        let mut g = Graph::new("bad");
+        let err = g.add("r", OpKind::Relu, [NodeId(7)]).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { id: 7 }));
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let mut g = Graph::new("bad");
+        let x = g
+            .add("x", OpKind::Input { shape: Shape::vec(8) }, [])
+            .unwrap();
+        let err = g.add("c", OpKind::conv2d(4, 3, 1, 1), [x]).unwrap_err();
+        assert!(matches!(err, GraphError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn topo_and_outputs() {
+        let (g, x, c, r) = tiny();
+        assert_eq!(g.topo_order(), vec![x, c, r]);
+        assert_eq!(g.outputs(), vec![r]);
+        let succ = g.successors();
+        assert_eq!(succ[&x], vec![c]);
+        assert_eq!(succ[&c], vec![r]);
+        assert!(!succ.contains_key(&r));
+    }
+
+    #[test]
+    fn weight_matrix_dimension_binding() {
+        let (g, _, c, _) = tiny();
+        // conv 3x3 over 3 channels -> 27 rows; 32 output channels -> 32 cols.
+        assert_eq!(g.weight_matrix(c), Some((27, 32)));
+        let mut g2 = Graph::new("lin");
+        let x = g2
+            .add("x", OpKind::Input { shape: Shape::tokens(197, 768) }, [])
+            .unwrap();
+        let l = g2.add("fc", OpKind::linear(3072), [x]).unwrap();
+        assert_eq!(g2.weight_matrix(l), Some((768, 3072)));
+        assert_eq!(g2.weight_matrix(x), None);
+    }
+
+    #[test]
+    fn mvm_count_matches_sliding_windows() {
+        let (g, _, c, r) = tiny();
+        // 32x32 output positions (Figure 16: 1024 MVMs for this conv).
+        assert_eq!(g.mvm_count(c), 1024);
+        assert_eq!(g.mvm_count(r), 0);
+    }
+
+    #[test]
+    fn macs_and_totals() {
+        let (g, _, c, _) = tiny();
+        assert_eq!(g.macs(c), 1024 * 27 * 32);
+        assert_eq!(g.total_weights(), 27 * 32);
+        assert!(g.total_macs() > g.macs(c)); // relu elements counted too
+        assert_eq!(g.cim_nodes(), vec![c]);
+    }
+
+    #[test]
+    fn matmul_weight_comes_from_rhs() {
+        let mut g = Graph::new("attn");
+        let q = g
+            .add("q", OpKind::Input { shape: Shape::tokens(197, 64) }, [])
+            .unwrap();
+        let k = g
+            .add("k", OpKind::Input { shape: Shape::tokens(64, 197) }, [])
+            .unwrap();
+        let s = g.add("scores", OpKind::MatMul, [q, k]).unwrap();
+        assert_eq!(g.weight_matrix(s), Some((64, 197)));
+        assert_eq!(g.mvm_count(s), 197);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "%3");
+    }
+}

@@ -1,0 +1,44 @@
+//! # cim-graph — DNN computation-graph IR and model zoo
+//!
+//! CIM-MLC consumes DNN models as computation graphs in which nodes are
+//! operators and edges are data dependencies (paper §3.3.1, where the
+//! input format is ONNX). This crate provides:
+//!
+//! * a typed operator set ([`OpKind`]) covering the paper's benchmark
+//!   networks (VGG, ResNet, ViT) plus common auxiliaries;
+//! * an always-consistent graph IR ([`Graph`]) with eager shape inference —
+//!   a node cannot be added with mismatched input shapes;
+//! * a JSON exchange format (the ONNX substitute; see DESIGN.md) via
+//!   serde;
+//! * a [`zoo`] of builders reproducing the evaluation workloads with their
+//!   exact layer shapes.
+//!
+//! ```
+//! use cim_graph::{Graph, OpKind, Shape};
+//!
+//! # fn main() -> Result<(), cim_graph::GraphError> {
+//! let mut g = Graph::new("tiny");
+//! let x = g.add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])?;
+//! let c = g.add("conv", OpKind::conv2d(32, 3, 1, 1), [x])?;
+//! let r = g.add("relu", OpKind::Relu, [c])?;
+//! assert_eq!(g.node(r).out_shape(), &Shape::chw(32, 32, 32));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod op;
+mod serde_io;
+mod shape;
+pub mod zoo;
+
+pub use graph::{Graph, GraphError, Node, NodeId};
+pub use op::{OpKind, PoolKind};
+pub use serde_io::{from_json, to_json};
+pub use shape::Shape;
+
+/// Convenient result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,116 @@
+//! JSON exchange format — the ONNX substitute.
+//!
+//! The paper ingests ONNX protobufs; this reproduction uses an equivalent
+//! JSON document (see DESIGN.md §2, "Substitutions"). The document carries
+//! exactly what the compiler consumes — node names, operators with
+//! attributes, and the dependency edges — and deserialization rebuilds the
+//! graph through [`Graph::add`] so every invariant (valid edges, inferable
+//! shapes) is re-checked on load.
+
+use crate::{Graph, GraphError, NodeId, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Serialized form of one node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeDoc {
+    name: String,
+    op: OpKind,
+    inputs: Vec<u32>,
+}
+
+/// Serialized form of a graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GraphDoc {
+    name: String,
+    nodes: Vec<NodeDoc>,
+}
+
+/// Serializes a graph to the JSON exchange format.
+///
+/// ```
+/// use cim_graph::{zoo, to_json, from_json};
+///
+/// let g = zoo::lenet5();
+/// let round_tripped = from_json(&to_json(&g)).unwrap();
+/// assert_eq!(round_tripped, g);
+/// ```
+#[must_use]
+pub fn to_json(graph: &Graph) -> String {
+    let doc = GraphDoc {
+        name: graph.name().to_owned(),
+        nodes: graph
+            .nodes()
+            .iter()
+            .map(|n| NodeDoc {
+                name: n.name().to_owned(),
+                op: n.op().clone(),
+                inputs: n.inputs().iter().map(|id| id.0).collect(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("graph documents always serialize")
+}
+
+/// Parses a graph from the JSON exchange format, re-validating every node.
+///
+/// # Errors
+/// Returns [`GraphError::Malformed`] when the document is not valid JSON,
+/// and the underlying construction error when an edge or shape is invalid
+/// (e.g. a node referencing a later node, which would be a cycle).
+pub fn from_json(json: &str) -> crate::Result<Graph> {
+    let doc: GraphDoc = serde_json::from_str(json).map_err(|e| GraphError::Malformed {
+        message: format!("JSON parse error: {e}"),
+    })?;
+    let mut graph = Graph::new(doc.name);
+    for node in doc.nodes {
+        graph.add(node.name, node.op, node.inputs.into_iter().map(NodeId))?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let mut g = Graph::new("rt");
+        let x = g
+            .add("x", OpKind::Input { shape: Shape::chw(3, 8, 8) }, [])
+            .unwrap();
+        let c = g.add("c", OpKind::conv2d(4, 3, 1, 1), [x]).unwrap();
+        let _ = g.add("r", OpKind::Relu, [c]).unwrap();
+        let back = from_json(&to_json(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let err = from_json("{not json").unwrap_err();
+        assert!(matches!(err, GraphError::Malformed { .. }));
+    }
+
+    #[test]
+    fn forward_reference_is_rejected() {
+        // Node 0 references node 1: impossible via the builder, so the
+        // document is rejected on load.
+        let json = r#"{
+            "name": "evil",
+            "nodes": [
+                { "name": "r", "op": "Relu", "inputs": [1] },
+                { "name": "x", "op": { "Input": { "shape": [4] } }, "inputs": [] }
+            ]
+        }"#;
+        let err = from_json(json).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { id: 1 }));
+    }
+
+    #[test]
+    fn zoo_models_round_trip() {
+        for g in [crate::zoo::vgg7(), crate::zoo::resnet18()] {
+            let back = from_json(&to_json(&g)).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+}

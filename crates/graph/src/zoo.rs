@@ -1,0 +1,534 @@
+//! Model zoo: the paper's benchmark networks with their exact layer shapes.
+//!
+//! The evaluation (§4.1) uses "multiple classic network models, including
+//! the VGG series, ResNet series, visual transformer (ViT), etc.", with
+//! 8-bit weights and activations on ImageNet-scale inputs. Each builder
+//! here reproduces the standard architecture:
+//!
+//! * [`vgg7`] — the compact VGG used for the Jain et al. comparison
+//!   (Figure 20c), on 32×32 inputs;
+//! * [`vgg11`] / [`vgg16`] — ImageNet VGG configurations A and D;
+//! * [`resnet18`] / [`resnet34`] / [`resnet50`] / [`resnet101`] — the
+//!   ResNet series of Figure 21;
+//! * [`vit_base`] — ViT-Base/16, the sensitivity-study workload of
+//!   Figure 22;
+//! * [`lenet5`] / [`mlp`] — small models for tests and quickstarts.
+
+use crate::{Graph, NodeId, OpKind, Shape};
+
+/// Pushes `conv → batchnorm → relu` and returns the relu's id.
+fn conv_bn_relu(
+    g: &mut Graph,
+    prefix: &str,
+    input: NodeId,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> NodeId {
+    let c = g
+        .add(
+            format!("{prefix}.conv"),
+            OpKind::conv2d(out_channels, kernel, stride, padding),
+            [input],
+        )
+        .expect("zoo models are well-formed");
+    let b = g
+        .add(format!("{prefix}.bn"), OpKind::BatchNorm, [c])
+        .expect("zoo models are well-formed");
+    g.add(format!("{prefix}.relu"), OpKind::Relu, [b])
+        .expect("zoo models are well-formed")
+}
+
+fn add(g: &mut Graph, name: &str, op: OpKind, inputs: impl IntoIterator<Item = NodeId>) -> NodeId {
+    g.add(name, op, inputs).expect("zoo models are well-formed")
+}
+
+/// LeNet-5 on 32×32 grayscale inputs (tests and quickstart examples).
+#[must_use]
+pub fn lenet5() -> Graph {
+    let mut g = Graph::new("lenet5");
+    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(1, 32, 32) }, []);
+    let c1 = conv_bn_relu(&mut g, "c1", x, 6, 5, 1, 0);
+    let p1 = add(&mut g, "p1", OpKind::avg_pool(2, 2), [c1]);
+    let c2 = conv_bn_relu(&mut g, "c2", p1, 16, 5, 1, 0);
+    let p2 = add(&mut g, "p2", OpKind::avg_pool(2, 2), [c2]);
+    let f = add(&mut g, "flatten", OpKind::Flatten, [p2]);
+    let f1 = add(&mut g, "fc1", OpKind::linear(120), [f]);
+    let r1 = add(&mut g, "fc1.relu", OpKind::Relu, [f1]);
+    let f2 = add(&mut g, "fc2", OpKind::linear(84), [r1]);
+    let r2 = add(&mut g, "fc2.relu", OpKind::Relu, [f2]);
+    let _ = add(&mut g, "fc3", OpKind::linear(10), [r2]);
+    g
+}
+
+/// Three-layer MLP on flat 784-dim inputs.
+#[must_use]
+pub fn mlp() -> Graph {
+    let mut g = Graph::new("mlp");
+    let x = add(&mut g, "input", OpKind::Input { shape: Shape::vec(784) }, []);
+    let f1 = add(&mut g, "fc1", OpKind::linear(256), [x]);
+    let r1 = add(&mut g, "fc1.relu", OpKind::Relu, [f1]);
+    let f2 = add(&mut g, "fc2", OpKind::linear(128), [r1]);
+    let r2 = add(&mut g, "fc2.relu", OpKind::Relu, [f2]);
+    let _ = add(&mut g, "fc3", OpKind::linear(10), [r2]);
+    g
+}
+
+/// VGG7 (the 6-conv + 2-FC compact VGG common in CIM papers) on 32×32
+/// RGB inputs — the Figure 20c workload.
+#[must_use]
+pub fn vgg7() -> Graph {
+    let mut g = Graph::new("vgg7");
+    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 32, 32) }, []);
+    let mut h = x;
+    let mut idx = 0;
+    for (blocks, channels) in [(2usize, 128usize), (2, 256), (2, 512)] {
+        for b in 0..blocks {
+            idx += 1;
+            h = conv_bn_relu(&mut g, &format!("b{idx}.{b}"), h, channels, 3, 1, 1);
+        }
+        h = add(&mut g, &format!("pool{idx}"), OpKind::max_pool(2, 2), [h]);
+    }
+    let f = add(&mut g, "flatten", OpKind::Flatten, [h]);
+    let f1 = add(&mut g, "fc1", OpKind::linear(1024), [f]);
+    let r1 = add(&mut g, "fc1.relu", OpKind::Relu, [f1]);
+    let _ = add(&mut g, "fc2", OpKind::linear(10), [r1]);
+    g
+}
+
+/// Builds an ImageNet VGG from a configuration string of channel counts and
+/// `M` (maxpool) markers.
+fn vgg_imagenet(name: &str, cfg: &[Option<usize>]) -> Graph {
+    let mut g = Graph::new(name);
+    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 224, 224) }, []);
+    let mut h = x;
+    let mut conv_idx = 0;
+    let mut pool_idx = 0;
+    for entry in cfg {
+        match entry {
+            Some(channels) => {
+                conv_idx += 1;
+                h = conv_bn_relu(&mut g, &format!("conv{conv_idx}"), h, *channels, 3, 1, 1);
+            }
+            None => {
+                pool_idx += 1;
+                h = add(&mut g, &format!("pool{pool_idx}"), OpKind::max_pool(2, 2), [h]);
+            }
+        }
+    }
+    let f = add(&mut g, "flatten", OpKind::Flatten, [h]);
+    let f1 = add(&mut g, "fc1", OpKind::linear(4096), [f]);
+    let r1 = add(&mut g, "fc1.relu", OpKind::Relu, [f1]);
+    let f2 = add(&mut g, "fc2", OpKind::linear(4096), [r1]);
+    let r2 = add(&mut g, "fc2.relu", OpKind::Relu, [f2]);
+    let _ = add(&mut g, "fc3", OpKind::linear(1000), [r2]);
+    g
+}
+
+/// VGG11 (configuration A) on 224×224 ImageNet inputs.
+#[must_use]
+pub fn vgg11() -> Graph {
+    const M: Option<usize> = None;
+    vgg_imagenet(
+        "vgg11",
+        &[
+            Some(64), M,
+            Some(128), M,
+            Some(256), Some(256), M,
+            Some(512), Some(512), M,
+            Some(512), Some(512), M,
+        ],
+    )
+}
+
+/// VGG13 (configuration B) on 224×224 ImageNet inputs.
+#[must_use]
+pub fn vgg13() -> Graph {
+    const M: Option<usize> = None;
+    vgg_imagenet(
+        "vgg13",
+        &[
+            Some(64), Some(64), M,
+            Some(128), Some(128), M,
+            Some(256), Some(256), M,
+            Some(512), Some(512), M,
+            Some(512), Some(512), M,
+        ],
+    )
+}
+
+/// VGG16 (configuration D) on 224×224 ImageNet inputs — the Figure 20b/20d
+/// workload.
+#[must_use]
+pub fn vgg16() -> Graph {
+    const M: Option<usize> = None;
+    vgg_imagenet(
+        "vgg16",
+        &[
+            Some(64), Some(64), M,
+            Some(128), Some(128), M,
+            Some(256), Some(256), Some(256), M,
+            Some(512), Some(512), Some(512), M,
+            Some(512), Some(512), Some(512), M,
+        ],
+    )
+}
+
+/// VGG19 (configuration E) on 224×224 ImageNet inputs.
+#[must_use]
+pub fn vgg19() -> Graph {
+    const M: Option<usize> = None;
+    vgg_imagenet(
+        "vgg19",
+        &[
+            Some(64), Some(64), M,
+            Some(128), Some(128), M,
+            Some(256), Some(256), Some(256), Some(256), M,
+            Some(512), Some(512), Some(512), Some(512), M,
+            Some(512), Some(512), Some(512), Some(512), M,
+        ],
+    )
+}
+
+/// A basic residual block (two 3×3 convs), optionally downsampling.
+fn basic_block(g: &mut Graph, prefix: &str, input: NodeId, channels: usize, stride: usize) -> NodeId {
+    let main1 = conv_bn_relu(g, &format!("{prefix}.a"), input, channels, 3, stride, 1);
+    let c2 = add(g, &format!("{prefix}.b.conv"), OpKind::conv2d(channels, 3, 1, 1), [main1]);
+    let b2 = add(g, &format!("{prefix}.b.bn"), OpKind::BatchNorm, [c2]);
+    let shortcut = if stride != 1 || channels_of(g, input) != channels {
+        let sc = add(
+            g,
+            &format!("{prefix}.down.conv"),
+            OpKind::conv2d(channels, 1, stride, 0),
+            [input],
+        );
+        add(g, &format!("{prefix}.down.bn"), OpKind::BatchNorm, [sc])
+    } else {
+        input
+    };
+    let sum = add(g, &format!("{prefix}.add"), OpKind::Add, [b2, shortcut]);
+    add(g, &format!("{prefix}.relu"), OpKind::Relu, [sum])
+}
+
+/// A bottleneck residual block (1×1 → 3×3 → 1×1, expansion 4).
+fn bottleneck_block(
+    g: &mut Graph,
+    prefix: &str,
+    input: NodeId,
+    channels: usize,
+    stride: usize,
+) -> NodeId {
+    let expanded = channels * 4;
+    let c1 = conv_bn_relu(g, &format!("{prefix}.a"), input, channels, 1, 1, 0);
+    let c2 = conv_bn_relu(g, &format!("{prefix}.b"), c1, channels, 3, stride, 1);
+    let c3 = add(g, &format!("{prefix}.c.conv"), OpKind::conv2d(expanded, 1, 1, 0), [c2]);
+    let b3 = add(g, &format!("{prefix}.c.bn"), OpKind::BatchNorm, [c3]);
+    let shortcut = if stride != 1 || channels_of(g, input) != expanded {
+        let sc = add(
+            g,
+            &format!("{prefix}.down.conv"),
+            OpKind::conv2d(expanded, 1, stride, 0),
+            [input],
+        );
+        add(g, &format!("{prefix}.down.bn"), OpKind::BatchNorm, [sc])
+    } else {
+        input
+    };
+    let sum = add(g, &format!("{prefix}.add"), OpKind::Add, [b3, shortcut]);
+    add(g, &format!("{prefix}.relu"), OpKind::Relu, [sum])
+}
+
+fn channels_of(g: &Graph, id: NodeId) -> usize {
+    g.node(id)
+        .out_shape()
+        .as_chw()
+        .map(|(c, _, _)| c)
+        .unwrap_or(0)
+}
+
+/// Builds a ResNet with the given per-stage block counts.
+fn resnet(name: &str, blocks: [usize; 4], bottleneck: bool) -> Graph {
+    let mut g = Graph::new(name);
+    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 224, 224) }, []);
+    let stem = conv_bn_relu(&mut g, "stem", x, 64, 7, 2, 3);
+    let mut h = add(&mut g, "stem.pool", OpKind::max_pool_padded(3, 2, 1), [stem]);
+    let stage_channels = [64usize, 128, 256, 512];
+    for (stage, (&count, &channels)) in blocks.iter().zip(&stage_channels).enumerate() {
+        for block in 0..count {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let prefix = format!("s{}.{}", stage + 1, block);
+            h = if bottleneck {
+                bottleneck_block(&mut g, &prefix, h, channels, stride)
+            } else {
+                basic_block(&mut g, &prefix, h, channels, stride)
+            };
+        }
+    }
+    let gap = add(&mut g, "gap", OpKind::GlobalAvgPool, [h]);
+    let _ = add(&mut g, "fc", OpKind::linear(1000), [gap]);
+    g
+}
+
+/// ResNet-18 on 224×224 ImageNet inputs.
+#[must_use]
+pub fn resnet18() -> Graph {
+    resnet("resnet18", [2, 2, 2, 2], false)
+}
+
+/// ResNet-34 on 224×224 ImageNet inputs.
+#[must_use]
+pub fn resnet34() -> Graph {
+    resnet("resnet34", [3, 4, 6, 3], false)
+}
+
+/// ResNet-50 on 224×224 ImageNet inputs.
+#[must_use]
+pub fn resnet50() -> Graph {
+    resnet("resnet50", [3, 4, 6, 3], true)
+}
+
+/// ResNet-101 on 224×224 ImageNet inputs.
+#[must_use]
+pub fn resnet101() -> Graph {
+    resnet("resnet101", [3, 4, 23, 3], true)
+}
+
+/// ResNet-152 on 224×224 ImageNet inputs.
+#[must_use]
+pub fn resnet152() -> Graph {
+    resnet("resnet152", [3, 8, 36, 3], true)
+}
+
+/// ViT-Base/16 on 224×224 inputs: 196 patch tokens, 12 encoder layers,
+/// dim 768, 12 heads, MLP dim 3072 — the Figure 22 sensitivity workload
+/// ("ViT comprises numerous matrices with a row size of 768", §4.4.2).
+#[must_use]
+pub fn vit_base() -> Graph {
+    vit("vit_base_16", 12, 768, 12, 3072)
+}
+
+/// ViT-Small/16 on 224×224 inputs (12 layers, dim 384, 6 heads).
+#[must_use]
+pub fn vit_small() -> Graph {
+    vit("vit_small_16", 12, 384, 6, 1536)
+}
+
+/// ViT-Large/16 on 224×224 inputs (24 layers, dim 1024, 16 heads).
+#[must_use]
+pub fn vit_large() -> Graph {
+    vit("vit_large_16", 24, 1024, 16, 4096)
+}
+
+/// A parameterized vision transformer (patch 16, 224×224 input).
+#[must_use]
+pub fn vit(name: &str, layers: usize, dim: usize, heads: usize, mlp_dim: usize) -> Graph {
+    let mut g = Graph::new(name);
+    let tokens = (224 / 16) * (224 / 16);
+    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 224, 224) }, []);
+    let patch = add(&mut g, "patch_embed", OpKind::conv2d(dim, 16, 16, 0), [x]);
+    let mut h = add(
+        &mut g,
+        "to_tokens",
+        OpKind::Reshape { shape: Shape::tokens(tokens, dim) },
+        [patch],
+    );
+    for layer in 0..layers {
+        let p = format!("l{layer}");
+        let ln1 = add(&mut g, &format!("{p}.ln1"), OpKind::LayerNorm, [h]);
+        let q = add(&mut g, &format!("{p}.q"), OpKind::linear(dim), [ln1]);
+        let k = add(&mut g, &format!("{p}.k"), OpKind::linear(dim), [ln1]);
+        let v = add(&mut g, &format!("{p}.v"), OpKind::linear(dim), [ln1]);
+        let core = add(&mut g, &format!("{p}.attn"), OpKind::Attention { heads }, [q, k, v]);
+        let proj = add(&mut g, &format!("{p}.proj"), OpKind::linear(dim), [core]);
+        let res1 = add(&mut g, &format!("{p}.add1"), OpKind::Add, [h, proj]);
+        let ln2 = add(&mut g, &format!("{p}.ln2"), OpKind::LayerNorm, [res1]);
+        let fc1 = add(&mut g, &format!("{p}.fc1"), OpKind::linear(mlp_dim), [ln2]);
+        let act = add(&mut g, &format!("{p}.gelu"), OpKind::Gelu, [fc1]);
+        let fc2 = add(&mut g, &format!("{p}.fc2"), OpKind::linear(dim), [act]);
+        h = add(&mut g, &format!("{p}.add2"), OpKind::Add, [res1, fc2]);
+    }
+    let ln = add(&mut g, "head.ln", OpKind::LayerNorm, [h]);
+    let _ = add(&mut g, "head.fc", OpKind::linear(1000), [ln]);
+    g
+}
+
+/// Every zoo model, for exhaustive iteration in tests and benches.
+#[must_use]
+pub fn all() -> Vec<Graph> {
+    vec![
+        lenet5(),
+        mlp(),
+        vgg7(),
+        vgg11(),
+        vgg13(),
+        vgg16(),
+        vgg19(),
+        resnet18(),
+        resnet34(),
+        resnet50(),
+        resnet101(),
+        resnet152(),
+        vit_small(),
+        vit_base(),
+        vit_large(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_output_is_ten_way() {
+        let g = lenet5();
+        let out = g.outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(g.node(out[0]).out_shape(), &Shape::vec(10));
+    }
+
+    #[test]
+    fn vgg16_has_thirteen_convs_and_three_fcs() {
+        let g = vgg16();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
+            .count();
+        let fcs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), OpKind::Linear { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+        // Feature extractor ends at [512, 7, 7].
+        let flatten = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op(), OpKind::Flatten))
+            .unwrap();
+        let before = g.node(flatten.inputs()[0]);
+        assert_eq!(before.out_shape(), &Shape::chw(512, 7, 7));
+        // ~138M parameters for VGG16.
+        let params = g.total_weights();
+        assert!((130_000_000..150_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn vgg7_is_cifar_scale() {
+        let g = vgg7();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 6);
+        assert_eq!(g.node(g.outputs()[0]).out_shape(), &Shape::vec(10));
+    }
+
+    #[test]
+    fn resnet18_block_and_param_count() {
+        let g = resnet18();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
+            .count();
+        // 1 stem + 16 block convs + 3 downsample 1x1 convs
+        assert_eq!(convs, 20);
+        let params = g.total_weights();
+        // ~11.7M params
+        assert!((10_000_000..13_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn resnet50_is_bottlenecked() {
+        let g = resnet50();
+        let params = g.total_weights();
+        // ~25.6M params
+        assert!((23_000_000..28_000_000).contains(&params), "{params}");
+        // final stage output must be [2048, 7, 7]
+        let gap = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op(), OpKind::GlobalAvgPool))
+            .unwrap();
+        let before = g.node(gap.inputs()[0]);
+        assert_eq!(before.out_shape(), &Shape::chw(2048, 7, 7));
+    }
+
+    #[test]
+    fn resnet_depth_ordering() {
+        let macs: Vec<u64> = [resnet18(), resnet34(), resnet50(), resnet101(), resnet152()]
+            .iter()
+            .map(Graph::total_macs)
+            .collect();
+        assert!(macs.windows(2).all(|w| w[0] < w[1]), "{macs:?}");
+    }
+
+    #[test]
+    fn vgg_family_param_ordering() {
+        let params: Vec<u64> = [vgg11(), vgg13(), vgg16(), vgg19()]
+            .iter()
+            .map(Graph::total_weights)
+            .collect();
+        assert!(params.windows(2).all(|w| w[0] < w[1]), "{params:?}");
+        // VGG19 has 16 convs + 3 FCs.
+        let convs = vgg19()
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 16);
+    }
+
+    #[test]
+    fn vit_family_scaling() {
+        let small = vit_small().total_weights();
+        let base = vit_base().total_weights();
+        let large = vit_large().total_weights();
+        assert!(small < base && base < large);
+        // ViT-Small ~22M, ViT-Large ~300M.
+        assert!((18_000_000..26_000_000).contains(&small), "{small}");
+        assert!((280_000_000..320_000_000).contains(&large), "{large}");
+    }
+
+    #[test]
+    fn resnet152_param_count() {
+        let params = resnet152().total_weights();
+        // ~60M params
+        assert!((55_000_000..65_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn vit_base_matrices() {
+        let g = vit_base();
+        // 12 layers x 5 linears (q,k,v,proj,fc1,fc2 = 6) ... count them:
+        let linears = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), OpKind::Linear { .. }))
+            .count();
+        assert_eq!(linears, 12 * 6 + 1);
+        // ~86M params
+        let params = g.total_weights();
+        assert!((80_000_000..92_000_000).contains(&params), "{params}");
+        // Most CIM matrices have 768 rows (§4.4.2).
+        let with_768_rows = g
+            .cim_nodes()
+            .iter()
+            .filter(|&&id| g.weight_matrix(id).map(|(r, _)| r == 768).unwrap_or(false))
+            .count();
+        assert!(with_768_rows >= 12 * 4, "{with_768_rows}");
+    }
+
+    #[test]
+    fn all_models_have_single_output_and_positive_macs() {
+        for g in all() {
+            assert_eq!(g.outputs().len(), 1, "{} has multiple outputs", g.name());
+            assert!(g.total_macs() > 0, "{} has zero MACs", g.name());
+            assert!(!g.cim_nodes().is_empty(), "{} has no CIM ops", g.name());
+        }
+    }
+}

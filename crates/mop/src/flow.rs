@@ -1,0 +1,204 @@
+//! Meta-operator flows: statements plus weight declarations.
+
+use crate::MetaOp;
+use std::fmt;
+
+/// Identifier of a weight matrix declared by a [`MopFlow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatId(pub u32);
+
+impl fmt::Display for MatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+/// Declaration of a weight matrix referenced by CIM write operations.
+///
+/// Flows carry only the *shape* and a provenance name; the actual values
+/// are synthesized deterministically by the functional simulator (see
+/// DESIGN.md, "Substitutions").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatDecl {
+    /// The id CIM operations use to reference this matrix.
+    pub id: MatId,
+    /// Row count (reduction dimension).
+    pub rows: u32,
+    /// Column count (output dimension).
+    pub cols: u32,
+    /// Provenance, e.g. the graph node name the matrix belongs to.
+    pub name: String,
+}
+
+/// One statement of a flow: a single meta-operator or a `parallel { … }`
+/// block whose members execute concurrently (Figure 10's
+/// `parallel "{" <operators>* "}"`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A single meta-operator.
+    Op(MetaOp),
+    /// Concurrent execution of all contained operators.
+    Parallel(Vec<MetaOp>),
+}
+
+impl Stmt {
+    /// The operators in this statement, in order.
+    #[must_use]
+    pub fn ops(&self) -> &[MetaOp] {
+        match self {
+            Stmt::Op(op) => std::slice::from_ref(op),
+            Stmt::Parallel(ops) => ops,
+        }
+    }
+
+    /// Number of operators executing concurrently (1 for a plain op).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.ops().len()
+    }
+}
+
+/// A complete meta-operator flow: the compiled form of a DNN (segment) for
+/// one CIM accelerator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MopFlow {
+    name: String,
+    mats: Vec<MatDecl>,
+    stmts: Vec<Stmt>,
+}
+
+impl MopFlow {
+    /// Creates an empty flow named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        MopFlow {
+            name: name.into(),
+            mats: Vec::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// The flow's name (usually `model@arch`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a weight matrix and returns its id.
+    pub fn declare_mat(&mut self, rows: u32, cols: u32, name: impl Into<String>) -> MatId {
+        let id = MatId(u32::try_from(self.mats.len()).expect("matrix count fits u32"));
+        self.mats.push(MatDecl {
+            id,
+            rows,
+            cols,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Appends a single meta-operator.
+    pub fn push(&mut self, op: MetaOp) {
+        self.stmts.push(Stmt::Op(op));
+    }
+
+    /// Appends a parallel block. Blocks of width 1 degrade to plain ops;
+    /// empty blocks are dropped.
+    pub fn push_parallel(&mut self, ops: Vec<MetaOp>) {
+        match ops.len() {
+            0 => {}
+            1 => self
+                .stmts
+                .push(Stmt::Op(ops.into_iter().next().expect("len checked"))),
+            _ => self.stmts.push(Stmt::Parallel(ops)),
+        }
+    }
+
+    /// Appends all statements of another flow (segment concatenation).
+    pub fn extend_from(&mut self, other: MopFlow) {
+        // Matrices must be re-declared by the caller; flows being merged
+        // are expected to share a declaration table. Guard against misuse.
+        debug_assert!(
+            other.mats.is_empty() || other.mats == self.mats,
+            "merging flows with divergent weight tables"
+        );
+        self.stmts.extend(other.stmts);
+    }
+
+    /// The declared weight matrices.
+    #[must_use]
+    pub fn mats(&self) -> &[MatDecl] {
+        &self.mats
+    }
+
+    /// Looks up a matrix declaration.
+    #[must_use]
+    pub fn mat(&self, id: MatId) -> Option<&MatDecl> {
+        self.mats.get(id.0 as usize)
+    }
+
+    /// The statements in execution order.
+    #[must_use]
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Total number of meta-operators across all statements.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.stmts.iter().map(Stmt::width).sum()
+    }
+
+    /// Iterates over every meta-operator, flattening parallel blocks.
+    pub fn iter_ops(&self) -> impl Iterator<Item = &MetaOp> {
+        self.stmts.iter().flat_map(|s| s.ops().iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufRef, DcomFunc};
+
+    fn relu(off: u64) -> MetaOp {
+        MetaOp::Dcom {
+            func: DcomFunc::Relu,
+            srcs: vec![BufRef::l0(off)],
+            dst: BufRef::l0(off + 100),
+            len: 10,
+        }
+    }
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut flow = MopFlow::new("t");
+        let a = flow.declare_mat(27, 32, "conv1");
+        let b = flow.declare_mat(32, 10, "fc");
+        assert_ne!(a, b);
+        assert_eq!(flow.mat(a).unwrap().rows, 27);
+        assert_eq!(flow.mat(b).unwrap().name, "fc");
+        assert_eq!(flow.mat(MatId(99)), None);
+        assert_eq!(a.to_string(), "W0");
+    }
+
+    #[test]
+    fn parallel_width_normalization() {
+        let mut flow = MopFlow::new("t");
+        flow.push_parallel(vec![]);
+        assert_eq!(flow.stmts().len(), 0);
+        flow.push_parallel(vec![relu(0)]);
+        assert!(matches!(flow.stmts()[0], Stmt::Op(_)));
+        flow.push_parallel(vec![relu(0), relu(1)]);
+        assert!(matches!(&flow.stmts()[1], Stmt::Parallel(v) if v.len() == 2));
+        assert_eq!(flow.op_count(), 3);
+        assert_eq!(flow.iter_ops().count(), 3);
+    }
+
+    #[test]
+    fn stmt_accessors() {
+        let s = Stmt::Parallel(vec![relu(0), relu(1), relu(2)]);
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.ops().len(), 3);
+        let single = Stmt::Op(relu(9));
+        assert_eq!(single.width(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cim-mop — the CIM meta-operator ISA
+//!
+//! CIM-MLC's code generation target is a *meta-operator flow* (paper §3.3,
+//! Figures 10–15): a sequence of hardware-activation primitives, digital
+//! compute operations and data movements, with an explicit `parallel { … }`
+//! grouping construct. Three CIM meta-operator sets exist, one per
+//! computing mode:
+//!
+//! * **MOP_CM** — [`MetaOp::ReadCore`] (`cim.readcore`): run a whole DNN
+//!   operator on a core (Figure 11);
+//! * **MOP_XBM** — [`MetaOp::ReadXb`] / [`MetaOp::WriteXb`]
+//!   (`cim.readxb` / `cim.writexb`): activate whole crossbars for one MVM
+//!   (Figure 13);
+//! * **MOP_WLM** — [`MetaOp::ReadRow`] / [`MetaOp::WriteRow`]
+//!   (`cim.readrow` / `cim.writerow`): activate wordline groups
+//!   (Figure 15);
+//!
+//! plus **DCOM** ([`MetaOp::Dcom`]: relu/add/pool/…) and **DMOV**
+//! ([`MetaOp::Mov`]). Compared to the paper's simplified BNF, every
+//! operator here carries explicit operand addresses ([`BufRef`]) and weight
+//! references ([`MatId`]) so flows are executable by the functional
+//! simulator, not merely printable.
+//!
+//! A [`MopFlow`] owns the statements together with the weight-matrix
+//! declarations they reference, can be pretty-printed in the paper's
+//! syntax, and can be validated against a [`cim_arch::CimArchitecture`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod ops;
+mod print;
+mod stats;
+mod validate;
+
+pub use flow::{MatDecl, MatId, MopFlow, Stmt};
+pub use ops::{BufRef, BufSpace, CoreOp, DcomFunc, MetaOp, XbAddr};
+pub use stats::FlowStats;
+pub use validate::ValidateError;

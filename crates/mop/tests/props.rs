@@ -1,0 +1,121 @@
+//! Property tests on the meta-operator ISA: generated-within-bounds flows
+//! always validate, the printer never panics and always names the
+//! operator, and statistics are self-consistent.
+
+use cim_arch::presets;
+use cim_mop::{BufRef, DcomFunc, FlowStats, MetaOp, MopFlow, Stmt, XbAddr};
+use proptest::prelude::*;
+
+/// A strategy producing meta-operators that are in-bounds for the ISAAC
+/// baseline (768 cores × 16 crossbars × 128×128, parallel_row 8).
+fn in_bounds_op(mat_rows: u32, mat_cols: u32) -> impl Strategy<Value = MetaOp> {
+    let xb = (0u32..768, 0u32..16).prop_map(|(c, x)| XbAddr::new(c, x));
+    prop_oneof![
+        // mov
+        (0u64..4096, 0u64..4096, 1u64..64).prop_map(|(s, d, len)| MetaOp::Mov {
+            src: BufRef::l0(s),
+            dst: BufRef::l0(d),
+            len,
+        }),
+        // dcom relu
+        (0u64..4096, 0u64..4096, 1u64..64).prop_map(|(s, d, len)| MetaOp::Dcom {
+            func: DcomFunc::Relu,
+            srcs: vec![BufRef::l0(s)],
+            dst: BufRef::l0(d),
+            len,
+        }),
+        // readxb within the crossbar and within the declared matrix
+        (xb.clone(), 1u32..64, 1u32..32).prop_map(|(xb, rows, cols)| MetaOp::ReadXb {
+            xb,
+            row_start: 0,
+            rows: rows.min(128),
+            col_start: 0,
+            cols: cols.min(128),
+            src: BufRef::l1(xb.core, 0),
+            dst: BufRef::l1(xb.core, 256),
+            accumulate: false,
+        }),
+        // writexb of a slice of the declared matrix
+        (xb, 1u32..16, 1u32..16).prop_map(move |(xb, rows, cols)| MetaOp::WriteXb {
+            xb,
+            weights: cim_mop::MatId(0),
+            src_row: 0,
+            src_col: 0,
+            dst_row: 0,
+            dst_col: 0,
+            rows: rows.min(mat_rows),
+            cols: cols.min(mat_cols),
+        }),
+    ]
+}
+
+fn flows() -> impl Strategy<Value = MopFlow> {
+    proptest::collection::vec(in_bounds_op(64, 64), 0..24).prop_map(|ops| {
+        let mut flow = MopFlow::new("prop");
+        let _ = flow.declare_mat(64, 64, "w");
+        for op in ops {
+            flow.push(op);
+        }
+        flow
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn in_bounds_flows_validate_on_the_baseline(flow in flows()) {
+        let arch = presets::isaac_baseline();
+        prop_assert!(flow.validate(&arch).is_ok());
+    }
+
+    #[test]
+    fn printer_output_names_every_operator(flow in flows()) {
+        let text = flow.to_string();
+        for op in flow.iter_ops() {
+            let marker = match op {
+                MetaOp::Mov { .. } => "mov(",
+                MetaOp::Dcom { func, .. } => func.mnemonic(),
+                MetaOp::ReadXb { .. } => "cim.readxb",
+                MetaOp::WriteXb { .. } => "cim.writexb",
+                MetaOp::ReadCore { .. } => "cim.readcore",
+                MetaOp::ReadRow { .. } => "cim.readrow",
+                MetaOp::WriteRow { .. } => "cim.writerow",
+                _ => continue,
+            };
+            prop_assert!(text.contains(marker), "missing {marker} in output");
+        }
+    }
+
+    #[test]
+    fn stats_total_matches_op_count(flow in flows()) {
+        let stats = FlowStats::of(&flow);
+        prop_assert_eq!(stats.total(), flow.op_count());
+        prop_assert_eq!(flow.iter_ops().count(), flow.op_count());
+        // Moved elements equal the sum of mov lengths.
+        let movs: u64 = flow
+            .iter_ops()
+            .filter_map(|op| match op {
+                MetaOp::Mov { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(stats.moved_elements, movs);
+    }
+
+    #[test]
+    fn parallel_grouping_preserves_ops(ops in proptest::collection::vec(in_bounds_op(64, 64), 2..10)) {
+        let mut grouped = MopFlow::new("g");
+        let _ = grouped.declare_mat(64, 64, "w");
+        grouped.push_parallel(ops.clone());
+        let mut flat = MopFlow::new("f");
+        let _ = flat.declare_mat(64, 64, "w");
+        for op in ops {
+            flat.push(op);
+        }
+        prop_assert_eq!(grouped.op_count(), flat.op_count());
+        // A width-n block is a single statement.
+        prop_assert_eq!(grouped.stmts().len(), 1);
+        prop_assert!(matches!(grouped.stmts()[0], Stmt::Parallel(_)));
+    }
+}

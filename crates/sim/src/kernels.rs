@@ -1,0 +1,263 @@
+//! Shared integer semantics for digital (DCOM) operators.
+//!
+//! Both the [`crate::reference`] executor and the [`crate::func`]
+//! functional simulator call these kernels, so flow-vs-reference
+//! equivalence tests exercise the compiler's *dataflow* (mapping, partial
+//! sums, remapping, buffer addressing) rather than numerical library
+//! details. All kernels are deterministic; nonlinearities use IEEE-754
+//! `f64` intermediates rounded back to integers.
+
+/// Element-wise ReLU.
+pub fn relu(data: &mut [i64]) {
+    for x in data {
+        *x = (*x).max(0);
+    }
+}
+
+/// Element-wise GELU via the sigmoid approximation
+/// `x · σ(1.702·x)`, rounded to the nearest integer.
+pub fn gelu(data: &mut [i64]) {
+    for x in data {
+        let f = *x as f64;
+        let s = 1.0 / (1.0 + (-1.702 * f).exp());
+        *x = (f * s).round() as i64;
+    }
+}
+
+/// Row-wise quantized softmax: each row of `width = len/groups` elements
+/// is replaced by `round(127 · softmax((x − max)/64))`.
+pub fn softmax(data: &mut [i64], groups: usize) {
+    let groups = groups.max(1);
+    let width = data.len() / groups;
+    if width == 0 {
+        return;
+    }
+    for row in data.chunks_mut(width) {
+        let max = row.iter().copied().max().unwrap_or(0) as f64;
+        let exps: Vec<f64> = row.iter().map(|&x| ((x as f64 - max) / 64.0).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        for (x, e) in row.iter_mut().zip(&exps) {
+            *x = (127.0 * e / sum).round() as i64;
+        }
+    }
+}
+
+/// Row-wise quantized layer normalization:
+/// `round(32 · (x − mean)/std)` per row.
+pub fn layer_norm(data: &mut [i64], groups: usize) {
+    let groups = groups.max(1);
+    let width = data.len() / groups;
+    if width == 0 {
+        return;
+    }
+    for row in data.chunks_mut(width) {
+        let n = row.len() as f64;
+        let mean = row.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = row.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-9);
+        for x in row.iter_mut() {
+            *x = (32.0 * (*x as f64 - mean) / std).round() as i64;
+        }
+    }
+}
+
+/// Inference-mode batch normalization with folded unit scale and zero
+/// shift — the identity. Synthetic-weight evaluation never trains, so the
+/// affine parameters carry no information; keeping the op explicit
+/// preserves the graph/flow structure (and its ALU cost in the
+/// performance model).
+pub fn batch_norm(_data: &mut [i64]) {}
+
+/// Element-wise sum of two operands into `dst`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn add_ew(a: &[i64], b: &[i64], dst: &mut [i64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), dst.len());
+    for ((x, y), d) in a.iter().zip(b).zip(dst.iter_mut()) {
+        *d = x + y;
+    }
+}
+
+/// 2-D pooling over a `[c, h, w]` tensor. `max` selects max pooling;
+/// average pooling divides by the window area with truncation.
+#[allow(clippy::too_many_arguments)]
+pub fn pool2d(
+    input: &[i64],
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    max: bool,
+) -> Vec<i64> {
+    let oh = (h + 2 * padding - kernel) / stride + 1;
+    let ow = (w + 2 * padding - kernel) / stride + 1;
+    let mut out = vec![0i64; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i64 = if max { i64::MIN } else { 0 };
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let iy = (oy * stride + ky) as i64 - padding as i64;
+                        let ix = (ox * stride + kx) as i64 - padding as i64;
+                        let v = if iy < 0 || ix < 0 || iy >= h as i64 || ix >= w as i64 {
+                            // Max pooling pads with the identity for max;
+                            // average pooling pads with zero.
+                            if max {
+                                i64::MIN
+                            } else {
+                                0
+                            }
+                        } else {
+                            input[ch * h * w + iy as usize * w + ix as usize]
+                        };
+                        if max {
+                            acc = acc.max(v);
+                        } else if v != i64::MIN {
+                            acc += v;
+                        }
+                    }
+                }
+                out[ch * oh * ow + oy * ow + ox] = if max {
+                    acc
+                } else {
+                    acc / (kernel * kernel) as i64
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling `[c, h, w] → [c]` (truncating division).
+pub fn global_avg_pool(input: &[i64], c: usize, h: usize, w: usize) -> Vec<i64> {
+    (0..c)
+        .map(|ch| {
+            let sum: i64 = input[ch * h * w..(ch + 1) * h * w].iter().sum();
+            sum / (h * w) as i64
+        })
+        .collect()
+}
+
+/// Fused multi-head attention core over `[tokens, dim]` Q/K/V with
+/// quantized f64 softmax, rounded output.
+pub fn attention(q: &[i64], k: &[i64], v: &[i64], heads: usize, tokens: usize, dim: usize) -> Vec<i64> {
+    assert_eq!(q.len(), tokens * dim);
+    assert_eq!(k.len(), tokens * dim);
+    assert_eq!(v.len(), tokens * dim);
+    let dh = dim / heads.max(1);
+    let scale = 1.0 / (dh as f64).sqrt();
+    let mut out = vec![0i64; tokens * dim];
+    for head in 0..heads.max(1) {
+        let off = head * dh;
+        for t in 0..tokens {
+            // scores over all source tokens
+            let mut scores = vec![0f64; tokens];
+            for (s, score) in scores.iter_mut().enumerate() {
+                let mut acc = 0f64;
+                for d in 0..dh {
+                    acc += q[t * dim + off + d] as f64 * k[s * dim + off + d] as f64;
+                }
+                *score = acc * scale;
+            }
+            let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = scores.iter().map(|&x| ((x - max) / 64.0).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            for d in 0..dh {
+                let mut acc = 0f64;
+                for (s, e) in exps.iter().enumerate() {
+                    acc += e / sum * v[s * dim + off + d] as f64;
+                }
+                out[t * dim + off + d] = acc.round() as i64;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut d = vec![-3, 0, 5];
+        relu(&mut d);
+        assert_eq!(d, vec![0, 0, 5]);
+    }
+
+    #[test]
+    fn gelu_limits() {
+        let mut d = vec![-1000, 0, 1000];
+        gelu(&mut d);
+        assert_eq!(d, vec![0, 0, 1000]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_about_127() {
+        let mut d = vec![0, 0, 0, 0, 100, 0, 0, 0];
+        softmax(&mut d, 2);
+        let s1: i64 = d[..4].iter().sum();
+        assert!((120..=135).contains(&s1), "{d:?}");
+        // Row 2's max element dominates.
+        assert!(d[4] > d[5]);
+    }
+
+    #[test]
+    fn layer_norm_centers_rows() {
+        let mut d = vec![10, 20, 30, 40];
+        layer_norm(&mut d, 1);
+        let sum: i64 = d.iter().sum();
+        assert!(sum.abs() <= 2, "{d:?}");
+        assert!(d[3] > d[0]);
+    }
+
+    #[test]
+    fn add_elementwise() {
+        let a = vec![1, 2];
+        let b = vec![10, 20];
+        let mut dst = vec![0, 0];
+        add_ew(&a, &b, &mut dst);
+        assert_eq!(dst, vec![11, 22]);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        // 1 channel, 2x2 input.
+        let input = vec![1, 2, 3, 4];
+        let out = pool2d(&input, 1, 2, 2, 2, 2, 0, true);
+        assert_eq!(out, vec![4]);
+        let avg = pool2d(&input, 1, 2, 2, 2, 2, 0, false);
+        assert_eq!(avg, vec![2]); // 10/4 truncated
+    }
+
+    #[test]
+    fn padded_max_pool() {
+        let input = vec![5];
+        let out = pool2d(&input, 1, 1, 1, 3, 2, 1, true);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn gap_truncates() {
+        let input = vec![1, 2, 3, 4, 10, 10, 10, 10];
+        assert_eq!(global_avg_pool(&input, 2, 2, 2), vec![2, 10]);
+    }
+
+    #[test]
+    fn attention_uniform_keys_average_values() {
+        // With identical K rows, softmax is uniform and the output is the
+        // mean of V.
+        let tokens = 3;
+        let dim = 2;
+        let q = vec![1; tokens * dim];
+        let k = vec![1; tokens * dim];
+        let v = vec![0, 0, 3, 3, 6, 6];
+        let out = attention(&q, &k, &v, 1, tokens, dim);
+        assert_eq!(out, vec![3, 3, 3, 3, 3, 3]);
+    }
+}

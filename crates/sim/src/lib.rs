@@ -1,0 +1,65 @@
+//! # cim-sim — functional and performance simulation
+//!
+//! The paper verifies its scheduling results with a Python functional
+//! simulator ("the hardware abstraction of CIM is described by a data
+//! structure, and meta-operators are implemented by specific functions",
+//! §4.1) cross-checked against PyTorch, plus a performance simulator
+//! extended from PUMA-sim / NeuroSim / NVSim. This crate reproduces both
+//! roles in Rust:
+//!
+//! * the [`reference`](mod@crate::reference) module — a direct integer executor for [`cim_graph::Graph`]s:
+//!   the PyTorch substitute (see DESIGN.md, "Substitutions"). Weights and
+//!   inputs are synthesized deterministically by [`weights`].
+//! * [`func`] — the functional simulator: a [`func::Machine`] with L0/L1
+//!   buffers and logical crossbar arrays that executes a
+//!   [`cim_mop::MopFlow`]. A compiled flow must reproduce the reference
+//!   executor's output **bit-exactly**; this verifies the compiler's
+//!   mapping decisions (partial-sum splits, bit-slice packing, wordline
+//!   remapping), which is precisely the role the paper's functional
+//!   simulator plays.
+//! * [`trace`] — the performance-trace side: phase-level latency/power
+//!   series derived from a compiled schedule, feeding the figure
+//!   harnesses.
+//!
+//! The functional simulator models crossbars at the *logical matrix*
+//! level (exact integer MACs). Bit-serial DAC streaming and bit-sliced
+//! cell storage are timing/energy phenomena handled by the cost model;
+//! modelling them functionally would only re-derive the same integers —
+//! see DESIGN.md §4.
+//!
+//! ```
+//! use cim_arch::presets;
+//! use cim_compiler::{codegen, Compiler};
+//! use cim_graph::zoo;
+//! use cim_sim::{func, reference, weights};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = zoo::lenet5();
+//! let arch = presets::isaac_baseline();
+//! let compiled = Compiler::new().compile(&graph, &arch)?;
+//! let (flow, layout) = codegen::generate_flow(&compiled, &graph, &arch)?;
+//!
+//! let store = weights::WeightStore::for_flow(&flow);
+//! let mut machine = func::Machine::new(&arch);
+//! machine.load_inputs(&graph, &layout);
+//! machine.execute(&flow, &store)?;
+//!
+//! let expected = reference::execute(&graph);
+//! let out = graph.outputs()[0];
+//! assert_eq!(machine.read_l0(layout.offset(out), 10), expected[&out]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod func;
+pub mod kernels;
+pub mod perf_flow;
+pub mod reference;
+pub mod trace;
+pub mod weights;
+
+pub use func::{Machine, SimError};
+pub use weights::WeightStore;

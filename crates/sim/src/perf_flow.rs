@@ -1,0 +1,259 @@
+//! Flow-level performance measurement.
+//!
+//! The paper's performance simulator "support[s] the execution cycle and
+//! power consumption evaluation of meta-operators flow" (§4.1). This
+//! module walks a [`MopFlow`] statement by statement and charges each
+//! meta-operator its cost model price: a `parallel { … }` block costs the
+//! maximum of its members, sequential statements add up.
+//!
+//! This is the *unoptimized-execution* view of a flow (each MVM's gather,
+//! activation waves and scatter serialized as emitted); the analytic
+//! schedule reports of `cim-compiler` model the overlapped execution the
+//! scheduler actually arranges. The flow measurement is useful as a
+//! lower-bound sanity check — a schedule can never beat perfectly
+//! overlapped execution of the same operator stream, and tests assert the
+//! two views agree on workload ordering.
+
+use cim_arch::{CimArchitecture, EnergyBreakdown};
+use cim_mop::{BufSpace, CoreOp, MetaOp, MopFlow, Stmt};
+
+/// Aggregate cost of executing one flow serially.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FlowCost {
+    /// Compute/movement cycles (parallel blocks cost their slowest
+    /// member). Crossbar programming is accounted separately in
+    /// [`FlowCost::programming_cycles`] — frozen-weight deployments load
+    /// weights offline, which is also how the analytic schedule treats
+    /// the initial `Init:` block.
+    pub cycles: f64,
+    /// Cycles spent in `cim.writexb` / `cim.writerow` programming.
+    pub programming_cycles: f64,
+    /// Total crossbar row-group activations.
+    pub activations: u64,
+    /// Total elements moved by DMOV.
+    pub moved_elements: u64,
+    /// Total energy.
+    pub energy: EnergyBreakdown,
+}
+
+fn op_cost(op: &MetaOp, arch: &CimArchitecture, act_bits: u32) -> (f64, u64, u64, EnergyBreakdown) {
+    let xb = arch.crossbar();
+    let cost = arch.cost();
+    let slices = f64::from(xb.input_slices(act_bits));
+    match op {
+        MetaOp::ReadXb { rows, cols, .. } | MetaOp::ReadRow { rows, cols, .. } => {
+            let groups = xb.activations_for_rows(*rows);
+            let acts = u64::from(groups) * slices as u64;
+            let energy = cost
+                .activation_energy(xb.parallel_row().min(*rows), (*cols).max(1))
+                .scale(acts as f64);
+            (slices * f64::from(groups), acts, 0, energy)
+        }
+        MetaOp::WriteXb { rows, cols, .. } => (
+            cost.write_cycles(*rows) as f64,
+            0,
+            0,
+            cost.write_energy(*rows, *cols),
+        ),
+        MetaOp::WriteRow { cols, .. } => {
+            (cost.write_cycles(1) as f64, 0, 0, cost.write_energy(1, *cols))
+        }
+        MetaOp::ReadCore { op, .. } => {
+            // The core executes the operator internally: MVM count times
+            // the native per-MVM cost over the reduction depth.
+            let (mvms, depth) = match op {
+                CoreOp::Conv {
+                    in_c,
+                    in_h,
+                    in_w,
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } => {
+                    let oh = (in_h + 2 * padding - kernel) / stride + 1;
+                    let ow = (in_w + 2 * padding - kernel) / stride + 1;
+                    (u64::from(oh) * u64::from(ow), in_c * kernel * kernel)
+                }
+                CoreOp::Linear { in_f, batch, .. } => (u64::from(*batch), *in_f),
+                CoreOp::MatMul { m, k, .. } => (u64::from(*m), *k),
+            };
+            let vertical = depth.div_ceil(xb.shape().rows);
+            let groups = xb.activations_for_rows(depth.min(xb.shape().rows));
+            let serial_v = if arch.core().analog_partial_sum() {
+                1
+            } else {
+                vertical
+            };
+            let acts = mvms * u64::from(groups) * slices as u64 * u64::from(vertical);
+            let cycles = mvms as f64 * slices * f64::from(groups) * f64::from(serial_v);
+            let energy = cost
+                .activation_energy(xb.parallel_row(), xb.shape().cols)
+                .scale(acts as f64);
+            (cycles, acts, 0, energy)
+        }
+        MetaOp::Mov { src, dst, len } => {
+            let bits = len * u64::from(act_bits);
+            let crosses_l0 =
+                matches!(src.space, BufSpace::L0) || matches!(dst.space, BufSpace::L0);
+            let bw = if crosses_l0 {
+                arch.chip().l0_bw_bits_per_cycle()
+            } else {
+                arch.core().l1_bw_bits_per_cycle()
+            };
+            let cycles = match bw {
+                Some(bw) => bits as f64 / bw as f64,
+                None => 0.0,
+            };
+            (cycles, 0, *len, cost.movement_energy(bits))
+        }
+        MetaOp::Dcom { len, .. } => {
+            let rate = arch
+                .chip()
+                .alu_ops_per_cycle()
+                .or(arch.core().alu_ops_per_cycle());
+            let cycles = match rate {
+                Some(r) => *len as f64 / r as f64,
+                None => 0.0,
+            };
+            (cycles, 0, 0, cost.alu_energy(*len))
+        }
+        _ => (0.0, 0, 0, EnergyBreakdown::default()),
+    }
+}
+
+/// Measures a flow's serial execution cost on `arch`.
+#[must_use]
+pub fn measure_flow(flow: &MopFlow, arch: &CimArchitecture, act_bits: u32) -> FlowCost {
+    let mut total = FlowCost::default();
+    for stmt in flow.stmts() {
+        match stmt {
+            Stmt::Op(op) => {
+                let (cycles, acts, moved, energy) = op_cost(op, arch, act_bits);
+                if op.is_cim_write() {
+                    total.programming_cycles += cycles;
+                } else {
+                    total.cycles += cycles;
+                }
+                total.activations += acts;
+                total.moved_elements += moved;
+                total.energy = total.energy.add(&energy);
+            }
+            Stmt::Parallel(ops) => {
+                // Concurrent execution: the block takes its slowest
+                // member; energy and activations still sum.
+                let mut slowest = 0.0_f64;
+                let mut slowest_write = 0.0_f64;
+                for op in ops {
+                    let (cycles, acts, moved, energy) = op_cost(op, arch, act_bits);
+                    if op.is_cim_write() {
+                        slowest_write = slowest_write.max(cycles);
+                    } else {
+                        slowest = slowest.max(cycles);
+                    }
+                    total.activations += acts;
+                    total.moved_elements += moved;
+                    total.energy = total.energy.add(&energy);
+                }
+                total.cycles += slowest;
+                total.programming_cycles += slowest_write;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::presets;
+    use cim_compiler::cg::{schedule_cg, CgOptions};
+    use cim_compiler::{codegen, Compiler};
+    use cim_graph::zoo;
+
+    fn flow_for(
+        graph: &cim_graph::Graph,
+        arch: &CimArchitecture,
+    ) -> (cim_mop::MopFlow, cim_compiler::Compiled) {
+        let compiled = Compiler::new().compile(graph, arch).unwrap();
+        let (flow, _) = codegen::generate_flow(&compiled, graph, arch).unwrap();
+        (flow, compiled)
+    }
+
+    #[test]
+    fn measured_flow_tracks_analytic_magnitude() {
+        // The serial flow measurement and the analytic no-opt schedule
+        // describe the same work; they must agree within a small factor
+        // (the flow also serializes gathers/scatters that the schedule
+        // overlaps).
+        let arch = presets::isaac_baseline();
+        let g = zoo::lenet5();
+        let (flow, _) = flow_for(&g, &arch);
+        let measured = measure_flow(&flow, &arch, 8);
+        let analytic = schedule_cg(&g, &arch, CgOptions::none(), 8, 8)
+            .unwrap()
+            .report
+            .latency_cycles;
+        let ratio = measured.cycles / analytic;
+        assert!(
+            (0.3..30.0).contains(&ratio),
+            "measured {} vs analytic {analytic} (ratio {ratio})",
+            measured.cycles
+        );
+        assert!(measured.activations > 0);
+        assert!(measured.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn bigger_models_measure_more_cycles() {
+        let arch = presets::isaac_baseline();
+        let (small_flow, _) = flow_for(&zoo::lenet5(), &arch);
+        let (big_flow, _) = flow_for(&zoo::mlp(), &arch);
+        let small = measure_flow(&small_flow, &arch, 8);
+        let big = measure_flow(&big_flow, &arch, 8);
+        // lenet has ~7x the MACs of the MLP.
+        assert!(small.cycles > big.cycles);
+    }
+
+    #[test]
+    fn parallel_blocks_cost_their_slowest_member() {
+        use cim_mop::{BufRef, MetaOp, MopFlow, XbAddr};
+        let arch = presets::isaac_baseline();
+        let mk = |rows: u32| MetaOp::ReadXb {
+            xb: XbAddr::new(0, 0),
+            row_start: 0,
+            rows,
+            col_start: 0,
+            cols: 4,
+            src: BufRef::l1(0, 0),
+            dst: BufRef::l1(0, 256),
+            accumulate: false,
+        };
+        let mut seq = MopFlow::new("seq");
+        seq.push(mk(128));
+        seq.push(mk(8));
+        let mut par = MopFlow::new("par");
+        par.push_parallel(vec![mk(128), mk(8)]);
+        let seq_cost = measure_flow(&seq, &arch, 8);
+        let par_cost = measure_flow(&par, &arch, 8);
+        assert!(par_cost.cycles < seq_cost.cycles);
+        // 128 rows at parallel_row 8 => 16 groups x 8 slices = 128 cycles.
+        assert!((par_cost.cycles - 128.0).abs() < 1e-9, "{}", par_cost.cycles);
+        // Activations (and energy) are identical either way.
+        assert_eq!(par_cost.activations, seq_cost.activations);
+    }
+
+    #[test]
+    fn wlm_and_xbm_flows_measure_equivalent_activations() {
+        // The same model emits different meta-operators per mode but the
+        // same total activation count (same work).
+        let g = zoo::mlp();
+        let xbm = presets::isaac_baseline();
+        let wlm = presets::isaac_baseline_wlm();
+        let (fx, _) = flow_for(&g, &xbm);
+        let (fw, _) = flow_for(&g, &wlm);
+        let cx = measure_flow(&fx, &xbm, 8);
+        let cw = measure_flow(&fw, &wlm, 8);
+        assert_eq!(cx.activations, cw.activations);
+    }
+}

@@ -1,0 +1,63 @@
+//! The Figure 20d comparison through the public API: VGG16 on the Table 3
+//! baseline, scheduled without optimization, by a Poly-Schedule-style
+//! compiler, and by the full CIM-MLC stack — plus batch throughput, which
+//! is where Poly-Schedule's inter-image pipeline plays.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use cim_mlc::baselines;
+use cim_mlc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::isaac_baseline();
+    let model = zoo::vgg16();
+    println!(
+        "workload: {} on {}\n",
+        model.name(),
+        arch.name()
+    );
+
+    let none = baselines::no_opt(&model, &arch)?;
+    let poly = baselines::poly_schedule(&model, &arch)?;
+    let compiled = Compiler::new().compile(&model, &arch)?;
+    let ours = compiled.report();
+
+    println!(
+        "{:<22} {:>14} {:>12} {:>12}",
+        "scheduler", "latency (cyc)", "reduction", "speedup"
+    );
+    for (name, latency) in [
+        ("w/o optimization", none.latency_cycles),
+        ("Poly-Schedule [22]", poly.latency_cycles),
+        ("CIM-MLC", ours.latency_cycles),
+    ] {
+        println!(
+            "{:<22} {:>14.0} {:>11.1}% {:>11.1}x",
+            name,
+            latency,
+            100.0 * (1.0 - latency / none.latency_cycles),
+            none.latency_cycles / latency
+        );
+    }
+    println!(
+        "\nCIM-MLC over Poly-Schedule: {:.1}x (paper: 3.2x average)",
+        poly.latency_cycles / ours.latency_cycles
+    );
+    println!(
+        "batch steady-state interval (one image every …): {:.0} cycles",
+        compiled.steady_state_interval()
+    );
+    println!(
+        "peak power: no-opt {:.0}  CIM-MLC {:.0}  |  inference energy {:.2e} units \
+         ({:.0}% crossbar, {:.0}% converters, {:.0}% movement)",
+        none.peak_power,
+        ours.peak_power,
+        ours.energy.total(),
+        100.0 * ours.energy.crossbar / ours.energy.total(),
+        100.0 * (ours.energy.adc + ours.energy.dac) / ours.energy.total(),
+        100.0 * ours.energy.movement / ours.energy.total(),
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: compile a model for a published CIM accelerator, inspect
+//! the schedule, and functionally verify the generated meta-operator flow.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cim_mlc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick an accelerator abstraction (Table 3's ISAAC-like baseline)
+    //    and a workload from the model zoo.
+    let arch = presets::isaac_baseline();
+    let model = zoo::lenet5();
+    println!("{}", arch.describe());
+    println!(
+        "model: {} ({} nodes, {} CIM operators, {:.1}M MACs)\n",
+        model.name(),
+        model.len(),
+        model.cim_nodes().len(),
+        model.total_macs() as f64 / 1e6
+    );
+
+    // 2. Compile. The computing mode (XBM here) decides which scheduling
+    //    levels run: CG-grained, then MVM-grained.
+    let compiled = Compiler::new().compile(&model, &arch)?;
+    for report in compiled.reports() {
+        println!(
+            "level {:<12} latency {:>12.0} cycles   peak power {:>8.1}   segments {}",
+            report.level, report.latency_cycles, report.peak_power, report.segments
+        );
+    }
+
+    // 3. Generate the executable meta-operator flow and print its head.
+    let (flow, layout) = codegen::generate_flow(&compiled, &model, &arch)?;
+    let stats = FlowStats::of(&flow);
+    println!(
+        "\nflow: {} meta-operators ({} cim reads, {} cim writes, {} dcom, {} mov)",
+        stats.total(),
+        stats.cim_reads(),
+        stats.cim_writes(),
+        stats.dcom,
+        stats.mov
+    );
+    for stmt in flow.stmts().iter().take(6) {
+        println!("{stmt}");
+    }
+    println!("...");
+
+    // 4. Execute the flow on the functional simulator and check it against
+    //    the reference executor, exactly as the paper verifies schedules.
+    let store = WeightStore::for_flow(&flow);
+    let mut machine = Machine::new(&arch);
+    machine.load_inputs(&model, &layout);
+    machine.execute(&flow, &store)?;
+    let out = model.outputs()[0];
+    let got = machine.read_l0(layout.offset(out), 10);
+    let expected = reference::execute(&model)[&out].clone();
+    assert_eq!(got, expected, "flow must match the reference bit-exactly");
+    println!("\nfunctional check: flow output == reference output  {got:?}");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Schedules the whole ResNet series on the Table 3 baseline and reports
+//! the contribution of each scheduling level — the workload behind
+//! Figure 21.
+//!
+//! ```sh
+//! cargo run --release --example resnet_on_baseline
+//! ```
+
+use cim_mlc::compiler::cg::{schedule_cg, CgOptions};
+use cim_mlc::compiler::mvm::{schedule_mvm, MvmOptions};
+use cim_mlc::compiler::vvm::schedule_vvm;
+use cim_mlc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::isaac_baseline_wlm();
+    println!(
+        "{:<11} {:>12} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "model", "no-opt", "CG-pipe", "CG-dup", "CG-P&D", "CG+MVM", "CG+MVM+VVM"
+    );
+    for model in [
+        zoo::resnet18(),
+        zoo::resnet34(),
+        zoo::resnet50(),
+        zoo::resnet101(),
+    ] {
+        let none = schedule_cg(&model, &arch, CgOptions::none(), 8, 8)?;
+        let pipe = schedule_cg(
+            &model,
+            &arch,
+            CgOptions { pipeline: true, duplication: false },
+            8,
+            8,
+        )?;
+        let dup = schedule_cg(
+            &model,
+            &arch,
+            CgOptions { pipeline: false, duplication: true },
+            8,
+            8,
+        )?;
+        let pd = schedule_cg(&model, &arch, CgOptions::full(), 8, 8)?;
+        let mvm = schedule_mvm(&pd, &arch, MvmOptions::full(), 8);
+        let vvm = schedule_vvm(&pd, &mvm, &arch, 8);
+        let base = none.report.latency_cycles;
+        println!(
+            "{:<11} {:>12.0} {:>9.1}x {:>9.1}x {:>9.1}x {:>11.1}x {:>11.1}x",
+            model.name(),
+            base,
+            base / pipe.report.latency_cycles,
+            base / dup.report.latency_cycles,
+            base / pd.report.latency_cycles,
+            base / mvm.report.latency_cycles,
+            base / vvm.report.latency_cycles,
+        );
+        println!(
+            "{:<11} peak power: no-opt {:.0}  CG {:.0} ({:+.1}x)  CG+MVM staggered {:.0} ({:-.0}% vs CG)",
+            "",
+            none.report.peak_power,
+            pd.report.peak_power,
+            pd.report.peak_power / none.report.peak_power,
+            mvm.report.peak_power,
+            100.0 * (1.0 - mvm.report.peak_power / pd.report.peak_power),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! The §4.4 sensitivity study: how CIM-MLC's three scheduling levels
+//! respond to core count, crossbar count, crossbar shape and parallel-row
+//! changes when deploying ViT-Base (Figure 22).
+//!
+//! ```sh
+//! cargo run --release --example vit_sensitivity
+//! ```
+
+use cim_mlc::compiler::cg::{schedule_cg, CgOptions};
+use cim_mlc::compiler::mvm::{schedule_mvm, MvmOptions};
+use cim_mlc::compiler::vvm::schedule_vvm;
+use cim_mlc::prelude::*;
+
+fn levels(model: &Graph, arch: &CimArchitecture) -> (f64, f64, f64) {
+    let none = schedule_cg(model, arch, CgOptions::none(), 8, 8)
+        .expect("vit schedules")
+        .report
+        .latency_cycles;
+    let cg = schedule_cg(model, arch, CgOptions::full(), 8, 8).expect("vit schedules");
+    let mvm = schedule_mvm(&cg, arch, MvmOptions::full(), 8);
+    let vvm = schedule_vvm(&cg, &mvm, arch, 8);
+    (
+        none / cg.report.latency_cycles,
+        none / mvm.report.latency_cycles,
+        none / vvm.report.latency_cycles,
+    )
+}
+
+fn print_row(label: &str, speedups: (f64, f64, f64)) {
+    println!(
+        "{label:<22} CG {:>6.1}x   CG+MVM {:>6.1}x   CG+MVM+VVM {:>6.1}x",
+        speedups.0, speedups.1, speedups.2
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = presets::sensitivity_baseline();
+    let vit = zoo::vit_base();
+    println!("workload: {} ({} weights)\n", vit.name(), vit.total_weights());
+
+    println!("-- core number (Figure 22a) --");
+    for cores in [256u32, 512, 768, 1024] {
+        let arch = base.with_core_count(cores)?;
+        print_row(&format!("cores = {cores}"), levels(&vit, &arch));
+    }
+
+    println!("\n-- crossbars per core (Figure 22b) --");
+    for xbs in [8u32, 12, 16, 20] {
+        let arch = base.with_xb_count(xbs)?;
+        print_row(&format!("xb_number = {xbs}"), levels(&vit, &arch));
+    }
+
+    println!("\n-- crossbar shape (Figure 22c) --");
+    for (r, c) in [(64u32, 512u32), (128, 256), (256, 128), (512, 64)] {
+        let xb = CrossbarTier::new(XbShape::new(r, c)?, 8.min(r), 1, 8, CellType::Reram, 2)?;
+        let arch = base.with_crossbar(xb);
+        print_row(&format!("xb_size = {r}x{c}"), levels(&vit, &arch));
+    }
+
+    println!("\n-- parallel rows (Figure 22d) --");
+    for pr in [64u32, 32, 16, 8] {
+        let xb = CrossbarTier::new(XbShape::new(128, 256)?, pr, 1, 8, CellType::Reram, 2)?;
+        let arch = base.with_crossbar(xb);
+        print_row(&format!("parallel_row = {pr}"), levels(&vit, &arch));
+    }
+    Ok(())
+}

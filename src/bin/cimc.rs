@@ -1,0 +1,243 @@
+//! `cimc` — the CIM-MLC command-line compiler driver.
+//!
+//! ```text
+//! cimc archs                          # list/describe the published accelerator presets
+//! cimc models                         # list the model zoo
+//! cimc compile --model resnet18 --arch isaac            # schedule report
+//! cimc compile --model lenet5 --arch table2 --schedule  # per-stage plan
+//! cimc compile --model lenet5 --arch isaac --flow 20    # meta-operator flow head
+//! cimc compile --model lenet5 --arch jain --verify      # functional check
+//! cimc compile --model path/to/graph.json --arch puma --mode wlm
+//! ```
+
+use cim_mlc::prelude::*;
+use std::process::ExitCode;
+
+fn preset(name: &str) -> Option<CimArchitecture> {
+    match name {
+        "isaac" | "baseline" | "table3" => Some(presets::isaac_baseline()),
+        "isaac-wlm" | "baseline-wlm" => Some(presets::isaac_baseline_wlm()),
+        "jia" => Some(presets::jia_isscc21()),
+        "puma" => Some(presets::puma()),
+        "jain" => Some(presets::jain_sram()),
+        "table2" | "walkthrough" => Some(presets::table2_example()),
+        "sensitivity" => Some(presets::sensitivity_baseline()),
+        path if path.ends_with(".json") => {
+            let json = std::fs::read_to_string(path).ok()?;
+            cim_mlc::arch::from_json(&json).ok()
+        }
+        _ => None,
+    }
+}
+
+fn model(name: &str) -> Option<Graph> {
+    match name {
+        "lenet5" => Some(zoo::lenet5()),
+        "mlp" => Some(zoo::mlp()),
+        "vgg7" => Some(zoo::vgg7()),
+        "vgg11" => Some(zoo::vgg11()),
+        "vgg13" => Some(zoo::vgg13()),
+        "vgg16" => Some(zoo::vgg16()),
+        "vgg19" => Some(zoo::vgg19()),
+        "resnet18" => Some(zoo::resnet18()),
+        "resnet34" => Some(zoo::resnet34()),
+        "resnet50" => Some(zoo::resnet50()),
+        "resnet101" => Some(zoo::resnet101()),
+        "resnet152" => Some(zoo::resnet152()),
+        "vit" | "vit_base" => Some(zoo::vit_base()),
+        "vit_small" => Some(zoo::vit_small()),
+        path if path.ends_with(".json") => {
+            let json = std::fs::read_to_string(path).ok()?;
+            cim_mlc::graph::from_json(&json).ok()
+        }
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cimc archs\n  cimc models\n  cimc compile --model <name|file.json> --arch <preset> \
+         [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify]\n\
+         presets: isaac isaac-wlm jia puma jain table2 sensitivity"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_archs() -> ExitCode {
+    for arch in presets::all() {
+        println!("{}", arch.describe());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_models() -> ExitCode {
+    println!(
+        "{:<12} {:>7} {:>9} {:>14} {:>14}",
+        "model", "nodes", "CIM ops", "weights", "MACs"
+    );
+    for g in zoo::all() {
+        println!(
+            "{:<12} {:>7} {:>9} {:>14} {:>14}",
+            g.name(),
+            g.len(),
+            g.cim_nodes().len(),
+            g.total_weights(),
+            g.total_macs()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_compile(args: &[String]) -> ExitCode {
+    let mut model_name = None;
+    let mut arch_name = None;
+    let mut mode: Option<ComputingMode> = None;
+    let mut level: Option<OptLevel> = None;
+    let mut show_schedule = false;
+    let mut flow_lines: Option<usize> = None;
+    let mut verify = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                model_name = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--arch" => {
+                arch_name = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--mode" => {
+                mode = match args.get(i + 1).map(String::as_str) {
+                    Some("cm") => Some(ComputingMode::Cm),
+                    Some("xbm") => Some(ComputingMode::Xbm),
+                    Some("wlm") => Some(ComputingMode::Wlm),
+                    _ => return usage(),
+                };
+                i += 2;
+            }
+            "--level" => {
+                level = match args.get(i + 1).map(String::as_str) {
+                    Some("cg") => Some(OptLevel::Cg),
+                    Some("mvm") => Some(OptLevel::CgMvm),
+                    Some("vvm") => Some(OptLevel::CgMvmVvm),
+                    _ => return usage(),
+                };
+                i += 2;
+            }
+            "--schedule" => {
+                show_schedule = true;
+                i += 1;
+            }
+            "--flow" => {
+                flow_lines = args.get(i + 1).and_then(|s| s.parse().ok());
+                if flow_lines.is_none() {
+                    return usage();
+                }
+                i += 2;
+            }
+            "--verify" => {
+                verify = true;
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let (Some(model_name), Some(arch_name)) = (model_name, arch_name) else {
+        return usage();
+    };
+    let Some(graph) = model(&model_name) else {
+        eprintln!("unknown model `{model_name}` (try `cimc models` or a .json path)");
+        return ExitCode::FAILURE;
+    };
+    let Some(mut arch) = preset(&arch_name) else {
+        eprintln!("unknown preset `{arch_name}` (try `cimc archs` or a .json path)");
+        return ExitCode::FAILURE;
+    };
+    if let Some(m) = mode {
+        arch = arch.with_mode(m);
+    }
+    let options = CompileOptions {
+        level: level.unwrap_or_default(),
+        ..CompileOptions::default()
+    };
+    let compiled = match Compiler::with_options(options).compile(&graph, &arch) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for report in compiled.reports() {
+        println!(
+            "level {:<12} latency {:>14.0} cycles   peak power {:>10.1}   energy {:>14.1}   segments {}",
+            report.level,
+            report.latency_cycles,
+            report.peak_power,
+            report.energy.total(),
+            report.segments
+        );
+    }
+    if show_schedule {
+        println!("\n{}", compiled.render_schedule());
+    }
+    if flow_lines.is_some() || verify {
+        let (flow, layout) = match codegen::generate_flow(&compiled, &graph, &arch) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("codegen error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(n) = flow_lines {
+            println!();
+            for line in flow.to_string().lines().take(n) {
+                println!("{line}");
+            }
+            let stats = FlowStats::of(&flow);
+            println!(
+                "... ({} meta-operators: {} cim reads, {} cim writes, {} dcom, {} mov)",
+                stats.total(),
+                stats.cim_reads(),
+                stats.cim_writes(),
+                stats.dcom,
+                stats.mov
+            );
+        }
+        if verify {
+            if let Err(e) = flow.validate(&arch) {
+                eprintln!("flow validation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let store = WeightStore::for_flow(&flow);
+            let mut machine = Machine::new(&arch);
+            machine.load_inputs(&graph, &layout);
+            if let Err(e) = machine.execute(&flow, &store) {
+                eprintln!("functional simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let expected = reference::execute(&graph);
+            let out = graph.outputs()[0];
+            let want = &expected[&out];
+            let got = machine.read_l0(layout.offset(out), want.len());
+            if &got == want {
+                println!("\nfunctional verification: PASS (flow == reference, {} outputs)", want.len());
+            } else {
+                eprintln!("\nfunctional verification: FAIL");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("archs") => cmd_archs(),
+        Some("models") => cmd_models(),
+        Some("compile") => cmd_compile(&args[1..]),
+        _ => usage(),
+    }
+}

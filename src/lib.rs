@@ -1,0 +1,76 @@
+//! # CIM-MLC — A Multi-level Compilation Stack for Computing-In-Memory Accelerators
+//!
+//! A Rust reproduction of the ASPLOS'24 paper by Qu, Zhao, Li, He, Cai,
+//! Zhang and Wang. This facade crate re-exports the public API of the
+//! whole stack; see the individual crates for details:
+//!
+//! * [`arch`] (`cim-arch`) — three-tier hardware abstraction (Abs-arch)
+//!   and computing modes (Abs-com), cost model, published architecture
+//!   presets;
+//! * [`graph`] (`cim-graph`) — DNN computation-graph IR, JSON exchange
+//!   format, model zoo (VGG / ResNet / ViT / …);
+//! * [`mop`] (`cim-mop`) — the meta-operator ISA (MOP_CM / MOP_XBM /
+//!   MOP_WLM, DCOM, DMOV) with pretty printing and validation;
+//! * [`compiler`] (`cim-compiler`) — the multi-level scheduler:
+//!   CG-grained, MVM-grained and VVM-grained optimization plus code
+//!   generation;
+//! * [`sim`] (`cim-sim`) — functional simulator (bit-exact against a
+//!   reference executor) and performance traces;
+//! * [`baselines`] (`cim-baselines`) — Poly-Schedule and the vendor
+//!   schedules the paper compares against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cim_mlc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Describe (or pick) an accelerator and a model…
+//! let arch = presets::isaac_baseline();
+//! let model = zoo::resnet18();
+//!
+//! // …compile with the multi-level scheduler…
+//! let compiled = Compiler::new().compile(&model, &arch)?;
+//!
+//! // …and inspect the schedule the paper's figures are built from.
+//! let report = compiled.report();
+//! assert_eq!(report.level, "cg+mvm"); // XBM target: CG + MVM levels ran
+//! assert!(report.latency_cycles > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cim_arch as arch;
+pub use cim_baselines as baselines;
+pub use cim_compiler as compiler;
+pub use cim_graph as graph;
+pub use cim_mop as mop;
+pub use cim_sim as sim;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use cim_arch::{
+        presets, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier,
+        NocCost, NocKind, XbShape,
+    };
+    pub use cim_compiler::{codegen, CompileOptions, Compiled, Compiler, OptLevel, PerfReport};
+    pub use cim_graph::{zoo, Graph, NodeId, OpKind, Shape};
+    pub use cim_mop::{FlowStats, MopFlow};
+    pub use cim_sim::{reference, trace, Machine, WeightStore};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_compiles_and_reexports() {
+        let arch = presets::table2_example();
+        let model = zoo::lenet5();
+        let compiled = Compiler::new().compile(&model, &arch).unwrap();
+        assert_eq!(compiled.report().level, "cg+mvm+vvm");
+    }
+}

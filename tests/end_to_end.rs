@@ -1,0 +1,121 @@
+//! End-to-end integration: every zoo model × every preset architecture
+//! schedules successfully, reports are internally consistent, and deeper
+//! scheduling levels never regress.
+
+use cim_mlc::prelude::*;
+
+#[test]
+fn every_model_schedules_on_every_preset() {
+    for arch in presets::all() {
+        for model in zoo::all() {
+            let compiled = Compiler::new()
+                .compile(&model, &arch)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", model.name(), arch.name()));
+            let report = compiled.report();
+            assert!(
+                report.latency_cycles.is_finite() && report.latency_cycles > 0.0,
+                "{} on {}",
+                model.name(),
+                arch.name()
+            );
+            assert!(report.peak_power >= 0.0);
+            assert!(report.segments >= 1);
+        }
+    }
+}
+
+#[test]
+fn levels_are_monotonically_non_worse() {
+    for arch in presets::all() {
+        for model in [zoo::vgg7(), zoo::resnet18(), zoo::vit_base()] {
+            let compiled = Compiler::new().compile(&model, &arch).unwrap();
+            let reports = compiled.reports();
+            for pair in reports.windows(2) {
+                assert!(
+                    pair[1].latency_cycles <= pair[0].latency_cycles * 1.0001,
+                    "{} on {}: {} ({:.0}) worse than {} ({:.0})",
+                    model.name(),
+                    arch.name(),
+                    pair[1].level,
+                    pair[1].latency_cycles,
+                    pair[0].level,
+                    pair[0].latency_cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_stage_plans_respect_chip_resources() {
+    for arch in presets::all() {
+        let model = zoo::resnet34();
+        let compiled = Compiler::new().compile(&model, &arch).unwrap();
+        let per_core = u64::from(arch.core().xb_count());
+        let chip_slots = u64::from(arch.chip().core_count()) * per_core;
+        for plan in compiled.final_plans() {
+            let stage = &compiled.cg.stages[plan.stage];
+            // Replicas of an un-folded stage must fit in its assigned cores.
+            if plan.folds == 1 {
+                let slots = u64::from(plan.cores) * per_core;
+                let used = u64::from(plan.duplication) * u64::from(stage.mapping.vxb_size());
+                // VVM spreading may use up to the full slot allocation.
+                assert!(
+                    used <= slots.max(chip_slots),
+                    "{} on {}: stage {} uses {used} of {slots} slots",
+                    model.name(),
+                    arch.name(),
+                    stage.name
+                );
+            }
+            assert!(plan.duplication >= 1);
+            assert!(plan.latency >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn reports_expose_power_breakdown_dominated_by_crossbars() {
+    // The §4.2 observation: crossbar activation dominates CIM power
+    // (~83% on PUMA). Our calibrated model must keep the crossbar
+    // component dominant for full-row-activation designs.
+    let arch = presets::puma();
+    let compiled = Compiler::new().compile(&zoo::vgg16(), &arch).unwrap();
+    let b = &compiled.report().peak_breakdown;
+    assert!(
+        b.crossbar > b.adc + b.dac,
+        "crossbar {} should dominate converters {}",
+        b.crossbar,
+        b.adc + b.dac
+    );
+}
+
+#[test]
+fn segmentation_reprogramming_costs_scale_with_device() {
+    // The same over-capacity workload pays more reprogramming on ReRAM
+    // than SRAM.
+    let sram = presets::jia_isscc21(); // SRAM CM chip, VGG16 oversubscribes it
+    let compiled = Compiler::new().compile(&zoo::vgg16(), &sram).unwrap();
+    assert!(compiled.report().segments > 1);
+    let per_swap_sram = compiled.cg.reprogram_cycles;
+
+    let reram = presets::isaac_baseline();
+    let c2 = Compiler::new().compile(&zoo::vgg16(), &reram).unwrap();
+    let per_swap_reram = c2.cg.reprogram_cycles;
+    assert!(
+        per_swap_reram > per_swap_sram,
+        "ReRAM swap {per_swap_reram} should exceed SRAM swap {per_swap_sram}"
+    );
+}
+
+#[test]
+fn json_round_trip_preserves_scheduling() {
+    // Serialize → parse → compile must give the identical schedule.
+    let arch = presets::isaac_baseline();
+    let model = zoo::vgg7();
+    let reloaded = cim_mlc::graph::from_json(&cim_mlc::graph::to_json(&model)).unwrap();
+    let a = Compiler::new().compile(&model, &arch).unwrap();
+    let b = Compiler::new().compile(&reloaded, &arch).unwrap();
+    assert_eq!(a.report().latency_cycles, b.report().latency_cycles);
+    assert_eq!(a.report().peak_power, b.report().peak_power);
+}

@@ -1,0 +1,131 @@
+//! Property-based functional verification: for randomly generated small
+//! networks, the compiled meta-operator flow — at every computing mode —
+//! must reproduce the reference executor's results **bit-exactly** on
+//! every node output. This is the paper's functional-simulator
+//! cross-check (§4.1) turned into a property.
+
+use cim_mlc::prelude::*;
+use proptest::prelude::*;
+
+/// A generated model description small enough to simulate quickly.
+#[derive(Debug, Clone)]
+struct TinyNet {
+    in_c: usize,
+    hw: usize,
+    conv_channels: Vec<usize>,
+    kernel: usize,
+    padding: usize,
+    with_pool: bool,
+    fc_out: usize,
+}
+
+fn tiny_net_strategy() -> impl Strategy<Value = TinyNet> {
+    (
+        1usize..3,
+        4usize..8,
+        proptest::collection::vec(1usize..6, 1..3),
+        prop_oneof![Just(1usize), Just(3usize)],
+        0usize..2,
+        any::<bool>(),
+        1usize..8,
+    )
+        .prop_map(
+            |(in_c, hw, conv_channels, kernel, padding, with_pool, fc_out)| TinyNet {
+                in_c,
+                hw,
+                conv_channels,
+                kernel,
+                padding,
+                with_pool,
+                fc_out,
+            },
+        )
+        .prop_filter("kernel must fit padded input", |n| {
+            n.hw + 2 * n.padding >= n.kernel
+        })
+}
+
+fn build(net: &TinyNet) -> Graph {
+    let mut g = Graph::new("prop-net");
+    let mut h = g
+        .add("x", OpKind::Input { shape: Shape::chw(net.in_c, net.hw, net.hw) }, [])
+        .unwrap();
+    for (i, &c) in net.conv_channels.iter().enumerate() {
+        // Unpadded stacks shrink the map; stop before the kernel no
+        // longer fits.
+        let (_, hh, _) = g.node(h).out_shape().as_chw().unwrap();
+        if hh + 2 * net.padding < net.kernel {
+            break;
+        }
+        let conv = g
+            .add(
+                format!("c{i}"),
+                OpKind::conv2d(c, net.kernel, 1, net.padding),
+                [h],
+            )
+            .unwrap();
+        h = g.add(format!("r{i}"), OpKind::Relu, [conv]).unwrap();
+    }
+    if net.with_pool {
+        let (_, hh, _) = g.node(h).out_shape().as_chw().unwrap();
+        if hh >= 2 {
+            h = g.add("pool", OpKind::max_pool(2, 2), [h]).unwrap();
+        }
+    }
+    let f = g.add("flat", OpKind::Flatten, [h]).unwrap();
+    let _ = g.add("fc", OpKind::linear(net.fc_out), [f]).unwrap();
+    g
+}
+
+fn check_on(arch: &CimArchitecture, graph: &Graph) {
+    let compiled = Compiler::new().compile(graph, arch).unwrap();
+    let (flow, layout) = codegen::generate_flow(&compiled, graph, arch).unwrap();
+    flow.validate(arch).unwrap();
+    let store = WeightStore::for_flow(&flow);
+    let mut machine = Machine::new(arch);
+    machine.load_inputs(graph, &layout);
+    machine.execute(&flow, &store).unwrap();
+    let expected = reference::execute(graph);
+    for node in graph.nodes() {
+        let want = &expected[&node.id()];
+        let got = machine.read_l0(layout.offset(node.id()), want.len());
+        assert_eq!(
+            &got,
+            want,
+            "node {} diverges on {}",
+            node.name(),
+            arch.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn xbm_flows_match_reference(net in tiny_net_strategy()) {
+        let graph = build(&net);
+        check_on(&presets::isaac_baseline(), &graph);
+    }
+
+    #[test]
+    fn wlm_flows_match_reference(net in tiny_net_strategy()) {
+        let graph = build(&net);
+        check_on(&presets::isaac_baseline_wlm(), &graph);
+    }
+
+    #[test]
+    fn cm_flows_match_reference(net in tiny_net_strategy()) {
+        let graph = build(&net);
+        check_on(&presets::jia_isscc21(), &graph);
+    }
+
+    #[test]
+    fn table2_wlm_remap_flows_match_reference(net in tiny_net_strategy()) {
+        // The Table 2 machine has 32-row crossbars with parallel_row 16,
+        // so deep reductions split across row groups and (via VVM spread)
+        // across crossbars — the remapping layout of Figure 14.
+        let graph = build(&net);
+        check_on(&presets::table2_example(), &graph);
+    }
+}

@@ -1,0 +1,118 @@
+//! Table 1 — generality matrix.
+//!
+//! The paper's Table 1 claims CIM-MLC is the only stack supporting
+//! {SRAM, ReRAM, misc (PCM/Flash)} devices × {VVM, MVM, DNN-operator}
+//! programming interfaces × multi-granularity optimization. This test
+//! exercises every cell of that matrix through the public API: for each
+//! device type and computing mode, a model compiles and the scheduler
+//! runs the levels the interface admits.
+
+use cim_mlc::prelude::*;
+
+fn arch_with(cell: CellType, mode: ComputingMode, cell_bits: u32) -> CimArchitecture {
+    CimArchitecture::builder(format!("{cell}-{mode}"))
+        .chip(ChipTier::with_core_count(64).unwrap().with_alu_ops(1024))
+        .core(CoreTier::with_xb_count(8).unwrap())
+        .crossbar(
+            CrossbarTier::new(XbShape::new(128, 128).unwrap(), 16, 1, 8, cell, cell_bits)
+                .unwrap(),
+        )
+        .mode(mode)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn every_device_times_mode_combination_compiles() {
+    let model = zoo::lenet5();
+    let devices = [
+        (CellType::Sram, 1),
+        (CellType::Reram, 2),
+        (CellType::Flash, 2),
+        (CellType::Pcm, 2),
+        (CellType::SttMram, 1),
+    ];
+    for (cell, bits) in devices {
+        for mode in ComputingMode::ALL {
+            let arch = arch_with(cell, mode, bits);
+            let compiled = Compiler::new()
+                .compile(&model, &arch)
+                .unwrap_or_else(|e| panic!("{cell} × {mode}: {e}"));
+            // The scheduling depth must match the interface granularity.
+            assert_eq!(
+                compiled.reports().len(),
+                mode.scheduling_levels() as usize,
+                "{cell} × {mode}"
+            );
+            assert!(compiled.report().latency_cycles > 0.0);
+        }
+    }
+}
+
+#[test]
+fn supported_optimization_granularities() {
+    // DNN-operator granularity (CM), MVM granularity (XBM) and VVM
+    // granularity (WLM) all produce their characteristic meta-operators.
+    let model = zoo::lenet5();
+    let cases = [
+        (ComputingMode::Cm, "readcore"),
+        (ComputingMode::Xbm, "readxb"),
+        (ComputingMode::Wlm, "readrow"),
+    ];
+    for (mode, marker) in cases {
+        let arch = arch_with(CellType::Sram, mode, 1);
+        let compiled = Compiler::new().compile(&model, &arch).unwrap();
+        let (flow, _) = codegen::generate_flow(&compiled, &model, &arch).unwrap();
+        let text = flow.to_string();
+        assert!(text.contains(marker), "{mode} flow lacks cim.{marker}");
+        flow.validate(&arch).unwrap();
+    }
+}
+
+#[test]
+fn write_expensive_devices_reject_per_inference_weight_rewrites() {
+    // A dynamic MatMul needs crossbar rewrites every inference; Flash
+    // (writes ~512x reads) must be refused, SRAM must accept.
+    let mut g = Graph::new("dyn");
+    let a = g
+        .add("a", OpKind::Input { shape: Shape::tokens(4, 32) }, [])
+        .unwrap();
+    let b = g
+        .add("b", OpKind::Input { shape: Shape::tokens(32, 4) }, [])
+        .unwrap();
+    let _ = g.add("mm", OpKind::MatMul, [a, b]).unwrap();
+
+    let flash = arch_with(CellType::Flash, ComputingMode::Xbm, 2);
+    assert!(Compiler::new().compile(&g, &flash).is_err());
+
+    let sram = arch_with(CellType::Sram, ComputingMode::Xbm, 1);
+    let compiled = Compiler::new().compile(&g, &sram).unwrap();
+    assert!(compiled.report().latency_cycles > 0.0);
+
+    // ReRAM is allowed but pays the write latency: slower than SRAM for
+    // the same schedule.
+    let reram = arch_with(CellType::Reram, ComputingMode::Xbm, 1);
+    let reram_compiled = Compiler::new().compile(&g, &reram).unwrap();
+    assert!(
+        reram_compiled.report().latency_cycles > compiled.report().latency_cycles,
+        "ReRAM dynamic writes must cost more than SRAM"
+    );
+}
+
+#[test]
+fn presets_cover_the_papers_survey_dimensions() {
+    // Figure 1's dimensions: device, hierarchy, interface.
+    let archs = presets::all();
+    assert!(archs
+        .iter()
+        .any(|a| a.crossbar().cell_type() == CellType::Sram));
+    assert!(archs
+        .iter()
+        .any(|a| a.crossbar().cell_type() == CellType::Reram));
+    for mode in ComputingMode::ALL {
+        assert!(archs.iter().any(|a| a.mode() == mode), "missing {mode}");
+    }
+    // Single-tier (1 crossbar per core) and multi-tier hierarchies.
+    assert!(archs.iter().any(|a| a.core().xb_count() == 1));
+    assert!(archs.iter().any(|a| a.core().xb_count() > 8));
+}

@@ -1,0 +1,109 @@
+//! Property tests on the shared integer kernels (`cim_sim::kernels`) —
+//! the digital semantics both the reference executor and the functional
+//! simulator use. If these drift, every oracle in the repository lies.
+
+use cim_mlc::sim::kernels;
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-1000i64..1000, 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(mut data in values()) {
+        kernels::relu(&mut data);
+        prop_assert!(data.iter().all(|&x| x >= 0));
+        let once = data.clone();
+        kernels::relu(&mut data);
+        prop_assert_eq!(data, once);
+    }
+
+    #[test]
+    fn gelu_bounded_by_relu(data in values()) {
+        let mut gelu = data.clone();
+        kernels::gelu(&mut gelu);
+        let mut relu = data.clone();
+        kernels::relu(&mut relu);
+        for (g, r) in gelu.iter().zip(&relu) {
+            // GELU is below ReLU for positives and above the x-axis's
+            // mirror for negatives, within rounding.
+            prop_assert!(*g <= r + 1, "gelu {g} > relu {r}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_near_scale(data in proptest::collection::vec(-500i64..500, 8..32)) {
+        let mut d = data.clone();
+        kernels::softmax(&mut d, 1);
+        let sum: i64 = d.iter().sum();
+        // Quantized softmax sums to ~127 give or take rounding.
+        prop_assert!((115..=140).contains(&sum), "sum {sum}");
+        // Order preservation: the arg-max survives.
+        let argmax_in = data.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
+        let max_out = d.iter().copied().max().unwrap();
+        prop_assert_eq!(d[argmax_in], max_out);
+    }
+
+    #[test]
+    fn layer_norm_is_shift_invariant(data in proptest::collection::vec(-500i64..500, 4..32), shift in -100i64..100) {
+        let mut a = data.clone();
+        kernels::layer_norm(&mut a, 1);
+        let mut b: Vec<i64> = data.iter().map(|&x| x + shift).collect();
+        kernels::layer_norm(&mut b, 1);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() <= 1, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn add_is_commutative(a in values(), b in values()) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut ab = vec![0i64; n];
+        let mut ba = vec![0i64; n];
+        kernels::add_ew(a, b, &mut ab);
+        kernels::add_ew(b, a, &mut ba);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool(
+        data in proptest::collection::vec(0i64..100, 16),
+    ) {
+        // 1 channel, 4x4, 2x2/2 pooling.
+        let max = kernels::pool2d(&data, 1, 4, 4, 2, 2, 0, true);
+        let avg = kernels::pool2d(&data, 1, 4, 4, 2, 2, 0, false);
+        for (m, a) in max.iter().zip(&avg) {
+            prop_assert!(m >= a, "max {m} < avg {a}");
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_bounded_by_extremes(
+        data in proptest::collection::vec(-100i64..100, 36),
+    ) {
+        let out = kernels::global_avg_pool(&data, 1, 6, 6);
+        let min = *data.iter().min().unwrap();
+        let max = *data.iter().max().unwrap();
+        prop_assert!(out[0] >= min - 1 && out[0] <= max + 1, "{}", out[0]);
+    }
+
+    #[test]
+    fn attention_output_within_value_range(
+        q in proptest::collection::vec(-8i64..8, 12),
+        k in proptest::collection::vec(-8i64..8, 12),
+        v in proptest::collection::vec(-50i64..50, 12),
+    ) {
+        // 3 tokens, dim 4, 2 heads: outputs are convex combinations of V
+        // (plus rounding), so they stay within V's range per head slice.
+        let out = kernels::attention(&q, &k, &v, 2, 3, 4);
+        let vmin = *v.iter().min().unwrap();
+        let vmax = *v.iter().max().unwrap();
+        for &o in &out {
+            prop_assert!(o >= vmin - 1 && o <= vmax + 1, "{o} outside [{vmin}, {vmax}]");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests on scheduler invariants through the public API:
+//! resource budgets, monotonicity in hardware generosity, and mapping
+//! arithmetic.
+
+use cim_mlc::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_arch() -> impl Strategy<Value = CimArchitecture> {
+    (
+        1u32..64,                       // cores
+        1u32..8,                        // xbs per core
+        prop_oneof![Just(32u32), Just(64), Just(128), Just(256)], // rows
+        prop_oneof![Just(64u32), Just(128), Just(256)],           // cols
+        1u32..5,                        // parallel row selector (divisor power)
+        prop_oneof![Just(CellType::Sram), Just(CellType::Reram)],
+        prop_oneof![Just(1u32), Just(2), Just(4)],
+        prop_oneof![
+            Just(ComputingMode::Cm),
+            Just(ComputingMode::Xbm),
+            Just(ComputingMode::Wlm)
+        ],
+    )
+        .prop_map(|(cores, xbs, rows, cols, pr_div, cell, bits, mode)| {
+            let pr = (rows >> pr_div).max(1);
+            CimArchitecture::builder("prop-arch")
+                .chip(ChipTier::with_core_count(cores).unwrap().with_alu_ops(1024))
+                .core(CoreTier::with_xb_count(xbs).unwrap())
+                .crossbar(
+                    CrossbarTier::new(XbShape::new(rows, cols).unwrap(), pr, 1, 8, cell, bits)
+                        .unwrap(),
+                )
+                .mode(mode)
+                .build()
+                .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compile_succeeds_and_reports_are_sane(arch in arbitrary_arch()) {
+        let model = zoo::lenet5();
+        let compiled = Compiler::new().compile(&model, &arch).unwrap();
+        let report = compiled.report();
+        prop_assert!(report.latency_cycles.is_finite());
+        prop_assert!(report.latency_cycles > 0.0);
+        prop_assert!(report.peak_power >= 0.0);
+        prop_assert!(report.segments >= 1);
+        // Peak active crossbars cannot exceed the physical total.
+        prop_assert!(
+            report.peak_active_crossbars <= arch.total_crossbars(),
+            "{} active of {} physical",
+            report.peak_active_crossbars,
+            arch.total_crossbars()
+        );
+    }
+
+    #[test]
+    fn more_cores_never_hurt(arch in arbitrary_arch()) {
+        // Two scoping notes, both consequences of the paper's own design:
+        // (1) on write-expensive devices a fitting model stays resident
+        // (weights frozen — §2.1), trading away the segmentation +
+        // duplication gains a smaller chip is forced into; (2) the levels
+        // run in sequence, so the CG allocation cannot anticipate which
+        // stages the MVM level's Equation 1 will boost — the *composed*
+        // stack is therefore not guaranteed monotone in hardware, but the
+        // CG-grained schedule is, and that is what we assert (for
+        // write-cheap devices where segmentation is always available).
+        prop_assume!(arch.crossbar().cell_type().writes_are_cheap());
+        let model = zoo::lenet5();
+        let small = Compiler::new().compile(&model, &arch).unwrap();
+        let bigger_arch = arch.with_core_count(arch.chip().core_count() * 2).unwrap();
+        let big = Compiler::new().compile(&model, &bigger_arch).unwrap();
+        prop_assert!(
+            big.cg.report.latency_cycles <= small.cg.report.latency_cycles * 1.0001,
+            "doubling cores regressed CG latency: {} -> {}",
+            small.cg.report.latency_cycles,
+            big.cg.report.latency_cycles
+        );
+    }
+
+    #[test]
+    fn optimization_never_loses_to_no_opt(arch in arbitrary_arch()) {
+        let model = zoo::lenet5();
+        let optimized = Compiler::new().compile(&model, &arch).unwrap();
+        let no_opt = cim_mlc::baselines::no_opt(&model, &arch).unwrap();
+        prop_assert!(
+            optimized.report().latency_cycles <= no_opt.latency_cycles * 1.0001,
+            "optimized {} worse than no-opt {}",
+            optimized.report().latency_cycles,
+            no_opt.latency_cycles
+        );
+    }
+
+    #[test]
+    fn duplication_counts_respect_budgets(arch in arbitrary_arch()) {
+        let model = zoo::lenet5();
+        let compiled = Compiler::new().compile(&model, &arch).unwrap();
+        // Per CG segment: sum of assigned cores within the chip budget.
+        for seg in &compiled.cg.segments {
+            let used: u64 = seg.plans.iter().map(|p| u64::from(p.cores)).sum();
+            let folded = seg.plans.iter().any(|p| p.folds > 1);
+            if !folded {
+                prop_assert!(
+                    used <= u64::from(arch.chip().core_count()),
+                    "segment uses {used} of {} cores",
+                    arch.chip().core_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_arithmetic_is_consistent(arch in arbitrary_arch()) {
+        use cim_mlc::compiler::mapping::OpMapping;
+        let model = zoo::lenet5();
+        for id in model.cim_nodes() {
+            let m = OpMapping::of(&model, id, &arch, 8).unwrap();
+            let (rows, cols) = model.weight_matrix(id).unwrap();
+            prop_assert_eq!(m.rows as usize, rows);
+            prop_assert_eq!(m.cols as usize, cols);
+            // Tiles cover the matrix exactly.
+            let xb_rows = arch.crossbar().shape().rows;
+            prop_assert!(u64::from(m.v_xbs) * u64::from(xb_rows) >= u64::from(m.rows));
+            prop_assert!(u64::from(m.v_xbs - 1) * u64::from(xb_rows) < u64::from(m.rows));
+            let lcp = m.logical_cols_per_xb(&arch);
+            prop_assert!(u64::from(m.h_xbs) * u64::from(lcp) >= u64::from(m.cols));
+            prop_assert!(u64::from(m.h_xbs - 1) * u64::from(lcp) < u64::from(m.cols));
+            // Last-tile extents are in range.
+            prop_assert!(m.last_rows >= 1 && m.last_rows <= xb_rows);
+            prop_assert!(m.last_cols >= 1 && m.last_cols <= lcp);
+        }
+    }
+}

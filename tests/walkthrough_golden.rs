@@ -1,0 +1,132 @@
+//! Golden checks on the §3.4 walkthrough (Table 2 / Figure 16): the
+//! generated code for the Conv-ReLU pair on the 2-core × 2-crossbar
+//! machine must have the structure the paper prints at each computing
+//! mode.
+
+use cim_mlc::prelude::*;
+
+fn conv_relu() -> Graph {
+    let mut g = Graph::new("conv-relu");
+    let x = g
+        .add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])
+        .unwrap();
+    let c = g.add("conv", OpKind::conv2d(32, 3, 1, 1), [x]).unwrap();
+    let _ = g.add("relu", OpKind::Relu, [c]).unwrap();
+    g
+}
+
+fn compile_at(mode: ComputingMode) -> (MopFlow, Compiled, CimArchitecture) {
+    let arch = presets::table2_example().with_mode(mode);
+    let g = conv_relu();
+    let compiled = Compiler::new().compile(&g, &arch).unwrap();
+    let (flow, _) = codegen::generate_flow(&compiled, &g, &arch).unwrap();
+    flow.validate(&arch).unwrap();
+    (flow, compiled, arch)
+}
+
+#[test]
+fn cm_emits_one_readcore_and_a_relu() {
+    // Figure 16(c): the CM flow is a readcore for the convolution followed
+    // by the ReLU DCOM.
+    let (flow, _, _) = compile_at(ComputingMode::Cm);
+    let stats = FlowStats::of(&flow);
+    assert_eq!(stats.read_core, 1);
+    assert_eq!(stats.dcom, 1);
+    assert_eq!(stats.cim_writes(), 0);
+    let text = flow.to_string();
+    assert!(text.contains("cim.readcore(conv"));
+    assert!(text.contains("relu("));
+}
+
+#[test]
+fn cm_duplication_is_two() {
+    // §3.4: "core_number is 2 … CIM-MLC decides the operator can be
+    // duplicated twice."
+    let (_, compiled, _) = compile_at(ComputingMode::Cm);
+    let plans = compiled.final_plans();
+    assert_eq!(plans.len(), 1);
+    assert_eq!(plans[0].duplication, 2);
+}
+
+#[test]
+fn xbm_duplication_refines_to_four() {
+    // §3.4 MVM-grained: "each core has two crossbars … update the operator
+    // duplication from 2 to 4 as each crossbar can support an MVM."
+    let (flow, compiled, _) = compile_at(ComputingMode::Xbm);
+    let plans = compiled.final_plans();
+    assert_eq!(plans[0].duplication, 4);
+    // 1024 MVMs -> 1024 readxb activations; weights written once per
+    // replica crossbar (4 writexb).
+    let stats = FlowStats::of(&flow);
+    assert_eq!(stats.read_xb, 1024);
+    assert_eq!(stats.write_xb, 4);
+    let text = flow.to_string();
+    assert!(text.contains("cim.writexb"));
+    assert!(text.contains("cim.readxb"));
+}
+
+#[test]
+fn wlm_remaps_rows_across_crossbars() {
+    // Figure 16(e): parallel_row 16 of 32 rows; the 27-row matrix splits
+    // into two groups which the remapping places on different crossbars so
+    // both activate in the same wave.
+    let (flow, compiled, arch) = compile_at(ComputingMode::Wlm);
+    let stats = FlowStats::of(&flow);
+    assert!(stats.write_row > 0);
+    assert!(stats.read_row > 0);
+    // With remapping the two row groups land on different crossbars and
+    // are read in one parallel wave per MVM: 2 readrow ops per MVM, in
+    // blocks of width >= 2.
+    assert_eq!(stats.read_row, 2 * 1024);
+    assert!(stats.max_parallel_width >= 2);
+    // The VVM level reports a spread of 2 for the conv (2 activation
+    // groups spread over the idle crossbar capacity).
+    let vvm = compiled.vvm.as_ref().expect("WLM runs all three levels");
+    let spread = vvm.spreads[0][0];
+    assert_eq!(spread, 2, "expected the Figure 14 spread");
+    // And every readrow respects parallel_row.
+    for op in flow.iter_ops() {
+        if let cim_mlc::mop::MetaOp::ReadRow { rows, .. } = op {
+            assert!(*rows <= arch.crossbar().parallel_row());
+        }
+    }
+}
+
+#[test]
+fn walkthrough_flows_are_functionally_exact_at_every_mode() {
+    for mode in ComputingMode::ALL {
+        let arch = presets::table2_example().with_mode(mode);
+        let g = conv_relu();
+        let compiled = Compiler::new().compile(&g, &arch).unwrap();
+        let (flow, layout) = codegen::generate_flow(&compiled, &g, &arch).unwrap();
+        let store = WeightStore::for_flow(&flow);
+        let mut machine = Machine::new(&arch);
+        machine.load_inputs(&g, &layout);
+        machine.execute(&flow, &store).unwrap();
+        let expected = reference::execute(&g);
+        let out = g.outputs()[0];
+        let want = &expected[&out];
+        let got = machine.read_l0(layout.offset(out), want.len());
+        assert_eq!(&got, want, "mode {mode}");
+    }
+}
+
+#[test]
+fn finer_modes_never_lose_on_the_walkthrough() {
+    // Finer interfaces expose at least as much scheduling space. On this
+    // single-operator example WLM's remapping matches XBM's duplication
+    // throughput (2 replicas × 1-wave MVMs vs 4 replicas × 2-wave MVMs)
+    // while halving the programmed weight copies — the paper's
+    // Figure 16(e) layout.
+    let cm = compile_at(ComputingMode::Cm).1.report().latency_cycles;
+    let xbm = compile_at(ComputingMode::Xbm).1.report().latency_cycles;
+    let wlm = compile_at(ComputingMode::Wlm).1.report().latency_cycles;
+    assert!(xbm <= cm * 1.0001, "xbm {xbm} > cm {cm}");
+    assert!(wlm <= xbm * 1.0001, "wlm {wlm} > xbm {xbm}");
+    // The WLM flow programs fewer weight copies than the XBM flow.
+    let xbm_writes = FlowStats::of(&compile_at(ComputingMode::Xbm).0).cim_writes();
+    let wlm_rows = FlowStats::of(&compile_at(ComputingMode::Wlm).0).cim_writes();
+    // XBM: 4 replica crossbars; WLM: 2 replicas x 27 row writes.
+    assert_eq!(xbm_writes, 4);
+    assert_eq!(wlm_rows, 2 * 27);
+}
