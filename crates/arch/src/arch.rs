@@ -1,8 +1,6 @@
 //! Complete accelerator description: the three tiers plus computing mode.
 
-use crate::{
-    ArchError, ChipTier, ComputingMode, CoreTier, CostModel, CrossbarTier, Result,
-};
+use crate::{ArchError, ChipTier, ComputingMode, CoreTier, CostModel, CrossbarTier, Result};
 
 /// A complete `Abs-arch` + `Abs-com` description of a CIM accelerator
 /// (paper §3.2).
@@ -90,7 +88,9 @@ impl CimArchitecture {
     /// Total weight-storage capacity of the chip in bits.
     #[must_use]
     pub fn weight_capacity_bits(&self) -> u64 {
-        self.total_crossbars() * self.crossbar.shape().cells() * u64::from(self.crossbar.cell_bits())
+        self.total_crossbars()
+            * self.crossbar.shape().cells()
+            * u64::from(self.crossbar.cell_bits())
     }
 
     /// Returns a copy with a different computing mode.
@@ -285,9 +285,7 @@ impl CimArchitectureBuilder {
             // Legal, but WLM offers nothing over XBM here; keep it allowed —
             // designs like Jia expose CM despite full-parallel crossbars.
         }
-        let cost = self
-            .cost
-            .unwrap_or_else(|| CostModel::derived(&crossbar));
+        let cost = self.cost.unwrap_or_else(|| CostModel::derived(&crossbar));
         Ok(CimArchitecture {
             name: self.name,
             chip,

@@ -248,9 +248,7 @@ mod tests {
         let m_reram = CostModel::derived(&puma_xb());
         assert!(m_reram.xb_write_cycles_per_row > m_sram.xb_write_cycles_per_row);
         assert!(m_reram.write_cycles(128) > m_sram.write_cycles(128));
-        assert!(
-            m_reram.write_energy(4, 4).crossbar > m_sram.write_energy(4, 4).crossbar
-        );
+        assert!(m_reram.write_energy(4, 4).crossbar > m_sram.write_energy(4, 4).crossbar);
     }
 
     #[test]

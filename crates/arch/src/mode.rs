@@ -44,8 +44,7 @@ pub enum ComputingMode {
 
 impl ComputingMode {
     /// All modes, coarse to fine.
-    pub const ALL: [ComputingMode; 3] =
-        [ComputingMode::Cm, ComputingMode::Xbm, ComputingMode::Wlm];
+    pub const ALL: [ComputingMode; 3] = [ComputingMode::Cm, ComputingMode::Xbm, ComputingMode::Wlm];
 
     /// Returns `true` if an accelerator exposing `self` can also be driven
     /// at the (coarser or equal) granularity `other`.

@@ -324,7 +324,11 @@ mod tests {
                 "no preset exposes {mode}"
             );
         }
-        assert!(archs.iter().any(|a| a.crossbar().cell_type() == CellType::Sram));
-        assert!(archs.iter().any(|a| a.crossbar().cell_type() == CellType::Reram));
+        assert!(archs
+            .iter()
+            .any(|a| a.crossbar().cell_type() == CellType::Sram));
+        assert!(archs
+            .iter()
+            .any(|a| a.crossbar().cell_type() == CellType::Reram));
     }
 }

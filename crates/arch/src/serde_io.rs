@@ -15,8 +15,8 @@
 //! ```
 
 use crate::{
-    ArchError, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier,
-    NocCost, NocKind, Result, XbShape,
+    ArchError, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier, NocCost,
+    NocKind, Result, XbShape,
 };
 use serde::{Deserialize, Serialize};
 
@@ -248,7 +248,10 @@ pub fn from_json(json: &str) -> Result<CimArchitecture> {
         .map_err(|e| ArchError::inconsistent(format!("JSON parse error: {e}")))?;
     let mut chip = ChipTier::new(doc.chip.core_number[0], doc.chip.core_number[1])?;
     chip = chip.with_noc(
-        doc.chip.core_noc.map(NocKind::from).unwrap_or(NocKind::Ideal),
+        doc.chip
+            .core_noc
+            .map(NocKind::from)
+            .unwrap_or(NocKind::Ideal),
         doc.chip
             .core_noc_cost
             .map(NocCost::from)

@@ -146,11 +146,7 @@ impl NocCost {
                 .get(src)
                 .and_then(|row| row.get(dst))
                 .copied()
-                .unwrap_or_else(|| {
-                    m.iter()
-                        .flat_map(|r| r.iter().copied())
-                        .fold(0.0, f64::max)
-                }),
+                .unwrap_or_else(|| m.iter().flat_map(|r| r.iter().copied()).fold(0.0, f64::max)),
         }
     }
 
@@ -160,10 +156,7 @@ impl NocCost {
         match self {
             NocCost::Ideal => 0.0,
             NocCost::UniformPerBit(c) => *c,
-            NocCost::Matrix(m) => m
-                .iter()
-                .flat_map(|r| r.iter().copied())
-                .fold(0.0, f64::max),
+            NocCost::Matrix(m) => m.iter().flat_map(|r| r.iter().copied()).fold(0.0, f64::max),
         }
     }
 
@@ -525,10 +518,16 @@ impl CrossbarTier {
             ));
         }
         if dac_bits == 0 {
-            return Err(ArchError::invalid("DAC", "precision must be at least 1 bit"));
+            return Err(ArchError::invalid(
+                "DAC",
+                "precision must be at least 1 bit",
+            ));
         }
         if adc_bits == 0 {
-            return Err(ArchError::invalid("ADC", "precision must be at least 1 bit"));
+            return Err(ArchError::invalid(
+                "ADC",
+                "precision must be at least 1 bit",
+            ));
         }
         if cell_bits == 0 {
             return Err(ArchError::invalid(
@@ -618,15 +617,7 @@ mod tests {
     use super::*;
 
     fn xb() -> CrossbarTier {
-        CrossbarTier::new(
-            XbShape::new(128, 128).unwrap(),
-            8,
-            1,
-            8,
-            CellType::Reram,
-            2,
-        )
-        .unwrap()
+        CrossbarTier::new(XbShape::new(128, 128).unwrap(), 8, 1, 8, CellType::Reram, 2).unwrap()
     }
 
     #[test]
@@ -685,8 +676,8 @@ mod tests {
         // 8-bit weights on 2-bit cells -> 4 adjacent columns per weight.
         assert_eq!(xb().columns_per_weight(8), 4);
         // 8-bit weights on 1-bit cells -> 8 columns.
-        let b = CrossbarTier::new(XbShape::new(256, 64).unwrap(), 32, 1, 6, CellType::Sram, 1)
-            .unwrap();
+        let b =
+            CrossbarTier::new(XbShape::new(256, 64).unwrap(), 32, 1, 6, CellType::Sram, 1).unwrap();
         assert_eq!(b.columns_per_weight(8), 8);
         // exact fit
         assert_eq!(xb().columns_per_weight(2), 1);
@@ -706,9 +697,15 @@ mod tests {
     fn input_slices_bit_serial() {
         // 8-bit activations through a 1-bit DAC -> 8 slices.
         assert_eq!(xb().input_slices(8), 8);
-        let wide_dac =
-            CrossbarTier::new(XbShape::new(128, 128).unwrap(), 128, 8, 8, CellType::Sram, 1)
-                .unwrap();
+        let wide_dac = CrossbarTier::new(
+            XbShape::new(128, 128).unwrap(),
+            128,
+            8,
+            8,
+            CellType::Sram,
+            1,
+        )
+        .unwrap();
         assert_eq!(wide_dac.input_slices(8), 1);
     }
 
@@ -732,8 +729,7 @@ mod tests {
         assert!(!CellType::Reram.writes_are_cheap());
         assert!(!CellType::Flash.writes_are_cheap());
         assert!(
-            CellType::Flash.write_read_latency_ratio()
-                > CellType::Reram.write_read_latency_ratio()
+            CellType::Flash.write_read_latency_ratio() > CellType::Reram.write_read_latency_ratio()
         );
     }
 }

@@ -53,15 +53,17 @@ fn arches() -> impl Strategy<Value = CimArchitecture> {
                     .map(NocCost::UniformPerBit)
                     .unwrap_or(NocCost::Ideal);
                 CimArchitecture::builder("prop")
-                    .chip(ChipTier::new(grid.0, grid.1).expect("valid").with_noc(noc, cost))
+                    .chip(
+                        ChipTier::new(grid.0, grid.1)
+                            .expect("valid")
+                            .with_noc(noc, cost),
+                    )
                     .core(
                         CoreTier::with_xb_count(xbs)
                             .expect("valid")
                             .with_analog_partial_sum(aps),
                     )
-                    .crossbar(
-                        CrossbarTier::new(shape, pr, dac, adc, cell, bits).expect("valid"),
-                    )
+                    .crossbar(CrossbarTier::new(shape, pr, dac, adc, cell, bits).expect("valid"))
                     .mode(mode)
                     .build()
                     .expect("valid architecture")
@@ -140,15 +142,8 @@ proptest! {
 
 #[test]
 fn derived_cost_model_matches_manual() {
-    let xb = CrossbarTier::new(
-        XbShape::new(128, 128).unwrap(),
-        8,
-        1,
-        8,
-        CellType::Reram,
-        2,
-    )
-    .unwrap();
+    let xb =
+        CrossbarTier::new(XbShape::new(128, 128).unwrap(), 8, 1, 8, CellType::Reram, 2).unwrap();
     let derived = CostModel::derived(&xb);
     assert_eq!(
         derived.xb_write_cycles_per_row,

@@ -129,22 +129,18 @@ pub fn poly_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport
             used += u64::from(dup) * cores_per_replica;
             let dup = dup.min(stage.mapping.mvm_count.max(1) as u32);
             let cpm = stage.mapping.cycles_per_mvm(arch, 8);
-            let compute =
-                stage.mapping.mvm_count as f64 * cpm as f64 / f64::from(dup) * f64::from(plan.folds);
+            let compute = stage.mapping.mvm_count as f64 * cpm as f64 / f64::from(dup)
+                * f64::from(plan.folds);
             let mov = cim_compiler::stage::movement_cycles(stage, arch, 8);
             let alu = stage.alu_cycles(
                 arch.chip().alu_ops_per_cycle(),
                 (dup * stage.mapping.cores_per_replica(arch)).min(arch.chip().core_count()),
             );
             seg_latency += compute.max(mov).max(alu);
-            seg_active = seg_active
-                .max(u64::from(dup) * u64::from(stage.mapping.vxb_size()));
+            seg_active = seg_active.max(u64::from(dup) * u64::from(stage.mapping.vxb_size()));
         }
-        let (power, breakdown) = cim_compiler::perf::phase_power(
-            arch,
-            seg_active,
-            seg.streaming_bits_per_cycle,
-        );
+        let (power, breakdown) =
+            cim_compiler::perf::phase_power(arch, seg_active, seg.streaming_bits_per_cycle);
         if power > peak_power {
             peak_power = power;
             peak_active = seg_active;

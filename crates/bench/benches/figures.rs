@@ -59,7 +59,9 @@ fn bench_compiler(c: &mut Criterion) {
 fn bench_functional_sim(c: &mut Criterion) {
     let arch = cim_arch::presets::isaac_baseline();
     let graph = cim_graph::zoo::lenet5();
-    let compiled = cim_compiler::Compiler::new().compile(&graph, &arch).unwrap();
+    let compiled = cim_compiler::Compiler::new()
+        .compile(&graph, &arch)
+        .unwrap();
     let (flow, layout) = cim_compiler::codegen::generate_flow(&compiled, &graph, &arch).unwrap();
     let store = cim_sim::WeightStore::for_flow(&flow);
     c.bench_function("functional_sim_lenet5", |b| {

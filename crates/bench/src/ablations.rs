@@ -14,7 +14,9 @@
 //!   MVM activation pipeline at fixed duplication.
 
 use crate::{Row, Series};
-use cim_arch::{presets, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier, XbShape};
+use cim_arch::{
+    presets, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier, XbShape,
+};
 use cim_compiler::cg::{schedule_cg, CgOptions};
 use cim_compiler::mapping::{DimBinding, OpMapping};
 use cim_compiler::mvm::{schedule_mvm, MvmOptions};
@@ -57,8 +59,17 @@ pub fn ablation_allocator() -> Series {
     for g in [zoo::vgg16(), zoo::resnet50()] {
         let none = cim_baselines::no_opt(&g, &arch).expect("schedules");
         let poly = cim_baselines::poly_schedule(&g, &arch).expect("schedules");
-        let ours = schedule_cg(&g, &arch, CgOptions { pipeline: false, duplication: true }, 8, 8)
-            .expect("schedules");
+        let ours = schedule_cg(
+            &g,
+            &arch,
+            CgOptions {
+                pipeline: false,
+                duplication: true,
+            },
+            8,
+            8,
+        )
+        .expect("schedules");
         rows.push(Row {
             label: format!("{} greedy-proportional", g.name()),
             value: none.latency_cycles / poly.latency_cycles,
@@ -81,7 +92,11 @@ pub fn ablation_allocator() -> Series {
 
 fn geometry(cell: CellType) -> CimArchitecture {
     CimArchitecture::builder(format!("{cell}-512c"))
-        .chip(ChipTier::with_core_count(512).expect("valid").with_alu_ops(1024))
+        .chip(
+            ChipTier::with_core_count(512)
+                .expect("valid")
+                .with_alu_ops(1024),
+        )
         .core(CoreTier::with_xb_count(8).expect("valid"))
         .crossbar(
             CrossbarTier::new(XbShape::new(128, 128).expect("valid"), 8, 1, 8, cell, 2)
@@ -117,8 +132,7 @@ pub fn ablation_residency() -> Series {
     }
     Series {
         id: "A3",
-        title: "Whole-model residency on frozen-weight devices vs SRAM re-segmentation"
-            .into(),
+        title: "Whole-model residency on frozen-weight devices vs SRAM re-segmentation".into(),
         rows,
     }
 }
@@ -134,7 +148,10 @@ pub fn ablation_stagger() -> Series {
         let lockstep = schedule_mvm(
             &cg,
             &arch,
-            MvmOptions { duplication: true, pipeline: false },
+            MvmOptions {
+                duplication: true,
+                pipeline: false,
+            },
             8,
         );
         let staggered = schedule_mvm(&cg, &arch, MvmOptions::full(), 8);

@@ -112,7 +112,14 @@ pub fn fig20a() -> Series {
     let vendor = cim_baselines::jia_schedule(&g, &arch)
         .expect("vgg16 schedules on jia")
         .latency_cycles;
-    let pipe = cg_latency(&g, &arch, CgOptions { pipeline: true, duplication: false });
+    let pipe = cg_latency(
+        &g,
+        &arch,
+        CgOptions {
+            pipeline: true,
+            duplication: false,
+        },
+    );
     let pd = cg_latency(&g, &arch, CgOptions::full());
     Series {
         id: "20a",
@@ -161,7 +168,12 @@ pub fn fig20c() -> Series {
         title: "VGG7 on Jain et al. (WLM): speedup over the vendor schedule".into(),
         rows: vec![
             Row::new("Jain et al. [27]", 1.0, "x", Some(1.0)),
-            Row::new("CG-grained", vendor / cg.report.latency_cycles, "x", Some(1.2)),
+            Row::new(
+                "CG-grained",
+                vendor / cg.report.latency_cycles,
+                "x",
+                Some(1.2),
+            ),
             Row::new(
                 "CG+MVM-grained",
                 vendor / mvm.report.latency_cycles,
@@ -203,7 +215,12 @@ pub fn fig20d() -> Series {
                 Some(84.0),
             ),
             Row::new("CIM-MLC", 100.0 * (1.0 - ours / none), "%", Some(95.0)),
-            Row::new("CIM-MLC speedup over Poly-Schedule", poly / ours, "x", Some(3.2)),
+            Row::new(
+                "CIM-MLC speedup over Poly-Schedule",
+                poly / ours,
+                "x",
+                Some(3.2),
+            ),
         ],
     }
 }
@@ -227,8 +244,22 @@ pub fn fig21a() -> Series {
     let paper_dup = [25.4, 12.0, 8.0, 3.1];
     for (i, g) in resnets().iter().enumerate() {
         let none = cg_latency(g, &arch, CgOptions::none());
-        let pipe = cg_latency(g, &arch, CgOptions { pipeline: true, duplication: false });
-        let dup = cg_latency(g, &arch, CgOptions { pipeline: false, duplication: true });
+        let pipe = cg_latency(
+            g,
+            &arch,
+            CgOptions {
+                pipeline: true,
+                duplication: false,
+            },
+        );
+        let dup = cg_latency(
+            g,
+            &arch,
+            CgOptions {
+                pipeline: false,
+                duplication: true,
+            },
+        );
         let pd = cg_latency(g, &arch, CgOptions::full());
         rows.push(Row::new(
             format!("{} CG-Pipeline", g.name()),
@@ -242,7 +273,12 @@ pub fn fig21a() -> Series {
             "x",
             Some(paper_dup[i]),
         ));
-        rows.push(Row::new(format!("{} CG-P&D", g.name()), none / pd, "x", None));
+        rows.push(Row::new(
+            format!("{} CG-P&D", g.name()),
+            none / pd,
+            "x",
+            None,
+        ));
     }
     Series {
         id: "21a",
@@ -315,7 +351,10 @@ pub fn fig21d() -> Series {
         let lockstep = schedule_mvm(
             &cg,
             &arch,
-            MvmOptions { duplication: true, pipeline: false },
+            MvmOptions {
+                duplication: true,
+                pipeline: false,
+            },
             8,
         );
         let staggered = schedule_mvm(&cg, &arch, MvmOptions::full(), 8);
@@ -499,15 +538,8 @@ pub fn table1() -> String {
             .chip(ChipTier::with_core_count(64).expect("valid"))
             .core(CoreTier::with_xb_count(8).expect("valid"))
             .crossbar(
-                CrossbarTier::new(
-                    XbShape::new(128, 128).expect("valid"),
-                    16,
-                    1,
-                    8,
-                    cell,
-                    2,
-                )
-                .expect("valid"),
+                CrossbarTier::new(XbShape::new(128, 128).expect("valid"), 16, 1, 8, cell, 2)
+                    .expect("valid"),
             )
             .mode(mode)
             .build()
@@ -535,14 +567,56 @@ pub fn table1() -> String {
          {:<22} {:>5} {:>6} {:>5} | {:>4} {:>4} {:>7} | MVM, MM, Conv\n\
          {:<22} {:>5} {:>6} {:>5} | {:>4} {:>4} {:>7} | (ISA level)\n\
          {:<22} {:>5} {:>6} {:>5} | {:>4} {:>4} {:>7} | VVM, MVM, DNN operators\n",
-        "work", "SRAM", "ReRAM", "misc", "VVM", "MVM", "DNN-op",
+        "work",
+        "SRAM",
+        "ReRAM",
+        "misc",
+        "VVM",
+        "MVM",
+        "DNN-op",
         "-".repeat(86),
-        "PUMA [2,4]", "no", "yes", "no", "no", "yes", "no",
-        "IMDP [19]", "no", "yes", "no", "yes", "yes", "no",
-        "TC-CIM [17]", "no", "yes", "no", "no", "yes", "no",
-        "Polyhedral [22]", "no", "yes", "no", "no", "yes", "yes",
-        "OCC [40]", "yes", "yes", "no", "yes", "yes", "no",
-        "Ours (measured)", mark(sram), mark(reram), mark(misc), mark(vvm), mark(mvm), mark(dnn_op),
+        "PUMA [2,4]",
+        "no",
+        "yes",
+        "no",
+        "no",
+        "yes",
+        "no",
+        "IMDP [19]",
+        "no",
+        "yes",
+        "no",
+        "yes",
+        "yes",
+        "no",
+        "TC-CIM [17]",
+        "no",
+        "yes",
+        "no",
+        "no",
+        "yes",
+        "no",
+        "Polyhedral [22]",
+        "no",
+        "yes",
+        "no",
+        "no",
+        "yes",
+        "yes",
+        "OCC [40]",
+        "yes",
+        "yes",
+        "no",
+        "yes",
+        "yes",
+        "no",
+        "Ours (measured)",
+        mark(sram),
+        mark(reram),
+        mark(misc),
+        mark(vvm),
+        mark(mvm),
+        mark(dnn_op),
     )
 }
 
@@ -570,7 +644,10 @@ mod tests {
     fn fig20a_vendor_row_is_unit() {
         let s = fig20a();
         assert_eq!(s.rows[0].value, 1.0);
-        assert!(s.rows[2].value > s.rows[1].value, "P&D must beat pipeline-only");
+        assert!(
+            s.rows[2].value > s.rows[1].value,
+            "P&D must beat pipeline-only"
+        );
         assert!(s.rows[1].value >= 1.0);
     }
 

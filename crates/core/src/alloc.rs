@@ -43,10 +43,7 @@ pub fn minimize_bottleneck(items: &[AllocItem], budget: u64) -> Vec<u32> {
     }
     // D_i(λ) = clamp(ceil(latency_i / λ), 1, cap_i); feasibility is
     // monotone in λ, so bisect λ over [tiny, max latency].
-    let hi_start = items
-        .iter()
-        .map(|i| i.latency)
-        .fold(1.0_f64, f64::max);
+    let hi_start = items.iter().map(|i| i.latency).fold(1.0_f64, f64::max);
     let mut lo = hi_start
         / items
             .iter()
@@ -88,12 +85,7 @@ pub fn minimize_bottleneck(items: &[AllocItem], budget: u64) -> Vec<u32> {
     dup
 }
 
-fn spend_leftover_on_bottleneck(
-    items: &[AllocItem],
-    dup: &mut [u32],
-    budget: u64,
-    used: &mut u64,
-) {
+fn spend_leftover_on_bottleneck(items: &[AllocItem], dup: &mut [u32], budget: u64, used: &mut u64) {
     loop {
         let mut best: Option<usize> = None;
         let mut best_lat = 0.0;

@@ -121,7 +121,9 @@ pub(crate) fn stage_latency(
     if stage.dynamic_weights {
         // Dynamic MatMul: the crossbar contents must be rewritten each
         // inference before compute can start.
-        latency += arch.cost().write_cycles(stage.mapping.rows.min(arch.crossbar().shape().rows))
+        latency += arch
+            .cost()
+            .write_cycles(stage.mapping.rows.min(arch.crossbar().shape().rows))
             as f64;
     }
     latency
@@ -202,9 +204,7 @@ pub fn schedule_cg(
 
     let core_count = u64::from(arch.chip().core_count());
     let xb_per_core = arch.core().xb_count();
-    let reprogram_cycles = arch
-        .cost()
-        .write_cycles(arch.crossbar().shape().rows) as f64;
+    let reprogram_cycles = arch.cost().write_cycles(arch.crossbar().shape().rows) as f64;
 
     // ---- Resource-adaptive segmentation (Figure 9b).
     //
@@ -227,7 +227,15 @@ pub fn schedule_cg(
     let prefer_resident =
         !arch.crossbar().cell_type().writes_are_cheap() && whole_model_cores <= core_count;
     let eval = |idxs: &[usize]| -> Segment {
-        schedule_segment(&stages, idxs, arch, options, act_bits, core_count, xb_per_core)
+        schedule_segment(
+            &stages,
+            idxs,
+            arch,
+            options,
+            act_bits,
+            core_count,
+            xb_per_core,
+        )
     };
     let mut dp = vec![f64::INFINITY; n + 1];
     let mut cut = vec![n + 1; n + 1];
@@ -289,9 +297,18 @@ pub fn schedule_cg(
         if seg_no > 0 || !needs_initial_program {
             total_reprogram += reprogram_cycles;
         }
-        let seg = schedule_segment(&stages, idxs, arch, options, act_bits, core_count, xb_per_core);
+        let seg = schedule_segment(
+            &stages,
+            idxs,
+            arch,
+            options,
+            act_bits,
+            core_count,
+            xb_per_core,
+        );
         total_latency += seg.latency;
-        let (power, breakdown) = phase_power(arch, seg.active_crossbars, seg.streaming_bits_per_cycle);
+        let (power, breakdown) =
+            phase_power(arch, seg.active_crossbars, seg.streaming_bits_per_cycle);
         if power > peak_power {
             peak_power = power;
             peak_active = seg.active_crossbars;
@@ -451,7 +468,10 @@ mod tests {
     use cim_graph::zoo;
 
     fn latency(g: &cim_graph::Graph, arch: &CimArchitecture, opts: CgOptions) -> f64 {
-        schedule_cg(g, arch, opts, 8, 8).unwrap().report.latency_cycles
+        schedule_cg(g, arch, opts, 8, 8)
+            .unwrap()
+            .report
+            .latency_cycles
     }
 
     #[test]
@@ -459,8 +479,22 @@ mod tests {
         let arch = presets::isaac_baseline();
         for g in [zoo::vgg7(), zoo::resnet18()] {
             let none = latency(&g, &arch, CgOptions::none());
-            let pipe = latency(&g, &arch, CgOptions { pipeline: true, duplication: false });
-            let dup = latency(&g, &arch, CgOptions { pipeline: false, duplication: true });
+            let pipe = latency(
+                &g,
+                &arch,
+                CgOptions {
+                    pipeline: true,
+                    duplication: false,
+                },
+            );
+            let dup = latency(
+                &g,
+                &arch,
+                CgOptions {
+                    pipeline: false,
+                    duplication: true,
+                },
+            );
             let full = latency(&g, &arch, CgOptions::full());
             assert!(pipe <= none, "{}: pipe {pipe} > none {none}", g.name());
             assert!(dup <= none, "{}: dup {dup} > none {none}", g.name());
@@ -475,7 +509,14 @@ mod tests {
         let arch = presets::isaac_baseline();
         let speedup = |g: &cim_graph::Graph| {
             latency(g, &arch, CgOptions::none())
-                / latency(g, &arch, CgOptions { pipeline: false, duplication: true })
+                / latency(
+                    g,
+                    &arch,
+                    CgOptions {
+                        pipeline: false,
+                        duplication: true,
+                    },
+                )
         };
         let s18 = speedup(&zoo::resnet18());
         let s101 = speedup(&zoo::resnet101());
@@ -489,7 +530,14 @@ mod tests {
         let arch = presets::isaac_baseline();
         let speedup = |g: &cim_graph::Graph| {
             latency(g, &arch, CgOptions::none())
-                / latency(g, &arch, CgOptions { pipeline: true, duplication: false })
+                / latency(
+                    g,
+                    &arch,
+                    CgOptions {
+                        pipeline: true,
+                        duplication: false,
+                    },
+                )
         };
         let s18 = speedup(&zoo::resnet18());
         let s101 = speedup(&zoo::resnet101());
@@ -529,7 +577,13 @@ mod tests {
     fn empty_graph_rejected() {
         let mut g = cim_graph::Graph::new("digital-only");
         let x = g
-            .add("x", cim_graph::OpKind::Input { shape: cim_graph::Shape::vec(8) }, [])
+            .add(
+                "x",
+                cim_graph::OpKind::Input {
+                    shape: cim_graph::Shape::vec(8),
+                },
+                [],
+            )
             .unwrap();
         let _ = g.add("r", cim_graph::OpKind::Relu, [x]).unwrap();
         let arch = presets::isaac_baseline();

@@ -135,9 +135,15 @@ pub fn generate_flow(
     let mut placements: HashMap<NodeId, Placement> = HashMap::new();
     {
         let segments: Vec<Vec<&crate::cg::StagePlan>> = if let Some(v) = &compiled.vvm {
-            v.segments.iter().map(|s| s.plans.iter().collect()).collect()
+            v.segments
+                .iter()
+                .map(|s| s.plans.iter().collect())
+                .collect()
         } else if let Some(m) = &compiled.mvm {
-            m.segments.iter().map(|s| s.plans.iter().collect()).collect()
+            m.segments
+                .iter()
+                .map(|s| s.plans.iter().collect())
+                .collect()
         } else {
             compiled
                 .cg
@@ -760,13 +766,17 @@ impl Generator<'_> {
                 let rows = node.out_shape().dims()[..node.out_shape().rank() - 1]
                     .iter()
                     .product::<usize>() as u32;
-                DcomFunc::Softmax { groups: rows.max(1) }
+                DcomFunc::Softmax {
+                    groups: rows.max(1),
+                }
             }
             OpKind::LayerNorm => {
                 let rows = node.out_shape().dims()[..node.out_shape().rank() - 1]
                     .iter()
                     .product::<usize>() as u32;
-                DcomFunc::LayerNorm { groups: rows.max(1) }
+                DcomFunc::LayerNorm {
+                    groups: rows.max(1),
+                }
             }
             OpKind::BatchNorm => DcomFunc::BatchNorm,
             OpKind::Add => DcomFunc::AddEw,
@@ -783,8 +793,22 @@ impl Generator<'_> {
                 let (c, h, w) = (c as u32, h as u32, w as u32);
                 let (kernel, stride, padding) = (*kernel as u32, *stride as u32, *padding as u32);
                 match kind {
-                    cim_graph::PoolKind::Max => DcomFunc::MaxPool { c, h, w, kernel, stride, padding },
-                    cim_graph::PoolKind::Avg => DcomFunc::AvgPool { c, h, w, kernel, stride, padding },
+                    cim_graph::PoolKind::Max => DcomFunc::MaxPool {
+                        c,
+                        h,
+                        w,
+                        kernel,
+                        stride,
+                        padding,
+                    },
+                    cim_graph::PoolKind::Avg => DcomFunc::AvgPool {
+                        c,
+                        h,
+                        w,
+                        kernel,
+                        stride,
+                        padding,
+                    },
                 }
             }
             OpKind::GlobalAvgPool => {
@@ -792,7 +816,11 @@ impl Generator<'_> {
                     .as_ref()
                     .and_then(|s| s.as_chw())
                     .expect("gap input is [C,H,W]");
-                DcomFunc::GlobalAvgPool { c: c as u32, h: h as u32, w: w as u32 }
+                DcomFunc::GlobalAvgPool {
+                    c: c as u32,
+                    h: h as u32,
+                    w: w as u32,
+                }
             }
             OpKind::Attention { heads } => {
                 let (t, d) = node
@@ -806,7 +834,11 @@ impl Generator<'_> {
                 }
             }
             OpKind::Flatten | OpKind::Reshape { .. } => {
-                self.flow.push(MetaOp::Mov { src: srcs[0], dst, len });
+                self.flow.push(MetaOp::Mov {
+                    src: srcs[0],
+                    dst,
+                    len,
+                });
                 return;
             }
             OpKind::Concat { .. } => {
@@ -824,7 +856,12 @@ impl Generator<'_> {
             }
             other => unreachable!("unhandled digital op {other:?}"),
         };
-        self.flow.push(MetaOp::Dcom { func, srcs, dst, len });
+        self.flow.push(MetaOp::Dcom {
+            func,
+            srcs,
+            dst,
+            len,
+        });
     }
 }
 
@@ -839,7 +876,13 @@ mod tests {
     fn small_conv_graph() -> Graph {
         let mut g = Graph::new("small");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::chw(2, 6, 6) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::chw(2, 6, 6),
+                },
+                [],
+            )
             .unwrap();
         let c = g.add("conv", OpKind::conv2d(4, 3, 1, 1), [x]).unwrap();
         let _ = g.add("relu", OpKind::Relu, [c]).unwrap();
@@ -919,10 +962,22 @@ mod tests {
     fn dynamic_matmul_rejected() {
         let mut g = Graph::new("dyn");
         let a = g
-            .add("a", OpKind::Input { shape: Shape::tokens(4, 8) }, [])
+            .add(
+                "a",
+                OpKind::Input {
+                    shape: Shape::tokens(4, 8),
+                },
+                [],
+            )
             .unwrap();
         let b = g
-            .add("b", OpKind::Input { shape: Shape::tokens(8, 4) }, [])
+            .add(
+                "b",
+                OpKind::Input {
+                    shape: Shape::tokens(8, 4),
+                },
+                [],
+            )
             .unwrap();
         let _ = g.add("mm", OpKind::MatMul, [a, b]).unwrap();
         let arch = presets::isaac_baseline();

@@ -221,7 +221,11 @@ impl Compiled {
         } else if let Some(m) = &self.mvm {
             m.segments.iter().map(|s| s.plans.as_slice()).collect()
         } else {
-            self.cg.segments.iter().map(|s| s.plans.as_slice()).collect()
+            self.cg
+                .segments
+                .iter()
+                .map(|s| s.plans.as_slice())
+                .collect()
         };
         let mut out = format!(
             "schedule: {} on {} (level {})\n{:<4} {:<24} {:>5} {:>6} {:>6} {:>6} {:>14}\n",
@@ -287,11 +291,15 @@ mod tests {
     #[test]
     fn auto_level_follows_computing_mode() {
         let g = zoo::lenet5();
-        let cm = Compiler::new().compile(&g, &presets::jia_isscc21()).unwrap();
+        let cm = Compiler::new()
+            .compile(&g, &presets::jia_isscc21())
+            .unwrap();
         assert!(cm.mvm.is_none() && cm.vvm.is_none());
         assert_eq!(cm.report().level, "cg");
 
-        let xbm = Compiler::new().compile(&g, &presets::isaac_baseline()).unwrap();
+        let xbm = Compiler::new()
+            .compile(&g, &presets::isaac_baseline())
+            .unwrap();
         assert!(xbm.mvm.is_some() && xbm.vvm.is_none());
         assert_eq!(xbm.report().level, "cg+mvm");
 
@@ -303,7 +311,10 @@ mod tests {
     #[test]
     fn explicit_level_caps_depth() {
         let g = zoo::lenet5();
-        let opts = CompileOptions { level: OptLevel::Cg, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            level: OptLevel::Cg,
+            ..CompileOptions::default()
+        };
         let c = Compiler::with_options(opts)
             .compile(&g, &presets::jain_sram())
             .unwrap();
@@ -315,7 +326,10 @@ mod tests {
         // Requesting VVM on a CM machine silently degrades to CG: the
         // hardware interface simply does not exist.
         let g = zoo::lenet5();
-        let opts = CompileOptions { level: OptLevel::CgMvmVvm, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            level: OptLevel::CgMvmVvm,
+            ..CompileOptions::default()
+        };
         let c = Compiler::with_options(opts)
             .compile(&g, &presets::jia_isscc21())
             .unwrap();
@@ -381,7 +395,9 @@ mod tests {
     #[test]
     fn render_schedule_lists_every_stage() {
         let g = zoo::lenet5();
-        let c = Compiler::new().compile(&g, &presets::isaac_baseline()).unwrap();
+        let c = Compiler::new()
+            .compile(&g, &presets::isaac_baseline())
+            .unwrap();
         let text = c.render_schedule();
         for stage in &c.cg.stages {
             assert!(text.contains(&stage.name), "missing {}", stage.name);
@@ -393,7 +409,9 @@ mod tests {
     #[test]
     fn final_plans_cover_all_stages() {
         let g = zoo::vgg7();
-        let c = Compiler::new().compile(&g, &presets::isaac_baseline()).unwrap();
+        let c = Compiler::new()
+            .compile(&g, &presets::isaac_baseline())
+            .unwrap();
         assert_eq!(c.final_plans().len(), c.cg.stages.len());
         assert_eq!(c.model(), "vgg7");
         assert!(c.arch_name().contains("ISAAC"));

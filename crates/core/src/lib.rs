@@ -51,7 +51,7 @@ pub mod perf;
 pub mod stage;
 pub mod vvm;
 
-pub use compile::{Compiled, CompileOptions, Compiler, OptLevel};
+pub use compile::{CompileOptions, Compiled, Compiler, OptLevel};
 pub use error::CompileError;
 pub use perf::PerfReport;
 

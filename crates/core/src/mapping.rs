@@ -72,7 +72,12 @@ impl OpMapping {
     ///
     /// Returns `None` for non-CIM nodes.
     #[must_use]
-    pub fn of(graph: &Graph, node: NodeId, arch: &CimArchitecture, weight_bits: u32) -> Option<Self> {
+    pub fn of(
+        graph: &Graph,
+        node: NodeId,
+        arch: &CimArchitecture,
+        weight_bits: u32,
+    ) -> Option<Self> {
         Self::with_binding(graph, node, arch, weight_bits, DimBinding::BitsToColumns)
     }
 
@@ -162,8 +167,7 @@ impl OpMapping {
     #[must_use]
     pub fn cycles_per_mvm(&self, arch: &CimArchitecture, act_bits: u32) -> u64 {
         let xb = arch.crossbar();
-        let base =
-            u64::from(xb.input_slices(act_bits)) * u64::from(self.activation_groups(arch));
+        let base = u64::from(xb.input_slices(act_bits)) * u64::from(self.activation_groups(arch));
         if arch.core().analog_partial_sum() {
             base
         } else {
@@ -199,7 +203,13 @@ mod tests {
     fn conv_graph() -> (Graph, NodeId) {
         let mut g = Graph::new("t");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::chw(3, 32, 32),
+                },
+                [],
+            )
             .unwrap();
         let c = g.add("conv", OpKind::conv2d(32, 3, 1, 1), [x]).unwrap();
         (g, c)
@@ -233,7 +243,13 @@ mod tests {
         // VGG16 fc1: 25088 x 4096 at 8 bits on 128x128, 2-bit cells.
         let mut g = Graph::new("fc");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::vec(25088) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::vec(25088),
+                },
+                [],
+            )
             .unwrap();
         let l = g.add("fc1", OpKind::linear(4096), [x]).unwrap();
         let arch = presets::isaac_baseline();
@@ -297,7 +313,9 @@ mod tests {
         assert_eq!(plane_binding.vxb_size(), 4);
         // Both store the same number of weight cells overall.
         let cells = |m: &OpMapping| {
-            u64::from(m.rows) * u64::from(m.cols) * u64::from(m.cols_per_weight)
+            u64::from(m.rows)
+                * u64::from(m.cols)
+                * u64::from(m.cols_per_weight)
                 * u64::from(m.bit_planes)
         };
         assert_eq!(cells(&cols_binding), cells(&plane_binding));

@@ -98,7 +98,8 @@ pub fn schedule_mvm(
                 );
                 // The refinement exploits idle crossbars; bandwidth and MVM
                 // caps still apply.
-                refined.min(crate::cg::duplication_cap(stage, arch, act_bits, cpm))
+                refined
+                    .min(crate::cg::duplication_cap(stage, arch, act_bits, cpm))
                     .max(plan.duplication)
             } else {
                 plan.duplication
@@ -149,7 +150,11 @@ pub fn schedule_mvm(
             raw.min(chip_slots)
         };
         let active: u64 = if cg.options.pipeline {
-            plans.iter().map(per_plan_active).sum::<u64>().min(chip_slots)
+            plans
+                .iter()
+                .map(per_plan_active)
+                .sum::<u64>()
+                .min(chip_slots)
         } else {
             plans.iter().map(per_plan_active).max().unwrap_or(0)
         };
@@ -235,7 +240,10 @@ mod tests {
         let lockstep = schedule_mvm(
             &cg,
             &arch,
-            MvmOptions { duplication: true, pipeline: false },
+            MvmOptions {
+                duplication: true,
+                pipeline: false,
+            },
             8,
         );
         assert!(
@@ -256,7 +264,10 @@ mod tests {
         let without = schedule_mvm(
             &cg,
             &arch,
-            MvmOptions { duplication: false, pipeline: true },
+            MvmOptions {
+                duplication: false,
+                pipeline: true,
+            },
             8,
         );
         assert!(with_dup.report.latency_cycles <= without.report.latency_cycles);

@@ -64,18 +64,13 @@ pub fn stage_energy(
         * u64::from(m.vxb_size())
         * u64::from(xb.input_slices(act_bits))
         * u64::from(m.activation_groups(arch));
-    let per_activation =
-        cost.activation_energy(xb.parallel_row().min(m.rows), xb.shape().cols);
+    let per_activation = cost.activation_energy(xb.parallel_row().min(m.rows), xb.shape().cols);
     let mut energy = per_activation.scale(activations as f64);
-    energy = energy.add(&cost.movement_energy(
-        (stage.in_elements + stage.out_elements) * u64::from(act_bits),
-    ));
+    energy = energy
+        .add(&cost.movement_energy((stage.in_elements + stage.out_elements) * u64::from(act_bits)));
     energy = energy.add(&cost.alu_energy(stage.alu_ops));
     if stage.dynamic_weights {
-        energy = energy.add(&cost.write_energy(
-            m.rows.min(xb.shape().rows),
-            xb.shape().cols,
-        ));
+        energy = energy.add(&cost.write_energy(m.rows.min(xb.shape().rows), xb.shape().cols));
     }
     energy
 }

@@ -115,11 +115,8 @@ pub fn extract_stages(graph: &Graph, arch: &CimArchitecture, weight_bits: u32) -
         return Vec::new();
     }
     // Stage index of each CIM node.
-    let stage_of_cim: HashMap<NodeId, usize> = cim_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
+    let stage_of_cim: HashMap<NodeId, usize> =
+        cim_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     // Propagate "latest CIM ancestor stage" through the graph.
     let mut latest_stage: HashMap<NodeId, usize> = HashMap::new();
     let mut attached: Vec<Vec<NodeId>> = vec![Vec::new(); cim_ids.len()];
@@ -222,9 +219,7 @@ mod tests {
         let digital_total = g
             .nodes()
             .iter()
-            .filter(|n| {
-                !n.op().is_cim_supported() && !matches!(n.op(), OpKind::Input { .. })
-            })
+            .filter(|n| !n.op().is_cim_supported() && !matches!(n.op(), OpKind::Input { .. }))
             .count();
         assert_eq!(attached_total, digital_total);
         // conv1 has bn+relu+pool attached.
@@ -263,8 +258,7 @@ mod tests {
         let arch = presets::isaac_baseline();
         let stages = extract_stages(&g, &arch, 8);
         let m = movement_cycles(&stages[0], &arch, 8);
-        let expected =
-            ((stages[0].in_elements + stages[0].out_elements) * 8) as f64 / 384.0;
+        let expected = ((stages[0].in_elements + stages[0].out_elements) * 8) as f64 / 384.0;
         assert!((m - expected).abs() < 1e-9);
         // Ideal-bandwidth arch moves for free.
         let ideal = presets::jain_sram();
@@ -276,7 +270,13 @@ mod tests {
     fn empty_graph_has_no_stages() {
         let mut g = Graph::new("empty");
         let _ = g
-            .add("x", OpKind::Input { shape: Shape::vec(4) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::vec(4),
+                },
+                [],
+            )
             .unwrap();
         let arch = presets::isaac_baseline();
         assert!(extract_stages(&g, &arch, 8).is_empty());

@@ -63,7 +63,10 @@ fn vvm_stage_latency(
     spread: u32,
 ) -> f64 {
     let xb = arch.crossbar();
-    let groups = stage.mapping.activation_groups(arch).div_ceil(spread.max(1));
+    let groups = stage
+        .mapping
+        .activation_groups(arch)
+        .div_ceil(spread.max(1));
     // VVM remapping merges partial sums on the digital ALU (shift-
     // accumulate), so vertical crossbars no longer serialize even on cores
     // without analog S&A hardware: the `v` factor of
@@ -79,7 +82,9 @@ fn vvm_stage_latency(
     );
     let mut latency = compute.max(mov).max(alu);
     if stage.dynamic_weights {
-        latency += arch.cost().write_cycles(stage.mapping.rows.min(xb.shape().rows)) as f64;
+        latency += arch
+            .cost()
+            .write_cycles(stage.mapping.rows.min(xb.shape().rows)) as f64;
     }
     latency
 }
@@ -120,14 +125,8 @@ pub fn schedule_vvm(
             // margins the paper reports (Figure 21c).
             let slots = u64::from(plan.cores) * u64::from(xb_per_core);
             let (mut best_d, mut best_k) = (plan.duplication.max(1), 1u32);
-            let mut best_latency = vvm_stage_latency(
-                stage,
-                arch,
-                act_bits,
-                best_d,
-                plan.folds,
-                best_k,
-            );
+            let mut best_latency =
+                vvm_stage_latency(stage, arch, act_bits, best_d, plan.folds, best_k);
             if plan.folds == 1 && vxb > 0 {
                 let cpm = stage.mapping.cycles_per_mvm(arch, act_bits);
                 let cap = crate::cg::duplication_cap(stage, arch, act_bits, cpm);

@@ -284,18 +284,22 @@ impl Graph {
         let node = self.node(id);
         match node.op() {
             OpKind::Conv2d { .. } => {
-                let (_, oh, ow) = node
-                    .out_shape()
-                    .as_chw()
-                    .expect("conv output is rank 3");
+                let (_, oh, ow) = node.out_shape().as_chw().expect("conv output is rank 3");
                 (oh * ow) as u64
             }
             OpKind::Linear { .. } => {
                 let dims = node.out_shape().dims();
-                dims[..dims.len() - 1].iter().map(|&d| d as u64).product::<u64>().max(1)
+                dims[..dims.len() - 1]
+                    .iter()
+                    .map(|&d| d as u64)
+                    .product::<u64>()
+                    .max(1)
             }
             OpKind::MatMul => {
-                let (m, _) = node.out_shape().as_tokens().expect("matmul output is rank 2");
+                let (m, _) = node
+                    .out_shape()
+                    .as_tokens()
+                    .expect("matmul output is rank 2");
                 m as u64
             }
             _ => 0,
@@ -351,7 +355,13 @@ mod tests {
     fn tiny() -> (Graph, NodeId, NodeId, NodeId) {
         let mut g = Graph::new("tiny");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::chw(3, 32, 32),
+                },
+                [],
+            )
             .unwrap();
         let c = g.add("conv1", OpKind::conv2d(32, 3, 1, 1), [x]).unwrap();
         let r = g.add("relu1", OpKind::Relu, [c]).unwrap();
@@ -378,7 +388,13 @@ mod tests {
     fn add_rejects_shape_mismatch() {
         let mut g = Graph::new("bad");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::vec(8) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::vec(8),
+                },
+                [],
+            )
             .unwrap();
         let err = g.add("c", OpKind::conv2d(4, 3, 1, 1), [x]).unwrap_err();
         assert!(matches!(err, GraphError::ShapeMismatch { .. }));
@@ -402,7 +418,13 @@ mod tests {
         assert_eq!(g.weight_matrix(c), Some((27, 32)));
         let mut g2 = Graph::new("lin");
         let x = g2
-            .add("x", OpKind::Input { shape: Shape::tokens(197, 768) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::tokens(197, 768),
+                },
+                [],
+            )
             .unwrap();
         let l = g2.add("fc", OpKind::linear(3072), [x]).unwrap();
         assert_eq!(g2.weight_matrix(l), Some((768, 3072)));
@@ -430,10 +452,22 @@ mod tests {
     fn matmul_weight_comes_from_rhs() {
         let mut g = Graph::new("attn");
         let q = g
-            .add("q", OpKind::Input { shape: Shape::tokens(197, 64) }, [])
+            .add(
+                "q",
+                OpKind::Input {
+                    shape: Shape::tokens(197, 64),
+                },
+                [],
+            )
             .unwrap();
         let k = g
-            .add("k", OpKind::Input { shape: Shape::tokens(64, 197) }, [])
+            .add(
+                "k",
+                OpKind::Input {
+                    shape: Shape::tokens(64, 197),
+                },
+                [],
+            )
             .unwrap();
         let s = g.add("scores", OpKind::MatMul, [q, k]).unwrap();
         assert_eq!(g.weight_matrix(s), Some((64, 197)));

@@ -272,13 +272,14 @@ impl OpKind {
                     .as_tokens()
                     .ok_or_else(|| mismatch(format!("rhs must be rank-2, got {}", inputs[1])))?;
                 if k1 != k2 {
-                    return Err(mismatch(format!(
-                        "inner dimensions disagree: {k1} vs {k2}"
-                    )));
+                    return Err(mismatch(format!("inner dimensions disagree: {k1} vs {k2}")));
                 }
                 Ok(Shape::tokens(m, n))
             }
-            OpKind::Relu | OpKind::Gelu | OpKind::Softmax | OpKind::BatchNorm
+            OpKind::Relu
+            | OpKind::Gelu
+            | OpKind::Softmax
+            | OpKind::BatchNorm
             | OpKind::LayerNorm => Ok(inputs[0].clone()),
             OpKind::Pool2d {
                 kernel,
@@ -374,7 +375,10 @@ impl fmt::Display for OpKind {
                 kernel,
                 stride,
                 padding,
-            } => write!(f, "conv{kernel}x{kernel}/{stride} p{padding} -> {out_channels}"),
+            } => write!(
+                f,
+                "conv{kernel}x{kernel}/{stride} p{padding} -> {out_channels}"
+            ),
             OpKind::Linear { out_features } => write!(f, "linear -> {out_features}"),
             OpKind::Pool2d {
                 kind,
@@ -448,7 +452,10 @@ mod tests {
     fn matmul_checks_inner_dim() {
         let a = Shape::tokens(197, 64);
         let b = Shape::tokens(64, 197);
-        assert_eq!(OpKind::MatMul.infer(&[&a, &b]).unwrap(), Shape::tokens(197, 197));
+        assert_eq!(
+            OpKind::MatMul.infer(&[&a, &b]).unwrap(),
+            Shape::tokens(197, 197)
+        );
         assert!(OpKind::MatMul.infer(&[&a, &a]).is_err());
         assert!(OpKind::MatMul.infer(&[&a]).is_err());
     }
@@ -460,10 +467,7 @@ mod tests {
             infer1(&OpKind::max_pool(2, 2), &s).unwrap(),
             Shape::chw(64, 16, 16)
         );
-        assert_eq!(
-            infer1(&OpKind::GlobalAvgPool, &s).unwrap(),
-            Shape::vec(64)
-        );
+        assert_eq!(infer1(&OpKind::GlobalAvgPool, &s).unwrap(), Shape::vec(64));
     }
 
     #[test]
@@ -499,7 +503,9 @@ mod tests {
     fn attention_validates_heads_and_operands() {
         let s = Shape::tokens(197, 768);
         assert_eq!(
-            OpKind::Attention { heads: 12 }.infer(&[&s, &s, &s]).unwrap(),
+            OpKind::Attention { heads: 12 }
+                .infer(&[&s, &s, &s])
+                .unwrap(),
             s
         );
         assert!(OpKind::Attention { heads: 7 }.infer(&[&s, &s, &s]).is_err());
@@ -512,16 +518,22 @@ mod tests {
         // arity is 3
         assert!(OpKind::Attention { heads: 12 }.infer(&[&s]).is_err());
         let v = Shape::vec(768);
-        assert!(OpKind::Attention { heads: 12 }.infer(&[&v, &v, &v]).is_err());
+        assert!(OpKind::Attention { heads: 12 }
+            .infer(&[&v, &v, &v])
+            .is_err());
     }
 
     #[test]
     fn reshape_checks_element_count() {
         let s = Shape::chw(768, 14, 14);
         let target = Shape::tokens(196, 768);
-        let op = OpKind::Reshape { shape: target.clone() };
+        let op = OpKind::Reshape {
+            shape: target.clone(),
+        };
         assert_eq!(op.infer(&[&s]).unwrap(), target);
-        let bad = OpKind::Reshape { shape: Shape::vec(5) };
+        let bad = OpKind::Reshape {
+            shape: Shape::vec(5),
+        };
         assert!(bad.infer(&[&s]).is_err());
     }
 
@@ -548,7 +560,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(OpKind::conv2d(32, 3, 1, 1).to_string(), "conv3x3/1 p1 -> 32");
+        assert_eq!(
+            OpKind::conv2d(32, 3, 1, 1).to_string(),
+            "conv3x3/1 p1 -> 32"
+        );
         assert_eq!(OpKind::linear(10).to_string(), "linear -> 10");
         assert_eq!(OpKind::max_pool(2, 2).to_string(), "maxpool2/2 p0");
     }

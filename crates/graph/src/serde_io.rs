@@ -77,7 +77,13 @@ mod tests {
     fn round_trip_preserves_graph() {
         let mut g = Graph::new("rt");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::chw(3, 8, 8) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::chw(3, 8, 8),
+                },
+                [],
+            )
             .unwrap();
         let c = g.add("c", OpKind::conv2d(4, 3, 1, 1), [x]).unwrap();
         let _ = g.add("r", OpKind::Relu, [c]).unwrap();

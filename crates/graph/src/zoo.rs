@@ -48,7 +48,14 @@ fn add(g: &mut Graph, name: &str, op: OpKind, inputs: impl IntoIterator<Item = N
 #[must_use]
 pub fn lenet5() -> Graph {
     let mut g = Graph::new("lenet5");
-    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(1, 32, 32) }, []);
+    let x = add(
+        &mut g,
+        "input",
+        OpKind::Input {
+            shape: Shape::chw(1, 32, 32),
+        },
+        [],
+    );
     let c1 = conv_bn_relu(&mut g, "c1", x, 6, 5, 1, 0);
     let p1 = add(&mut g, "p1", OpKind::avg_pool(2, 2), [c1]);
     let c2 = conv_bn_relu(&mut g, "c2", p1, 16, 5, 1, 0);
@@ -66,7 +73,14 @@ pub fn lenet5() -> Graph {
 #[must_use]
 pub fn mlp() -> Graph {
     let mut g = Graph::new("mlp");
-    let x = add(&mut g, "input", OpKind::Input { shape: Shape::vec(784) }, []);
+    let x = add(
+        &mut g,
+        "input",
+        OpKind::Input {
+            shape: Shape::vec(784),
+        },
+        [],
+    );
     let f1 = add(&mut g, "fc1", OpKind::linear(256), [x]);
     let r1 = add(&mut g, "fc1.relu", OpKind::Relu, [f1]);
     let f2 = add(&mut g, "fc2", OpKind::linear(128), [r1]);
@@ -80,7 +94,14 @@ pub fn mlp() -> Graph {
 #[must_use]
 pub fn vgg7() -> Graph {
     let mut g = Graph::new("vgg7");
-    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 32, 32) }, []);
+    let x = add(
+        &mut g,
+        "input",
+        OpKind::Input {
+            shape: Shape::chw(3, 32, 32),
+        },
+        [],
+    );
     let mut h = x;
     let mut idx = 0;
     for (blocks, channels) in [(2usize, 128usize), (2, 256), (2, 512)] {
@@ -101,7 +122,14 @@ pub fn vgg7() -> Graph {
 /// `M` (maxpool) markers.
 fn vgg_imagenet(name: &str, cfg: &[Option<usize>]) -> Graph {
     let mut g = Graph::new(name);
-    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 224, 224) }, []);
+    let x = add(
+        &mut g,
+        "input",
+        OpKind::Input {
+            shape: Shape::chw(3, 224, 224),
+        },
+        [],
+    );
     let mut h = x;
     let mut conv_idx = 0;
     let mut pool_idx = 0;
@@ -113,7 +141,12 @@ fn vgg_imagenet(name: &str, cfg: &[Option<usize>]) -> Graph {
             }
             None => {
                 pool_idx += 1;
-                h = add(&mut g, &format!("pool{pool_idx}"), OpKind::max_pool(2, 2), [h]);
+                h = add(
+                    &mut g,
+                    &format!("pool{pool_idx}"),
+                    OpKind::max_pool(2, 2),
+                    [h],
+                );
             }
         }
     }
@@ -133,11 +166,19 @@ pub fn vgg11() -> Graph {
     vgg_imagenet(
         "vgg11",
         &[
-            Some(64), M,
-            Some(128), M,
-            Some(256), Some(256), M,
-            Some(512), Some(512), M,
-            Some(512), Some(512), M,
+            Some(64),
+            M,
+            Some(128),
+            M,
+            Some(256),
+            Some(256),
+            M,
+            Some(512),
+            Some(512),
+            M,
+            Some(512),
+            Some(512),
+            M,
         ],
     )
 }
@@ -149,11 +190,21 @@ pub fn vgg13() -> Graph {
     vgg_imagenet(
         "vgg13",
         &[
-            Some(64), Some(64), M,
-            Some(128), Some(128), M,
-            Some(256), Some(256), M,
-            Some(512), Some(512), M,
-            Some(512), Some(512), M,
+            Some(64),
+            Some(64),
+            M,
+            Some(128),
+            Some(128),
+            M,
+            Some(256),
+            Some(256),
+            M,
+            Some(512),
+            Some(512),
+            M,
+            Some(512),
+            Some(512),
+            M,
         ],
     )
 }
@@ -166,11 +217,24 @@ pub fn vgg16() -> Graph {
     vgg_imagenet(
         "vgg16",
         &[
-            Some(64), Some(64), M,
-            Some(128), Some(128), M,
-            Some(256), Some(256), Some(256), M,
-            Some(512), Some(512), Some(512), M,
-            Some(512), Some(512), Some(512), M,
+            Some(64),
+            Some(64),
+            M,
+            Some(128),
+            Some(128),
+            M,
+            Some(256),
+            Some(256),
+            Some(256),
+            M,
+            Some(512),
+            Some(512),
+            Some(512),
+            M,
+            Some(512),
+            Some(512),
+            Some(512),
+            M,
         ],
     )
 }
@@ -182,19 +246,46 @@ pub fn vgg19() -> Graph {
     vgg_imagenet(
         "vgg19",
         &[
-            Some(64), Some(64), M,
-            Some(128), Some(128), M,
-            Some(256), Some(256), Some(256), Some(256), M,
-            Some(512), Some(512), Some(512), Some(512), M,
-            Some(512), Some(512), Some(512), Some(512), M,
+            Some(64),
+            Some(64),
+            M,
+            Some(128),
+            Some(128),
+            M,
+            Some(256),
+            Some(256),
+            Some(256),
+            Some(256),
+            M,
+            Some(512),
+            Some(512),
+            Some(512),
+            Some(512),
+            M,
+            Some(512),
+            Some(512),
+            Some(512),
+            Some(512),
+            M,
         ],
     )
 }
 
 /// A basic residual block (two 3×3 convs), optionally downsampling.
-fn basic_block(g: &mut Graph, prefix: &str, input: NodeId, channels: usize, stride: usize) -> NodeId {
+fn basic_block(
+    g: &mut Graph,
+    prefix: &str,
+    input: NodeId,
+    channels: usize,
+    stride: usize,
+) -> NodeId {
     let main1 = conv_bn_relu(g, &format!("{prefix}.a"), input, channels, 3, stride, 1);
-    let c2 = add(g, &format!("{prefix}.b.conv"), OpKind::conv2d(channels, 3, 1, 1), [main1]);
+    let c2 = add(
+        g,
+        &format!("{prefix}.b.conv"),
+        OpKind::conv2d(channels, 3, 1, 1),
+        [main1],
+    );
     let b2 = add(g, &format!("{prefix}.b.bn"), OpKind::BatchNorm, [c2]);
     let shortcut = if stride != 1 || channels_of(g, input) != channels {
         let sc = add(
@@ -222,7 +313,12 @@ fn bottleneck_block(
     let expanded = channels * 4;
     let c1 = conv_bn_relu(g, &format!("{prefix}.a"), input, channels, 1, 1, 0);
     let c2 = conv_bn_relu(g, &format!("{prefix}.b"), c1, channels, 3, stride, 1);
-    let c3 = add(g, &format!("{prefix}.c.conv"), OpKind::conv2d(expanded, 1, 1, 0), [c2]);
+    let c3 = add(
+        g,
+        &format!("{prefix}.c.conv"),
+        OpKind::conv2d(expanded, 1, 1, 0),
+        [c2],
+    );
     let b3 = add(g, &format!("{prefix}.c.bn"), OpKind::BatchNorm, [c3]);
     let shortcut = if stride != 1 || channels_of(g, input) != expanded {
         let sc = add(
@@ -250,9 +346,21 @@ fn channels_of(g: &Graph, id: NodeId) -> usize {
 /// Builds a ResNet with the given per-stage block counts.
 fn resnet(name: &str, blocks: [usize; 4], bottleneck: bool) -> Graph {
     let mut g = Graph::new(name);
-    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 224, 224) }, []);
+    let x = add(
+        &mut g,
+        "input",
+        OpKind::Input {
+            shape: Shape::chw(3, 224, 224),
+        },
+        [],
+    );
     let stem = conv_bn_relu(&mut g, "stem", x, 64, 7, 2, 3);
-    let mut h = add(&mut g, "stem.pool", OpKind::max_pool_padded(3, 2, 1), [stem]);
+    let mut h = add(
+        &mut g,
+        "stem.pool",
+        OpKind::max_pool_padded(3, 2, 1),
+        [stem],
+    );
     let stage_channels = [64usize, 128, 256, 512];
     for (stage, (&count, &channels)) in blocks.iter().zip(&stage_channels).enumerate() {
         for block in 0..count {
@@ -325,12 +433,21 @@ pub fn vit_large() -> Graph {
 pub fn vit(name: &str, layers: usize, dim: usize, heads: usize, mlp_dim: usize) -> Graph {
     let mut g = Graph::new(name);
     let tokens = (224 / 16) * (224 / 16);
-    let x = add(&mut g, "input", OpKind::Input { shape: Shape::chw(3, 224, 224) }, []);
+    let x = add(
+        &mut g,
+        "input",
+        OpKind::Input {
+            shape: Shape::chw(3, 224, 224),
+        },
+        [],
+    );
     let patch = add(&mut g, "patch_embed", OpKind::conv2d(dim, 16, 16, 0), [x]);
     let mut h = add(
         &mut g,
         "to_tokens",
-        OpKind::Reshape { shape: Shape::tokens(tokens, dim) },
+        OpKind::Reshape {
+            shape: Shape::tokens(tokens, dim),
+        },
         [patch],
     );
     for layer in 0..layers {
@@ -339,7 +456,12 @@ pub fn vit(name: &str, layers: usize, dim: usize, heads: usize, mlp_dim: usize) 
         let q = add(&mut g, &format!("{p}.q"), OpKind::linear(dim), [ln1]);
         let k = add(&mut g, &format!("{p}.k"), OpKind::linear(dim), [ln1]);
         let v = add(&mut g, &format!("{p}.v"), OpKind::linear(dim), [ln1]);
-        let core = add(&mut g, &format!("{p}.attn"), OpKind::Attention { heads }, [q, k, v]);
+        let core = add(
+            &mut g,
+            &format!("{p}.attn"),
+            OpKind::Attention { heads },
+            [q, k, v],
+        );
         let proj = add(&mut g, &format!("{p}.proj"), OpKind::linear(dim), [core]);
         let res1 = add(&mut g, &format!("{p}.add1"), OpKind::Add, [h, proj]);
         let ln2 = add(&mut g, &format!("{p}.ln2"), OpKind::LayerNorm, [res1]);

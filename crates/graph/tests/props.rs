@@ -8,7 +8,11 @@ use proptest::prelude::*;
 /// A random chain of layer choices applied to a random CHW input.
 #[derive(Debug, Clone)]
 enum Layer {
-    Conv { channels: usize, kernel: usize, padded: bool },
+    Conv {
+        channels: usize,
+        kernel: usize,
+        padded: bool,
+    },
     Relu,
     Bn,
     Pool,
@@ -19,7 +23,11 @@ fn layers() -> impl Strategy<Value = Vec<Layer>> {
     proptest::collection::vec(
         prop_oneof![
             (1usize..8, prop_oneof![Just(1usize), Just(3)], any::<bool>()).prop_map(
-                |(channels, kernel, padded)| Layer::Conv { channels, kernel, padded }
+                |(channels, kernel, padded)| Layer::Conv {
+                    channels,
+                    kernel,
+                    padded
+                }
             ),
             Just(Layer::Relu),
             Just(Layer::Bn),
@@ -33,18 +41,32 @@ fn layers() -> impl Strategy<Value = Vec<Layer>> {
 fn build(in_c: usize, hw: usize, layers: &[Layer]) -> Graph {
     let mut g = Graph::new("prop");
     let mut h = g
-        .add("x", OpKind::Input { shape: Shape::chw(in_c, hw, hw) }, [])
+        .add(
+            "x",
+            OpKind::Input {
+                shape: Shape::chw(in_c, hw, hw),
+            },
+            [],
+        )
         .unwrap();
     for (i, layer) in layers.iter().enumerate() {
         let (_, cur_h, _) = g.node(h).out_shape().as_chw().unwrap();
         match layer {
-            Layer::Conv { channels, kernel, padded } => {
+            Layer::Conv {
+                channels,
+                kernel,
+                padded,
+            } => {
                 let padding = usize::from(*padded);
                 if cur_h + 2 * padding < *kernel {
                     continue;
                 }
                 h = g
-                    .add(format!("c{i}"), OpKind::conv2d(*channels, *kernel, 1, padding), [h])
+                    .add(
+                        format!("c{i}"),
+                        OpKind::conv2d(*channels, *kernel, 1, padding),
+                        [h],
+                    )
                     .unwrap();
             }
             Layer::Relu => h = g.add(format!("r{i}"), OpKind::Relu, [h]).unwrap(),

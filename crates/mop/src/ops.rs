@@ -144,9 +144,9 @@ impl CoreOp {
     #[must_use]
     pub fn input_len(&self) -> u64 {
         match self {
-            CoreOp::Conv { in_c, in_h, in_w, .. } => {
-                u64::from(*in_c) * u64::from(*in_h) * u64::from(*in_w)
-            }
+            CoreOp::Conv {
+                in_c, in_h, in_w, ..
+            } => u64::from(*in_c) * u64::from(*in_h) * u64::from(*in_w),
             CoreOp::Linear { in_f, batch, .. } => u64::from(*in_f) * u64::from(*batch),
             CoreOp::MatMul { m, k, .. } => u64::from(*m) * u64::from(*k),
         }
@@ -494,7 +494,11 @@ mod tests {
         };
         assert_eq!(conv.input_len(), 3 * 32 * 32);
         assert_eq!(conv.output_len(), 32 * 32 * 32);
-        let lin = CoreOp::Linear { in_f: 768, out_f: 3072, batch: 197 };
+        let lin = CoreOp::Linear {
+            in_f: 768,
+            out_f: 3072,
+            batch: 197,
+        };
         assert_eq!(lin.input_len(), 768 * 197);
         assert_eq!(lin.output_len(), 3072 * 197);
         let mm = CoreOp::MatMul { m: 4, k: 8, n: 2 };
@@ -507,7 +511,12 @@ mod tests {
         assert_eq!(DcomFunc::Relu.arity(), 1);
         assert_eq!(DcomFunc::AddEw.arity(), 2);
         assert_eq!(
-            DcomFunc::Attention { heads: 12, tokens: 196, dim: 768 }.arity(),
+            DcomFunc::Attention {
+                heads: 12,
+                tokens: 196,
+                dim: 768
+            }
+            .arity(),
             3
         );
     }
@@ -539,7 +548,11 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(XbAddr::new(2, 5).to_string(), "xb(2,5)");
-        let lin = CoreOp::Linear { in_f: 8, out_f: 4, batch: 1 };
+        let lin = CoreOp::Linear {
+            in_f: 8,
+            out_f: 4,
+            batch: 1,
+        };
         assert!(lin.to_string().contains("linear"));
     }
 }

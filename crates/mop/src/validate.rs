@@ -150,9 +150,7 @@ impl MopFlow {
             Ok(())
         };
         let check_mat = |mat: MatId, row0: u32, rows: u32, col0: u32, cols: u32| {
-            let decl = self
-                .mat(mat)
-                .ok_or(ValidateError::UnknownMat { mat })?;
+            let decl = self.mat(mat).ok_or(ValidateError::UnknownMat { mat })?;
             if row0 + rows > decl.rows || col0 + cols > decl.cols {
                 return Err(ValidateError::BadMatSlice {
                     mat,
@@ -380,7 +378,11 @@ mod tests {
         });
         assert!(matches!(
             flow.validate(&arch),
-            Err(ValidateError::TooManyRows { rows: 64, parallel_row: 32, .. })
+            Err(ValidateError::TooManyRows {
+                rows: 64,
+                parallel_row: 32,
+                ..
+            })
         ));
     }
 

@@ -49,7 +49,11 @@ impl fmt::Display for SimError {
             SimError::UnprogrammedCells { xb, row } => {
                 write!(f, "{xb} row {row} read before being programmed")
             }
-            SimError::DcomArity { func, got, expected } => {
+            SimError::DcomArity {
+                func,
+                got,
+                expected,
+            } => {
                 write!(f, "dcom `{func}` got {got} sources, expects {expected}")
             }
         }
@@ -173,7 +177,9 @@ impl Machine {
 
     fn xbar(&mut self, addr: XbAddr) -> &mut Xbar {
         let (rows, cols) = (self.xb_rows, self.xb_cols);
-        self.xbs.entry(addr).or_insert_with(|| Xbar::new(rows, cols))
+        self.xbs
+            .entry(addr)
+            .or_insert_with(|| Xbar::new(rows, cols))
     }
 
     /// Executes a flow against the weight store.
@@ -305,8 +311,7 @@ impl Machine {
                         stride,
                         padding,
                     } => {
-                        let (in_c, in_h, in_w) =
-                            (*in_c as usize, *in_h as usize, *in_w as usize);
+                        let (in_c, in_h, in_w) = (*in_c as usize, *in_h as usize, *in_w as usize);
                         let (k, s, p) = (*kernel as usize, *stride as usize, *padding as i64);
                         let oh = (in_h + 2 * p as usize - k) / s + 1;
                         let ow = (in_w + 2 * p as usize - k) / s + 1;
@@ -373,7 +378,12 @@ impl Machine {
                 };
                 self.write_buf(*dst, &out);
             }
-            MetaOp::Dcom { func, srcs, dst, len } => {
+            MetaOp::Dcom {
+                func,
+                srcs,
+                dst,
+                len,
+            } => {
                 if srcs.len() != func.arity() {
                     return Err(SimError::DcomArity {
                         func: func.mnemonic(),
@@ -422,8 +432,22 @@ impl Machine {
                         kernels::add_ew(&a, &b, &mut out);
                         self.write_buf(*dst, &out);
                     }
-                    DcomFunc::MaxPool { c, h, w, kernel, stride, padding }
-                    | DcomFunc::AvgPool { c, h, w, kernel, stride, padding } => {
+                    DcomFunc::MaxPool {
+                        c,
+                        h,
+                        w,
+                        kernel,
+                        stride,
+                        padding,
+                    }
+                    | DcomFunc::AvgPool {
+                        c,
+                        h,
+                        w,
+                        kernel,
+                        stride,
+                        padding,
+                    } => {
                         let is_max = matches!(func, DcomFunc::MaxPool { .. });
                         let input =
                             self.read_buf(srcs[0], (*c as usize) * (*h as usize) * (*w as usize));
@@ -520,7 +544,13 @@ mod tests {
     fn small_conv() -> Graph {
         let mut g = Graph::new("small");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::chw(2, 6, 6) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::chw(2, 6, 6),
+                },
+                [],
+            )
             .unwrap();
         let c = g.add("conv", OpKind::conv2d(4, 3, 1, 1), [x]).unwrap();
         let r = g.add("relu", OpKind::Relu, [c]).unwrap();
@@ -549,7 +579,13 @@ mod tests {
         // row-wave emission plus ALU accumulation must still be exact.
         let mut g = Graph::new("deep-rows");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::vec(300) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::vec(300),
+                },
+                [],
+            )
             .unwrap();
         let _ = g.add("fc", OpKind::linear(20), [x]).unwrap();
         assert_flow_matches_reference(&g, &presets::jain_sram());
@@ -578,7 +614,13 @@ mod tests {
         }
         let mut tiny = Graph::new("tiny-mlp");
         let x = tiny
-            .add("x", OpKind::Input { shape: Shape::vec(64) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::vec(64),
+                },
+                [],
+            )
             .unwrap();
         let f1 = tiny.add("fc1", OpKind::linear(16), [x]).unwrap();
         let r = tiny.add("relu", OpKind::Relu, [f1]).unwrap();

@@ -34,7 +34,10 @@ pub fn softmax(data: &mut [i64], groups: usize) {
     }
     for row in data.chunks_mut(width) {
         let max = row.iter().copied().max().unwrap_or(0) as f64;
-        let exps: Vec<f64> = row.iter().map(|&x| ((x as f64 - max) / 64.0).exp()).collect();
+        let exps: Vec<f64> = row
+            .iter()
+            .map(|&x| ((x as f64 - max) / 64.0).exp())
+            .collect();
         let sum: f64 = exps.iter().sum();
         for (x, e) in row.iter_mut().zip(&exps) {
             *x = (127.0 * e / sum).round() as i64;
@@ -145,7 +148,14 @@ pub fn global_avg_pool(input: &[i64], c: usize, h: usize, w: usize) -> Vec<i64> 
 
 /// Fused multi-head attention core over `[tokens, dim]` Q/K/V with
 /// quantized f64 softmax, rounded output.
-pub fn attention(q: &[i64], k: &[i64], v: &[i64], heads: usize, tokens: usize, dim: usize) -> Vec<i64> {
+pub fn attention(
+    q: &[i64],
+    k: &[i64],
+    v: &[i64],
+    heads: usize,
+    tokens: usize,
+    dim: usize,
+) -> Vec<i64> {
     assert_eq!(q.len(), tokens * dim);
     assert_eq!(k.len(), tokens * dim);
     assert_eq!(v.len(), tokens * dim);

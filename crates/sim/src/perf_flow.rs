@@ -55,9 +55,12 @@ fn op_cost(op: &MetaOp, arch: &CimArchitecture, act_bits: u32) -> (f64, u64, u64
             0,
             cost.write_energy(*rows, *cols),
         ),
-        MetaOp::WriteRow { cols, .. } => {
-            (cost.write_cycles(1) as f64, 0, 0, cost.write_energy(1, *cols))
-        }
+        MetaOp::WriteRow { cols, .. } => (
+            cost.write_cycles(1) as f64,
+            0,
+            0,
+            cost.write_energy(1, *cols),
+        ),
         MetaOp::ReadCore { op, .. } => {
             // The core executes the operator internally: MVM count times
             // the native per-MVM cost over the reduction depth.
@@ -94,8 +97,7 @@ fn op_cost(op: &MetaOp, arch: &CimArchitecture, act_bits: u32) -> (f64, u64, u64
         }
         MetaOp::Mov { src, dst, len } => {
             let bits = len * u64::from(act_bits);
-            let crosses_l0 =
-                matches!(src.space, BufSpace::L0) || matches!(dst.space, BufSpace::L0);
+            let crosses_l0 = matches!(src.space, BufSpace::L0) || matches!(dst.space, BufSpace::L0);
             let bw = if crosses_l0 {
                 arch.chip().l0_bw_bits_per_cycle()
             } else {
@@ -238,7 +240,11 @@ mod tests {
         let par_cost = measure_flow(&par, &arch, 8);
         assert!(par_cost.cycles < seq_cost.cycles);
         // 128 rows at parallel_row 8 => 16 groups x 8 slices = 128 cycles.
-        assert!((par_cost.cycles - 128.0).abs() < 1e-9, "{}", par_cost.cycles);
+        assert!(
+            (par_cost.cycles - 128.0).abs() < 1e-9,
+            "{}",
+            par_cost.cycles
+        );
         // Activations (and energy) are identical either way.
         assert_eq!(par_cost.activations, seq_cost.activations);
     }

@@ -247,7 +247,13 @@ mod tests {
         // 1x2x2 input, 1-channel 1x1 conv: output = x * w[0][0].
         let mut g = Graph::new("t");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::chw(1, 2, 2) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::chw(1, 2, 2),
+                },
+                [],
+            )
             .unwrap();
         let c = g.add("c", OpKind::conv2d(1, 1, 1, 0), [x]).unwrap();
         let values = execute(&g);
@@ -261,7 +267,13 @@ mod tests {
     fn residual_add_matches() {
         let mut g = Graph::new("t");
         let x = g
-            .add("x", OpKind::Input { shape: Shape::vec(8) }, [])
+            .add(
+                "x",
+                OpKind::Input {
+                    shape: Shape::vec(8),
+                },
+                [],
+            )
             .unwrap();
         let r = g.add("r", OpKind::Relu, [x]).unwrap();
         let s = g.add("s", OpKind::Add, [x, r]).unwrap();

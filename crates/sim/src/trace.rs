@@ -103,7 +103,10 @@ mod tests {
         let arch = presets::isaac_baseline();
         let c = Compiler::new().compile(&zoo::vgg7(), &arch).unwrap();
         let trace = power_trace(&c, &arch);
-        let compute_phases = trace.iter().filter(|p| p.label.starts_with("segment")).count();
+        let compute_phases = trace
+            .iter()
+            .filter(|p| p.label.starts_with("segment"))
+            .count();
         assert_eq!(compute_phases, c.report().segments);
         assert!(total_cycles(&trace) > 0.0);
     }

@@ -27,7 +27,10 @@ impl Matrix {
     /// Panics when out of range.
     #[must_use]
     pub fn at(&self, row: u32, col: u32) -> i64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of range"
+        );
         self.data[row as usize * self.cols as usize + col as usize]
     }
 

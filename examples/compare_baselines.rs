@@ -13,11 +13,7 @@ use cim_mlc::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = presets::isaac_baseline();
     let model = zoo::vgg16();
-    println!(
-        "workload: {} on {}\n",
-        model.name(),
-        arch.name()
-    );
+    println!("workload: {} on {}\n", model.name(), arch.name());
 
     let none = baselines::no_opt(&model, &arch)?;
     let poly = baselines::poly_schedule(&model, &arch)?;

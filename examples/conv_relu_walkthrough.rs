@@ -15,7 +15,13 @@ use cim_mlc::prelude::*;
 fn build_conv_relu() -> Graph {
     let mut g = Graph::new("conv-relu");
     let x = g
-        .add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])
+        .add(
+            "x",
+            OpKind::Input {
+                shape: Shape::chw(3, 32, 32),
+            },
+            [],
+        )
         .expect("valid graph");
     let c = g
         .add("conv", OpKind::conv2d(32, 3, 1, 1), [x])
@@ -44,11 +50,7 @@ fn show(mode: ComputingMode, lines: usize) -> Result<(), Box<dyn std::error::Err
     println!("...\n");
     // Schedule summary: duplication decided at each level (the paper's
     // walkthrough doubles at CG and doubles again at MVM).
-    for (plan, stage) in compiled
-        .final_plans()
-        .iter()
-        .zip(compiled.cg.stages.iter())
-    {
+    for (plan, stage) in compiled.final_plans().iter().zip(compiled.cg.stages.iter()) {
         println!(
             "// `{}` duplication {}  (VXB = {} crossbar(s), {} MVMs)",
             stage.name,

@@ -42,7 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A small CNN sized for the chip.
     let mut model = Graph::new("edge-cnn");
-    let x = model.add("x", OpKind::Input { shape: Shape::chw(3, 16, 16) }, [])?;
+    let x = model.add(
+        "x",
+        OpKind::Input {
+            shape: Shape::chw(3, 16, 16),
+        },
+        [],
+    )?;
     let c1 = model.add("c1", OpKind::conv2d(8, 3, 1, 1), [x])?;
     let r1 = model.add("r1", OpKind::Relu, [c1])?;
     let p1 = model.add("p1", OpKind::max_pool(2, 2), [r1])?;

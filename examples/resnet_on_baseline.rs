@@ -27,14 +27,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pipe = schedule_cg(
             &model,
             &arch,
-            CgOptions { pipeline: true, duplication: false },
+            CgOptions {
+                pipeline: true,
+                duplication: false,
+            },
             8,
             8,
         )?;
         let dup = schedule_cg(
             &model,
             &arch,
-            CgOptions { pipeline: false, duplication: true },
+            CgOptions {
+                pipeline: false,
+                duplication: true,
+            },
             8,
             8,
         )?;

@@ -36,7 +36,11 @@ fn print_row(label: &str, speedups: (f64, f64, f64)) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = presets::sensitivity_baseline();
     let vit = zoo::vit_base();
-    println!("workload: {} ({} weights)\n", vit.name(), vit.total_weights());
+    println!(
+        "workload: {} ({} weights)\n",
+        vit.name(),
+        vit.total_weights()
+    );
 
     println!("-- core number (Figure 22a) --");
     for cores in [256u32, 512, 768, 1024] {

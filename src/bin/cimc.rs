@@ -13,53 +13,61 @@
 use cim_mlc::prelude::*;
 use std::process::ExitCode;
 
-fn preset(name: &str) -> Option<CimArchitecture> {
+fn preset(name: &str) -> Result<CimArchitecture, String> {
     match name {
-        "isaac" | "baseline" | "table3" => Some(presets::isaac_baseline()),
-        "isaac-wlm" | "baseline-wlm" => Some(presets::isaac_baseline_wlm()),
-        "jia" => Some(presets::jia_isscc21()),
-        "puma" => Some(presets::puma()),
-        "jain" => Some(presets::jain_sram()),
-        "table2" | "walkthrough" => Some(presets::table2_example()),
-        "sensitivity" => Some(presets::sensitivity_baseline()),
+        "isaac" | "baseline" | "table3" => Ok(presets::isaac_baseline()),
+        "isaac-wlm" | "baseline-wlm" => Ok(presets::isaac_baseline_wlm()),
+        "jia" => Ok(presets::jia_isscc21()),
+        "puma" => Ok(presets::puma()),
+        "jain" => Ok(presets::jain_sram()),
+        "table2" | "walkthrough" => Ok(presets::table2_example()),
+        "sensitivity" => Ok(presets::sensitivity_baseline()),
         path if path.ends_with(".json") => {
-            let json = std::fs::read_to_string(path).ok()?;
-            cim_mlc::arch::from_json(&json).ok()
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read architecture file `{path}`: {e}"))?;
+            cim_mlc::arch::from_json(&json)
+                .map_err(|e| format!("invalid architecture in `{path}`: {e}"))
         }
-        _ => None,
+        other => Err(format!(
+            "unknown preset `{other}` (try `cimc archs` or a .json path)"
+        )),
     }
 }
 
-fn model(name: &str) -> Option<Graph> {
+fn model(name: &str) -> Result<Graph, String> {
     match name {
-        "lenet5" => Some(zoo::lenet5()),
-        "mlp" => Some(zoo::mlp()),
-        "vgg7" => Some(zoo::vgg7()),
-        "vgg11" => Some(zoo::vgg11()),
-        "vgg13" => Some(zoo::vgg13()),
-        "vgg16" => Some(zoo::vgg16()),
-        "vgg19" => Some(zoo::vgg19()),
-        "resnet18" => Some(zoo::resnet18()),
-        "resnet34" => Some(zoo::resnet34()),
-        "resnet50" => Some(zoo::resnet50()),
-        "resnet101" => Some(zoo::resnet101()),
-        "resnet152" => Some(zoo::resnet152()),
-        "vit" | "vit_base" => Some(zoo::vit_base()),
-        "vit_small" => Some(zoo::vit_small()),
+        "lenet5" => Ok(zoo::lenet5()),
+        "mlp" => Ok(zoo::mlp()),
+        "vgg7" => Ok(zoo::vgg7()),
+        "vgg11" => Ok(zoo::vgg11()),
+        "vgg13" => Ok(zoo::vgg13()),
+        "vgg16" => Ok(zoo::vgg16()),
+        "vgg19" => Ok(zoo::vgg19()),
+        "resnet18" => Ok(zoo::resnet18()),
+        "resnet34" => Ok(zoo::resnet34()),
+        "resnet50" => Ok(zoo::resnet50()),
+        "resnet101" => Ok(zoo::resnet101()),
+        "resnet152" => Ok(zoo::resnet152()),
+        "vit" | "vit_base" => Ok(zoo::vit_base()),
+        "vit_small" => Ok(zoo::vit_small()),
         path if path.ends_with(".json") => {
-            let json = std::fs::read_to_string(path).ok()?;
-            cim_mlc::graph::from_json(&json).ok()
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read model file `{path}`: {e}"))?;
+            cim_mlc::graph::from_json(&json).map_err(|e| format!("invalid model in `{path}`: {e}"))
         }
-        _ => None,
+        other => Err(format!(
+            "unknown model `{other}` (try `cimc models` or a .json path)"
+        )),
     }
 }
+
+const USAGE: &str =
+    "usage:\n  cimc archs\n  cimc models\n  cimc compile --model <name|file.json> --arch <preset> \
+[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify]\n\
+presets: isaac isaac-wlm jia puma jain table2 sensitivity";
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  cimc archs\n  cimc models\n  cimc compile --model <name|file.json> --arch <preset> \
-         [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify]\n\
-         presets: isaac isaac-wlm jia puma jain table2 sensitivity"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -97,15 +105,34 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     let mut show_schedule = false;
     let mut flow_lines: Option<usize> = None;
     let mut verify = false;
+    // A flag's value must be a real operand, not the next flag.
+    let value_of = |flag: &str, i: usize| -> Result<String, String> {
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("missing value for `{flag}`")),
+        }
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--model" => {
-                model_name = args.get(i + 1).cloned();
+                match value_of("--model", i) {
+                    Ok(v) => model_name = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
                 i += 2;
             }
             "--arch" => {
-                arch_name = args.get(i + 1).cloned();
+                match value_of("--arch", i) {
+                    Ok(v) => arch_name = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
                 i += 2;
             }
             "--mode" => {
@@ -113,7 +140,14 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                     Some("cm") => Some(ComputingMode::Cm),
                     Some("xbm") => Some(ComputingMode::Xbm),
                     Some("wlm") => Some(ComputingMode::Wlm),
-                    _ => return usage(),
+                    Some(other) => {
+                        eprintln!("invalid --mode `{other}` (expected cm, xbm or wlm)");
+                        return usage();
+                    }
+                    None => {
+                        eprintln!("missing value for `--mode`");
+                        return usage();
+                    }
                 };
                 i += 2;
             }
@@ -122,7 +156,14 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                     Some("cg") => Some(OptLevel::Cg),
                     Some("mvm") => Some(OptLevel::CgMvm),
                     Some("vvm") => Some(OptLevel::CgMvmVvm),
-                    _ => return usage(),
+                    Some(other) => {
+                        eprintln!("invalid --level `{other}` (expected cg, mvm or vvm)");
+                        return usage();
+                    }
+                    None => {
+                        eprintln!("missing value for `--level`");
+                        return usage();
+                    }
                 };
                 i += 2;
             }
@@ -131,8 +172,16 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--flow" => {
-                flow_lines = args.get(i + 1).and_then(|s| s.parse().ok());
+                let value = match value_of("--flow", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                flow_lines = value.parse().ok();
                 if flow_lines.is_none() {
+                    eprintln!("invalid --flow value `{value}` (expected a line count)");
                     return usage();
                 }
                 i += 2;
@@ -141,19 +190,33 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 verify = true;
                 i += 1;
             }
-            _ => return usage(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
         }
     }
     let (Some(model_name), Some(arch_name)) = (model_name, arch_name) else {
+        eprintln!("`cimc compile` needs both --model and --arch");
         return usage();
     };
-    let Some(graph) = model(&model_name) else {
-        eprintln!("unknown model `{model_name}` (try `cimc models` or a .json path)");
-        return ExitCode::FAILURE;
+    let graph = match model(&model_name) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let Some(mut arch) = preset(&arch_name) else {
-        eprintln!("unknown preset `{arch_name}` (try `cimc archs` or a .json path)");
-        return ExitCode::FAILURE;
+    let mut arch = match preset(&arch_name) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     if let Some(m) = mode {
         arch = arch.with_mode(m);
@@ -222,7 +285,10 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             let want = &expected[&out];
             let got = machine.read_l0(layout.offset(out), want.len());
             if &got == want {
-                println!("\nfunctional verification: PASS (flow == reference, {} outputs)", want.len());
+                println!(
+                    "\nfunctional verification: PASS (flow == reference, {} outputs)",
+                    want.len()
+                );
             } else {
                 eprintln!("\nfunctional verification: FAIL");
                 return ExitCode::FAILURE;
@@ -238,6 +304,14 @@ fn main() -> ExitCode {
         Some("archs") => cmd_archs(),
         Some("models") => cmd_models(),
         Some("compile") => cmd_compile(&args[1..]),
-        _ => usage(),
+        Some("help" | "--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            usage()
+        }
+        None => usage(),
     }
 }

@@ -43,8 +43,14 @@ fn fig20c_vvm_is_where_the_win_comes_from() {
     let vvm = value(&s, "CG+MVM+VVM-grained");
     // The paper: CG ≈ MVM ≈ 1.2x, VVM jumps to 2.3x — MVM adds little on
     // this tiny macro, VVM adds a lot.
-    assert!((mvm - cg).abs() < 0.2 * cg.max(1.0), "MVM should add little");
-    assert!(vvm > 1.8 * mvm, "VVM should be the dominant win: {vvm} vs {mvm}");
+    assert!(
+        (mvm - cg).abs() < 0.2 * cg.max(1.0),
+        "MVM should add little"
+    );
+    assert!(
+        vvm > 1.8 * mvm,
+        "VVM should be the dominant win: {vvm} vs {mvm}"
+    );
 }
 
 #[test]
@@ -102,7 +108,11 @@ fn fig21c_vvm_remap_adds_modest_speedup() {
     let s = figs::fig21c();
     for row in &s.rows {
         assert!(row.value >= 1.0, "{}: {}x", row.label, row.value);
-        assert!(row.value < 3.0, "{}: VVM gain should stay modest", row.label);
+        assert!(
+            row.value < 3.0,
+            "{}: VVM gain should stay modest",
+            row.label
+        );
     }
 }
 
@@ -113,7 +123,10 @@ fn fig21d_cg_raises_and_mvm_cuts_peak_power() {
         let cg = value(&s, &format!("{net} CG (vs no-opt)"));
         let staggered = value(&s, &format!("{net} CG+MVM staggered"));
         let reduction = value(&s, &format!("{net} MVM peak-power reduction"));
-        assert!(cg > 3.0, "{net}: CG should raise peak power (paper: 5-16x), got {cg}");
+        assert!(
+            cg > 3.0,
+            "{net}: CG should raise peak power (paper: 5-16x), got {cg}"
+        );
         assert!(staggered < cg, "{net}: staggering must cut peak power");
         assert!(
             (50.0..=95.0).contains(&reduction),
@@ -163,7 +176,10 @@ fn fig22c_tall_narrow_crossbars_lose() {
     let s = figs::fig22c();
     let mid = value(&s, "xb_size=128x256 CG+MVM+VVM");
     let tall = value(&s, "xb_size=512x64 CG+MVM+VVM");
-    assert!(tall < mid, "512x64 ({tall}) should underperform 128x256 ({mid})");
+    assert!(
+        tall < mid,
+        "512x64 ({tall}) should underperform 128x256 ({mid})"
+    );
 }
 
 #[test]

@@ -48,7 +48,13 @@ fn tiny_net_strategy() -> impl Strategy<Value = TinyNet> {
 fn build(net: &TinyNet) -> Graph {
     let mut g = Graph::new("prop-net");
     let mut h = g
-        .add("x", OpKind::Input { shape: Shape::chw(net.in_c, net.hw, net.hw) }, [])
+        .add(
+            "x",
+            OpKind::Input {
+                shape: Shape::chw(net.in_c, net.hw, net.hw),
+            },
+            [],
+        )
         .unwrap();
     for (i, &c) in net.conv_channels.iter().enumerate() {
         // Unpadded stacks shrink the map; stop before the kernel no

@@ -14,8 +14,7 @@ fn arch_with(cell: CellType, mode: ComputingMode, cell_bits: u32) -> CimArchitec
         .chip(ChipTier::with_core_count(64).unwrap().with_alu_ops(1024))
         .core(CoreTier::with_xb_count(8).unwrap())
         .crossbar(
-            CrossbarTier::new(XbShape::new(128, 128).unwrap(), 16, 1, 8, cell, cell_bits)
-                .unwrap(),
+            CrossbarTier::new(XbShape::new(128, 128).unwrap(), 16, 1, 8, cell, cell_bits).unwrap(),
         )
         .mode(mode)
         .build()
@@ -75,10 +74,22 @@ fn write_expensive_devices_reject_per_inference_weight_rewrites() {
     // (writes ~512x reads) must be refused, SRAM must accept.
     let mut g = Graph::new("dyn");
     let a = g
-        .add("a", OpKind::Input { shape: Shape::tokens(4, 32) }, [])
+        .add(
+            "a",
+            OpKind::Input {
+                shape: Shape::tokens(4, 32),
+            },
+            [],
+        )
         .unwrap();
     let b = g
-        .add("b", OpKind::Input { shape: Shape::tokens(32, 4) }, [])
+        .add(
+            "b",
+            OpKind::Input {
+                shape: Shape::tokens(32, 4),
+            },
+            [],
+        )
         .unwrap();
     let _ = g.add("mm", OpKind::MatMul, [a, b]).unwrap();
 

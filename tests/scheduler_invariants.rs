@@ -7,11 +7,11 @@ use proptest::prelude::*;
 
 fn arbitrary_arch() -> impl Strategy<Value = CimArchitecture> {
     (
-        1u32..64,                       // cores
-        1u32..8,                        // xbs per core
+        1u32..64,                                                 // cores
+        1u32..8,                                                  // xbs per core
         prop_oneof![Just(32u32), Just(64), Just(128), Just(256)], // rows
         prop_oneof![Just(64u32), Just(128), Just(256)],           // cols
-        1u32..5,                        // parallel row selector (divisor power)
+        1u32..5, // parallel row selector (divisor power)
         prop_oneof![Just(CellType::Sram), Just(CellType::Reram)],
         prop_oneof![Just(1u32), Just(2), Just(4)],
         prop_oneof![

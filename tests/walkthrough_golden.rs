@@ -8,7 +8,13 @@ use cim_mlc::prelude::*;
 fn conv_relu() -> Graph {
     let mut g = Graph::new("conv-relu");
     let x = g
-        .add("x", OpKind::Input { shape: Shape::chw(3, 32, 32) }, [])
+        .add(
+            "x",
+            OpKind::Input {
+                shape: Shape::chw(3, 32, 32),
+            },
+            [],
+        )
         .unwrap();
     let c = g.add("conv", OpKind::conv2d(32, 3, 1, 1), [x]).unwrap();
     let _ = g.add("relu", OpKind::Relu, [c]).unwrap();

@@ -1,0 +1,106 @@
+//! Workspace smoke test: the facade prelude must keep exposing the
+//! stack's entry points — presets, the model zoo, the compiler and the
+//! simulator — so a re-export regression in `cim_mlc::prelude` fails
+//! fast here rather than deep inside an example or downstream crate.
+
+use cim_mlc::prelude::*;
+
+#[test]
+fn prelude_exposes_presets_and_zoo() {
+    // Architecture presets come through the prelude's `presets` module.
+    let arch: CimArchitecture = presets::isaac_baseline();
+    assert_eq!(arch.mode(), ComputingMode::Xbm);
+    assert!(!presets::all().is_empty());
+
+    // Models come through the prelude's `zoo` module.
+    let model: Graph = zoo::lenet5();
+    assert!(!model.is_empty());
+    assert!(!zoo::all().is_empty());
+}
+
+#[test]
+fn prelude_exposes_compile_entry_points() {
+    let arch = presets::table2_example();
+    let model = zoo::lenet5();
+
+    // `Compiler` + `CompileOptions`/`OptLevel` are the compile entry
+    // points; `Compiled` yields `PerfReport`s.
+    let compiled: Compiled = Compiler::new().compile(&model, &arch).expect("compiles");
+    let report: &PerfReport = compiled.report();
+    assert!(report.latency_cycles > 0.0);
+
+    let options = CompileOptions {
+        level: OptLevel::Cg,
+        ..CompileOptions::default()
+    };
+    let cg_only = Compiler::with_options(options)
+        .compile(&model, &arch)
+        .expect("compiles at CG level");
+    assert_eq!(cg_only.report().level, "cg");
+}
+
+#[test]
+fn prelude_exposes_simulate_entry_points() {
+    let arch = presets::isaac_baseline();
+    let model = zoo::lenet5();
+    let compiled = Compiler::new().compile(&model, &arch).expect("compiles");
+
+    // `codegen` produces an executable `MopFlow`; `Machine`,
+    // `WeightStore` and `reference` close the simulation loop.
+    let (flow, layout) = codegen::generate_flow(&compiled, &model, &arch).expect("codegen");
+    let stats = FlowStats::of(&flow);
+    assert!(stats.total() > 0);
+
+    let store = WeightStore::for_flow(&flow);
+    let mut machine = Machine::new(&arch);
+    machine.load_inputs(&model, &layout);
+    machine.execute(&flow, &store).expect("flow executes");
+
+    let expected = reference::execute(&model);
+    let out = model.outputs()[0];
+    assert_eq!(
+        machine.read_l0(layout.offset(out), expected[&out].len()),
+        expected[&out]
+    );
+}
+
+#[test]
+fn prelude_exposes_architecture_building_blocks() {
+    // The tier/arch types needed to describe a custom accelerator are
+    // all importable from the prelude.
+    let xb = CrossbarTier::new(
+        XbShape::new(128, 128).expect("valid shape"),
+        16,
+        1,
+        8,
+        CellType::Reram,
+        2,
+    )
+    .expect("valid crossbar");
+    let arch = CimArchitecture::builder("smoke")
+        .chip(ChipTier::with_core_count(16).expect("valid chip"))
+        .core(CoreTier::with_xb_count(4).expect("valid core"))
+        .crossbar(xb)
+        .mode(ComputingMode::Xbm)
+        .build()
+        .expect("valid architecture");
+    assert_eq!(arch.chip().core_count(), 16);
+    let _nk: NocKind = NocKind::Ideal;
+    let _nc: NocCost = NocCost::Ideal;
+}
+
+#[test]
+fn prelude_exposes_mop_and_trace() {
+    let arch = presets::isaac_baseline();
+    let model = zoo::lenet5();
+    let compiled = Compiler::new().compile(&model, &arch).expect("compiles");
+    let (flow, _layout) = codegen::generate_flow(&compiled, &model, &arch).expect("codegen");
+
+    // `MopFlow` is visible under its prelude name and prints the
+    // paper's syntax; the `trace` module is reachable for perf series.
+    let mop: &MopFlow = &flow;
+    assert!(!mop.to_string().is_empty());
+    let phases = trace::power_trace(&compiled, &arch);
+    assert!(!phases.is_empty());
+    assert!(trace::peak_power(&phases) >= 0.0);
+}

@@ -1,0 +1,619 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's `Value` data model, without `syn`/`quote`
+//! (no registry access). The parser covers the item grammar this
+//! workspace uses: non-generic structs (named, newtype, tuple) and enums
+//! (unit, newtype, tuple and struct variants), with the container
+//! attribute `#[serde(rename_all = "...")]` and the field attributes
+//! `#[serde(default)]` / `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `None`: required; `Some(None)`: `Default::default()`;
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    rename_all: Option<String>,
+    data: Data,
+}
+
+#[derive(Debug, Default)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    default: Option<Option<String>>,
+    /// serde keys this stand-in does not implement; turned into
+    /// compile errors so unsupported annotations never silently no-op.
+    unsupported: Vec<String>,
+}
+
+impl SerdeAttrs {
+    fn check_supported(&self) -> Result<(), String> {
+        if self.unsupported.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unsupported serde attribute(s) {:?}: the vendored serde_derive only \
+                 implements `rename_all` and `default`",
+                self.unsupported
+            ))
+        }
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Collects `#[serde(...)]` metadata from one attribute's bracket group,
+/// ignoring every other attribute (docs, `derive`, `non_exhaustive`, …).
+fn parse_attr(group_tokens: Vec<TokenTree>, out: &mut SerdeAttrs) {
+    let mut iter = group_tokens.into_iter();
+    let Some(TokenTree::Ident(path)) = iter.next() else {
+        return;
+    };
+    if path.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(meta)) = iter.next() else {
+        return;
+    };
+    let metas: Vec<TokenTree> = meta.stream().into_iter().collect();
+    let mut i = 0;
+    while i < metas.len() {
+        let TokenTree::Ident(key) = &metas[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let value = match (metas.get(i + 1), metas.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                i += 3;
+                Some(lit.to_string().trim_matches('"').to_owned())
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match key.as_str() {
+            "rename_all" => out.rename_all = value,
+            "default" => out.default = Some(value),
+            other => out.unsupported.push(other.to_owned()),
+        }
+        // Skip a separating comma if present.
+        if let Some(TokenTree::Punct(p)) = metas.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Consumes leading attributes at `*i`, accumulating serde metadata.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize, out: &mut SerdeAttrs) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Punct(bang)) = tokens.get(*i) {
+            if bang.as_char() == '!' {
+                *i += 1;
+            }
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            parse_attr(g.stream().into_iter().collect(), out);
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past one type, stopping at a `,` outside all angle brackets.
+/// The `>` of a `->` arrow is not a closing bracket.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while let Some(tt) = tokens.get(*i) {
+        let mut is_dash = false;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                '-' => is_dash = true,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        prev_dash = is_dash;
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        skip_attrs(&tokens, &mut i, &mut attrs);
+        attrs.check_supported()?;
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // separating comma (or past the end)
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    let mut prev_dash = false;
+    for tt in &tokens {
+        trailing_comma = false;
+        let mut is_dash = false;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                '-' => is_dash = true,
+                ',' if angle == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+        prev_dash = is_dash;
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        skip_attrs(&tokens, &mut i, &mut attrs);
+        attrs.check_supported()?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = SerdeAttrs::default();
+    skip_attrs(&tokens, &mut i, &mut attrs);
+    attrs.check_supported()?;
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive does not support generic items (`{name}`)"
+            ));
+        }
+    }
+    let data = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::NamedStruct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Data::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(g.stream())?)
+        }
+        (k, other) => return Err(format!("unsupported item `{k}` body: {other:?}")),
+    };
+    Ok(Container {
+        name,
+        rename_all: attrs.rename_all,
+        data,
+    })
+}
+
+/// Splits a CamelCase identifier into words, serde-style: a new word
+/// starts at every uppercase letter.
+fn split_words(name: &str) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    for c in name.chars() {
+        if c.is_uppercase() || words.is_empty() {
+            words.push(String::new());
+        }
+        words.last_mut().unwrap().push(c);
+    }
+    words
+}
+
+fn apply_rename(rule: Option<&str>, name: &str) -> String {
+    let Some(rule) = rule else {
+        return name.to_owned();
+    };
+    let words = split_words(name);
+    match rule {
+        "snake_case" => words
+            .iter()
+            .map(|w| w.to_lowercase())
+            .collect::<Vec<_>>()
+            .join("_"),
+        "SCREAMING_SNAKE_CASE" => words
+            .iter()
+            .map(|w| w.to_uppercase())
+            .collect::<Vec<_>>()
+            .join("_"),
+        "kebab-case" => words
+            .iter()
+            .map(|w| w.to_lowercase())
+            .collect::<Vec<_>>()
+            .join("-"),
+        "SCREAMING-KEBAB-CASE" => words
+            .iter()
+            .map(|w| w.to_uppercase())
+            .collect::<Vec<_>>()
+            .join("-"),
+        "lowercase" => name.to_lowercase(),
+        "UPPERCASE" => name.to_uppercase(),
+        "camelCase" => {
+            let mut s = words[0].to_lowercase();
+            for w in &words[1..] {
+                s.push_str(w);
+            }
+            s
+        }
+        _ => name.to_owned(),
+    }
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let rule = c.rename_all.as_deref();
+    let body = match &c.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let ser = apply_rename(rule, &f.name);
+                s.push_str(&format!(
+                    "__m.push((::std::string::String::from({ser:?}), \
+                     ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)\n");
+            s
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)\n".to_owned(),
+        Data::TupleStruct(n) => {
+            let mut s = String::from(
+                "let mut __s: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for idx in 0..*n {
+                s.push_str(&format!(
+                    "__s.push(::serde::Serialize::to_value(&self.{idx}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Seq(__s)\n");
+            s
+        }
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let tag = apply_rename(rule, &v.name);
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({tag:?})),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                         ::std::vec::Vec::new();\n\
+                         __m.push((::std::string::String::from({tag:?}), \
+                         ::serde::Serialize::to_value(__f0)));\n\
+                         ::serde::Value::Map(__m)\n}}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm =
+                            format!("{name}::{v}({}) => {{\n", binders.join(", "), v = v.name);
+                        arm.push_str(
+                            "let mut __s: ::std::vec::Vec<::serde::Value> = \
+                             ::std::vec::Vec::new();\n",
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "__s.push(::serde::Serialize::to_value({b}));\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                             __m.push((::std::string::String::from({tag:?}), \
+                             ::serde::Value::Seq(__s)));\n\
+                             ::serde::Value::Map(__m)\n}}\n"
+                        ));
+                        s.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {} }} => {{\n",
+                            binders.join(", "),
+                            v = v.name
+                        );
+                        arm.push_str(
+                            "let mut __fm: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__fm.push((::std::string::String::from({n:?}), \
+                                 ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                             __m.push((::std::string::String::from({tag:?}), \
+                             ::serde::Value::Map(__fm)));\n\
+                             ::serde::Value::Map(__m)\n}}\n"
+                        ));
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, clippy::nursery)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+/// The expression rebuilding one named field from map entries `__m`.
+fn field_expr(owner: &str, rule: Option<&str>, f: &Field, rename_fields: bool) -> String {
+    let ser = if rename_fields {
+        apply_rename(rule, &f.name)
+    } else {
+        f.name.clone()
+    };
+    let missing = match &f.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_owned(),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\
+             concat!(\"missing field `\", {ser:?}, \"` in \", {owner:?})))"
+        ),
+    };
+    format!(
+        "{field}: match ::serde::Value::lookup(__m, {ser:?}) {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n}},\n",
+        field = f.name
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let rule = c.rename_all.as_deref();
+    let body = match &c.data {
+        Data::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 concat!(\"expected object for struct \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&field_expr(name, rule, f, true));
+            }
+            s.push_str("})\n");
+            s
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})),\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!(\"expected array of length {n} for \", {name:?}))),\n}}\n",
+                items = items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let tag = apply_rename(rule, &v.name);
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => map_arms.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__content)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "{tag:?} => match __content {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{v}({items})),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                             concat!(\"expected array of length {n} for variant \", {tag:?}))),\n}},\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "{tag:?} => {{\n\
+                             let __m = __content.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(concat!(\"expected object for variant \", \
+                             {tag:?})))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n",
+                            v = v.name
+                        );
+                        for f in fields {
+                            arm.push_str(&field_expr(&v.name, rule, f, false));
+                        }
+                        arm.push_str("})\n},\n");
+                        map_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __content) = &__entries[0];\n\
+                 let _ = __content;\n\
+                 match __k.as_str() {{\n{map_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!(\"expected string or single-key object for enum \", {name:?}))),\n}}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, clippy::nursery)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (vendored Value-model flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_serialize(&c).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` (vendored Value-model flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_deserialize(&c).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
