@@ -48,5 +48,14 @@ pub use mode::ComputingMode;
 pub use serde_io::{from_json, to_json};
 pub use tier::{CellType, ChipTier, CoreTier, CrossbarTier, NocCost, NocKind, XbShape};
 
+// Architectures are shared by reference across the `cim-bench` sweep
+// pool's worker threads; pin thread-safety down at compile time.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<CimArchitecture>();
+    assert_send_sync::<CostModel>();
+    assert_send_sync::<ArchError>();
+};
+
 /// Convenient result alias for fallible architecture operations.
 pub type Result<T> = std::result::Result<T, ArchError>;

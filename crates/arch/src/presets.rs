@@ -219,6 +219,37 @@ pub fn sensitivity_baseline() -> CimArchitecture {
     )
 }
 
+/// Canonical preset keys, in [`all`] order. These are the identifiers
+/// [`by_name`] accepts and the vocabulary sweep specifications
+/// (`cim-bench`) and the `cimc` CLI validate against.
+pub const NAMES: [&str; 7] = [
+    "isaac",
+    "isaac-wlm",
+    "jia",
+    "puma",
+    "jain",
+    "table2",
+    "sensitivity",
+];
+
+/// Builds the preset with the canonical key `name` (one of [`NAMES`],
+/// plus the aliases `baseline`/`table3` for `isaac`, `baseline-wlm` for
+/// `isaac-wlm` and `walkthrough` for `table2`). Returns `None` for
+/// unknown keys.
+#[must_use]
+pub fn by_name(name: &str) -> Option<CimArchitecture> {
+    match name {
+        "isaac" | "baseline" | "table3" => Some(isaac_baseline()),
+        "isaac-wlm" | "baseline-wlm" => Some(isaac_baseline_wlm()),
+        "jia" => Some(jia_isscc21()),
+        "puma" => Some(puma()),
+        "jain" => Some(jain_sram()),
+        "table2" | "walkthrough" => Some(table2_example()),
+        "sensitivity" => Some(sensitivity_baseline()),
+        _ => None,
+    }
+}
+
 /// Every preset paired with its name, for exhaustive iteration in tests
 /// and the generality matrix (Table 1).
 #[must_use]
@@ -237,6 +268,18 @@ pub fn all() -> Vec<CimArchitecture> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_enumerate_all_in_order() {
+        let all = all();
+        assert_eq!(NAMES.len(), all.len());
+        for (key, preset) in NAMES.iter().zip(&all) {
+            let by = by_name(key).unwrap_or_else(|| panic!("by_name({key})"));
+            assert_eq!(&by, preset, "{key}");
+        }
+        assert_eq!(by_name("table3"), by_name("isaac"));
+        assert!(by_name("nope").is_none());
+    }
 
     #[test]
     fn table3_parameters() {

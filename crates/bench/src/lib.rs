@@ -17,6 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod report;
+pub mod sweep;
+
+pub use report::{compare, BenchReport, RegressionReport, ReportError, Tolerances};
+pub use sweep::{run_sweep, ScheduleMode, SweepError, SweepSpec};
 
 use cim_arch::{presets, CellType, CimArchitecture, CrossbarTier, XbShape};
 use cim_compiler::cg::{schedule_cg, CgOptions};

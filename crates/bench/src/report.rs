@@ -1,0 +1,652 @@
+//! Versioned, machine-readable bench reports and regression comparison.
+//!
+//! A [`BenchReport`] is the JSON artifact a sweep run emits (`cimc bench
+//! --out report.json`): schema version, toolchain, the [`SweepSpec`] that
+//! produced it, one [`JobRecord`] per successful compilation and one
+//! [`JobFailure`] per compile error, plus a wall-clock [`SweepTiming`]
+//! section. Everything outside the timing section and the per-job
+//! `compile_ms` field is deterministic, so [`BenchReport::comparable`]
+//! yields byte-identical JSON across worker counts and machines.
+//!
+//! [`compare`] diffs two reports job-by-job and flags metric deltas
+//! beyond configurable [`Tolerances`] — the CI regression gate.
+
+use crate::sweep::{ScheduleMode, SweepSpec};
+use cim_compiler::CompileMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Version of the report document layout. Bump on any
+/// backwards-incompatible field change; [`from_json`] rejects documents
+/// with a different version instead of misreading them.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The stable job identifier (`model@arch#mode`) shared by job specs,
+/// records and failures — the unit [`compare`] matches baseline and
+/// current reports on.
+#[must_use]
+pub fn job_key(model: &str, arch: &str, mode: ScheduleMode) -> String {
+    format!("{model}@{arch}#{mode}")
+}
+
+/// Deterministic per-job metrics (flattened [`CompileMetrics`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Deepest scheduling level that ran.
+    pub level: String,
+    /// End-to-end single-image inference latency in cycles.
+    pub latency_cycles: f64,
+    /// Steady-state initiation interval for batch processing.
+    pub steady_state_interval: f64,
+    /// Peak instantaneous power (energy units per cycle).
+    pub peak_power: f64,
+    /// Maximum number of crossbars simultaneously active.
+    pub peak_active_crossbars: u64,
+    /// Total energy of one inference.
+    pub energy_total: f64,
+    /// Crossbar-activation component of the energy.
+    pub energy_crossbar: f64,
+    /// ADC component of the energy.
+    pub energy_adc: f64,
+    /// DAC component of the energy.
+    pub energy_dac: f64,
+    /// Data-movement component of the energy.
+    pub energy_movement: f64,
+    /// Digital-ALU component of the energy.
+    pub energy_alu: f64,
+    /// Number of compute-graph segments.
+    pub segments: usize,
+    /// Cycles spent reprogramming crossbars between segments/folds.
+    pub reprogram_cycles: f64,
+    /// Number of pipeline stages scheduled.
+    pub stages: usize,
+    /// MVM macro-operations issued per inference.
+    pub mvm_ops: u64,
+    /// Crossbar allocations summed over the final plans.
+    pub crossbars_allocated: u64,
+    /// Peak fraction of the chip's crossbars simultaneously active.
+    pub utilization: f64,
+}
+
+impl From<&CompileMetrics> for JobMetrics {
+    fn from(m: &CompileMetrics) -> Self {
+        JobMetrics {
+            level: m.level.to_owned(),
+            latency_cycles: m.latency_cycles,
+            steady_state_interval: m.steady_state_interval,
+            peak_power: m.peak_power,
+            peak_active_crossbars: m.peak_active_crossbars,
+            energy_total: m.energy.total(),
+            energy_crossbar: m.energy.crossbar,
+            energy_adc: m.energy.adc,
+            energy_dac: m.energy.dac,
+            energy_movement: m.energy.movement,
+            energy_alu: m.energy.alu,
+            segments: m.segments,
+            reprogram_cycles: m.reprogram_cycles,
+            stages: m.stages,
+            mvm_ops: m.mvm_ops,
+            crossbars_allocated: m.crossbars_allocated,
+            utilization: m.utilization,
+        }
+    }
+}
+
+/// One successful sweep job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Zoo model key.
+    pub model: String,
+    /// Architecture preset key.
+    pub arch: String,
+    /// Scheduling mode.
+    pub mode: ScheduleMode,
+    /// Deterministic metrics.
+    pub metrics: JobMetrics,
+    /// Wall-clock compile time in milliseconds — the only
+    /// non-deterministic per-job field; zeroed by
+    /// [`BenchReport::comparable`].
+    pub compile_ms: f64,
+}
+
+impl JobRecord {
+    /// This record's [`job_key`].
+    #[must_use]
+    pub fn key(&self) -> String {
+        job_key(&self.model, &self.arch, self.mode)
+    }
+}
+
+/// One failed sweep job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// Zoo model key.
+    pub model: String,
+    /// Architecture preset key.
+    pub arch: String,
+    /// Scheduling mode.
+    pub mode: ScheduleMode,
+    /// The compile error, verbatim.
+    pub error: String,
+}
+
+impl JobFailure {
+    /// This failure's [`job_key`].
+    #[must_use]
+    pub fn key(&self) -> String {
+        job_key(&self.model, &self.arch, self.mode)
+    }
+}
+
+/// Wall-clock summary of a sweep run. Excluded from comparison: two runs
+/// of the same spec differ here and nowhere else.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepTiming {
+    /// Total sweep wall-clock time in milliseconds.
+    pub total_ms: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// The machine-readable artifact of one sweep run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Document layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The toolchain that produced the report.
+    pub toolchain: String,
+    /// The spec that was swept.
+    pub spec: SweepSpec,
+    /// Successful jobs, in matrix order.
+    pub jobs: Vec<JobRecord>,
+    /// Failed jobs, in matrix order.
+    pub failures: Vec<JobFailure>,
+    /// Wall-clock section (excluded from comparison).
+    pub timing: SweepTiming,
+}
+
+/// Why a report document was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The document is not valid JSON or does not match the schema.
+    Parse(String),
+    /// The document's `schema_version` is not [`SCHEMA_VERSION`].
+    SchemaVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this toolchain reads and writes.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Parse(e) => write!(f, "invalid bench report: {e}"),
+            ReportError::SchemaVersion { found, expected } => write!(
+                f,
+                "bench report schema_version {found} is not the supported version {expected} \
+                 (regenerate the baseline with scripts/refresh-baseline.sh)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl BenchReport {
+    /// Assembles a report, stamping the schema version and toolchain.
+    #[must_use]
+    pub fn new(
+        spec: SweepSpec,
+        jobs: Vec<JobRecord>,
+        failures: Vec<JobFailure>,
+        timing: SweepTiming,
+    ) -> Self {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            toolchain: concat!("cim-bench ", env!("CARGO_PKG_VERSION")).to_owned(),
+            spec,
+            jobs,
+            failures,
+            timing,
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench reports always serialize")
+    }
+
+    /// Parses and validates a report document.
+    ///
+    /// # Errors
+    /// Returns [`ReportError`] on malformed JSON or a schema-version
+    /// mismatch.
+    pub fn from_json(json: &str) -> Result<Self, ReportError> {
+        let report: BenchReport =
+            serde_json::from_str(json).map_err(|e| ReportError::Parse(e.to_string()))?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(ReportError::SchemaVersion {
+                found: report.schema_version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        Ok(report)
+    }
+
+    /// A copy with every wall-clock field zeroed: the comparison section.
+    /// Two sweeps of the same spec on the same toolchain serialize this
+    /// copy to byte-identical JSON regardless of worker count.
+    #[must_use]
+    pub fn comparable(&self) -> Self {
+        let mut report = self.clone();
+        report.timing = SweepTiming {
+            total_ms: 0.0,
+            threads: 0,
+        };
+        for job in &mut report.jobs {
+            job.compile_ms = 0.0;
+        }
+        report
+    }
+}
+
+/// Relative tolerances for [`compare`], as fractions (0.005 = 0.5%).
+/// Sweep metrics are deterministic simulated quantities, so the defaults
+/// are tight: any delta beyond them reflects a real change in compiler
+/// behaviour, not measurement noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Allowed relative latency increase.
+    pub latency: f64,
+    /// Allowed relative energy increase.
+    pub energy: f64,
+    /// Allowed relative peak-power increase.
+    pub peak_power: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            latency: 0.005,
+            energy: 0.005,
+            peak_power: 0.005,
+        }
+    }
+}
+
+impl Tolerances {
+    /// Uniform tolerances of `fraction` on every metric.
+    #[must_use]
+    pub fn uniform(fraction: f64) -> Self {
+        Tolerances {
+            latency: fraction,
+            energy: fraction,
+            peak_power: fraction,
+        }
+    }
+}
+
+/// One metric that moved beyond tolerance between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Job key (`model@arch#mode`).
+    pub job: String,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change, `(current - baseline) / baseline`.
+    pub delta: f64,
+}
+
+impl std::fmt::Display for MetricDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {:.4} -> {:.4} ({:+.2}%)",
+            self.job,
+            self.metric,
+            self.baseline,
+            self.current,
+            self.delta * 100.0
+        )
+    }
+}
+
+/// The outcome of diffing a current report against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegressionReport {
+    /// Metrics that got worse beyond tolerance — these fail the gate.
+    pub regressions: Vec<MetricDelta>,
+    /// Metrics that improved beyond tolerance (informational; refresh
+    /// the baseline to lock them in).
+    pub improvements: Vec<MetricDelta>,
+    /// Jobs that compiled in the baseline but fail now — these fail the
+    /// gate.
+    pub newly_failing: Vec<String>,
+    /// Jobs that failed in the baseline but compile now (informational).
+    pub fixed: Vec<String>,
+    /// Baseline job keys absent from the current report (e.g. a quick
+    /// run compared against the full baseline; informational).
+    pub missing: Vec<String>,
+    /// Current job keys absent from the baseline (informational).
+    pub added: Vec<String>,
+}
+
+impl RegressionReport {
+    /// `true` when the gate passes: no regressions and no newly failing
+    /// jobs.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty() && self.newly_failing.is_empty()
+    }
+
+    /// Renders a human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passes() {
+            out.push_str("regression gate: PASS\n");
+        } else {
+            out.push_str("regression gate: FAIL\n");
+        }
+        for d in &self.regressions {
+            out.push_str(&format!("  regression  {d}\n"));
+        }
+        for key in &self.newly_failing {
+            out.push_str(&format!("  newly failing  {key}\n"));
+        }
+        for d in &self.improvements {
+            out.push_str(&format!("  improvement {d}\n"));
+        }
+        for key in &self.fixed {
+            out.push_str(&format!("  fixed  {key}\n"));
+        }
+        if !self.missing.is_empty() {
+            out.push_str(&format!(
+                "  ({} baseline job(s) not exercised by this run)\n",
+                self.missing.len()
+            ));
+        }
+        if !self.added.is_empty() {
+            out.push_str(&format!(
+                "  ({} job(s) have no baseline entry yet)\n",
+                self.added.len()
+            ));
+        }
+        out
+    }
+}
+
+fn relative_delta(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (current - baseline) / baseline
+    }
+}
+
+/// Diffs `current` against `baseline` job-by-job.
+///
+/// Jobs are matched on their `model@arch#mode` key; latency, total
+/// energy and peak power deltas beyond `tol` are classified as
+/// regressions (worse) or improvements (better). A failing job is
+/// `newly_failing` — and fails the gate — unless the baseline already
+/// records the same job as failing; that covers both jobs that compiled
+/// in the baseline and jobs added to the spec in a broken state.
+/// Successful jobs present on only one side are reported but do not fail
+/// the gate, so a `--quick` run can be compared against the full
+/// committed baseline.
+#[must_use]
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tol: &Tolerances,
+) -> RegressionReport {
+    let mut report = RegressionReport::default();
+    let base_jobs: Vec<(String, &JobRecord)> = baseline.jobs.iter().map(|j| (j.key(), j)).collect();
+    let base_failures: Vec<String> = baseline.failures.iter().map(JobFailure::key).collect();
+    let find_base = |key: &str| base_jobs.iter().find(|(k, _)| k == key).map(|(_, j)| *j);
+
+    let mut current_keys: Vec<String> = Vec::new();
+    for job in &current.jobs {
+        let key = job.key();
+        current_keys.push(key.clone());
+        let Some(base) = find_base(&key) else {
+            if base_failures.contains(&key) {
+                report.fixed.push(key);
+            } else {
+                report.added.push(key);
+            }
+            continue;
+        };
+        let checks: [(&'static str, f64, f64, f64); 3] = [
+            (
+                "latency_cycles",
+                base.metrics.latency_cycles,
+                job.metrics.latency_cycles,
+                tol.latency,
+            ),
+            (
+                "energy_total",
+                base.metrics.energy_total,
+                job.metrics.energy_total,
+                tol.energy,
+            ),
+            (
+                "peak_power",
+                base.metrics.peak_power,
+                job.metrics.peak_power,
+                tol.peak_power,
+            ),
+        ];
+        for (metric, base_value, current_value, tolerance) in checks {
+            let delta = relative_delta(base_value, current_value);
+            let entry = MetricDelta {
+                job: key.clone(),
+                metric,
+                baseline: base_value,
+                current: current_value,
+                delta,
+            };
+            if delta > tolerance {
+                report.regressions.push(entry);
+            } else if delta < -tolerance {
+                report.improvements.push(entry);
+            }
+        }
+    }
+    for failure in &current.failures {
+        let key = failure.key();
+        current_keys.push(key.clone());
+        // Anything failing now that the baseline does not already record
+        // as failing fails the gate — including jobs the baseline has
+        // never seen, so a job added to the spec in a broken state cannot
+        // slip through as merely "added".
+        if !base_failures.contains(&key) {
+            report.newly_failing.push(key);
+        }
+    }
+    for (key, _) in &base_jobs {
+        if !current_keys.contains(key) {
+            report.missing.push(key.clone());
+        }
+    }
+    for key in &base_failures {
+        if !current_keys.contains(key) {
+            report.missing.push(key.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ScheduleMode;
+
+    fn metrics(latency: f64) -> JobMetrics {
+        JobMetrics {
+            level: "cg".to_owned(),
+            latency_cycles: latency,
+            steady_state_interval: latency,
+            peak_power: 10.0,
+            peak_active_crossbars: 64,
+            energy_total: 100.0,
+            energy_crossbar: 80.0,
+            energy_adc: 5.0,
+            energy_dac: 5.0,
+            energy_movement: 5.0,
+            energy_alu: 5.0,
+            segments: 1,
+            reprogram_cycles: 0.0,
+            stages: 3,
+            mvm_ops: 1000,
+            crossbars_allocated: 128,
+            utilization: 0.5,
+        }
+    }
+
+    fn record(model: &str, latency: f64) -> JobRecord {
+        JobRecord {
+            model: model.to_owned(),
+            arch: "isaac".to_owned(),
+            mode: ScheduleMode::Auto,
+            metrics: metrics(latency),
+            compile_ms: 1.25,
+        }
+    }
+
+    fn report(records: Vec<JobRecord>, failures: Vec<JobFailure>) -> BenchReport {
+        BenchReport::new(
+            SweepSpec::quick(),
+            records,
+            failures,
+            SweepTiming {
+                total_ms: 12.0,
+                threads: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(
+            vec![record("lenet5", 1000.0)],
+            vec![JobFailure {
+                model: "vgg16".to_owned(),
+                arch: "table2".to_owned(),
+                mode: ScheduleMode::Cg,
+                error: "operator too large".to_owned(),
+            }],
+        );
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_version_mismatch_rejected() {
+        let mut r = report(vec![record("lenet5", 1000.0)], vec![]);
+        r.schema_version = SCHEMA_VERSION + 1;
+        let err = BenchReport::from_json(&r.to_json()).unwrap_err();
+        assert!(matches!(err, ReportError::SchemaVersion { .. }), "{err}");
+        assert!(BenchReport::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn comparable_strips_only_wall_clock_fields() {
+        let r = report(vec![record("lenet5", 1000.0)], vec![]);
+        let c = r.comparable();
+        assert_eq!(c.jobs[0].compile_ms, 0.0);
+        assert_eq!(c.timing.total_ms, 0.0);
+        assert_eq!(c.jobs[0].metrics, r.jobs[0].metrics);
+        assert_eq!(c.spec, r.spec);
+    }
+
+    #[test]
+    fn latency_regression_beyond_tolerance_fails_the_gate() {
+        let base = report(vec![record("lenet5", 1000.0)], vec![]);
+        let current = report(vec![record("lenet5", 1100.0)], vec![]);
+        let diff = compare(&base, &current, &Tolerances::default());
+        assert!(!diff.passes());
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].metric, "latency_cycles");
+        assert!((diff.regressions[0].delta - 0.1).abs() < 1e-12);
+        assert!(diff.render().contains("FAIL"));
+
+        // The same delta passes under a generous tolerance.
+        let diff = compare(&base, &current, &Tolerances::uniform(0.2));
+        assert!(diff.passes());
+    }
+
+    #[test]
+    fn improvements_do_not_fail_the_gate() {
+        let base = report(vec![record("lenet5", 1000.0)], vec![]);
+        let current = report(vec![record("lenet5", 800.0)], vec![]);
+        let diff = compare(&base, &current, &Tolerances::default());
+        assert!(diff.passes());
+        assert_eq!(diff.improvements.len(), 1);
+        assert!(diff.render().contains("PASS"));
+    }
+
+    #[test]
+    fn newly_failing_job_fails_the_gate() {
+        let base = report(vec![record("lenet5", 1000.0)], vec![]);
+        let current = report(
+            vec![],
+            vec![JobFailure {
+                model: "lenet5".to_owned(),
+                arch: "isaac".to_owned(),
+                mode: ScheduleMode::Auto,
+                error: "boom".to_owned(),
+            }],
+        );
+        let diff = compare(&base, &current, &Tolerances::default());
+        assert!(!diff.passes());
+        assert_eq!(diff.newly_failing, vec!["lenet5@isaac#auto".to_owned()]);
+    }
+
+    #[test]
+    fn failure_without_baseline_entry_still_fails_the_gate() {
+        // A job added to the spec in a broken state has no baseline
+        // entry; it must surface as newly failing, not vanish.
+        let failure = JobFailure {
+            model: "vgg16".to_owned(),
+            arch: "isaac".to_owned(),
+            mode: ScheduleMode::Auto,
+            error: "boom".to_owned(),
+        };
+        let base = report(vec![record("lenet5", 1000.0)], vec![]);
+        let current = report(vec![record("lenet5", 1000.0)], vec![failure.clone()]);
+        let diff = compare(&base, &current, &Tolerances::default());
+        assert!(!diff.passes());
+        assert_eq!(diff.newly_failing, vec!["vgg16@isaac#auto".to_owned()]);
+
+        // Once the baseline records the same failure, it is expected.
+        let base = report(vec![record("lenet5", 1000.0)], vec![failure]);
+        assert!(compare(&base, &current, &Tolerances::default()).passes());
+    }
+
+    #[test]
+    fn spec_subsets_compare_cleanly() {
+        // Quick run against a fuller baseline: extra baseline jobs are
+        // `missing`, not failures; extra current jobs are `added`.
+        let base = report(
+            vec![record("lenet5", 1000.0), record("vgg16", 9000.0)],
+            vec![],
+        );
+        let current = report(vec![record("lenet5", 1000.0), record("mlp", 50.0)], vec![]);
+        let diff = compare(&base, &current, &Tolerances::default());
+        assert!(diff.passes());
+        assert_eq!(diff.missing, vec!["vgg16@isaac#auto".to_owned()]);
+        assert_eq!(diff.added, vec!["mlp@isaac#auto".to_owned()]);
+    }
+}

@@ -46,6 +46,7 @@ pub mod codegen;
 mod compile;
 mod error;
 pub mod mapping;
+mod metrics;
 pub mod mvm;
 pub mod perf;
 pub mod stage;
@@ -53,7 +54,25 @@ pub mod vvm;
 
 pub use compile::{CompileOptions, Compiled, Compiler, OptLevel};
 pub use error::CompileError;
+pub use metrics::CompileMetrics;
 pub use perf::PerfReport;
 
 /// Convenient result alias for fallible compilation operations.
 pub type Result<T> = std::result::Result<T, CompileError>;
+
+// The parallel sweep driver (`cim-bench`) shares compilers, schedules and
+// reports across worker threads. Everything here is plain owned data — no
+// interior mutability — so thread-safety is a compile-time invariant we
+// pin down rather than an accident of the current field set.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Compiler>();
+    assert_send_sync::<CompileOptions>();
+    assert_send_sync::<Compiled>();
+    assert_send_sync::<CompileMetrics>();
+    assert_send_sync::<PerfReport>();
+    assert_send_sync::<CompileError>();
+    assert_send_sync::<cg::CgSchedule>();
+    assert_send_sync::<mvm::MvmSchedule>();
+    assert_send_sync::<vvm::VvmSchedule>();
+};

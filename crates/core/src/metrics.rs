@@ -1,0 +1,122 @@
+//! Cheap per-compilation summary metrics for sweep drivers.
+//!
+//! [`CompileMetrics`] condenses a [`Compiled`] artifact into the flat,
+//! deterministic numbers a batch run wants to record per (model,
+//! architecture) job — the deepest level's performance report plus
+//! macro-operation and resource-usage counts — without re-running any
+//! scheduling or generating a meta-operator flow.
+
+use crate::compile::Compiled;
+use cim_arch::{CimArchitecture, EnergyBreakdown};
+
+/// Flat summary of one compilation, derived from the deepest scheduling
+/// level that ran. Every field is a pure function of the schedule, so two
+/// compilations of the same (model, architecture, options) triple yield
+/// identical metrics regardless of host or thread interleaving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileMetrics {
+    /// Deepest scheduling level that ran (`"cg"`, `"cg+mvm"`,
+    /// `"cg+mvm+vvm"`).
+    pub level: &'static str,
+    /// End-to-end single-image inference latency in cycles.
+    pub latency_cycles: f64,
+    /// Steady-state initiation interval for batch processing.
+    pub steady_state_interval: f64,
+    /// Peak instantaneous power (energy units per cycle).
+    pub peak_power: f64,
+    /// Maximum number of crossbars simultaneously active.
+    pub peak_active_crossbars: u64,
+    /// Total energy of one inference, by component.
+    pub energy: EnergyBreakdown,
+    /// Number of compute-graph segments.
+    pub segments: usize,
+    /// Cycles spent reprogramming crossbars between segments/folds.
+    pub reprogram_cycles: f64,
+    /// Number of pipeline stages (CIM operators) scheduled.
+    pub stages: usize,
+    /// MVM macro-operations the schedule issues per inference, summed
+    /// over all stages.
+    pub mvm_ops: u64,
+    /// Crossbar allocations summed over the final plans (replica count ×
+    /// VXB size per stage). Exceeds the chip's crossbar count when the
+    /// model runs in multiple reprogrammed segments.
+    pub crossbars_allocated: u64,
+    /// Peak fraction of the chip's crossbars simultaneously active
+    /// (`peak_active_crossbars / total_crossbars`).
+    pub utilization: f64,
+}
+
+impl Compiled {
+    /// Summarizes this compilation against the architecture it was
+    /// compiled for. `arch` only supplies chip totals (for utilization);
+    /// passing a different architecture than the one given to
+    /// [`crate::Compiler::compile`] yields meaningless ratios.
+    #[must_use]
+    pub fn metrics(&self, arch: &CimArchitecture) -> CompileMetrics {
+        let report = self.report();
+        let plans = self.final_plans();
+        let mvm_ops = plans
+            .iter()
+            .map(|p| self.cg.stages[p.stage].mapping.mvm_count)
+            .sum();
+        let crossbars_allocated = plans
+            .iter()
+            .map(|p| {
+                u64::from(self.cg.stages[p.stage].mapping.vxb_size()) * u64::from(p.duplication)
+            })
+            .sum();
+        let total_crossbars = arch.total_crossbars();
+        let utilization = if total_crossbars == 0 {
+            0.0
+        } else {
+            report.peak_active_crossbars as f64 / total_crossbars as f64
+        };
+        CompileMetrics {
+            level: report.level,
+            latency_cycles: report.latency_cycles,
+            steady_state_interval: self.steady_state_interval(),
+            peak_power: report.peak_power,
+            peak_active_crossbars: report.peak_active_crossbars,
+            energy: report.energy,
+            segments: report.segments,
+            reprogram_cycles: report.reprogram_cycles,
+            stages: self.cg.stages.len(),
+            mvm_ops,
+            crossbars_allocated,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Compiler;
+    use cim_arch::presets;
+    use cim_graph::zoo;
+
+    #[test]
+    fn metrics_match_the_deepest_report() {
+        let arch = presets::isaac_baseline();
+        let c = Compiler::new().compile(&zoo::vgg7(), &arch).unwrap();
+        let m = c.metrics(&arch);
+        let r = c.report();
+        assert_eq!(m.level, r.level);
+        assert_eq!(m.latency_cycles, r.latency_cycles);
+        assert_eq!(m.peak_active_crossbars, r.peak_active_crossbars);
+        assert_eq!(m.segments, r.segments);
+        assert_eq!(m.stages, c.cg.stages.len());
+        assert!(m.mvm_ops > 0);
+        assert!(m.crossbars_allocated > 0);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        assert_eq!(m.steady_state_interval, c.steady_state_interval());
+    }
+
+    #[test]
+    fn metrics_are_deterministic() {
+        let arch = presets::jain_sram();
+        let g = zoo::lenet5();
+        let a = Compiler::new().compile(&g, &arch).unwrap().metrics(&arch);
+        let b = Compiler::new().compile(&g, &arch).unwrap().metrics(&arch);
+        assert_eq!(a, b);
+    }
+}

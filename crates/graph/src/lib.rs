@@ -40,5 +40,13 @@ pub use op::{OpKind, PoolKind};
 pub use serde_io::{from_json, to_json};
 pub use shape::Shape;
 
+// Graphs are compiled concurrently by the `cim-bench` sweep pool's
+// worker threads; pin thread-safety down at compile time.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Graph>();
+    assert_send_sync::<GraphError>();
+};
+
 /// Convenient result alias for fallible graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

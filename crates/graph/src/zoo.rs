@@ -475,6 +475,51 @@ pub fn vit(name: &str, layers: usize, dim: usize, heads: usize, mlp_dim: usize) 
     g
 }
 
+/// Canonical zoo model names, in [`all`] order. These are the keys
+/// [`by_name`] accepts and the vocabulary sweep specifications
+/// (`cim-bench`) and the `cimc` CLI validate against.
+pub const NAMES: [&str; 15] = [
+    "lenet5",
+    "mlp",
+    "vgg7",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "vit_small",
+    "vit_base",
+    "vit_large",
+];
+
+/// Builds the zoo model named `name` (one of [`NAMES`]; `"vit"` is an
+/// alias for `vit_base`). Returns `None` for unknown names.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Graph> {
+    match name {
+        "lenet5" => Some(lenet5()),
+        "mlp" => Some(mlp()),
+        "vgg7" => Some(vgg7()),
+        "vgg11" => Some(vgg11()),
+        "vgg13" => Some(vgg13()),
+        "vgg16" => Some(vgg16()),
+        "vgg19" => Some(vgg19()),
+        "resnet18" => Some(resnet18()),
+        "resnet34" => Some(resnet34()),
+        "resnet50" => Some(resnet50()),
+        "resnet101" => Some(resnet101()),
+        "resnet152" => Some(resnet152()),
+        "vit_small" => Some(vit_small()),
+        "vit" | "vit_base" => Some(vit_base()),
+        "vit_large" => Some(vit_large()),
+        _ => None,
+    }
+}
+
 /// Every zoo model, for exhaustive iteration in tests and benches.
 #[must_use]
 pub fn all() -> Vec<Graph> {
@@ -500,6 +545,22 @@ pub fn all() -> Vec<Graph> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_enumerate_all_in_order() {
+        let all = all();
+        assert_eq!(NAMES.len(), all.len());
+        for (name, g) in NAMES.iter().zip(&all) {
+            // ViT graph names carry the patch-size suffix (`vit_base_16`);
+            // the lookup key is always a prefix of the graph name.
+            assert!(g.name().starts_with(name), "{} vs {name}", g.name());
+            let by = by_name(name).unwrap_or_else(|| panic!("by_name({name})"));
+            assert_eq!(by.name(), g.name());
+            assert_eq!(by.len(), g.len());
+        }
+        assert_eq!(by_name("vit").unwrap().name(), "vit_base_16");
+        assert!(by_name("nope").is_none());
+    }
 
     #[test]
     fn lenet_output_is_ten_way() {

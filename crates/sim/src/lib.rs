@@ -63,3 +63,13 @@ pub mod weights;
 
 pub use func::{Machine, SimError};
 pub use weights::WeightStore;
+
+// Parallel drivers (the `cim-bench` sweep pool) run one simulator per
+// worker thread and move results across threads; pin thread-safety down
+// at compile time.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Machine>();
+    assert_send_sync::<WeightStore>();
+    assert_send_sync::<SimError>();
+};

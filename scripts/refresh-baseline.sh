@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench baseline (bench/baseline.json) from the
+# full sweep and prints a diff summary against the previous baseline.
+#
+# usage: scripts/refresh-baseline.sh [jobs]
+#
+# Run this when a PR intentionally changes compiler metrics (latency,
+# energy, peak power) so CI's bench-report gate compares against the new
+# expected values; commit the refreshed file with the change that caused
+# it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+baseline="bench/baseline.json"
+
+old=""
+if [ -f "$baseline" ]; then
+    old="$(mktemp)"
+    trap 'rm -f "$old"' EXIT
+    cp "$baseline" "$old"
+fi
+
+cargo build --release --bin cimc
+
+if [ -n "$old" ]; then
+    # Sweep once, write the refreshed baseline, and print what moved
+    # relative to the previous one (the gate outcome is informational
+    # here — a refresh is allowed to change metrics).
+    ./target/release/cimc bench --jobs "$jobs" --out "$baseline" --comparable --baseline "$old"
+else
+    ./target/release/cimc bench --jobs "$jobs" --out "$baseline" --comparable
+fi
+
+echo
+git --no-pager diff --stat -- "$baseline" || true

@@ -14,14 +14,10 @@ use cim_mlc::prelude::*;
 use std::process::ExitCode;
 
 fn preset(name: &str) -> Result<CimArchitecture, String> {
+    if let Some(arch) = presets::by_name(name) {
+        return Ok(arch);
+    }
     match name {
-        "isaac" | "baseline" | "table3" => Ok(presets::isaac_baseline()),
-        "isaac-wlm" | "baseline-wlm" => Ok(presets::isaac_baseline_wlm()),
-        "jia" => Ok(presets::jia_isscc21()),
-        "puma" => Ok(presets::puma()),
-        "jain" => Ok(presets::jain_sram()),
-        "table2" | "walkthrough" => Ok(presets::table2_example()),
-        "sensitivity" => Ok(presets::sensitivity_baseline()),
         path if path.ends_with(".json") => {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read architecture file `{path}`: {e}"))?;
@@ -35,21 +31,10 @@ fn preset(name: &str) -> Result<CimArchitecture, String> {
 }
 
 fn model(name: &str) -> Result<Graph, String> {
+    if let Some(graph) = zoo::by_name(name) {
+        return Ok(graph);
+    }
     match name {
-        "lenet5" => Ok(zoo::lenet5()),
-        "mlp" => Ok(zoo::mlp()),
-        "vgg7" => Ok(zoo::vgg7()),
-        "vgg11" => Ok(zoo::vgg11()),
-        "vgg13" => Ok(zoo::vgg13()),
-        "vgg16" => Ok(zoo::vgg16()),
-        "vgg19" => Ok(zoo::vgg19()),
-        "resnet18" => Ok(zoo::resnet18()),
-        "resnet34" => Ok(zoo::resnet34()),
-        "resnet50" => Ok(zoo::resnet50()),
-        "resnet101" => Ok(zoo::resnet101()),
-        "resnet152" => Ok(zoo::resnet152()),
-        "vit" | "vit_base" => Ok(zoo::vit_base()),
-        "vit_small" => Ok(zoo::vit_small()),
         path if path.ends_with(".json") => {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read model file `{path}`: {e}"))?;
@@ -63,7 +48,10 @@ fn model(name: &str) -> Result<Graph, String> {
 
 const USAGE: &str =
     "usage:\n  cimc archs\n  cimc models\n  cimc compile --model <name|file.json> --arch <preset> \
-[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify]\n\
+[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify]\n  \
+cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] \
+[--baseline <file.json>] [--fail-on-regression] [--tolerance <pct>] [--models <a,b,..>] \
+[--archs <a,b,..>] [--modes <a,b,..>]\n\
 presets: isaac isaac-wlm jia puma jain table2 sensitivity";
 
 fn usage() -> ExitCode {
@@ -298,18 +286,282 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses a comma-separated list flag value into its items.
+fn split_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut comparable = false;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut fail_on_regression = false;
+    let mut tolerance: Option<f64> = None;
+    let mut models: Option<Vec<String>> = None;
+    let mut archs: Option<Vec<String>> = None;
+    let mut modes: Option<Vec<ScheduleMode>> = None;
+    let value_of = |flag: &str, i: usize| -> Result<String, String> {
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("missing value for `{flag}`")),
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--fail-on-regression" => {
+                fail_on_regression = true;
+                i += 1;
+            }
+            "--comparable" => {
+                comparable = true;
+                i += 1;
+            }
+            "--jobs" => {
+                let value = match value_of("--jobs", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<usize>() {
+                    Ok(0) => {
+                        eprintln!("invalid --jobs value `0` (must be at least 1)");
+                        return usage();
+                    }
+                    Ok(n) => jobs = Some(n),
+                    Err(_) => {
+                        eprintln!("invalid --jobs value `{value}` (expected a positive integer)");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--tolerance" => {
+                let value = match value_of("--tolerance", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 && pct.is_finite() => tolerance = Some(pct),
+                    _ => {
+                        eprintln!(
+                            "invalid --tolerance value `{value}` (expected a percentage >= 0)"
+                        );
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--out" => {
+                match value_of("--out", i) {
+                    Ok(v) => out = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--baseline" => {
+                match value_of("--baseline", i) {
+                    Ok(v) => baseline_path = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--models" => {
+                match value_of("--models", i) {
+                    Ok(v) => models = Some(split_list(&v)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--archs" => {
+                match value_of("--archs", i) {
+                    Ok(v) => archs = Some(split_list(&v)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--modes" => {
+                let value = match value_of("--modes", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                let mut parsed = Vec::new();
+                for name in split_list(&value) {
+                    match ScheduleMode::parse(&name) {
+                        Some(mode) => parsed.push(mode),
+                        None => {
+                            eprintln!(
+                                "invalid --modes value `{name}` (expected auto, cg, cg_mvm or \
+                                 cg_mvm_vvm)"
+                            );
+                            return usage();
+                        }
+                    }
+                }
+                modes = Some(parsed);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let mut spec = if quick {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::full()
+    };
+    if let Some(m) = models {
+        spec.models = m;
+    }
+    if let Some(a) = archs {
+        spec.archs = a;
+    }
+    if let Some(m) = modes {
+        spec.modes = m;
+    }
+    if let Err(e) = spec.validate() {
+        eprintln!("{e}");
+        return usage();
+    }
+    let threads = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+
+    let report = run_sweep(&spec, threads).expect("spec was validated above");
+
+    println!(
+        "{:<10} {:<10} {:<11} {:<11} {:>14} {:>14} {:>10} {:>6}",
+        "model", "arch", "mode", "level", "latency(cyc)", "energy", "peak pwr", "util"
+    );
+    for job in &report.jobs {
+        println!(
+            "{:<10} {:<10} {:<11} {:<11} {:>14.0} {:>14.1} {:>10.1} {:>6.3}",
+            job.model,
+            job.arch,
+            job.mode,
+            job.metrics.level,
+            job.metrics.latency_cycles,
+            job.metrics.energy_total,
+            job.metrics.peak_power,
+            job.metrics.utilization
+        );
+    }
+    for failure in &report.failures {
+        println!(
+            "{:<10} {:<10} {:<11} FAILED: {}",
+            failure.model, failure.arch, failure.mode, failure.error
+        );
+    }
+    println!(
+        "sweep: {} job(s) ({} ok, {} failed) on {} thread(s) in {:.0} ms",
+        report.jobs.len() + report.failures.len(),
+        report.jobs.len(),
+        report.failures.len(),
+        report.timing.threads,
+        report.timing.total_ms
+    );
+
+    if let Some(path) = out {
+        // `--comparable` strips the wall-clock fields so committed
+        // baselines only change when the metrics do.
+        let mut json = if comparable {
+            report.comparable().to_json()
+        } else {
+            report.to_json()
+        };
+        json.push('\n');
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write report to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+
+    if let Some(path) = baseline_path {
+        let json = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match BenchReport::from_json(&json) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("baseline `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let tol =
+            tolerance.map_or_else(Tolerances::default, |pct| Tolerances::uniform(pct / 100.0));
+        let diff = compare(&baseline, &report, &tol);
+        print!("\n{}", diff.render());
+        if fail_on_regression && !diff.passes() {
+            return ExitCode::FAILURE;
+        }
+    } else if fail_on_regression {
+        eprintln!("--fail-on-regression needs --baseline <file.json>");
+        return usage();
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("archs") => cmd_archs(),
         Some("models") => cmd_models(),
         Some("compile") => cmd_compile(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
         }
         Some(other) => {
-            eprintln!("unknown subcommand `{other}`");
+            eprintln!(
+                "unknown subcommand `{other}` (expected archs, models, compile, bench or help)"
+            );
             usage()
         }
         None => usage(),

@@ -17,7 +17,10 @@
 //! * [`sim`] (`cim-sim`) — functional simulator (bit-exact against a
 //!   reference executor) and performance traces;
 //! * [`baselines`] (`cim-baselines`) — Poly-Schedule and the vendor
-//!   schedules the paper compares against.
+//!   schedules the paper compares against;
+//! * [`bench`] (`cim-bench`) — figure/table regeneration harness plus the
+//!   parallel sweep driver with machine-readable bench reports
+//!   (`cimc bench`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@
 
 pub use cim_arch as arch;
 pub use cim_baselines as baselines;
+pub use cim_bench as bench;
 pub use cim_compiler as compiler;
 pub use cim_graph as graph;
 pub use cim_mop as mop;
@@ -56,7 +60,10 @@ pub mod prelude {
         presets, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier,
         NocCost, NocKind, XbShape,
     };
-    pub use cim_compiler::{codegen, CompileOptions, Compiled, Compiler, OptLevel, PerfReport};
+    pub use cim_bench::{compare, run_sweep, BenchReport, ScheduleMode, SweepSpec, Tolerances};
+    pub use cim_compiler::{
+        codegen, CompileMetrics, CompileOptions, Compiled, Compiler, OptLevel, PerfReport,
+    };
     pub use cim_graph::{zoo, Graph, NodeId, OpKind, Shape};
     pub use cim_mop::{FlowStats, MopFlow};
     pub use cim_sim::{reference, trace, Machine, WeightStore};

@@ -1,0 +1,171 @@
+//! End-to-end tests of the `cimc` binary's argument handling and the
+//! `bench` subcommand: exit codes, error messages that name the
+//! offending value, report emission and the regression gate.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cimc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cimc"))
+        .args(args)
+        .output()
+        .expect("cimc binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cimc_cli_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_lists_the_bench_subcommand() {
+    let out = cimc(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("cimc bench"), "{text}");
+    assert!(text.contains("--fail-on-regression"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_names_it_and_lists_alternatives() {
+    let out = cimc(&["benhc"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("`benhc`"), "{err}");
+    assert!(err.contains("bench"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn jobs_zero_is_rejected_with_the_offending_value() {
+    let out = cimc(&["bench", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--jobs") && err.contains("`0`"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn non_numeric_jobs_is_rejected_with_the_offending_value() {
+    let out = cimc(&["bench", "--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("`many`"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_sweep_model_is_rejected_with_the_offending_value() {
+    let out = cimc(&["bench", "--models", "lenet5,notamodel"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("`notamodel`"), "{err}");
+}
+
+#[test]
+fn fail_on_regression_requires_a_baseline() {
+    let out = cimc(&["bench", "--models", "lenet5", "--fail-on-regression"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--baseline"), "{}", stderr(&out));
+}
+
+#[test]
+fn bench_emits_a_schema_valid_report_and_gates_on_it() {
+    let report_path = tmp_path("report.json");
+    let tiny = [
+        "bench", "--models", "lenet5", "--archs", "isaac", "--modes", "cg", "--jobs", "2",
+    ];
+
+    // Emit a report and check it parses under the current schema.
+    let mut emit = tiny.to_vec();
+    emit.extend(["--out", report_path.to_str().unwrap()]);
+    let out = cimc(&emit);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&report_path).unwrap();
+    let report = cim_mlc::bench::BenchReport::from_json(&json).unwrap();
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(report.failures.len(), 0);
+
+    // Re-running against that report as baseline passes the gate.
+    let mut gate = tiny.to_vec();
+    gate.extend([
+        "--baseline",
+        report_path.to_str().unwrap(),
+        "--fail-on-regression",
+    ]);
+    let out = cimc(&gate);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("regression gate: PASS"),
+        "{}",
+        stdout(&out)
+    );
+
+    // A baseline that claims to be faster makes the current run a
+    // regression and fails the gate.
+    let mut faster = report.clone();
+    faster.jobs[0].metrics.latency_cycles /= 2.0;
+    let faster_path = tmp_path("faster_baseline.json");
+    std::fs::write(&faster_path, faster.to_json()).unwrap();
+    let mut gate = tiny.to_vec();
+    gate.extend([
+        "--baseline",
+        faster_path.to_str().unwrap(),
+        "--fail-on-regression",
+    ]);
+    let out = cimc(&gate);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("regression gate: FAIL"),
+        "{}",
+        stdout(&out)
+    );
+
+    // Without --fail-on-regression the same comparison only reports.
+    let mut warn = tiny.to_vec();
+    warn.extend(["--baseline", faster_path.to_str().unwrap()]);
+    let out = cimc(&warn);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("regression gate: FAIL"),
+        "{}",
+        stdout(&out)
+    );
+
+    // A corrupt baseline is a hard error.
+    let broken_path = tmp_path("broken_baseline.json");
+    std::fs::write(&broken_path, "{not json").unwrap();
+    let mut gate = tiny.to_vec();
+    gate.extend(["--baseline", broken_path.to_str().unwrap()]);
+    let out = cimc(&gate);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid bench report"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A schema-version bump is rejected, not misread.
+    let mut future = report;
+    future.schema_version += 1;
+    let future_path = tmp_path("future_baseline.json");
+    std::fs::write(&future_path, future.to_json()).unwrap();
+    let mut gate = tiny.to_vec();
+    gate.extend(["--baseline", future_path.to_str().unwrap()]);
+    let out = cimc(&gate);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("schema_version"), "{}", stderr(&out));
+
+    for p in [report_path, faster_path, broken_path, future_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
