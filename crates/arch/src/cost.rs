@@ -9,10 +9,11 @@
 //! (speedups, normalized peak power), which this calibration preserves.
 
 use crate::tier::CrossbarTier;
+use serde::{Deserialize, Serialize};
 
 /// Energy attributed to each hardware component over some window
 /// (arbitrary consistent units).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
     /// Crossbar (wordline/bitline) activation energy.
     pub crossbar: f64,

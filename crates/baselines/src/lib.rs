@@ -28,19 +28,29 @@
 #![warn(missing_docs)]
 
 use cim_arch::CimArchitecture;
-use cim_compiler::cg::{schedule_cg, CgOptions, CgSchedule};
+use cim_compiler::cg::{CgOptions, CgSchedule};
 use cim_compiler::mapping::OpMapping;
 use cim_compiler::perf::PerfReport;
-use cim_compiler::stage::extract_stages;
-use cim_compiler::{CompileError, Result};
+use cim_compiler::{CompileOptions, Compiler, OptLevel, Result};
 use cim_graph::Graph;
+
+/// Runs the shared mapping/latency model's CG level through the staged
+/// pipeline, stopping there: the substrate every baseline builds on.
+fn cg_schedule(graph: &Graph, arch: &CimArchitecture, cg: CgOptions) -> Result<CgSchedule> {
+    let options = CompileOptions {
+        cg,
+        level: OptLevel::Cg,
+        ..CompileOptions::default()
+    };
+    Ok(Compiler::with_options(options).compile(graph, arch)?.cg)
+}
 
 /// The unoptimized schedule: serial execution, one replica per operator.
 ///
 /// # Errors
 /// Propagates scheduling errors from the underlying model.
 pub fn no_opt(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
-    let mut report = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?.report;
+    let mut report = cg_schedule(graph, arch, CgOptions::none())?.report;
     report.level = "no-opt";
     Ok(report)
 }
@@ -52,7 +62,7 @@ pub fn no_opt(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
 /// # Errors
 /// Propagates scheduling errors.
 pub fn jia_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
-    let mut report = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?.report;
+    let mut report = cg_schedule(graph, arch, CgOptions::none())?.report;
     report.level = "jia-et-al";
     Ok(report)
 }
@@ -62,7 +72,7 @@ pub fn jia_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport>
 /// # Errors
 /// Propagates scheduling errors.
 pub fn jain_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
-    let mut report = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?.report;
+    let mut report = cg_schedule(graph, arch, CgOptions::none())?.report;
     report.level = "jain-et-al";
     Ok(report)
 }
@@ -76,7 +86,7 @@ pub fn jain_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport
 /// # Errors
 /// Propagates scheduling errors.
 pub fn puma_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<CgSchedule> {
-    let mut sched = schedule_cg(graph, arch, CgOptions::full(), 8, 8)?;
+    let mut sched = cg_schedule(graph, arch, CgOptions::full())?;
     sched.report.level = "puma";
     Ok(sched)
 }
@@ -91,16 +101,10 @@ pub fn puma_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<CgSchedule
 /// # Errors
 /// Propagates scheduling errors.
 pub fn poly_schedule(graph: &Graph, arch: &CimArchitecture) -> Result<PerfReport> {
-    let stages = extract_stages(graph, arch, 8);
-    if stages.is_empty() {
-        return Err(CompileError::NothingToMap {
-            model: graph.name().to_owned(),
-        });
-    }
     // Start from the serial schedule to inherit segmentation/folding
     // behaviour, then re-derive per-stage latencies with the greedy
     // duplication numbers.
-    let base = schedule_cg(graph, arch, CgOptions::none(), 8, 8)?;
+    let base = cg_schedule(graph, arch, CgOptions::none())?;
     let core_count = u64::from(arch.chip().core_count());
 
     let mut total_latency = 0.0;
@@ -187,7 +191,7 @@ mod tests {
         let g = zoo::vgg16();
         let none = no_opt(&g, &arch).unwrap();
         let poly = poly_schedule(&g, &arch).unwrap();
-        let cg = schedule_cg(&g, &arch, CgOptions::full(), 8, 8).unwrap();
+        let cg = cg_schedule(&g, &arch, CgOptions::full()).unwrap();
         let ours = schedule_mvm(&cg, &arch, MvmOptions::full(), 8).report;
         assert!(
             poly.latency_cycles < none.latency_cycles,

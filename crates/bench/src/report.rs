@@ -16,7 +16,7 @@ use cim_compiler::CompileMetrics;
 use serde::{Deserialize, Serialize};
 
 /// Version of the report document layout. Bump on any
-/// backwards-incompatible field change; [`from_json`] rejects documents
+/// backwards-incompatible field change; [`BenchReport::from_json`] rejects documents
 /// with a different version instead of misreading them.
 pub const SCHEMA_VERSION: u32 = 1;
 

@@ -4,7 +4,7 @@
 //!
 //! A [`SweepSpec`] names the three axes; [`run_sweep`] expands them into
 //! a job matrix and executes it on a work-queue pool of `std::thread`
-//! workers. Results land in a [`BenchReport`](crate::report::BenchReport)
+//! workers. Results land in a [`BenchReport`]
 //! in matrix order regardless of worker count, so reports are
 //! byte-identical across `--jobs` settings once wall-clock fields are
 //! stripped (see [`BenchReport::comparable`](crate::report::BenchReport::comparable)).
@@ -175,7 +175,7 @@ impl SweepSpec {
         }
     }
 
-    /// A reduced matrix for CI gating: a strict subset of [`full`]'s
+    /// A reduced matrix for CI gating: a strict subset of [`SweepSpec::full`]'s
     /// keys, so a quick run can be compared against the full baseline.
     #[must_use]
     pub fn quick() -> Self {
@@ -254,7 +254,12 @@ fn run_job(job: &JobSpec) -> JobOutcome {
         ..CompileOptions::default()
     };
     let started = Instant::now();
-    match Compiler::with_options(options).compile(&graph, &arch) {
+    // Drive the staged pipeline explicitly (equivalent to the one-shot
+    // `Compiler::compile` wrapper); `compile_ms` covers every pass.
+    match Compiler::with_options(options)
+        .session(&graph, &arch)
+        .finish()
+    {
         Ok(compiled) => {
             let compile_ms = started.elapsed().as_secs_f64() * 1e3;
             JobOutcome::Ok(Box::new(JobRecord {

@@ -168,7 +168,8 @@ pub(crate) fn pipeline_latency(lat_fill: &[(f64, f64)]) -> f64 {
     completion
 }
 
-/// Runs CG-grained scheduling.
+/// Runs CG-grained scheduling on a graph: stage extraction followed by
+/// [`schedule_cg_stages`].
 ///
 /// # Errors
 /// Returns [`CompileError::NothingToMap`] for graphs without CIM operators
@@ -182,9 +183,27 @@ pub fn schedule_cg(
     act_bits: u32,
 ) -> Result<CgSchedule> {
     let stages = extract_stages(graph, arch, weight_bits);
+    schedule_cg_stages(graph.name(), stages, arch, options, act_bits)
+}
+
+/// Runs CG-grained scheduling on pre-extracted stages — the pipeline
+/// entry point, which lets a [`crate::Pass`] inspect or rewrite the stage
+/// list between extraction and scheduling. `model` only labels errors.
+///
+/// # Errors
+/// Returns [`CompileError::NothingToMap`] when `stages` is empty and
+/// [`CompileError::DynamicWeightsUnsupported`] when a dynamic `MatMul`
+/// targets a write-expensive device.
+pub fn schedule_cg_stages(
+    model: &str,
+    stages: Vec<Stage>,
+    arch: &CimArchitecture,
+    options: CgOptions,
+    act_bits: u32,
+) -> Result<CgSchedule> {
     if stages.is_empty() {
         return Err(CompileError::NothingToMap {
-            model: graph.name().to_owned(),
+            model: model.to_owned(),
         });
     }
     for stage in &stages {

@@ -1,11 +1,12 @@
 //! The top-level compiler driver (paper Figure 3).
 
-use crate::cg::{schedule_cg, CgOptions, CgSchedule};
-use crate::mvm::{schedule_mvm, MvmOptions, MvmSchedule};
+use crate::cg::{CgOptions, CgSchedule};
+use crate::mvm::{MvmOptions, MvmSchedule};
 use crate::perf::PerfReport;
-use crate::vvm::{schedule_vvm, VvmSchedule};
+use crate::pipeline::{Pipeline, Session};
+use crate::vvm::VvmSchedule;
 use crate::Result;
-use cim_arch::{CimArchitecture, ComputingMode};
+use cim_arch::CimArchitecture;
 use cim_graph::Graph;
 
 /// How far down the multi-level scheduler should go.
@@ -91,38 +92,24 @@ impl Compiler {
     /// target's computing mode admits (or fewer, per
     /// [`CompileOptions::level`]).
     ///
+    /// This is a thin wrapper over the staged pipeline: it runs
+    /// [`Pipeline::plan`]'s pass list to completion in one call. Use
+    /// [`Compiler::session`] to pause, inspect intermediate artifacts,
+    /// or swap passes.
+    ///
     /// # Errors
     /// Propagates scheduling errors (nothing to map, operator too large,
     /// unsupported dynamic weights).
     pub fn compile(&self, graph: &Graph, arch: &CimArchitecture) -> Result<Compiled> {
-        let opts = &self.options;
-        let cg = schedule_cg(graph, arch, opts.cg, opts.weight_bits, opts.act_bits)?;
+        self.session(graph, arch).finish()
+    }
 
-        let want_mvm = match opts.level {
-            OptLevel::Auto => arch.mode().supports(ComputingMode::Xbm),
-            OptLevel::Cg => false,
-            OptLevel::CgMvm | OptLevel::CgMvmVvm => true,
-        } && arch.mode().supports(ComputingMode::Xbm);
-        let mvm = want_mvm.then(|| schedule_mvm(&cg, arch, opts.mvm, opts.act_bits));
-
-        let want_vvm = match opts.level {
-            OptLevel::Auto => arch.mode().supports(ComputingMode::Wlm),
-            OptLevel::CgMvmVvm => true,
-            _ => false,
-        } && arch.mode().supports(ComputingMode::Wlm);
-        let vvm = match (&mvm, want_vvm) {
-            (Some(m), true) => Some(schedule_vvm(&cg, m, arch, opts.act_bits)),
-            _ => None,
-        };
-
-        Ok(Compiled {
-            model: graph.name().to_owned(),
-            arch_name: arch.name().to_owned(),
-            options: *opts,
-            cg,
-            mvm,
-            vvm,
-        })
+    /// Starts a staged compilation [`Session`] over [`Pipeline::plan`]'s
+    /// pass list — the resumable, inspectable form of
+    /// [`Compiler::compile`].
+    #[must_use]
+    pub fn session<'a>(&self, graph: &'a Graph, arch: &'a CimArchitecture) -> Session<'a> {
+        Pipeline::plan(&self.options, arch).session(graph, arch, self.options)
     }
 }
 
@@ -142,6 +129,26 @@ pub struct Compiled {
 }
 
 impl Compiled {
+    /// Assembles a compiled artifact from pipeline outputs (the pipeline
+    /// is the only producer of `Compiled` values).
+    pub(crate) fn from_parts(
+        model: String,
+        arch_name: String,
+        options: CompileOptions,
+        cg: CgSchedule,
+        mvm: Option<MvmSchedule>,
+        vvm: Option<VvmSchedule>,
+    ) -> Self {
+        Compiled {
+            model,
+            arch_name,
+            options,
+            cg,
+            mvm,
+            vvm,
+        }
+    }
+
     /// The compiled model's name.
     #[must_use]
     pub fn model(&self) -> &str {
@@ -216,55 +223,19 @@ impl Compiled {
     /// explain-plan.
     #[must_use]
     pub fn render_schedule(&self) -> String {
-        let segments: Vec<&[crate::cg::StagePlan]> = if let Some(v) = &self.vvm {
-            v.segments.iter().map(|s| s.plans.as_slice()).collect()
+        let segments = if let Some(v) = &self.vvm {
+            &v.segments
         } else if let Some(m) = &self.mvm {
-            m.segments.iter().map(|s| s.plans.as_slice()).collect()
+            &m.segments
         } else {
-            self.cg
-                .segments
-                .iter()
-                .map(|s| s.plans.as_slice())
-                .collect()
+            &self.cg.segments
         };
-        let mut out = format!(
-            "schedule: {} on {} (level {})\n{:<4} {:<24} {:>5} {:>6} {:>6} {:>6} {:>14}\n",
+        format!(
+            "schedule: {} on {}\n{}",
             self.model,
             self.arch_name,
-            self.report().level,
-            "seg",
-            "stage",
-            "dup",
-            "cores",
-            "folds",
-            "VXB",
-            "latency(cyc)"
-        );
-        for (si, plans) in segments.iter().enumerate() {
-            for plan in *plans {
-                let stage = &self.cg.stages[plan.stage];
-                out.push_str(&format!(
-                    "{:<4} {:<24} {:>5} {:>6} {:>6} {:>6} {:>14.0}\n",
-                    si,
-                    stage.name,
-                    plan.duplication,
-                    plan.cores,
-                    plan.folds,
-                    stage.mapping.vxb_size(),
-                    plan.latency
-                ));
-            }
-        }
-        let r = self.report();
-        out.push_str(&format!(
-            "total: {:.0} cycles ({} segments, {:.0} reprogram), peak power {:.1}, energy {:.1}\n",
-            r.latency_cycles,
-            r.segments,
-            r.reprogram_cycles,
-            r.peak_power,
-            r.energy.total()
-        ));
-        out
+            crate::pipeline::render_plan_table(&self.cg.stages, segments, self.report())
+        )
     }
 
     /// The final per-stage plans (deepest level), flattened across

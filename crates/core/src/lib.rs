@@ -19,10 +19,16 @@
 //!    MVM completes in fewer `parallel_row` activations (§3.3.4,
 //!    Figure 14).
 //!
-//! The result of [`Compiler::compile`] is a [`Compiled`] artifact holding
-//! the mapping, the per-level schedules with their latency/peak-power
-//! reports, and (on demand) an executable meta-operator flow
-//! ([`codegen`]).
+//! The flow is organized as a staged **pass pipeline** ([`pipeline`]):
+//! each level is a [`Pass`] over typed [`Artifact`]s
+//! (`Staged → CgScheduled → MvmScheduled → VvmScheduled → Codegenned`),
+//! assembled by [`Pipeline::plan`] and executed by a [`Session`] that can
+//! pause between passes, expose the intermediate artifact, and collect a
+//! per-pass [`PassTimeline`]. [`Compiler::compile`] is a thin wrapper
+//! that runs the planned pipeline to completion and returns the
+//! [`Compiled`] artifact holding the mapping, the per-level schedules
+//! with their latency/peak-power reports, and (on demand) an executable
+//! meta-operator flow ([`codegen`]).
 //!
 //! ```
 //! use cim_arch::presets;
@@ -31,8 +37,16 @@
 //!
 //! # fn main() -> Result<(), cim_compiler::CompileError> {
 //! let arch = presets::isaac_baseline();
-//! let compiled = Compiler::new().compile(&zoo::lenet5(), &arch)?;
+//! let graph = zoo::lenet5();
+//! // One-shot…
+//! let compiled = Compiler::new().compile(&graph, &arch)?;
 //! assert!(compiled.report().latency_cycles > 0.0);
+//! // …or staged, pausing after every pass.
+//! let mut session = Compiler::new().session(&graph, &arch);
+//! while session.step()? {
+//!     println!("ran `{}`", session.timeline().records.last().unwrap().pass);
+//! }
+//! assert_eq!(session.finish()?.report(), compiled.report());
 //! # Ok(())
 //! # }
 //! ```
@@ -48,14 +62,21 @@ mod error;
 pub mod mapping;
 mod metrics;
 pub mod mvm;
+pub mod pass;
 pub mod perf;
+pub mod pipeline;
 pub mod stage;
 pub mod vvm;
 
 pub use compile::{CompileOptions, Compiled, Compiler, OptLevel};
 pub use error::CompileError;
 pub use metrics::CompileMetrics;
+pub use pass::{Diagnostics, Pass, PassContext, PassRecord, PassTimeline};
 pub use perf::PerfReport;
+pub use pipeline::{
+    Artifact, CgPass, CodegenPass, ExtractStagesPass, MvmPass, Pipeline, Session, StageKind,
+    VvmPass,
+};
 
 /// Convenient result alias for fallible compilation operations.
 pub type Result<T> = std::result::Result<T, CompileError>;
@@ -75,4 +96,10 @@ const _: () = {
     assert_send_sync::<cg::CgSchedule>();
     assert_send_sync::<mvm::MvmSchedule>();
     assert_send_sync::<vvm::VvmSchedule>();
+    // The pipeline types too: `Pass: Send + Sync` is a supertrait bound,
+    // so sessions and pipelines can move across sweep worker threads.
+    assert_send_sync::<Artifact>();
+    assert_send_sync::<Pipeline>();
+    assert_send_sync::<Session<'static>>();
+    assert_send_sync::<PassTimeline>();
 };

@@ -7,7 +7,9 @@
 //! scheduling or generating a meta-operator flow.
 
 use crate::compile::Compiled;
+use crate::perf::{deserialize_level, require};
 use cim_arch::{CimArchitecture, EnergyBreakdown};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Flat summary of one compilation, derived from the deepest scheduling
 /// level that ran. Every field is a pure function of the schedule, so two
@@ -44,6 +46,62 @@ pub struct CompileMetrics {
     /// Peak fraction of the chip's crossbars simultaneously active
     /// (`peak_active_crossbars / total_crossbars`).
     pub utilization: f64,
+}
+
+// Manual impls rather than derives: `level` is interned `&'static str`
+// (see `crate::perf::LEVEL_NAMES`).
+impl Serialize for CompileMetrics {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("level".to_owned(), Value::Str(self.level.to_owned())),
+            ("latency_cycles".to_owned(), self.latency_cycles.to_value()),
+            (
+                "steady_state_interval".to_owned(),
+                self.steady_state_interval.to_value(),
+            ),
+            ("peak_power".to_owned(), self.peak_power.to_value()),
+            (
+                "peak_active_crossbars".to_owned(),
+                self.peak_active_crossbars.to_value(),
+            ),
+            ("energy".to_owned(), self.energy.to_value()),
+            ("segments".to_owned(), self.segments.to_value()),
+            (
+                "reprogram_cycles".to_owned(),
+                self.reprogram_cycles.to_value(),
+            ),
+            ("stages".to_owned(), self.stages.to_value()),
+            ("mvm_ops".to_owned(), self.mvm_ops.to_value()),
+            (
+                "crossbars_allocated".to_owned(),
+                self.crossbars_allocated.to_value(),
+            ),
+            ("utilization".to_owned(), self.utilization.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CompileMetrics {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        const OWNER: &str = "CompileMetrics";
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected object for struct CompileMetrics"))?;
+        Ok(CompileMetrics {
+            level: deserialize_level(require(m, "level", OWNER)?)?,
+            latency_cycles: f64::from_value(require(m, "latency_cycles", OWNER)?)?,
+            steady_state_interval: f64::from_value(require(m, "steady_state_interval", OWNER)?)?,
+            peak_power: f64::from_value(require(m, "peak_power", OWNER)?)?,
+            peak_active_crossbars: u64::from_value(require(m, "peak_active_crossbars", OWNER)?)?,
+            energy: EnergyBreakdown::from_value(require(m, "energy", OWNER)?)?,
+            segments: usize::from_value(require(m, "segments", OWNER)?)?,
+            reprogram_cycles: f64::from_value(require(m, "reprogram_cycles", OWNER)?)?,
+            stages: usize::from_value(require(m, "stages", OWNER)?)?,
+            mvm_ops: u64::from_value(require(m, "mvm_ops", OWNER)?)?,
+            crossbars_allocated: u64::from_value(require(m, "crossbars_allocated", OWNER)?)?,
+            utilization: f64::from_value(require(m, "utilization", OWNER)?)?,
+        })
+    }
 }
 
 impl Compiled {
@@ -109,6 +167,18 @@ mod tests {
         assert!(m.crossbars_allocated > 0);
         assert!(m.utilization > 0.0 && m.utilization <= 1.0);
         assert_eq!(m.steady_state_interval, c.steady_state_interval());
+    }
+
+    #[test]
+    fn metrics_value_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let arch = presets::isaac_baseline();
+        let m = Compiler::new()
+            .compile(&zoo::vgg7(), &arch)
+            .unwrap()
+            .metrics(&arch);
+        let back = crate::CompileMetrics::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! The pass abstraction of the staged compilation pipeline.
+//!
+//! A [`Pass`] consumes one [`Artifact`] and produces the
+//! next; the [`Pipeline`](crate::Pipeline) assembles passes and a
+//! [`Session`](crate::Session) runs them one at a time, recording a
+//! [`PassRecord`] per pass into a [`PassTimeline`].
+//!
+//! # The `Pass` contract
+//!
+//! Implementations must uphold three invariants the pipeline relies on:
+//!
+//! 1. **Purity** — `run` is a pure function of the input artifact and the
+//!    [`PassContext`] (graph, architecture, options). Two runs with equal
+//!    inputs must produce equal artifacts, so sessions stay deterministic
+//!    across hosts and worker threads. Wall-clock and diagnostics are the
+//!    only side channels, and both live in the timeline, never in the
+//!    artifact.
+//! 2. **Stage typing** — a pass declares the artifact stage it consumes by
+//!    rejecting others with [`CompileError::Internal`](crate::CompileError::Internal); it must not
+//!    silently pass through an unexpected stage. A pass that *upholds* its
+//!    input stage (returns the same [`StageKind`](crate::StageKind)) is a
+//!    rewrite pass; one that advances the stage is a lowering pass.
+//! 3. **No hidden state** — passes are `Send + Sync` and may be shared
+//!    across threads; configuration belongs in the pass value itself (set
+//!    at construction), not in globals.
+//!
+//! ```
+//! use cim_compiler::{Artifact, CompileOptions, Diagnostics, Pass, PassContext};
+//!
+//! /// A rewrite pass: keeps only the first `n` stages.
+//! struct TruncateStages(usize);
+//!
+//! impl Pass for TruncateStages {
+//!     fn name(&self) -> &'static str {
+//!         "truncate-stages"
+//!     }
+//!     fn run(
+//!         &self,
+//!         _cx: &PassContext<'_>,
+//!         diag: &mut Diagnostics,
+//!         input: Artifact,
+//!     ) -> cim_compiler::Result<Artifact> {
+//!         let Artifact::Staged(mut staged) = input else {
+//!             return Err(cim_compiler::CompileError::Internal {
+//!                 message: "truncate-stages needs a staged artifact".into(),
+//!             });
+//!         };
+//!         staged.stages.truncate(self.0);
+//!         diag.note(format!("kept {} stage(s)", staged.stages.len()));
+//!         Ok(Artifact::Staged(staged))
+//!     }
+//! }
+//! ```
+
+use crate::compile::CompileOptions;
+use crate::pipeline::Artifact;
+use crate::Result;
+use cim_arch::CimArchitecture;
+use cim_graph::Graph;
+use serde::Serialize;
+
+/// Everything a pass may read besides its input artifact: the model, the
+/// target and the compile options. Passes must treat all three as
+/// immutable inputs (see the module docs for the full contract).
+#[derive(Debug, Clone, Copy)]
+pub struct PassContext<'a> {
+    /// The model being compiled.
+    pub graph: &'a Graph,
+    /// The target architecture.
+    pub arch: &'a CimArchitecture,
+    /// The compile options in force.
+    pub options: &'a CompileOptions,
+}
+
+/// Per-pass diagnostics sink: free-form notes a pass wants surfaced in
+/// the timeline (`cimc compile --timings`) without polluting artifacts.
+#[derive(Debug, Default)]
+pub struct Diagnostics {
+    notes: Vec<String>,
+}
+
+impl Diagnostics {
+    /// Records one diagnostic note.
+    pub fn note(&mut self, message: impl Into<String>) {
+        self.notes.push(message.into());
+    }
+
+    /// The notes recorded so far.
+    #[must_use]
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    fn into_notes(self) -> Vec<String> {
+        self.notes
+    }
+}
+
+/// One stage of the compilation pipeline.
+///
+/// See the [module docs](self) for the implementation contract (purity,
+/// stage typing, no hidden state). Built-in passes live in
+/// [`crate::pipeline`]; custom passes plug in via
+/// [`Pipeline::push`](crate::Pipeline::push) /
+/// [`Pipeline::replace`](crate::Pipeline::replace).
+pub trait Pass: Send + Sync {
+    /// Stable pass name, used by [`Pipeline::replace`](crate::Pipeline::replace),
+    /// [`Pipeline::remove`](crate::Pipeline::remove) and the timeline.
+    fn name(&self) -> &'static str;
+
+    /// Consumes `input` and produces the next artifact.
+    ///
+    /// # Errors
+    /// Returns a [`crate::CompileError`] on scheduling failures, or
+    /// [`crate::CompileError::Internal`] when `input` is not a stage this
+    /// pass consumes.
+    fn run(
+        &self,
+        cx: &PassContext<'_>,
+        diag: &mut Diagnostics,
+        input: Artifact,
+    ) -> Result<Artifact>;
+}
+
+/// Instrumentation record of one executed (or skipped) pass.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PassRecord {
+    /// The pass's [`Pass::name`].
+    pub pass: String,
+    /// Stage name of the artifact the pass produced
+    /// ([`StageKind::name`](crate::StageKind::name)), or `"skipped"`.
+    pub stage: String,
+    /// Wall-clock time the pass took, in milliseconds (0 when skipped).
+    pub wall_ms: f64,
+    /// One-line summary of the produced artifact.
+    pub summary: String,
+    /// Diagnostics the pass emitted.
+    pub diagnostics: Vec<String>,
+}
+
+/// The per-pass instrumentation of one pipeline session: what ran, in
+/// which order, how long each pass took and what it produced.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PassTimeline {
+    /// Records in execution order.
+    pub records: Vec<PassRecord>,
+}
+
+impl PassTimeline {
+    pub(crate) fn record(
+        &mut self,
+        pass: &str,
+        artifact: &Artifact,
+        wall_ms: f64,
+        diag: Diagnostics,
+    ) {
+        self.records.push(PassRecord {
+            pass: pass.to_owned(),
+            stage: artifact.kind().name().to_owned(),
+            wall_ms,
+            summary: artifact.summary(),
+            diagnostics: diag.into_notes(),
+        });
+    }
+
+    pub(crate) fn record_skip(&mut self, pass: &str) {
+        self.records.push(PassRecord {
+            pass: pass.to_owned(),
+            stage: "skipped".to_owned(),
+            wall_ms: 0.0,
+            summary: String::new(),
+            diagnostics: Vec::new(),
+        });
+    }
+
+    /// Total wall-clock time across all recorded passes, in milliseconds.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_ms).sum()
+    }
+
+    /// Renders the timeline as a text table, one row per pass, with
+    /// diagnostics indented under their pass.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<16} {:<8} {:>10}  {}\n",
+            "pass", "stage", "wall(ms)", "summary"
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:<16} {:<8} {:>10.3}  {}\n",
+                r.pass, r.stage, r.wall_ms, r.summary
+            ));
+            for note in &r.diagnostics {
+                out.push_str(&format!("{:<16} - {note}\n", ""));
+            }
+        }
+        out.push_str(&format!(
+            "total: {} pass(es) in {:.3} ms\n",
+            self.records.len(),
+            self.total_ms()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_renders_records_and_totals() {
+        let mut t = PassTimeline::default();
+        t.records.push(PassRecord {
+            pass: "cg".into(),
+            stage: "cg".into(),
+            wall_ms: 1.5,
+            summary: "1 segment(s)".into(),
+            diagnostics: vec!["note one".into()],
+        });
+        t.record_skip("mvm");
+        let text = t.render();
+        assert!(text.contains("cg"), "{text}");
+        assert!(text.contains("note one"), "{text}");
+        assert!(text.contains("skipped"), "{text}");
+        assert!(text.contains("2 pass(es)"), "{text}");
+        assert!((t.total_ms() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagnostics_accumulate_in_order() {
+        let mut d = Diagnostics::default();
+        d.note("first");
+        d.note(String::from("second"));
+        assert_eq!(d.notes(), ["first", "second"]);
+    }
+}

@@ -1,6 +1,7 @@
 //! Performance reports: latency and peak-power estimates for a schedule.
 
 use cim_arch::{CimArchitecture, EnergyBreakdown};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Latency / peak-power summary of one compiled schedule level.
 ///
@@ -30,6 +31,96 @@ pub struct PerfReport {
     pub segments: usize,
     /// Cycles spent reprogramming crossbars between segments/folds.
     pub reprogram_cycles: f64,
+}
+
+/// The level names this workspace's schedulers and baselines produce.
+/// [`PerfReport`] deserialization interns incoming levels against this
+/// table, which is what lets the field stay `&'static str` end to end.
+pub const LEVEL_NAMES: [&str; 10] = [
+    "no-opt",
+    "cg-pipeline",
+    "cg-duplication",
+    "cg",
+    "cg+mvm",
+    "cg+mvm+vvm",
+    "poly-schedule",
+    "jia-et-al",
+    "jain-et-al",
+    "puma",
+];
+
+/// Interns a serialized level name against [`LEVEL_NAMES`].
+#[must_use]
+pub fn intern_level(name: &str) -> Option<&'static str> {
+    LEVEL_NAMES.into_iter().find(|&k| k == name)
+}
+
+pub(crate) fn deserialize_level(v: &Value) -> Result<&'static str, DeError> {
+    let name = String::from_value(v)?;
+    intern_level(&name).ok_or_else(|| {
+        DeError::custom(format!(
+            "unknown scheduling level `{name}` (known: {})",
+            LEVEL_NAMES.join(", ")
+        ))
+    })
+}
+
+pub(crate) fn require<'v>(
+    entries: &'v [(String, Value)],
+    key: &str,
+    owner: &str,
+) -> Result<&'v Value, DeError> {
+    Value::lookup(entries, key)
+        .ok_or_else(|| DeError::custom(format!("missing field `{key}` in {owner}")))
+}
+
+// Manual impls rather than derives: the `level` field is `&'static str`
+// (interned), which a derived `Deserialize` cannot produce.
+impl Serialize for PerfReport {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("level".to_owned(), Value::Str(self.level.to_owned())),
+            ("latency_cycles".to_owned(), self.latency_cycles.to_value()),
+            (
+                "peak_active_crossbars".to_owned(),
+                self.peak_active_crossbars.to_value(),
+            ),
+            ("peak_power".to_owned(), self.peak_power.to_value()),
+            ("peak_breakdown".to_owned(), self.peak_breakdown.to_value()),
+            ("energy".to_owned(), self.energy.to_value()),
+            ("segments".to_owned(), self.segments.to_value()),
+            (
+                "reprogram_cycles".to_owned(),
+                self.reprogram_cycles.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for PerfReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected object for struct PerfReport"))?;
+        Ok(PerfReport {
+            level: deserialize_level(require(m, "level", "PerfReport")?)?,
+            latency_cycles: f64::from_value(require(m, "latency_cycles", "PerfReport")?)?,
+            peak_active_crossbars: u64::from_value(require(
+                m,
+                "peak_active_crossbars",
+                "PerfReport",
+            )?)?,
+            peak_power: f64::from_value(require(m, "peak_power", "PerfReport")?)?,
+            peak_breakdown: EnergyBreakdown::from_value(require(
+                m,
+                "peak_breakdown",
+                "PerfReport",
+            )?)?,
+            energy: EnergyBreakdown::from_value(require(m, "energy", "PerfReport")?)?,
+            segments: usize::from_value(require(m, "segments", "PerfReport")?)?,
+            reprogram_cycles: f64::from_value(require(m, "reprogram_cycles", "PerfReport")?)?,
+        })
+    }
 }
 
 impl PerfReport {
@@ -129,6 +220,45 @@ mod tests {
             segments: 1,
             reprogram_cycles: 0.0,
         }
+    }
+
+    #[test]
+    fn perf_report_value_round_trips_and_interns_level() {
+        let r = PerfReport {
+            level: "cg+mvm",
+            latency_cycles: 123.0,
+            peak_active_crossbars: 7,
+            peak_power: 2.5,
+            peak_breakdown: EnergyBreakdown {
+                crossbar: 1.0,
+                adc: 0.5,
+                dac: 0.25,
+                movement: 0.5,
+                alu: 0.25,
+            },
+            energy: EnergyBreakdown::default(),
+            segments: 2,
+            reprogram_cycles: 10.0,
+        };
+        let back = PerfReport::from_value(&r.to_value()).unwrap();
+        assert_eq!(back, r);
+        // Interning returns the canonical static string.
+        assert!(std::ptr::eq(back.level, intern_level("cg+mvm").unwrap()));
+
+        let mut v = r.to_value();
+        if let Value::Map(entries) = &mut v {
+            entries[0].1 = Value::Str("made-up-level".to_owned());
+        }
+        let err = PerfReport::from_value(&v).unwrap_err().to_string();
+        assert!(err.contains("made-up-level"), "{err}");
+    }
+
+    #[test]
+    fn every_emitted_level_is_internable() {
+        for name in LEVEL_NAMES {
+            assert_eq!(intern_level(name), Some(name));
+        }
+        assert_eq!(intern_level("nope"), None);
     }
 
     #[test]

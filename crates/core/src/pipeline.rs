@@ -1,0 +1,1044 @@
+//! The staged compilation pipeline (paper Figure 3, made explicit).
+//!
+//! The multi-level flow — stage extraction, CG-grained scheduling,
+//! MVM-grained refinement, VVM-grained refinement, code generation — is
+//! expressed as a list of [`Pass`]es over typed [`Artifact`]s:
+//!
+//! ```text
+//! Source ── stages ──▶ Staged ── cg ──▶ CgScheduled ── mvm ──▶ MvmScheduled
+//!                                           │                      │
+//!                                        codegen                  vvm
+//!                                           ▼                      ▼
+//!                                      Codegenned ◀── codegen ── VvmScheduled
+//! ```
+//!
+//! [`Pipeline::plan`] assembles the pass list the target's computing mode
+//! and [`CompileOptions::level`] admit — exactly the levels
+//! [`Compiler::compile`](crate::Compiler::compile) used to run as one
+//! opaque call. A [`Session`] executes passes one at a time, so callers
+//! can pause between levels, inspect the intermediate artifact (stage
+//! plans, per-level [`PerfReport`]s, the generated MOP flow), skip or
+//! replace passes, mutate the artifact, and resume. Per-pass wall time
+//! and diagnostics land in a [`PassTimeline`].
+//!
+//! ```
+//! use cim_arch::presets;
+//! use cim_compiler::{Pipeline, Compiler, CompileOptions};
+//! use cim_graph::zoo;
+//!
+//! # fn main() -> Result<(), cim_compiler::CompileError> {
+//! let graph = zoo::lenet5();
+//! let arch = presets::isaac_baseline();
+//! let options = CompileOptions::default();
+//! let mut session = Pipeline::plan(&options, &arch).session(&graph, &arch, options);
+//! while session.step()? {
+//!     if let Some(report) = session.artifact().report() {
+//!         println!("after {}: {} cycles", report.level, report.latency_cycles);
+//!     }
+//! }
+//! let compiled = session.finish()?;
+//! assert_eq!(compiled.report(), Compiler::new().compile(&graph, &arch)?.report());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cg::{schedule_cg_stages, CgSchedule, Segment};
+use crate::codegen::{generate_flow, FlowLayout};
+use crate::compile::{CompileOptions, Compiled, OptLevel};
+use crate::mvm::{schedule_mvm, MvmSchedule};
+use crate::pass::{Diagnostics, Pass, PassContext, PassTimeline};
+use crate::perf::PerfReport;
+use crate::stage::{extract_stages, Stage};
+use crate::vvm::{schedule_vvm, VvmSchedule};
+use crate::{CompileError, Result};
+use cim_arch::{CimArchitecture, ComputingMode};
+use cim_graph::Graph;
+use cim_mop::MopFlow;
+use std::time::Instant;
+
+/// Which stage of the flow an [`Artifact`] represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Nothing computed yet: the session's starting point.
+    Source,
+    /// Stages extracted, not yet scheduled.
+    Staged,
+    /// CG-grained schedule available.
+    Cg,
+    /// MVM-grained refinement available.
+    Mvm,
+    /// VVM-grained refinement available.
+    Vvm,
+    /// Executable meta-operator flow generated.
+    Codegen,
+}
+
+impl StageKind {
+    /// Stable stage name, used by the CLI (`--dump-stage`) and timelines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Source => "source",
+            StageKind::Staged => "staged",
+            StageKind::Cg => "cg",
+            StageKind::Mvm => "mvm",
+            StageKind::Vvm => "vvm",
+            StageKind::Codegen => "codegen",
+        }
+    }
+
+    /// Parses a name produced by [`StageKind::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<StageKind> {
+        [
+            StageKind::Source,
+            StageKind::Staged,
+            StageKind::Cg,
+            StageKind::Mvm,
+            StageKind::Vvm,
+            StageKind::Codegen,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
+/// Artifact of the `stages` pass: the model's pipeline stages, extracted
+/// but not yet scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Staged {
+    /// Stages in topological order.
+    pub stages: Vec<Stage>,
+}
+
+/// Artifact of the `cg` pass: the CG-grained schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgScheduled {
+    /// The CG-grained schedule (owns the stage list).
+    pub cg: CgSchedule,
+}
+
+/// Artifact of the `mvm` pass: CG schedule plus its MVM-grained
+/// refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvmScheduled {
+    /// The CG-grained schedule.
+    pub cg: CgSchedule,
+    /// The MVM-grained refinement.
+    pub mvm: MvmSchedule,
+}
+
+/// Artifact of the `vvm` pass: all three scheduling levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VvmScheduled {
+    /// The CG-grained schedule.
+    pub cg: CgSchedule,
+    /// The MVM-grained refinement.
+    pub mvm: MvmSchedule,
+    /// The VVM-grained refinement.
+    pub vvm: VvmSchedule,
+}
+
+/// Artifact of the `codegen` pass: the compiled schedules plus the
+/// executable meta-operator flow and its buffer layout.
+#[derive(Debug, Clone)]
+pub struct Codegenned {
+    /// The compiled artifact the flow was generated from.
+    pub compiled: Compiled,
+    /// The executable meta-operator flow.
+    pub flow: MopFlow,
+    /// Where each node's output tensor lives in the L0 buffer.
+    pub layout: FlowLayout,
+}
+
+/// A typed intermediate artifact of the staged pipeline.
+///
+/// Artifacts are cumulative: each stage carries everything the previous
+/// stages produced, so pausing after any pass leaves the session fully
+/// inspectable.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Nothing computed yet (the session's starting point).
+    Source,
+    /// Stages extracted ([`Staged`]).
+    Staged(Staged),
+    /// CG-grained schedule ([`CgScheduled`]).
+    CgScheduled(Box<CgScheduled>),
+    /// MVM-grained refinement ([`MvmScheduled`]).
+    MvmScheduled(Box<MvmScheduled>),
+    /// VVM-grained refinement ([`VvmScheduled`]).
+    VvmScheduled(Box<VvmScheduled>),
+    /// Executable flow generated ([`Codegenned`]).
+    Codegenned(Box<Codegenned>),
+}
+
+impl Artifact {
+    /// This artifact's stage.
+    #[must_use]
+    pub fn kind(&self) -> StageKind {
+        match self {
+            Artifact::Source => StageKind::Source,
+            Artifact::Staged(_) => StageKind::Staged,
+            Artifact::CgScheduled(_) => StageKind::Cg,
+            Artifact::MvmScheduled(_) => StageKind::Mvm,
+            Artifact::VvmScheduled(_) => StageKind::Vvm,
+            Artifact::Codegenned(_) => StageKind::Codegen,
+        }
+    }
+
+    /// The extracted stage list, once available.
+    #[must_use]
+    pub fn stages(&self) -> Option<&[Stage]> {
+        match self {
+            Artifact::Source => None,
+            Artifact::Staged(s) => Some(&s.stages),
+            Artifact::CgScheduled(a) => Some(&a.cg.stages),
+            Artifact::MvmScheduled(a) => Some(&a.cg.stages),
+            Artifact::VvmScheduled(a) => Some(&a.cg.stages),
+            Artifact::Codegenned(c) => Some(&c.compiled.cg.stages),
+        }
+    }
+
+    /// The CG-grained schedule, once available.
+    #[must_use]
+    pub fn cg(&self) -> Option<&CgSchedule> {
+        match self {
+            Artifact::Source | Artifact::Staged(_) => None,
+            Artifact::CgScheduled(a) => Some(&a.cg),
+            Artifact::MvmScheduled(a) => Some(&a.cg),
+            Artifact::VvmScheduled(a) => Some(&a.cg),
+            Artifact::Codegenned(c) => Some(&c.compiled.cg),
+        }
+    }
+
+    /// The MVM-grained refinement, once available.
+    #[must_use]
+    pub fn mvm(&self) -> Option<&MvmSchedule> {
+        match self {
+            Artifact::MvmScheduled(a) => Some(&a.mvm),
+            Artifact::VvmScheduled(a) => Some(&a.mvm),
+            Artifact::Codegenned(c) => c.compiled.mvm.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The VVM-grained refinement, once available.
+    #[must_use]
+    pub fn vvm(&self) -> Option<&VvmSchedule> {
+        match self {
+            Artifact::VvmScheduled(a) => Some(&a.vvm),
+            Artifact::Codegenned(c) => c.compiled.vvm.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The generated meta-operator flow, once available.
+    #[must_use]
+    pub fn flow(&self) -> Option<&MopFlow> {
+        match self {
+            Artifact::Codegenned(c) => Some(&c.flow),
+            _ => None,
+        }
+    }
+
+    /// The generated flow's buffer layout, once available.
+    #[must_use]
+    pub fn layout(&self) -> Option<&FlowLayout> {
+        match self {
+            Artifact::Codegenned(c) => Some(&c.layout),
+            _ => None,
+        }
+    }
+
+    /// The report of the deepest scheduling level run so far, if any
+    /// level has run.
+    #[must_use]
+    pub fn report(&self) -> Option<&PerfReport> {
+        match self {
+            Artifact::Source | Artifact::Staged(_) => None,
+            Artifact::CgScheduled(a) => Some(&a.cg.report),
+            Artifact::MvmScheduled(a) => Some(&a.mvm.report),
+            Artifact::VvmScheduled(a) => Some(&a.vvm.report),
+            Artifact::Codegenned(c) => Some(c.compiled.report()),
+        }
+    }
+
+    /// Reports of every level run so far, coarse to fine.
+    #[must_use]
+    pub fn reports(&self) -> Vec<&PerfReport> {
+        let mut out = Vec::new();
+        if let Some(cg) = self.cg() {
+            out.push(&cg.report);
+        }
+        if let Some(mvm) = self.mvm() {
+            out.push(&mvm.report);
+        }
+        if let Some(vvm) = self.vvm() {
+            out.push(&vvm.report);
+        }
+        out
+    }
+
+    /// One-line description, used in timelines.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        match self {
+            Artifact::Source => "source graph".to_owned(),
+            Artifact::Staged(s) => format!("{} stage(s)", s.stages.len()),
+            Artifact::CgScheduled(_) | Artifact::MvmScheduled(_) | Artifact::VvmScheduled(_) => {
+                let r = self.report().expect("scheduled artifacts have a report");
+                format!(
+                    "level {}: {} segment(s), latency {:.0} cycles, peak power {:.1}",
+                    r.level, r.segments, r.latency_cycles, r.peak_power
+                )
+            }
+            Artifact::Codegenned(c) => format!("{} meta-operator(s)", c.flow.stmts().len()),
+        }
+    }
+
+    /// Renders the artifact for human inspection: the stage list before
+    /// scheduling, the per-stage plan table for scheduled levels, the
+    /// flow statistics after codegen. This is what
+    /// `cimc compile --dump-stage` prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Artifact::Source => "source graph (no passes run)\n".to_owned(),
+            Artifact::Staged(s) => {
+                // No folds/duplication columns: those are scheduling
+                // decisions the cg pass has not made yet.
+                let mut out = format!("{:<4} {:<24} {:>7} {:>12}\n", "#", "stage", "VXB", "MVMs");
+                for (i, stage) in s.stages.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{:<4} {:<24} {:>7} {:>12}\n",
+                        i,
+                        stage.name,
+                        stage.mapping.vxb_size(),
+                        stage.mapping.mvm_count
+                    ));
+                }
+                out
+            }
+            Artifact::CgScheduled(_) | Artifact::MvmScheduled(_) | Artifact::VvmScheduled(_) => {
+                let stages = self.stages().expect("scheduled artifacts have stages");
+                let segments = match self {
+                    Artifact::CgScheduled(a) => &a.cg.segments,
+                    Artifact::MvmScheduled(a) => &a.mvm.segments,
+                    Artifact::VvmScheduled(a) => &a.vvm.segments,
+                    _ => unreachable!(),
+                };
+                let report = self.report().expect("scheduled artifacts have a report");
+                render_plan_table(stages, segments, report)
+            }
+            Artifact::Codegenned(c) => {
+                format!(
+                    "{}\n{} meta-operator(s)\n",
+                    c.compiled.render_schedule(),
+                    c.flow.stmts().len()
+                )
+            }
+        }
+    }
+
+    /// Converts the artifact into the one-shot [`Compiled`] result.
+    /// `model`, `arch_name` and `options` label the result exactly as
+    /// [`Compiler::compile`](crate::Compiler::compile) would.
+    ///
+    /// # Errors
+    /// Returns [`CompileError::Internal`] when no scheduling level has run
+    /// yet (the pipeline is missing a `cg` pass).
+    pub fn into_compiled(
+        self,
+        model: &str,
+        arch_name: &str,
+        options: CompileOptions,
+    ) -> Result<Compiled> {
+        let (cg, mvm, vvm) = match self {
+            Artifact::Source | Artifact::Staged(_) => {
+                return Err(CompileError::Internal {
+                    message: format!(
+                        "pipeline stopped at stage `{}` without producing a schedule \
+                         (missing `cg` pass?)",
+                        self.kind().name()
+                    ),
+                })
+            }
+            Artifact::CgScheduled(a) => (a.cg, None, None),
+            Artifact::MvmScheduled(a) => {
+                let a = *a;
+                (a.cg, Some(a.mvm), None)
+            }
+            Artifact::VvmScheduled(a) => {
+                let a = *a;
+                (a.cg, Some(a.mvm), Some(a.vvm))
+            }
+            Artifact::Codegenned(c) => return Ok(c.compiled),
+        };
+        Ok(Compiled::from_parts(
+            model.to_owned(),
+            arch_name.to_owned(),
+            options,
+            cg,
+            mvm,
+            vvm,
+        ))
+    }
+}
+
+/// Renders a per-stage plan table for one scheduling level — the shared
+/// body of [`Compiled::render_schedule`] and [`Artifact::render`].
+pub(crate) fn render_plan_table(
+    stages: &[Stage],
+    segments: &[Segment],
+    report: &PerfReport,
+) -> String {
+    let mut out = format!(
+        "level {}\n{:<4} {:<24} {:>5} {:>6} {:>6} {:>6} {:>14}\n",
+        report.level, "seg", "stage", "dup", "cores", "folds", "VXB", "latency(cyc)"
+    );
+    for (si, seg) in segments.iter().enumerate() {
+        for plan in &seg.plans {
+            let stage = &stages[plan.stage];
+            out.push_str(&format!(
+                "{:<4} {:<24} {:>5} {:>6} {:>6} {:>6} {:>14.0}\n",
+                si,
+                stage.name,
+                plan.duplication,
+                plan.cores,
+                plan.folds,
+                stage.mapping.vxb_size(),
+                plan.latency
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "total: {:.0} cycles ({} segments, {:.0} reprogram), peak power {:.1}, energy {:.1}\n",
+        report.latency_cycles,
+        report.segments,
+        report.reprogram_cycles,
+        report.peak_power,
+        report.energy.total()
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Built-in passes.
+
+/// The `stages` pass: extracts pipeline stages from the graph
+/// (`Source → Staged`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractStagesPass;
+
+impl Pass for ExtractStagesPass {
+    fn name(&self) -> &'static str {
+        "stages"
+    }
+
+    fn run(
+        &self,
+        cx: &PassContext<'_>,
+        diag: &mut Diagnostics,
+        input: Artifact,
+    ) -> Result<Artifact> {
+        let Artifact::Source = input else {
+            return Err(stage_mismatch(self.name(), "source", &input));
+        };
+        let stages = extract_stages(cx.graph, cx.arch, cx.options.weight_bits);
+        diag.note(format!(
+            "{} CIM stage(s) from {} graph node(s)",
+            stages.len(),
+            cx.graph.len()
+        ));
+        Ok(Artifact::Staged(Staged { stages }))
+    }
+}
+
+/// The `cg` pass: CG-grained scheduling (`Staged → CgScheduled`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgPass;
+
+impl Pass for CgPass {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn run(
+        &self,
+        cx: &PassContext<'_>,
+        diag: &mut Diagnostics,
+        input: Artifact,
+    ) -> Result<Artifact> {
+        let Artifact::Staged(staged) = input else {
+            return Err(stage_mismatch(self.name(), "staged", &input));
+        };
+        let cg = schedule_cg_stages(
+            cx.graph.name(),
+            staged.stages,
+            cx.arch,
+            cx.options.cg,
+            cx.options.act_bits,
+        )?;
+        diag.note(format!(
+            "{} segment(s), {:.0} reprogram cycle(s)",
+            cg.segments.len(),
+            cg.report.reprogram_cycles
+        ));
+        Ok(Artifact::CgScheduled(Box::new(CgScheduled { cg })))
+    }
+}
+
+/// The `mvm` pass: MVM-grained refinement (`CgScheduled → MvmScheduled`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MvmPass;
+
+impl Pass for MvmPass {
+    fn name(&self) -> &'static str {
+        "mvm"
+    }
+
+    fn run(
+        &self,
+        cx: &PassContext<'_>,
+        diag: &mut Diagnostics,
+        input: Artifact,
+    ) -> Result<Artifact> {
+        let Artifact::CgScheduled(a) = input else {
+            return Err(stage_mismatch(self.name(), "cg", &input));
+        };
+        let cg = a.cg;
+        let mvm = schedule_mvm(&cg, cx.arch, cx.options.mvm, cx.options.act_bits);
+        let refined = mvm
+            .segments
+            .iter()
+            .flat_map(|s| s.plans.iter())
+            .zip(cg.segments.iter().flat_map(|s| s.plans.iter()))
+            .filter(|(m, c)| m.duplication > c.duplication)
+            .count();
+        diag.note(format!(
+            "duplication refined on {refined} stage(s), staggered={}",
+            mvm.staggered
+        ));
+        Ok(Artifact::MvmScheduled(Box::new(MvmScheduled { cg, mvm })))
+    }
+}
+
+/// The `vvm` pass: VVM-grained refinement (`MvmScheduled → VvmScheduled`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VvmPass;
+
+impl Pass for VvmPass {
+    fn name(&self) -> &'static str {
+        "vvm"
+    }
+
+    fn run(
+        &self,
+        cx: &PassContext<'_>,
+        diag: &mut Diagnostics,
+        input: Artifact,
+    ) -> Result<Artifact> {
+        let Artifact::MvmScheduled(a) = input else {
+            return Err(stage_mismatch(self.name(), "mvm", &input));
+        };
+        let MvmScheduled { cg, mvm } = *a;
+        let vvm = schedule_vvm(&cg, &mvm, cx.arch, cx.options.act_bits);
+        let remapped = vvm
+            .spreads
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|&&k| k > 1)
+            .count();
+        diag.note(format!(
+            "wordline remapping (spread > 1) on {remapped} stage(s)"
+        ));
+        Ok(Artifact::VvmScheduled(Box::new(VvmScheduled {
+            cg,
+            mvm,
+            vvm,
+        })))
+    }
+}
+
+/// The `codegen` pass: lowers any scheduled artifact into an executable
+/// meta-operator flow (`CgScheduled | MvmScheduled | VvmScheduled →
+/// Codegenned`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodegenPass;
+
+impl Pass for CodegenPass {
+    fn name(&self) -> &'static str {
+        "codegen"
+    }
+
+    fn run(
+        &self,
+        cx: &PassContext<'_>,
+        diag: &mut Diagnostics,
+        input: Artifact,
+    ) -> Result<Artifact> {
+        if !matches!(
+            input,
+            Artifact::CgScheduled(_) | Artifact::MvmScheduled(_) | Artifact::VvmScheduled(_)
+        ) {
+            return Err(stage_mismatch(self.name(), "cg, mvm or vvm", &input));
+        }
+        let compiled = input.into_compiled(cx.graph.name(), cx.arch.name(), *cx.options)?;
+        let (flow, layout) = generate_flow(&compiled, cx.graph, cx.arch)?;
+        diag.note(format!("{} meta-operator(s)", flow.stmts().len()));
+        Ok(Artifact::Codegenned(Box::new(Codegenned {
+            compiled,
+            flow,
+            layout,
+        })))
+    }
+}
+
+fn stage_mismatch(pass: &str, wants: &str, got: &Artifact) -> CompileError {
+    CompileError::Internal {
+        message: format!(
+            "pass `{pass}` consumes a `{wants}` artifact but received `{}`",
+            got.kind().name()
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline and session.
+
+/// An ordered list of passes, assembled by [`Pipeline::plan`] or by hand.
+///
+/// The pipeline is inert data; [`Pipeline::session`] binds it to a model
+/// and target for execution.
+#[derive(Default)]
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("passes", &self.names())
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline; push passes by hand.
+    #[must_use]
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// The standard pass list for `options` against `arch` — the exact
+    /// levels [`Compiler::compile`](crate::Compiler::compile) runs:
+    /// `stages` and `cg` always; `mvm` when the target's computing mode
+    /// and [`CompileOptions::level`] admit it; `vvm` likewise. Code
+    /// generation is not included — append [`CodegenPass`] when the flow
+    /// is wanted.
+    #[must_use]
+    pub fn plan(options: &CompileOptions, arch: &CimArchitecture) -> Self {
+        let mut p = Pipeline::new();
+        p.push(Box::new(ExtractStagesPass));
+        p.push(Box::new(CgPass));
+        let want_mvm = match options.level {
+            OptLevel::Auto => arch.mode().supports(ComputingMode::Xbm),
+            OptLevel::Cg => false,
+            OptLevel::CgMvm | OptLevel::CgMvmVvm => true,
+        } && arch.mode().supports(ComputingMode::Xbm);
+        let want_vvm = match options.level {
+            OptLevel::Auto => arch.mode().supports(ComputingMode::Wlm),
+            OptLevel::CgMvmVvm => true,
+            _ => false,
+        } && arch.mode().supports(ComputingMode::Wlm)
+            && want_mvm;
+        if want_mvm {
+            p.push(Box::new(MvmPass));
+        }
+        if want_vvm {
+            p.push(Box::new(VvmPass));
+        }
+        p
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The pass names, in execution order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of passes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the pipeline has no passes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Replaces the first pass named `name` with `pass`. Returns whether
+    /// a pass was replaced.
+    pub fn replace(&mut self, name: &str, pass: Box<dyn Pass>) -> bool {
+        match self.passes.iter().position(|p| p.name() == name) {
+            Some(i) => {
+                self.passes[i] = pass;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the first pass named `name`. Returns whether a pass was
+    /// removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        match self.passes.iter().position(|p| p.name() == name) {
+            Some(i) => {
+                self.passes.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `pass` immediately after the first pass named `name`.
+    /// Returns whether the anchor was found.
+    pub fn insert_after(&mut self, name: &str, pass: Box<dyn Pass>) -> bool {
+        match self.passes.iter().position(|p| p.name() == name) {
+            Some(i) => {
+                self.passes.insert(i + 1, pass);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Binds the pipeline to a model and target, ready to run.
+    #[must_use]
+    pub fn session<'a>(
+        self,
+        graph: &'a Graph,
+        arch: &'a CimArchitecture,
+        options: CompileOptions,
+    ) -> Session<'a> {
+        Session {
+            graph,
+            arch,
+            options,
+            passes: self.passes,
+            cursor: 0,
+            artifact: Artifact::Source,
+            timeline: PassTimeline::default(),
+        }
+    }
+}
+
+/// One compilation in flight: a pass list, a cursor, and the current
+/// [`Artifact`].
+///
+/// Drive it with [`Session::step`] (pause between passes, inspect via
+/// [`Session::artifact`], intervene via [`Session::artifact_mut`] or
+/// [`Session::skip_next`], then resume), or all at once with
+/// [`Session::run`] / [`Session::finish`].
+///
+/// If a pass fails, the session is poisoned: the artifact resets to
+/// [`Artifact::Source`] (the failed pass consumed its input) and further
+/// stepping re-runs from the failed pass, which will reject the stale
+/// stage — start a fresh session instead.
+pub struct Session<'a> {
+    graph: &'a Graph,
+    arch: &'a CimArchitecture,
+    options: CompileOptions,
+    passes: Vec<Box<dyn Pass>>,
+    cursor: usize,
+    artifact: Artifact,
+    timeline: PassTimeline,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("model", &self.graph.name())
+            .field("arch", &self.arch.name())
+            .field("cursor", &self.cursor)
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .field("stage", &self.artifact.kind().name())
+            .finish()
+    }
+}
+
+impl<'a> Session<'a> {
+    /// The model being compiled.
+    #[must_use]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The target architecture.
+    #[must_use]
+    pub fn arch(&self) -> &'a CimArchitecture {
+        self.arch
+    }
+
+    /// The options in force.
+    #[must_use]
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Name of the next pass to run, or `None` when the pipeline is done.
+    #[must_use]
+    pub fn next_pass(&self) -> Option<&'static str> {
+        self.passes.get(self.cursor).map(|p| p.name())
+    }
+
+    /// Number of passes already executed or skipped.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether every pass has run.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.cursor >= self.passes.len()
+    }
+
+    /// The current artifact.
+    #[must_use]
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// Mutable access to the current artifact, for intervening between
+    /// passes (edit stage plans, drop stages, …). The caller owns the
+    /// consequences: later passes see the modified artifact.
+    #[must_use]
+    pub fn artifact_mut(&mut self) -> &mut Artifact {
+        &mut self.artifact
+    }
+
+    /// Replaces the current artifact wholesale, returning the previous
+    /// one — resume-from-elsewhere for checkpointed artifacts.
+    pub fn replace_artifact(&mut self, artifact: Artifact) -> Artifact {
+        std::mem::replace(&mut self.artifact, artifact)
+    }
+
+    /// The per-pass instrumentation collected so far.
+    #[must_use]
+    pub fn timeline(&self) -> &PassTimeline {
+        &self.timeline
+    }
+
+    /// Runs the next pass. Returns `Ok(true)` if a pass ran, `Ok(false)`
+    /// if the pipeline was already finished.
+    ///
+    /// # Errors
+    /// Propagates the pass's [`crate::CompileError`]; see the type docs
+    /// for the poisoning behaviour on failure.
+    pub fn step(&mut self) -> Result<bool> {
+        let Some(pass) = self.passes.get(self.cursor) else {
+            return Ok(false);
+        };
+        let cx = PassContext {
+            graph: self.graph,
+            arch: self.arch,
+            options: &self.options,
+        };
+        let mut diag = Diagnostics::default();
+        let input = std::mem::replace(&mut self.artifact, Artifact::Source);
+        let started = Instant::now();
+        let output = pass.run(&cx, &mut diag, input)?;
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.timeline.record(pass.name(), &output, wall_ms, diag);
+        self.artifact = output;
+        self.cursor += 1;
+        Ok(true)
+    }
+
+    /// Skips the next pass without running it, recording the skip in the
+    /// timeline. Returns the skipped pass's name, or `None` when the
+    /// pipeline is finished.
+    pub fn skip_next(&mut self) -> Option<&'static str> {
+        let name = self.passes.get(self.cursor).map(|p| p.name())?;
+        self.timeline.record_skip(name);
+        self.cursor += 1;
+        Some(name)
+    }
+
+    /// Runs every remaining pass.
+    ///
+    /// # Errors
+    /// Propagates the first failing pass's error.
+    pub fn run(&mut self) -> Result<()> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Runs every remaining pass and converts the final artifact into the
+    /// one-shot [`Compiled`] result.
+    ///
+    /// # Errors
+    /// Propagates pass errors, or [`CompileError::Internal`] when the
+    /// pipeline never produced a schedule.
+    pub fn finish(mut self) -> Result<Compiled> {
+        self.run()?;
+        self.artifact
+            .into_compiled(self.graph.name(), self.arch.name(), self.options)
+    }
+
+    /// Tears the session down into its final artifact and timeline
+    /// without converting to [`Compiled`].
+    #[must_use]
+    pub fn into_parts(self) -> (Artifact, PassTimeline) {
+        (self.artifact, self.timeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use cim_arch::presets;
+    use cim_graph::zoo;
+
+    #[test]
+    fn plan_matches_computing_mode() {
+        let opts = CompileOptions::default();
+        assert_eq!(
+            Pipeline::plan(&opts, &presets::jia_isscc21()).names(),
+            ["stages", "cg"]
+        );
+        assert_eq!(
+            Pipeline::plan(&opts, &presets::isaac_baseline()).names(),
+            ["stages", "cg", "mvm"]
+        );
+        assert_eq!(
+            Pipeline::plan(&opts, &presets::jain_sram()).names(),
+            ["stages", "cg", "mvm", "vvm"]
+        );
+    }
+
+    #[test]
+    fn plan_honours_explicit_level() {
+        let opts = CompileOptions {
+            level: OptLevel::Cg,
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            Pipeline::plan(&opts, &presets::jain_sram()).names(),
+            ["stages", "cg"]
+        );
+        // Requesting deeper levels than the mode supports degrades.
+        let opts = CompileOptions {
+            level: OptLevel::CgMvmVvm,
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            Pipeline::plan(&opts, &presets::jia_isscc21()).names(),
+            ["stages", "cg"]
+        );
+    }
+
+    #[test]
+    fn stepped_session_produces_cumulative_artifacts() {
+        let graph = zoo::lenet5();
+        let arch = presets::jain_sram();
+        let opts = CompileOptions::default();
+        let mut session = Pipeline::plan(&opts, &arch).session(&graph, &arch, opts);
+        let mut kinds = vec![session.artifact().kind()];
+        while session.step().unwrap() {
+            kinds.push(session.artifact().kind());
+        }
+        assert_eq!(
+            kinds,
+            [
+                StageKind::Source,
+                StageKind::Staged,
+                StageKind::Cg,
+                StageKind::Mvm,
+                StageKind::Vvm
+            ]
+        );
+        assert_eq!(session.timeline().records.len(), 4);
+        let compiled = session.finish().unwrap();
+        assert_eq!(compiled.report().level, "cg+mvm+vvm");
+    }
+
+    #[test]
+    fn codegen_pass_produces_a_flow() {
+        let graph = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let opts = CompileOptions::default();
+        let mut pipeline = Pipeline::plan(&opts, &arch);
+        pipeline.push(Box::new(CodegenPass));
+        let mut session = pipeline.session(&graph, &arch, opts);
+        session.run().unwrap();
+        assert_eq!(session.artifact().kind(), StageKind::Codegen);
+        assert!(!session.artifact().flow().unwrap().stmts().is_empty());
+        let (flow, layout) = crate::codegen::generate_flow(
+            &Compiler::new().compile(&graph, &arch).unwrap(),
+            &graph,
+            &arch,
+        )
+        .unwrap();
+        assert_eq!(session.artifact().flow().unwrap(), &flow);
+        assert_eq!(
+            session.artifact().layout().unwrap().total_elements(),
+            layout.total_elements()
+        );
+    }
+
+    #[test]
+    fn pass_on_wrong_stage_is_an_internal_error() {
+        let graph = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let opts = CompileOptions::default();
+        let mut pipeline = Pipeline::new();
+        pipeline.push(Box::new(MvmPass)); // needs a cg artifact, gets source
+        let mut session = pipeline.session(&graph, &arch, opts);
+        let err = session.step().unwrap_err();
+        assert!(matches!(err, CompileError::Internal { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("mvm") && msg.contains("source"), "{msg}");
+    }
+
+    #[test]
+    fn stage_kind_names_round_trip() {
+        for kind in [
+            StageKind::Source,
+            StageKind::Staged,
+            StageKind::Cg,
+            StageKind::Mvm,
+            StageKind::Vvm,
+            StageKind::Codegen,
+        ] {
+            assert_eq!(StageKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(StageKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn pipeline_edits_find_their_anchor() {
+        let opts = CompileOptions::default();
+        let arch = presets::isaac_baseline();
+        let mut p = Pipeline::plan(&opts, &arch);
+        assert!(p.remove("mvm"));
+        assert!(!p.remove("mvm"));
+        assert!(p.insert_after("cg", Box::new(MvmPass)));
+        assert!(p.replace("mvm", Box::new(MvmPass)));
+        assert!(!p.replace("vvm", Box::new(VvmPass)));
+        assert_eq!(p.names(), ["stages", "cg", "mvm"]);
+    }
+}

@@ -1,6 +1,6 @@
 //! Flow-level performance measurement.
 //!
-//! The paper's performance simulator "support[s] the execution cycle and
+//! The paper's performance simulator "support\[s\] the execution cycle and
 //! power consumption evaluation of meta-operators flow" (§4.1). This
 //! module walks a [`MopFlow`] statement by statement and charges each
 //! meta-operator its cost model price: a `parallel { … }` block costs the

@@ -1,5 +1,6 @@
-//! Quickstart: compile a model for a published CIM accelerator, inspect
-//! the schedule, and functionally verify the generated meta-operator flow.
+//! Quickstart: compile a model for a published CIM accelerator through
+//! the staged pipeline, inspect each level as it lands, and functionally
+//! verify the generated meta-operator flow.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -21,15 +22,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.total_macs() as f64 / 1e6
     );
 
-    // 2. Compile. The computing mode (XBM here) decides which scheduling
-    //    levels run: CG-grained, then MVM-grained.
-    let compiled = Compiler::new().compile(&model, &arch)?;
-    for report in compiled.reports() {
-        println!(
-            "level {:<12} latency {:>12.0} cycles   peak power {:>8.1}   segments {}",
-            report.level, report.latency_cycles, report.peak_power, report.segments
-        );
+    // 2. Compile through the staged pipeline. The computing mode (XBM
+    //    here) decides which passes run: CG-grained, then MVM-grained.
+    //    Stepping pass by pass exposes each level's report the moment it
+    //    exists; `Compiler::new().compile(&model, &arch)` remains the
+    //    one-shot equivalent.
+    let mut session = Compiler::new().session(&model, &arch);
+    while session.step()? {
+        if let Some(report) = session.artifact().report() {
+            println!(
+                "level {:<12} latency {:>12.0} cycles   peak power {:>8.1}   segments {}",
+                report.level, report.latency_cycles, report.peak_power, report.segments
+            );
+        }
     }
+    println!("\nper-pass timeline:\n{}", session.timeline().render());
+    let compiled = session.finish()?;
 
     // 3. Generate the executable meta-operator flow and print its head.
     let (flow, layout) = codegen::generate_flow(&compiled, &model, &arch)?;

@@ -1,0 +1,80 @@
+//! The staged pipeline as an instrument: pause between levels, inspect
+//! and rewrite intermediate artifacts, replace passes, and read the
+//! per-pass timeline — the workflow behind the paper's ablation studies
+//! (Figures 21–22), driven through the public API.
+//!
+//! ```sh
+//! cargo run --release --example staged_pipeline
+//! ```
+
+use cim_mlc::prelude::*;
+
+/// A custom pass that disables the MVM level by passing the CG artifact
+/// through unchanged — the `--level cg` ablation, expressed as a pass
+/// replacement instead of an option.
+struct DisableMvm;
+
+impl Pass for DisableMvm {
+    fn name(&self) -> &'static str {
+        "mvm"
+    }
+    fn run(
+        &self,
+        _cx: &PassContext<'_>,
+        diag: &mut Diagnostics,
+        input: Artifact,
+    ) -> cim_mlc::compiler::Result<Artifact> {
+        diag.note("MVM refinement disabled for this ablation");
+        Ok(input)
+    }
+}
+
+fn main() -> Result<(), Error> {
+    let arch = presets::isaac_baseline();
+    let model = zoo::vgg7();
+    let options = CompileOptions::default();
+
+    // --- 1. Pause and inspect: run pass by pass, watching the artifact
+    //        advance through the typed stages.
+    println!("== staged run: {} on {}\n", model.name(), arch.name());
+    let mut session = Compiler::new().session(&model, &arch);
+    while let Some(next) = session.next_pass() {
+        println!("about to run `{next}`…");
+        session.step()?;
+        let artifact = session.artifact();
+        println!("  -> {}: {}", artifact.kind().name(), artifact.summary());
+    }
+    let full = session.finish()?;
+
+    // --- 2. Intervene: drop the last stage after extraction, then let
+    //        the remaining passes schedule the truncated model.
+    let mut session = Compiler::new().session(&model, &arch);
+    session.step()?; // `stages`
+    if let Artifact::Staged(staged) = session.artifact_mut() {
+        let dropped = staged.stages.pop().expect("vgg7 has stages");
+        println!("\n== intervention: dropped stage `{}`", dropped.name);
+    }
+    let truncated = session.finish()?;
+    println!(
+        "full model {} stages, truncated {} stages",
+        full.cg.stages.len(),
+        truncated.cg.stages.len()
+    );
+
+    // --- 3. Replace a pass: the CG-only ablation via pass replacement.
+    let mut pipeline = Pipeline::plan(&options, &arch);
+    assert!(pipeline.replace("mvm", Box::new(DisableMvm)));
+    let mut session = pipeline.session(&model, &arch, options);
+    session.run()?;
+    println!("\n== ablation timeline:\n{}", session.timeline().render());
+    let ablated = session.finish()?;
+    println!(
+        "full pipeline {:>10.0} cycles ({}), MVM disabled {:>10.0} cycles ({})",
+        full.report().latency_cycles,
+        full.report().level,
+        ablated.report().latency_cycles,
+        ablated.report().level,
+    );
+    assert!(full.report().latency_cycles <= ablated.report().latency_cycles);
+    Ok(())
+}

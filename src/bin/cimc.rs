@@ -13,17 +13,25 @@
 use cim_mlc::prelude::*;
 use std::process::ExitCode;
 
+/// Loads an architecture description file, wrapping failures in the
+/// unified [`Error`] so the whole cause chain reaches stderr.
+fn load_arch_file(path: &str) -> Result<CimArchitecture, Error> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    Ok(cim_mlc::arch::from_json(&json)?)
+}
+
+/// Loads a model graph file, wrapping failures in the unified [`Error`].
+fn load_model_file(path: &str) -> Result<Graph, Error> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    Ok(cim_mlc::graph::from_json(&json)?)
+}
+
 fn preset(name: &str) -> Result<CimArchitecture, String> {
     if let Some(arch) = presets::by_name(name) {
         return Ok(arch);
     }
     match name {
-        path if path.ends_with(".json") => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read architecture file `{path}`: {e}"))?;
-            cim_mlc::arch::from_json(&json)
-                .map_err(|e| format!("invalid architecture in `{path}`: {e}"))
-        }
+        path if path.ends_with(".json") => load_arch_file(path).map_err(|e| e.render_chain()),
         other => Err(format!(
             "unknown preset `{other}` (try `cimc archs` or a .json path)"
         )),
@@ -35,11 +43,7 @@ fn model(name: &str) -> Result<Graph, String> {
         return Ok(graph);
     }
     match name {
-        path if path.ends_with(".json") => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read model file `{path}`: {e}"))?;
-            cim_mlc::graph::from_json(&json).map_err(|e| format!("invalid model in `{path}`: {e}"))
-        }
+        path if path.ends_with(".json") => load_model_file(path).map_err(|e| e.render_chain()),
         other => Err(format!(
             "unknown model `{other}` (try `cimc models` or a .json path)"
         )),
@@ -48,11 +52,30 @@ fn model(name: &str) -> Result<Graph, String> {
 
 const USAGE: &str =
     "usage:\n  cimc archs\n  cimc models\n  cimc compile --model <name|file.json> --arch <preset> \
-[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify]\n  \
+[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify] \
+[--timings] [--dump-stage cg|mvm|vvm] [--json]\n  \
 cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] \
 [--baseline <file.json>] [--fail-on-regression] [--tolerance <pct>] [--models <a,b,..>] \
 [--archs <a,b,..>] [--modes <a,b,..>]\n\
 presets: isaac isaac-wlm jia puma jain table2 sensitivity";
+
+/// The machine-readable document `cimc compile --json` emits (analogous
+/// to `cimc bench --out`'s report).
+#[derive(serde::Serialize)]
+struct CompileDoc {
+    schema_version: u32,
+    model: String,
+    arch: String,
+    mode: String,
+    level: String,
+    reports: Vec<PerfReport>,
+    metrics: CompileMetrics,
+    timeline: PassTimeline,
+    verified: Option<bool>,
+}
+
+/// Version of the `cimc compile --json` document layout.
+const COMPILE_DOC_VERSION: u32 = 1;
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -93,6 +116,9 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     let mut show_schedule = false;
     let mut flow_lines: Option<usize> = None;
     let mut verify = false;
+    let mut timings = false;
+    let mut json = false;
+    let mut dump_stage: Option<StageKind> = None;
     // A flag's value must be a real operand, not the next flag.
     let value_of = |flag: &str, i: usize| -> Result<String, String> {
         match args.get(i + 1) {
@@ -178,6 +204,31 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 verify = true;
                 i += 1;
             }
+            "--timings" => {
+                timings = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--dump-stage" => {
+                let value = match value_of("--dump-stage", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                dump_stage = match StageKind::parse(&value) {
+                    Some(kind @ (StageKind::Cg | StageKind::Mvm | StageKind::Vvm)) => Some(kind),
+                    _ => {
+                        eprintln!("invalid --dump-stage `{value}` (expected cg, mvm or vvm)");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -192,6 +243,10 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         eprintln!("`cimc compile` needs both --model and --arch");
         return usage();
     };
+    if json && (show_schedule || flow_lines.is_some() || dump_stage.is_some()) {
+        eprintln!("--json cannot be combined with --schedule, --flow or --dump-stage");
+        return usage();
+    }
     let graph = match model(&model_name) {
         Ok(g) => g,
         Err(e) => {
@@ -213,74 +268,144 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         level: level.unwrap_or_default(),
         ..CompileOptions::default()
     };
-    let compiled = match Compiler::with_options(options).compile(&graph, &arch) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("compile error: {e}");
+
+    // Assemble the staged pipeline: the planned scheduling passes, plus
+    // code generation when the flow is wanted.
+    let mut pipeline = Pipeline::plan(&options, &arch);
+    if flow_lines.is_some() || verify {
+        pipeline.push(Box::new(CodegenPass));
+    }
+    let mut session = pipeline.session(&graph, &arch, options);
+
+    // Run pass by pass so `--dump-stage` can render the intermediate
+    // artifact the moment it exists.
+    let mut dumped = false;
+    loop {
+        match session.step() {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => {
+                eprintln!("compile error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(kind) = dump_stage {
+            if session.artifact().kind() == kind {
+                println!("{}", session.artifact().render());
+                dumped = true;
+            }
+        }
+    }
+    if let Some(kind) = dump_stage {
+        if !dumped {
+            eprintln!(
+                "stage `{}` did not run for this target (deepest stage: {})",
+                kind.name(),
+                session.artifact().kind().name()
+            );
             return ExitCode::FAILURE;
         }
+    }
+
+    let (artifact, timeline) = session.into_parts();
+    let (compiled, flow_pack) = match artifact {
+        Artifact::Codegenned(c) => {
+            let c = *c;
+            (c.compiled, Some((c.flow, c.layout)))
+        }
+        other => match other.into_compiled(graph.name(), arch.name(), options) {
+            Ok(compiled) => (compiled, None),
+            Err(e) => {
+                eprintln!("compile error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
-    for report in compiled.reports() {
-        println!(
-            "level {:<12} latency {:>14.0} cycles   peak power {:>10.1}   energy {:>14.1}   segments {}",
-            report.level,
-            report.latency_cycles,
-            report.peak_power,
-            report.energy.total(),
-            report.segments
-        );
+
+    if !json {
+        for report in compiled.reports() {
+            println!(
+                "level {:<12} latency {:>14.0} cycles   peak power {:>10.1}   energy {:>14.1}   segments {}",
+                report.level,
+                report.latency_cycles,
+                report.peak_power,
+                report.energy.total(),
+                report.segments
+            );
+        }
+        if timings {
+            println!("\n{}", timeline.render());
+        }
     }
     if show_schedule {
         println!("\n{}", compiled.render_schedule());
     }
-    if flow_lines.is_some() || verify {
-        let (flow, layout) = match codegen::generate_flow(&compiled, &graph, &arch) {
-            Ok(x) => x,
-            Err(e) => {
-                eprintln!("codegen error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Some(n) = flow_lines {
-            println!();
-            for line in flow.to_string().lines().take(n) {
-                println!("{line}");
-            }
-            let stats = FlowStats::of(&flow);
-            println!(
-                "... ({} meta-operators: {} cim reads, {} cim writes, {} dcom, {} mov)",
-                stats.total(),
-                stats.cim_reads(),
-                stats.cim_writes(),
-                stats.dcom,
-                stats.mov
-            );
+    if let Some(n) = flow_lines {
+        let (flow, _) = flow_pack.as_ref().expect("codegen pass ran");
+        println!();
+        for line in flow.to_string().lines().take(n) {
+            println!("{line}");
         }
-        if verify {
-            if let Err(e) = flow.validate(&arch) {
-                eprintln!("flow validation failed: {e}");
-                return ExitCode::FAILURE;
-            }
-            let store = WeightStore::for_flow(&flow);
-            let mut machine = Machine::new(&arch);
-            machine.load_inputs(&graph, &layout);
-            if let Err(e) = machine.execute(&flow, &store) {
-                eprintln!("functional simulation failed: {e}");
-                return ExitCode::FAILURE;
-            }
-            let expected = reference::execute(&graph);
-            let out = graph.outputs()[0];
-            let want = &expected[&out];
-            let got = machine.read_l0(layout.offset(out), want.len());
-            if &got == want {
+        let stats = FlowStats::of(flow);
+        println!(
+            "... ({} meta-operators: {} cim reads, {} cim writes, {} dcom, {} mov)",
+            stats.total(),
+            stats.cim_reads(),
+            stats.cim_writes(),
+            stats.dcom,
+            stats.mov
+        );
+    }
+    let mut verified = None;
+    if verify {
+        let (flow, layout) = flow_pack.as_ref().expect("codegen pass ran");
+        if let Err(e) = flow.validate(&arch) {
+            eprintln!("flow validation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let store = WeightStore::for_flow(flow);
+        let mut machine = Machine::new(&arch);
+        machine.load_inputs(&graph, layout);
+        if let Err(e) = machine.execute(flow, &store) {
+            eprintln!("functional simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let expected = reference::execute(&graph);
+        let out = graph.outputs()[0];
+        let want = &expected[&out];
+        let got = machine.read_l0(layout.offset(out), want.len());
+        verified = Some(&got == want);
+        if &got == want {
+            if !json {
                 println!(
                     "\nfunctional verification: PASS (flow == reference, {} outputs)",
                     want.len()
                 );
-            } else {
-                eprintln!("\nfunctional verification: FAIL");
+            }
+        } else {
+            eprintln!("\nfunctional verification: FAIL");
+            if !json {
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if json {
+        let doc = CompileDoc {
+            schema_version: COMPILE_DOC_VERSION,
+            model: compiled.model().to_owned(),
+            arch: compiled.arch_name().to_owned(),
+            mode: arch.mode().name().to_owned(),
+            level: compiled.report().level.to_owned(),
+            reports: compiled.reports().into_iter().cloned().collect(),
+            metrics: compiled.metrics(&arch),
+            timeline,
+            verified,
+        };
+        let mut out = serde_json::to_string_pretty(&doc).expect("compile reports always serialize");
+        out.push('\n');
+        print!("{out}");
+        if verified == Some(false) {
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -18,30 +18,61 @@
 //!   reference executor) and performance traces;
 //! * [`baselines`] (`cim-baselines`) — Poly-Schedule and the vendor
 //!   schedules the paper compares against;
-//! * [`bench`] (`cim-bench`) — figure/table regeneration harness plus the
+//! * [`bench`](mod@bench) (`cim-bench`) — figure/table regeneration harness plus the
 //!   parallel sweep driver with machine-readable bench reports
 //!   (`cimc bench`).
 //!
-//! ## Quickstart
+//! ## Quickstart: the staged pipeline
+//!
+//! Compilation is a pipeline of passes over typed artifacts
+//! (`Staged → CgScheduled → MvmScheduled → VvmScheduled → Codegenned`,
+//! the paper's Figure 3 made explicit). Drive it one pass at a time to
+//! pause between levels, inspect intermediate schedules, and collect
+//! per-pass timings:
 //!
 //! ```
 //! use cim_mlc::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), Error> {
 //! // Describe (or pick) an accelerator and a model…
 //! let arch = presets::isaac_baseline();
 //! let model = zoo::resnet18();
 //!
-//! // …compile with the multi-level scheduler…
-//! let compiled = Compiler::new().compile(&model, &arch)?;
+//! // …run the staged pipeline, pausing after every pass…
+//! let mut session = Compiler::new().session(&model, &arch);
+//! while session.step()? {
+//!     if let Some(report) = session.artifact().report() {
+//!         // The per-level reports the paper's figures are built from.
+//!         assert!(report.latency_cycles > 0.0);
+//!     }
+//! }
+//! println!("{}", session.timeline().render()); // per-pass wall time
 //!
-//! // …and inspect the schedule the paper's figures are built from.
-//! let report = compiled.report();
-//! assert_eq!(report.level, "cg+mvm"); // XBM target: CG + MVM levels ran
-//! assert!(report.latency_cycles > 0.0);
+//! // …and collapse the final artifact into the one-shot result.
+//! let compiled = session.finish()?;
+//! assert_eq!(compiled.report().level, "cg+mvm"); // XBM target: CG + MVM ran
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ### Migration note
+//!
+//! The pre-pipeline one-shot call still works unchanged — it is now a
+//! thin wrapper that runs the planned pipeline to completion:
+//!
+//! ```
+//! # use cim_mlc::prelude::*;
+//! # fn main() -> Result<(), Error> {
+//! # let arch = presets::isaac_baseline();
+//! # let model = zoo::lenet5();
+//! let compiled = Compiler::new().compile(&model, &arch)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Reach for [`Compiler::session`](cim_compiler::Compiler::session) (or
+//! [`Pipeline`](cim_compiler::Pipeline) directly, to skip/replace
+//! passes) only when you need to observe or intervene between levels.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,15 +85,22 @@ pub use cim_graph as graph;
 pub use cim_mop as mop;
 pub use cim_sim as sim;
 
+mod error;
+
+pub use error::Error;
+
 /// Convenient single-import surface for applications.
 pub mod prelude {
+    pub use crate::Error;
     pub use cim_arch::{
         presets, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier,
         NocCost, NocKind, XbShape,
     };
     pub use cim_bench::{compare, run_sweep, BenchReport, ScheduleMode, SweepSpec, Tolerances};
     pub use cim_compiler::{
-        codegen, CompileMetrics, CompileOptions, Compiled, Compiler, OptLevel, PerfReport,
+        codegen, Artifact, CodegenPass, CompileMetrics, CompileOptions, Compiled, Compiler,
+        Diagnostics, OptLevel, Pass, PassContext, PassTimeline, PerfReport, Pipeline, Session,
+        StageKind,
     };
     pub use cim_graph::{zoo, Graph, NodeId, OpKind, Shape};
     pub use cim_mop::{FlowStats, MopFlow};

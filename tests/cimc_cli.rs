@@ -169,3 +169,127 @@ fn bench_emits_a_schema_valid_report_and_gates_on_it() {
         let _ = std::fs::remove_file(p);
     }
 }
+
+#[test]
+fn compile_timings_prints_the_pass_timeline() {
+    let out = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--timings",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("wall(ms)"), "{text}");
+    for pass in ["stages", "cg", "mvm"] {
+        assert!(text.contains(pass), "missing pass `{pass}` in {text}");
+    }
+    assert!(text.contains("pass(es)"), "{text}");
+}
+
+#[test]
+fn compile_dump_stage_renders_the_intermediate_artifact() {
+    let out = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--dump-stage",
+        "cg",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // The CG-level plan table appears before the per-level report lines.
+    assert!(text.contains("latency(cyc)"), "{text}");
+    assert!(text.contains("level cg\n"), "{text}");
+}
+
+#[test]
+fn compile_dump_stage_rejects_bad_values_with_exit_2() {
+    let out = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--dump-stage",
+        "mvmm",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("--dump-stage") && err.contains("`mvmm`"),
+        "{err}"
+    );
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn compile_dump_stage_that_never_runs_is_reported() {
+    // The jia preset is CM-mode: only the CG level runs.
+    let out = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "jia",
+        "--dump-stage",
+        "vvm",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(
+        err.contains("`vvm`") && err.contains("did not run"),
+        "{err}"
+    );
+}
+
+#[test]
+fn compile_json_emits_a_machine_readable_report() {
+    let out = cimc(&["compile", "--model", "lenet5", "--arch", "isaac", "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let doc: serde::Value = serde_json::from_str(&text).expect("valid JSON document");
+    let entries = doc.as_map().expect("top-level object");
+    for key in [
+        "schema_version",
+        "model",
+        "arch",
+        "mode",
+        "level",
+        "reports",
+        "metrics",
+        "timeline",
+        "verified",
+    ] {
+        assert!(
+            serde::Value::lookup(entries, key).is_some(),
+            "missing `{key}` in {text}"
+        );
+    }
+    assert_eq!(
+        serde::Value::lookup(entries, "level"),
+        Some(&serde::Value::Str("cg+mvm".to_owned()))
+    );
+    // No human-readable output mixed into the JSON stream: stdout is one
+    // JSON document (the full-string parse above already enforces this).
+    assert!(text.starts_with('{') && text.ends_with("}\n"), "{text}");
+}
+
+#[test]
+fn compile_json_rejects_text_output_flags() {
+    let out = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--json",
+        "--schedule",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--json"), "{}", stderr(&out));
+}

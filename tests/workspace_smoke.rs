@@ -104,3 +104,33 @@ fn prelude_exposes_mop_and_trace() {
     assert!(!phases.is_empty());
     assert!(trace::peak_power(&phases) >= 0.0);
 }
+
+#[test]
+fn prelude_exposes_the_staged_pipeline_surface() {
+    let arch = presets::isaac_baseline();
+    let model = zoo::lenet5();
+
+    // `Pipeline`/`Session` drive the staged flow; `StageKind` names the
+    // typed artifacts; `PassTimeline` carries the instrumentation.
+    let options = CompileOptions::default();
+    let mut pipeline: Pipeline = Pipeline::plan(&options, &arch);
+    pipeline.push(Box::new(CodegenPass));
+    let mut session: Session<'_> = pipeline.session(&model, &arch, options);
+    while session.step().expect("passes run") {
+        let artifact: &Artifact = session.artifact();
+        assert_ne!(artifact.kind(), StageKind::Source);
+    }
+    let timeline: &PassTimeline = session.timeline();
+    assert_eq!(timeline.records.len(), 4); // stages, cg, mvm, codegen
+    assert!(session.artifact().flow().is_some());
+    let compiled = session.finish().expect("finishes");
+    assert_eq!(compiled.report().level, "cg+mvm");
+}
+
+#[test]
+fn prelude_exposes_the_unified_error() {
+    // Every subsystem error converts into `Error` with a source chain.
+    let err: Error = cim_mlc::graph::from_json("{not json").unwrap_err().into();
+    assert!(std::error::Error::source(&err).is_some());
+    assert!(err.render_chain().contains("invalid model graph"), "{err}");
+}
