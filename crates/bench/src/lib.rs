@@ -21,7 +21,7 @@ pub mod report;
 pub mod sweep;
 
 pub use report::{compare, BenchReport, RegressionReport, ReportError, Tolerances};
-pub use sweep::{run_sweep, ScheduleMode, SweepError, SweepSpec};
+pub use sweep::{run_sweep, run_sweep_cached, ScheduleMode, SweepError, SweepSpec};
 
 use cim_arch::{presets, CellType, CimArchitecture, CrossbarTier, XbShape};
 use cim_compiler::cg::{schedule_cg, CgOptions};

@@ -12,13 +12,28 @@
 //! beyond configurable [`Tolerances`] — the CI regression gate.
 
 use crate::sweep::{ScheduleMode, SweepSpec};
-use cim_compiler::CompileMetrics;
+use cim_compiler::{CacheStats, CompileMetrics};
 use serde::{Deserialize, Serialize};
 
 /// Version of the report document layout. Bump on any
 /// backwards-incompatible field change; [`BenchReport::from_json`] rejects documents
-/// with a different version instead of misreading them.
-pub const SCHEMA_VERSION: u32 = 1;
+/// outside [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`] instead of
+/// misreading them.
+///
+/// # History
+///
+/// * **2** — adds the optional `cache_stats` block (compile-cache
+///   hit/miss/store counters of the sweep that produced the report).
+///   Version-1 documents remain readable: `cache_stats` defaults to
+///   absent, and nothing else changed. Regenerate committed baselines
+///   with `scripts/refresh-baseline.sh` at leisure; v1 baselines keep
+///   gating correctly in the meantime.
+/// * **1** — initial layout.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest report layout [`BenchReport::from_json`] still reads (see
+/// [`SCHEMA_VERSION`] for the migration history).
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// The stable job identifier (`model@arch#mode`) shared by job specs,
 /// records and failures — the unit [`compare`] matches baseline and
@@ -162,6 +177,12 @@ pub struct BenchReport {
     pub failures: Vec<JobFailure>,
     /// Wall-clock section (excluded from comparison).
     pub timing: SweepTiming,
+    /// Compile-cache counters of the sweep that produced this report
+    /// (`None` when the sweep ran uncached, or for schema-v1 documents).
+    /// Run-specific like `timing`, and excluded from comparison: a cold
+    /// and a warm sweep of the same spec differ here and nowhere else.
+    #[serde(default)]
+    pub cache_stats: Option<CacheStats>,
 }
 
 /// Why a report document was rejected.
@@ -169,11 +190,12 @@ pub struct BenchReport {
 pub enum ReportError {
     /// The document is not valid JSON or does not match the schema.
     Parse(String),
-    /// The document's `schema_version` is not [`SCHEMA_VERSION`].
+    /// The document's `schema_version` is outside
+    /// [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`].
     SchemaVersion {
         /// Version found in the document.
         found: u32,
-        /// Version this toolchain reads and writes.
+        /// Newest version this toolchain reads and writes.
         expected: u32,
     },
 }
@@ -184,7 +206,8 @@ impl std::fmt::Display for ReportError {
             ReportError::Parse(e) => write!(f, "invalid bench report: {e}"),
             ReportError::SchemaVersion { found, expected } => write!(
                 f,
-                "bench report schema_version {found} is not the supported version {expected} \
+                "bench report schema_version {found} is outside the supported range \
+                 {MIN_SCHEMA_VERSION}..={expected} \
                  (regenerate the baseline with scripts/refresh-baseline.sh)"
             ),
         }
@@ -209,6 +232,7 @@ impl BenchReport {
             jobs,
             failures,
             timing,
+            cache_stats: None,
         }
     }
 
@@ -226,7 +250,7 @@ impl BenchReport {
     pub fn from_json(json: &str) -> Result<Self, ReportError> {
         let report: BenchReport =
             serde_json::from_str(json).map_err(|e| ReportError::Parse(e.to_string()))?;
-        if report.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&report.schema_version) {
             return Err(ReportError::SchemaVersion {
                 found: report.schema_version,
                 expected: SCHEMA_VERSION,
@@ -235,9 +259,11 @@ impl BenchReport {
         Ok(report)
     }
 
-    /// A copy with every wall-clock field zeroed: the comparison section.
-    /// Two sweeps of the same spec on the same toolchain serialize this
-    /// copy to byte-identical JSON regardless of worker count.
+    /// A copy with every run-specific field stripped — wall clocks
+    /// zeroed and `cache_stats` dropped: the comparison section. Two
+    /// sweeps of the same spec on the same toolchain serialize this copy
+    /// to byte-identical JSON regardless of worker count or cache state
+    /// (cold, warm, or uncached).
     #[must_use]
     pub fn comparable(&self) -> Self {
         let mut report = self.clone();
@@ -248,6 +274,7 @@ impl BenchReport {
         for job in &mut report.jobs {
             job.compile_ms = 0.0;
         }
+        report.cache_stats = None;
         report
     }
 }
@@ -562,13 +589,53 @@ mod tests {
     }
 
     #[test]
-    fn comparable_strips_only_wall_clock_fields() {
-        let r = report(vec![record("lenet5", 1000.0)], vec![]);
+    fn comparable_strips_only_run_specific_fields() {
+        let mut r = report(vec![record("lenet5", 1000.0)], vec![]);
+        r.cache_stats = Some(CacheStats {
+            hits: 7,
+            misses: 2,
+            stores: 2,
+        });
         let c = r.comparable();
         assert_eq!(c.jobs[0].compile_ms, 0.0);
         assert_eq!(c.timing.total_ms, 0.0);
+        assert_eq!(c.cache_stats, None);
         assert_eq!(c.jobs[0].metrics, r.jobs[0].metrics);
         assert_eq!(c.spec, r.spec);
+    }
+
+    #[test]
+    fn schema_v1_documents_remain_readable() {
+        use serde::{Serialize, Value};
+        // Rewrite a current report as a v1 document: version 1, no
+        // `cache_stats` field at all (v1 writers never emitted it).
+        let mut r = report(vec![record("lenet5", 1000.0)], vec![]);
+        r.cache_stats = Some(CacheStats {
+            hits: 1,
+            misses: 2,
+            stores: 3,
+        });
+        let Value::Map(entries) = r.to_value() else {
+            panic!("reports serialize to objects")
+        };
+        let v1_entries: Vec<(String, Value)> = entries
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "schema_version" {
+                    (k, Value::U64(1))
+                } else {
+                    (k, v)
+                }
+            })
+            .filter(|(k, _)| k != "cache_stats")
+            .collect();
+        let v1_json = serde_json::to_string(&Value::Map(v1_entries)).unwrap();
+        let back = BenchReport::from_json(&v1_json).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.cache_stats, None, "v1 has no cache stats");
+        assert_eq!(back.jobs, r.jobs);
+        // The v1 baseline still gates against a v2 current report.
+        assert!(compare(&back, &r, &Tolerances::default()).passes());
     }
 
     #[test]

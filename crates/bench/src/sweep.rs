@@ -8,14 +8,25 @@
 //! in matrix order regardless of worker count, so reports are
 //! byte-identical across `--jobs` settings once wall-clock fields are
 //! stripped (see [`BenchReport::comparable`](crate::report::BenchReport::comparable)).
+//!
+//! The worker pool shares one [`CompileCache`]: across the matrix most
+//! pipeline work is common (every arch stages the same graph the same
+//! way; `auto` and `cg` diverge only below the CG level), so jobs that
+//! share a pass-chain prefix reuse each other's artifacts. [`run_sweep`]
+//! memoizes in-process by default; [`run_sweep_cached`] accepts any
+//! cache (a [`DiskCache`](cim_compiler::DiskCache) makes warm reruns
+//! serve every pass from disk) or `None` to disable caching entirely.
+//! Cached artifacts are bit-identical to recomputed ones (the
+//! [`Pass`](cim_compiler::Pass) purity contract), so caching never
+//! changes a report's comparison section.
 
 use crate::report::{BenchReport, JobFailure, JobMetrics, JobRecord, SweepTiming};
 use cim_arch::presets;
-use cim_compiler::{CompileOptions, Compiler, OptLevel};
+use cim_compiler::{CompileCache, CompileOptions, Compiler, MemoryCache, OptLevel};
 use cim_graph::zoo;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Scheduling-depth axis of a sweep: the [`OptLevel`]s a job matrix can
@@ -246,7 +257,7 @@ enum JobOutcome {
     Failed(JobFailure),
 }
 
-fn run_job(job: &JobSpec) -> JobOutcome {
+fn run_job(job: &JobSpec, cache: Option<&Arc<dyn CompileCache>>) -> JobOutcome {
     let graph = zoo::by_name(&job.model).expect("spec validated");
     let arch = presets::by_name(&job.arch).expect("spec validated");
     let options = CompileOptions {
@@ -255,11 +266,13 @@ fn run_job(job: &JobSpec) -> JobOutcome {
     };
     let started = Instant::now();
     // Drive the staged pipeline explicitly (equivalent to the one-shot
-    // `Compiler::compile` wrapper); `compile_ms` covers every pass.
-    match Compiler::with_options(options)
-        .session(&graph, &arch)
-        .finish()
-    {
+    // `Compiler::compile` wrapper); `compile_ms` covers every pass,
+    // including cache lookups.
+    let mut session = Compiler::with_options(options).session(&graph, &arch);
+    if let Some(cache) = cache {
+        session = session.with_cache(Arc::clone(cache));
+    }
+    match session.finish() {
         Ok(compiled) => {
             let compile_ms = started.elapsed().as_secs_f64() * 1e3;
             JobOutcome::Ok(Box::new(JobRecord {
@@ -280,12 +293,30 @@ fn run_job(job: &JobSpec) -> JobOutcome {
 }
 
 /// Runs `spec`'s job matrix on `threads` worker threads (clamped to at
-/// least 1) and collects a [`BenchReport`].
+/// least 1) and collects a [`BenchReport`], memoizing shared pipeline
+/// work across jobs in a fresh in-process [`MemoryCache`].
+///
+/// This is [`run_sweep_cached`] with a per-call cache; use that entry
+/// point to share a cache across sweeps (warm reruns), point it at a
+/// [`DiskCache`](cim_compiler::DiskCache), or disable caching.
+///
+/// # Errors
+/// Returns a [`SweepError`] when the spec fails [`SweepSpec::validate`];
+/// per-job compile errors do *not* abort the sweep — they are recorded in
+/// the report's `failures` section.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<BenchReport, SweepError> {
+    run_sweep_cached(spec, threads, Some(Arc::new(MemoryCache::new())))
+}
+
+/// Runs `spec`'s job matrix on `threads` worker threads sharing `cache`
+/// (or compiling everything from scratch when `None`).
 ///
 /// Workers pull jobs off a shared queue, so a slow job (a deep ResNet)
 /// never blocks the rest of the matrix behind it; results are written
 /// back by matrix index, keeping report order independent of worker
-/// count and interleaving.
+/// count and interleaving. When a cache is supplied, its aggregate
+/// counters land in the report's
+/// [`cache_stats`](crate::report::BenchReport::cache_stats) block.
 ///
 /// # Errors
 /// Returns a [`SweepError`] when the spec fails [`SweepSpec::validate`];
@@ -295,19 +326,26 @@ fn run_job(job: &JobSpec) -> JobOutcome {
 /// # Panics
 /// Panics if a worker thread panics (a bug in the compiler stack, not an
 /// input error).
-pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<BenchReport, SweepError> {
+pub fn run_sweep_cached(
+    spec: &SweepSpec,
+    threads: usize,
+    cache: Option<Arc<dyn CompileCache>>,
+) -> Result<BenchReport, SweepError> {
     spec.validate()?;
     let jobs = spec.expand();
     let threads = threads.max(1).min(jobs.len().max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    // Snapshot so a long-lived cache reports only *this* sweep's
+    // activity in the report's cache_stats block.
+    let stats_before = cache.as_ref().map(|c| c.stats());
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let outcome = run_job(job);
+                let outcome = run_job(job, cache.as_ref());
                 *slots[i].lock().expect("sweep worker poisoned a slot") = Some(outcome);
             });
         }
@@ -325,12 +363,16 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<BenchReport, SweepE
             JobOutcome::Failed(failure) => failures.push(failure),
         }
     }
-    Ok(BenchReport::new(
+    let mut report = BenchReport::new(
         spec.clone(),
         records,
         failures,
         SweepTiming { total_ms, threads },
-    ))
+    );
+    report.cache_stats = cache
+        .zip(stats_before)
+        .map(|(c, before)| c.stats().since(&before));
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1250 @@
+//! Content-addressed caching of pipeline artifacts.
+//!
+//! Across a bench sweep most compilation work is shared: the same zoo
+//! graph is staged identically for every architecture preset, and `auto`
+//! vs `cg` scheduling diverge only below the CG level. This module
+//! memoizes the staged pipeline per pass:
+//!
+//! * a [`Fingerprint`] is a stable 128-bit structural hash (two-lane
+//!   FNV-1a, in-tree — no external hasher crates) of everything a pass
+//!   reads: the graph, the architecture, the option fields *that pass
+//!   consumes*, chained onto the fingerprint of the pass sequence that
+//!   produced its input ([`Pass::fingerprint`](crate::Pass::fingerprint));
+//! * a [`CompileCache`] maps fingerprints to [`Artifact`]s, with an
+//!   in-process [`MemoryCache`] and an on-disk, content-addressed
+//!   [`DiskCache`] (one checksummed entry file per fingerprint);
+//! * a [`Session`](crate::Session) given a cache via
+//!   [`Session::with_cache`](crate::Session::with_cache) consults it
+//!   before running each pass and records hit/miss/store outcomes in its
+//!   [`PassTimeline`](crate::PassTimeline).
+//!
+//! Because option fields are fingerprinted per pass rather than
+//! wholesale, jobs that share a pipeline *prefix* share cache entries:
+//! `auto` and `cg` runs of the same (graph, arch) reuse each other's
+//! `stages` and `cg` artifacts even though their
+//! [`CompileOptions::level`](crate::CompileOptions::level) differ.
+//!
+//! # Invalidation rules
+//!
+//! A cached artifact is keyed purely by content, so there is no TTL and
+//! no explicit invalidation: change any input — graph structure, any
+//! architecture tier parameter, the computing mode, a consumed option
+//! field, or the pass sequence — and the key changes. Stale entries are
+//! simply never looked up again (prune a [`DiskCache`] directory by
+//! deleting it). Three things opt a pass *out* of caching instead:
+//!
+//! * custom passes, unless they override
+//!   [`Pass::fingerprint`](crate::Pass::fingerprint) (default `None`);
+//! * [`Session::skip_next`](crate::Session::skip_next),
+//!   [`Session::artifact_mut`](crate::Session::artifact_mut) and
+//!   [`Session::replace_artifact`](crate::Session::replace_artifact),
+//!   which hand the artifact to the caller and therefore stop the
+//!   fingerprint chain for the rest of the session;
+//! * code generation ([`CodegenPass`](crate::CodegenPass)): flows can
+//!   reach [`CompileOptions::max_flow_ops`](crate::CompileOptions::max_flow_ops)
+//!   meta-operators, far too large to bank.
+//!
+//! # On-disk layout
+//!
+//! `<dir>/<hh>/<fingerprint>.bin` where `hh` is the first hex byte of
+//! the fingerprint (256-way sharding). Each entry is
+//! `magic · format version · key · payload length · payload · checksum`,
+//! written atomically (temp file + rename) so concurrent sweep workers
+//! and interrupted runs can never leave a torn entry under a valid name.
+//! [`DiskCache::load`] re-derives the checksum and validates the stored
+//! key; a corrupted or truncated entry is treated as a miss, deleted
+//! best-effort, and recompiled — never trusted.
+
+use crate::cg::{CgOptions, CgSchedule, Segment, StagePlan};
+use crate::mapping::OpMapping;
+use crate::mvm::MvmSchedule;
+use crate::perf::{intern_level, PerfReport};
+use crate::pipeline::{Artifact, CgScheduled, MvmScheduled, Staged, VvmScheduled};
+use crate::stage::Stage;
+use crate::vvm::VvmSchedule;
+use cim_arch::{CimArchitecture, EnergyBreakdown};
+use cim_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Fingerprints.
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET_LO: u64 = 0xcbf2_9ce4_8422_2325;
+// Second lane: FNV-1a over tweaked bytes from a distinct offset basis, so
+// the two 64-bit lanes fail independently.
+const FNV_OFFSET_HI: u64 = 0x6c62_272e_07bb_0142;
+
+/// A stable 128-bit structural hash identifying one pipeline-stage input.
+///
+/// Equal compilation inputs always produce equal fingerprints (across
+/// processes and hosts); distinct inputs produce distinct fingerprints up
+/// to the collision resistance of two independent FNV-1a lanes —
+/// comfortably beyond sweep-scale working sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fingerprint {
+    /// Renders the fingerprint as 32 lowercase hex digits (the entry
+    /// file name of a [`DiskCache`]).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Chains this fingerprint with the next pass's, producing the cache
+    /// key of that pass's output: `key_i = H(key_{i-1}, pass_i)`.
+    #[must_use]
+    pub fn chain(self, next: Fingerprint) -> Fingerprint {
+        FingerprintBuilder::new("cim-mlc/chain/v1")
+            .fingerprint(self)
+            .fingerprint(next)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Incremental [`Fingerprint`] construction over typed inputs.
+///
+/// Every write is tagged and length-delimited, so field boundaries are
+/// unambiguous: `str("ab").str("c")` and `str("a").str("bc")` hash
+/// differently.
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    hi: u64,
+    lo: u64,
+}
+
+impl FingerprintBuilder {
+    /// Starts a fingerprint in `domain` (a namespace string; distinct
+    /// domains never collide by construction).
+    #[must_use]
+    pub fn new(domain: &str) -> Self {
+        FingerprintBuilder {
+            hi: FNV_OFFSET_HI,
+            lo: FNV_OFFSET_LO,
+        }
+        .str(domain)
+    }
+
+    fn raw(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b ^ 0xa5)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    fn tag(self, t: u8) -> Self {
+        self.raw(&[t])
+    }
+
+    /// Hashes a length-prefixed byte string.
+    #[must_use]
+    pub fn bytes(self, bytes: &[u8]) -> Self {
+        self.tag(1)
+            .raw(&(bytes.len() as u64).to_le_bytes())
+            .raw(bytes)
+    }
+
+    /// Hashes a length-prefixed UTF-8 string.
+    #[must_use]
+    pub fn str(self, s: &str) -> Self {
+        self.tag(2)
+            .raw(&(s.len() as u64).to_le_bytes())
+            .raw(s.as_bytes())
+    }
+
+    /// Hashes an unsigned integer.
+    #[must_use]
+    pub fn u64(self, n: u64) -> Self {
+        self.tag(3).raw(&n.to_le_bytes())
+    }
+
+    /// Hashes a float by its exact bit pattern.
+    #[must_use]
+    pub fn f64(self, x: f64) -> Self {
+        self.tag(4).raw(&x.to_bits().to_le_bytes())
+    }
+
+    /// Hashes a boolean.
+    #[must_use]
+    pub fn bool(self, b: bool) -> Self {
+        self.tag(5).raw(&[u8::from(b)])
+    }
+
+    /// Hashes another fingerprint (for chaining).
+    #[must_use]
+    pub fn fingerprint(self, fp: Fingerprint) -> Self {
+        self.tag(6)
+            .raw(&fp.hi.to_le_bytes())
+            .raw(&fp.lo.to_le_bytes())
+    }
+
+    /// Finalizes the fingerprint.
+    #[must_use]
+    pub fn finish(self) -> Fingerprint {
+        Fingerprint {
+            hi: self.hi,
+            lo: self.lo,
+        }
+    }
+}
+
+/// Structural fingerprint of a computation graph (name, nodes, operator
+/// parameters, shapes, edges), via its canonical JSON serialization.
+#[must_use]
+pub fn fingerprint_graph(graph: &Graph) -> Fingerprint {
+    FingerprintBuilder::new("cim-mlc/graph/v1")
+        .str(&cim_graph::to_json(graph))
+        .finish()
+}
+
+/// Structural fingerprint of an architecture (all three tiers, the
+/// computing mode, and the cost model — including a cost model overridden
+/// away from the tier-derived default).
+#[must_use]
+pub fn fingerprint_arch(arch: &CimArchitecture) -> Fingerprint {
+    FingerprintBuilder::new("cim-mlc/arch/v1")
+        .str(&cim_arch::to_json(arch))
+        // The serialized document derives the cost model from the tiers;
+        // hash the active model too so a builder-overridden cost never
+        // aliases the default.
+        .str(&format!("{:?}", arch.cost()))
+        .finish()
+}
+
+/// The fingerprint a cached [`Session`](crate::Session) starts its pass
+/// chain from: graph ⊕ architecture. Option fields are *not* included
+/// here — each pass hashes the fields it consumes into its own link, so
+/// jobs differing only in unconsumed options share entries.
+#[must_use]
+pub fn source_fingerprint(graph: &Graph, arch: &CimArchitecture) -> Fingerprint {
+    FingerprintBuilder::new("cim-mlc/session/v1")
+        .fingerprint(fingerprint_graph(graph))
+        .fingerprint(fingerprint_arch(arch))
+        .finish()
+}
+
+// ---------------------------------------------------------------------------
+// The cache abstraction.
+
+/// Aggregate hit/miss/store counters of one [`CompileCache`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including corrupt entries).
+    pub misses: u64,
+    /// Artifacts written into the cache.
+    pub stores: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when none).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating): the
+    /// activity between two [`CompileCache::stats`] snapshots of the
+    /// same instance — e.g. one sweep's share of a long-lived cache.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            stores: self.stores.saturating_sub(earlier.stores),
+        }
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{} hit(s), {} miss(es), {} store(s), hit rate {:.1}%",
+            self.hits,
+            self.misses,
+            self.stores,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// A content-addressed store of pipeline artifacts.
+///
+/// Implementations are shared across sweep worker threads behind an
+/// `Arc`, so they must be internally synchronized. `load`/`store` are
+/// best-effort: a cache may decline to store (returning `false`) and
+/// must answer `None` rather than guess when an entry cannot be
+/// validated.
+pub trait CompileCache: Send + Sync {
+    /// Looks up the artifact stored under `key`.
+    fn load(&self, key: &Fingerprint) -> Option<Artifact>;
+
+    /// Stores `artifact` under `key`. Returns whether the artifact was
+    /// actually banked (codegen artifacts and I/O failures are not).
+    fn store(&self, key: &Fingerprint, artifact: &Artifact) -> bool;
+
+    /// Counters accumulated since this instance was created.
+    fn stats(&self) -> CacheStats;
+}
+
+fn cacheable(artifact: &Artifact) -> bool {
+    matches!(
+        artifact,
+        Artifact::Staged(_)
+            | Artifact::CgScheduled(_)
+            | Artifact::MvmScheduled(_)
+            | Artifact::VvmScheduled(_)
+    )
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An in-process [`CompileCache`]: a mutex-guarded map of shared
+/// artifacts. This is what a sweep's worker pool shares by default.
+///
+/// Entries are held behind `Arc` so the lock only ever guards a pointer
+/// clone; the deep artifact copies happen outside it, and concurrent
+/// workers never serialize on each other's clone time.
+#[derive(Debug, Default)]
+pub struct MemoryCache {
+    entries: Mutex<HashMap<Fingerprint, Arc<Artifact>>>,
+    counters: Counters,
+}
+
+impl MemoryCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryCache::default()
+    }
+
+    /// Number of artifacts currently banked.
+    ///
+    /// # Panics
+    /// Panics if a previous user of the cache panicked mid-operation.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CompileCache for MemoryCache {
+    fn load(&self, key: &Fingerprint) -> Option<Artifact> {
+        let found = self
+            .entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(artifact) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                // Deep copy outside the lock.
+                Some((*artifact).clone())
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Fingerprint, artifact: &Artifact) -> bool {
+        if !cacheable(artifact) {
+            return false;
+        }
+        // Deep copy outside the lock; only the Arc moves under it.
+        let entry = Arc::new(artifact.clone());
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(*key, entry);
+        self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+}
+
+/// An on-disk, content-addressed [`CompileCache`] surviving across
+/// processes — this is what `cimc --cache-dir` opens, and what makes a
+/// warm CI sweep serve every pass from disk.
+///
+/// See the [module docs](self) for the directory layout, atomicity and
+/// corruption handling.
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+    counters: Counters,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = dir.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskCache {
+            root,
+            counters: Counters::default(),
+        })
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry file an artifact with fingerprint `key` lives at.
+    #[must_use]
+    pub fn entry_path(&self, key: &Fingerprint) -> PathBuf {
+        let hex = key.to_hex();
+        self.root.join(&hex[..2]).join(format!("{hex}.bin"))
+    }
+}
+
+impl CompileCache for DiskCache {
+    fn load(&self, key: &Fingerprint) -> Option<Artifact> {
+        let path = self.entry_path(key);
+        let decoded = std::fs::read(&path)
+            .ok()
+            .map(|bytes| decode_entry(key, &bytes));
+        match decoded {
+            Some(Ok(artifact)) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifact)
+            }
+            Some(Err(_)) => {
+                // Corrupt or foreign entry: never trust it. Drop the file
+                // (best effort) so the recompiled artifact replaces it.
+                let _ = std::fs::remove_file(&path);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Fingerprint, artifact: &Artifact) -> bool {
+        let Some(bytes) = encode_entry(key, artifact) else {
+            return false;
+        };
+        let path = self.entry_path(key);
+        let Some(shard) = path.parent() else {
+            return false;
+        };
+        if std::fs::create_dir_all(shard).is_err() {
+            return false;
+        }
+        if write_atomic(&path, &bytes).is_err() {
+            return false;
+        }
+        self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a hidden
+/// sibling temp file first and are renamed into place, so readers (and
+/// CI artifact uploads) can never observe a truncated file, even if the
+/// writer is killed mid-write. Used by the [`DiskCache`] and by
+/// `cimc bench --out`.
+///
+/// # Errors
+/// Propagates I/O errors; on a failed rename the temp file is removed.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("`{}` has no file name to replace", path.display()),
+        )
+    })?;
+    // Unique per process *and* per call: concurrent sweep workers
+    // storing the same key must not share a temp file, or one writer's
+    // rename could publish the other's half-written bytes.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The entry codec: a compact, checksummed binary encoding of cacheable
+// artifacts. Floats are stored by bit pattern, so a round-trip is exact
+// and a warm sweep's report is byte-identical to the cold run's.
+
+const ENTRY_MAGIC: &[u8; 4] = b"CIMC";
+/// Version of the on-disk entry encoding. Bump on any layout change:
+/// old entries then fail validation and are transparently recompiled.
+pub const ENTRY_FORMAT_VERSION: u32 = 1;
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+    fn u32(&mut self, n: u32) {
+        self.buf.extend_from_slice(&n.to_le_bytes());
+    }
+    fn u64(&mut self, n: u64) {
+        self.buf.extend_from_slice(&n.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fn bool(&mut self, b: bool) {
+        self.buf.push(u8::from(b));
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecResult<T> = Result<T, String>;
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated entry: wanted {n} byte(s) at {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> DecResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> DecResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn usize(&mut self) -> DecResult<usize> {
+        usize::try_from(self.u64()?).map_err(|_| "length out of range".to_owned())
+    }
+
+    fn f64(&mut self) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> DecResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("invalid bool byte {other}")),
+        }
+    }
+
+    fn str(&mut self) -> DecResult<String> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid UTF-8 string: {e}"))
+    }
+
+    fn done(&self) -> DecResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing byte(s) after artifact",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+const TAG_STAGED: u8 = 1;
+const TAG_CG: u8 = 2;
+const TAG_MVM: u8 = 3;
+const TAG_VVM: u8 = 4;
+
+fn enc_node(e: &mut Enc, id: NodeId) {
+    e.u64(id.index() as u64);
+}
+
+fn dec_node(d: &mut Dec<'_>) -> DecResult<NodeId> {
+    // Validate the dense-id range here rather than letting
+    // `NodeId::from_index` panic: even a checksum-valid entry (anyone
+    // can compute the FNV checksum) must decode-fail into a cache miss,
+    // never abort the process.
+    let index = d.usize()?;
+    if u32::try_from(index).is_err() {
+        return Err(format!("node index {index} outside the dense-id range"));
+    }
+    Ok(NodeId::from_index(index))
+}
+
+fn enc_mapping(e: &mut Enc, m: &OpMapping) {
+    enc_node(e, m.node);
+    e.u32(m.rows);
+    e.u32(m.cols);
+    e.u32(m.cols_per_weight);
+    e.u32(m.bit_planes);
+    e.u32(m.v_xbs);
+    e.u32(m.h_xbs);
+    e.u64(m.mvm_count);
+    e.u32(m.last_rows);
+    e.u32(m.last_cols);
+}
+
+fn dec_mapping(d: &mut Dec<'_>) -> DecResult<OpMapping> {
+    Ok(OpMapping {
+        node: dec_node(d)?,
+        rows: d.u32()?,
+        cols: d.u32()?,
+        cols_per_weight: d.u32()?,
+        bit_planes: d.u32()?,
+        v_xbs: d.u32()?,
+        h_xbs: d.u32()?,
+        mvm_count: d.u64()?,
+        last_rows: d.u32()?,
+        last_cols: d.u32()?,
+    })
+}
+
+fn enc_stage(e: &mut Enc, s: &Stage) {
+    enc_node(e, s.node);
+    e.str(&s.name);
+    enc_mapping(e, &s.mapping);
+    e.u64(s.digital.len() as u64);
+    for &id in &s.digital {
+        enc_node(e, id);
+    }
+    e.u64(s.alu_ops);
+    e.u64(s.in_elements);
+    e.u64(s.out_elements);
+    e.f64(s.fill_fraction);
+    e.bool(s.dynamic_weights);
+}
+
+fn dec_stage(d: &mut Dec<'_>) -> DecResult<Stage> {
+    let node = dec_node(d)?;
+    let name = d.str()?;
+    let mapping = dec_mapping(d)?;
+    let digital_len = d.usize()?;
+    let mut digital = Vec::with_capacity(digital_len.min(1 << 16));
+    for _ in 0..digital_len {
+        digital.push(dec_node(d)?);
+    }
+    Ok(Stage {
+        node,
+        name,
+        mapping,
+        digital,
+        alu_ops: d.u64()?,
+        in_elements: d.u64()?,
+        out_elements: d.u64()?,
+        fill_fraction: d.f64()?,
+        dynamic_weights: d.bool()?,
+    })
+}
+
+fn enc_stages(e: &mut Enc, stages: &[Stage]) {
+    e.u64(stages.len() as u64);
+    for s in stages {
+        enc_stage(e, s);
+    }
+}
+
+fn dec_stages(d: &mut Dec<'_>) -> DecResult<Vec<Stage>> {
+    let len = d.usize()?;
+    let mut stages = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        stages.push(dec_stage(d)?);
+    }
+    Ok(stages)
+}
+
+fn enc_breakdown(e: &mut Enc, b: &EnergyBreakdown) {
+    e.f64(b.crossbar);
+    e.f64(b.adc);
+    e.f64(b.dac);
+    e.f64(b.movement);
+    e.f64(b.alu);
+}
+
+fn dec_breakdown(d: &mut Dec<'_>) -> DecResult<EnergyBreakdown> {
+    Ok(EnergyBreakdown {
+        crossbar: d.f64()?,
+        adc: d.f64()?,
+        dac: d.f64()?,
+        movement: d.f64()?,
+        alu: d.f64()?,
+    })
+}
+
+fn enc_report(e: &mut Enc, r: &PerfReport) {
+    e.str(r.level);
+    e.f64(r.latency_cycles);
+    e.u64(r.peak_active_crossbars);
+    e.f64(r.peak_power);
+    enc_breakdown(e, &r.peak_breakdown);
+    enc_breakdown(e, &r.energy);
+    e.u64(r.segments as u64);
+    e.f64(r.reprogram_cycles);
+}
+
+fn dec_report(d: &mut Dec<'_>) -> DecResult<PerfReport> {
+    let level = d.str()?;
+    let level =
+        intern_level(&level).ok_or_else(|| format!("unknown scheduling level `{level}`"))?;
+    Ok(PerfReport {
+        level,
+        latency_cycles: d.f64()?,
+        peak_active_crossbars: d.u64()?,
+        peak_power: d.f64()?,
+        peak_breakdown: dec_breakdown(d)?,
+        energy: dec_breakdown(d)?,
+        segments: d.usize()?,
+        reprogram_cycles: d.f64()?,
+    })
+}
+
+fn enc_segments(e: &mut Enc, segments: &[Segment]) {
+    e.u64(segments.len() as u64);
+    for seg in segments {
+        e.u64(seg.plans.len() as u64);
+        for p in &seg.plans {
+            e.u64(p.stage as u64);
+            e.u32(p.duplication);
+            e.u32(p.cores);
+            e.u32(p.folds);
+            e.f64(p.latency);
+        }
+        e.f64(seg.latency);
+        e.u64(seg.active_crossbars);
+        e.f64(seg.streaming_bits_per_cycle);
+    }
+}
+
+fn dec_segments(d: &mut Dec<'_>) -> DecResult<Vec<Segment>> {
+    let len = d.usize()?;
+    let mut segments = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        let plan_len = d.usize()?;
+        let mut plans = Vec::with_capacity(plan_len.min(1 << 16));
+        for _ in 0..plan_len {
+            plans.push(StagePlan {
+                stage: d.usize()?,
+                duplication: d.u32()?,
+                cores: d.u32()?,
+                folds: d.u32()?,
+                latency: d.f64()?,
+            });
+        }
+        segments.push(Segment {
+            plans,
+            latency: d.f64()?,
+            active_crossbars: d.u64()?,
+            streaming_bits_per_cycle: d.f64()?,
+        });
+    }
+    Ok(segments)
+}
+
+fn enc_cg(e: &mut Enc, cg: &CgSchedule) {
+    enc_stages(e, &cg.stages);
+    enc_segments(e, &cg.segments);
+    e.f64(cg.reprogram_cycles);
+    e.bool(cg.options.pipeline);
+    e.bool(cg.options.duplication);
+    enc_report(e, &cg.report);
+}
+
+fn dec_cg(d: &mut Dec<'_>) -> DecResult<CgSchedule> {
+    Ok(CgSchedule {
+        stages: dec_stages(d)?,
+        segments: dec_segments(d)?,
+        reprogram_cycles: d.f64()?,
+        options: CgOptions {
+            pipeline: d.bool()?,
+            duplication: d.bool()?,
+        },
+        report: dec_report(d)?,
+    })
+}
+
+fn enc_mvm(e: &mut Enc, mvm: &MvmSchedule) {
+    enc_segments(e, &mvm.segments);
+    e.bool(mvm.staggered);
+    enc_report(e, &mvm.report);
+}
+
+fn dec_mvm(d: &mut Dec<'_>) -> DecResult<MvmSchedule> {
+    Ok(MvmSchedule {
+        segments: dec_segments(d)?,
+        staggered: d.bool()?,
+        report: dec_report(d)?,
+    })
+}
+
+fn enc_vvm(e: &mut Enc, vvm: &VvmSchedule) {
+    enc_segments(e, &vvm.segments);
+    e.u64(vvm.spreads.len() as u64);
+    for row in &vvm.spreads {
+        e.u64(row.len() as u64);
+        for &k in row {
+            e.u32(k);
+        }
+    }
+    enc_report(e, &vvm.report);
+}
+
+fn dec_vvm(d: &mut Dec<'_>) -> DecResult<VvmSchedule> {
+    let segments = dec_segments(d)?;
+    let rows = d.usize()?;
+    let mut spreads = Vec::with_capacity(rows.min(1 << 16));
+    for _ in 0..rows {
+        let cols = d.usize()?;
+        let mut row = Vec::with_capacity(cols.min(1 << 16));
+        for _ in 0..cols {
+            row.push(d.u32()?);
+        }
+        spreads.push(row);
+    }
+    Ok(VvmSchedule {
+        segments,
+        spreads,
+        report: dec_report(d)?,
+    })
+}
+
+fn encode_artifact(artifact: &Artifact) -> Option<Vec<u8>> {
+    let mut e = Enc::default();
+    match artifact {
+        Artifact::Staged(s) => {
+            e.u8(TAG_STAGED);
+            enc_stages(&mut e, &s.stages);
+        }
+        Artifact::CgScheduled(a) => {
+            e.u8(TAG_CG);
+            enc_cg(&mut e, &a.cg);
+        }
+        Artifact::MvmScheduled(a) => {
+            e.u8(TAG_MVM);
+            enc_cg(&mut e, &a.cg);
+            enc_mvm(&mut e, &a.mvm);
+        }
+        Artifact::VvmScheduled(a) => {
+            e.u8(TAG_VVM);
+            enc_cg(&mut e, &a.cg);
+            enc_mvm(&mut e, &a.mvm);
+            enc_vvm(&mut e, &a.vvm);
+        }
+        Artifact::Source | Artifact::Codegenned(_) => return None,
+    }
+    Some(e.buf)
+}
+
+fn decode_artifact(payload: &[u8]) -> DecResult<Artifact> {
+    let mut d = Dec::new(payload);
+    let artifact = match d.u8()? {
+        TAG_STAGED => Artifact::Staged(Staged {
+            stages: dec_stages(&mut d)?,
+        }),
+        TAG_CG => Artifact::CgScheduled(Box::new(CgScheduled {
+            cg: dec_cg(&mut d)?,
+        })),
+        TAG_MVM => Artifact::MvmScheduled(Box::new(MvmScheduled {
+            cg: dec_cg(&mut d)?,
+            mvm: dec_mvm(&mut d)?,
+        })),
+        TAG_VVM => Artifact::VvmScheduled(Box::new(VvmScheduled {
+            cg: dec_cg(&mut d)?,
+            mvm: dec_mvm(&mut d)?,
+            vvm: dec_vvm(&mut d)?,
+        })),
+        other => return Err(format!("unknown artifact tag {other}")),
+    };
+    d.done()?;
+    Ok(artifact)
+}
+
+fn checksum(payload: &[u8]) -> Fingerprint {
+    FingerprintBuilder::new("cim-mlc/entry/v1")
+        .bytes(payload)
+        .finish()
+}
+
+/// Encodes one disk-cache entry, or `None` for uncacheable artifacts.
+fn encode_entry(key: &Fingerprint, artifact: &Artifact) -> Option<Vec<u8>> {
+    let payload = encode_artifact(artifact)?;
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(ENTRY_MAGIC);
+    e.u32(ENTRY_FORMAT_VERSION);
+    e.u64(key.hi);
+    e.u64(key.lo);
+    e.u64(payload.len() as u64);
+    e.buf.extend_from_slice(&payload);
+    let sum = checksum(&payload);
+    e.u64(sum.hi);
+    e.u64(sum.lo);
+    Some(e.buf)
+}
+
+/// Decodes and validates one disk-cache entry against the key it was
+/// looked up under: magic, format version, stored key, payload length
+/// and checksum must all match before the artifact is trusted.
+fn decode_entry(key: &Fingerprint, bytes: &[u8]) -> DecResult<Artifact> {
+    let mut d = Dec::new(bytes);
+    if d.take(4)? != ENTRY_MAGIC {
+        return Err("bad entry magic".to_owned());
+    }
+    let version = d.u32()?;
+    if version != ENTRY_FORMAT_VERSION {
+        return Err(format!(
+            "entry format version {version} is not {ENTRY_FORMAT_VERSION}"
+        ));
+    }
+    let stored = Fingerprint {
+        hi: d.u64()?,
+        lo: d.u64()?,
+    };
+    if stored != *key {
+        return Err(format!(
+            "entry key {stored} does not match lookup key {key}"
+        ));
+    }
+    let payload_len = d.usize()?;
+    let payload = d.take(payload_len)?.to_vec();
+    let sum = Fingerprint {
+        hi: d.u64()?,
+        lo: d.u64()?,
+    };
+    d.done()?;
+    if sum != checksum(&payload) {
+        return Err("entry checksum mismatch (corrupted payload)".to_owned());
+    }
+    decode_artifact(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompileOptions, Compiler, OptLevel};
+    use cim_arch::presets;
+    use cim_graph::zoo;
+
+    fn artifact_at(level: OptLevel, model: &Graph, arch: &CimArchitecture) -> Artifact {
+        let options = CompileOptions {
+            level,
+            ..CompileOptions::default()
+        };
+        let mut session = Compiler::with_options(options).session(model, arch);
+        session.run().unwrap();
+        let (artifact, _) = session.into_parts();
+        artifact
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_input_sensitive() {
+        let g = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        assert_eq!(fingerprint_graph(&g), fingerprint_graph(&zoo::lenet5()));
+        assert_ne!(fingerprint_graph(&g), fingerprint_graph(&zoo::mlp()));
+        assert_eq!(fingerprint_arch(&arch), fingerprint_arch(&arch));
+        assert_ne!(
+            fingerprint_arch(&arch),
+            fingerprint_arch(&presets::jain_sram())
+        );
+        // Changing only the computing mode changes the fingerprint.
+        assert_ne!(
+            fingerprint_arch(&arch),
+            fingerprint_arch(&arch.with_mode(cim_arch::ComputingMode::Cm))
+        );
+    }
+
+    #[test]
+    fn builder_writes_are_delimited() {
+        let a = FingerprintBuilder::new("t").str("ab").str("c").finish();
+        let b = FingerprintBuilder::new("t").str("a").str("bc").finish();
+        assert_ne!(a, b);
+        assert_ne!(
+            FingerprintBuilder::new("t").u64(1).finish(),
+            FingerprintBuilder::new("t").f64(f64::from_bits(1)).finish()
+        );
+        assert_eq!(
+            FingerprintBuilder::new("t").bool(true).finish(),
+            FingerprintBuilder::new("t").bool(true).finish()
+        );
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_the_entry_codec() {
+        let g = zoo::vgg7();
+        for (arch, level) in [
+            (presets::isaac_baseline(), OptLevel::Cg),
+            (presets::isaac_baseline(), OptLevel::Auto),
+            (presets::jain_sram(), OptLevel::Auto),
+        ] {
+            let artifact = artifact_at(level, &g, &arch);
+            let key = source_fingerprint(&g, &arch);
+            let bytes = encode_entry(&key, &artifact).expect("schedules are cacheable");
+            let back = decode_entry(&key, &bytes).unwrap();
+            match (&artifact, &back) {
+                (Artifact::CgScheduled(a), Artifact::CgScheduled(b)) => assert_eq!(a, b),
+                (Artifact::MvmScheduled(a), Artifact::MvmScheduled(b)) => assert_eq!(a, b),
+                (Artifact::VvmScheduled(a), Artifact::VvmScheduled(b)) => assert_eq!(a, b),
+                other => panic!("stage changed in round trip: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn staged_artifacts_round_trip() {
+        let g = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let stages = crate::stage::extract_stages(&g, &arch, 8);
+        let artifact = Artifact::Staged(Staged {
+            stages: stages.clone(),
+        });
+        let key = source_fingerprint(&g, &arch);
+        let bytes = encode_entry(&key, &artifact).unwrap();
+        match decode_entry(&key, &bytes).unwrap() {
+            Artifact::Staged(s) => assert_eq!(s.stages, stages),
+            other => panic!("wrong stage: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_and_codegen_artifacts_are_not_cacheable() {
+        assert!(encode_entry(&checksum(b""), &Artifact::Source).is_none());
+        assert!(!cacheable(&Artifact::Source));
+    }
+
+    #[test]
+    fn corrupted_entries_are_rejected() {
+        let g = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let artifact = artifact_at(OptLevel::Auto, &g, &arch);
+        let key = source_fingerprint(&g, &arch);
+        let good = encode_entry(&key, &artifact).unwrap();
+        assert!(decode_entry(&key, &good).is_ok());
+
+        // Truncation.
+        assert!(decode_entry(&key, &good[..good.len() / 2]).is_err());
+        // Bit flip in the payload breaks the checksum.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(decode_entry(&key, &flipped).is_err());
+        // A different lookup key rejects the stored key.
+        let other = checksum(b"other");
+        assert!(decode_entry(&other, &good).is_err());
+        // Wrong magic.
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(decode_entry(&key, &bad_magic).is_err());
+        // Future format version.
+        let mut future = good;
+        future[4] = future[4].wrapping_add(1);
+        assert!(decode_entry(&key, &future).is_err());
+    }
+
+    #[test]
+    fn out_of_range_node_indices_are_decode_errors_not_panics() {
+        // A checksum-valid payload can still be hostile: a node index
+        // beyond the dense-id range must surface as a miss-able decode
+        // error, not a `NodeId::from_index` panic.
+        let mut e = Enc::default();
+        e.u8(TAG_STAGED);
+        e.u64(1); // one stage…
+        e.u64(u64::MAX); // …whose node index cannot exist
+        let err = decode_artifact(&e.buf).unwrap_err();
+        assert!(err.contains("node index"), "{err}");
+    }
+
+    #[test]
+    fn memory_cache_counts_hits_misses_and_stores() {
+        let g = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let artifact = artifact_at(OptLevel::Auto, &g, &arch);
+        let key = source_fingerprint(&g, &arch);
+        let cache = MemoryCache::new();
+        assert!(cache.load(&key).is_none());
+        assert!(cache.store(&key, &artifact));
+        assert!(cache.load(&key).is_some());
+        assert!(!cache.store(&key, &Artifact::Source));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stores: 1
+            }
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("cim_cache_rt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = zoo::vgg7();
+        let arch = presets::jain_sram();
+        let artifact = artifact_at(OptLevel::Auto, &g, &arch);
+        let key = source_fingerprint(&g, &arch);
+        {
+            let cache = DiskCache::open(&dir).unwrap();
+            assert!(cache.load(&key).is_none());
+            assert!(cache.store(&key, &artifact));
+            assert!(cache.entry_path(&key).is_file());
+        }
+        // A fresh instance over the same directory serves the entry.
+        let cache = DiskCache::open(&dir).unwrap();
+        let loaded = cache.load(&key).expect("entry persisted");
+        assert_eq!(loaded.kind(), artifact.kind());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                stores: 0
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_cache_treats_corruption_as_a_miss_and_removes_the_entry() {
+        let dir = std::env::temp_dir().join(format!("cim_cache_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let artifact = artifact_at(OptLevel::Auto, &g, &arch);
+        let key = source_fingerprint(&g, &arch);
+        let cache = DiskCache::open(&dir).unwrap();
+        assert!(cache.store(&key, &artifact));
+        let path = cache.entry_path(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(&key).is_none(), "corrupt entry must not load");
+        assert!(!path.exists(), "corrupt entry should be dropped");
+        assert_eq!(cache.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("cim_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, b"{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\":true}");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "report.json")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        // A missing parent fails without creating anything at the target.
+        let bad = dir.join("no_such_dir").join("report.json");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert!(!bad.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

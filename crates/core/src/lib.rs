@@ -24,7 +24,9 @@
 //! (`Staged → CgScheduled → MvmScheduled → VvmScheduled → Codegenned`),
 //! assembled by [`Pipeline::plan`] and executed by a [`Session`] that can
 //! pause between passes, expose the intermediate artifact, and collect a
-//! per-pass [`PassTimeline`]. [`Compiler::compile`] is a thin wrapper
+//! per-pass [`PassTimeline`]. A content-addressed compile cache
+//! ([`cache`]) memoizes pass artifacts across sessions, sweep jobs and
+//! processes. [`Compiler::compile`] is a thin wrapper
 //! that runs the planned pipeline to completion and returns the
 //! [`Compiled`] artifact holding the mapping, the per-level schedules
 //! with their latency/peak-power reports, and (on demand) an executable
@@ -55,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod cache;
 pub mod cg;
 pub mod codegen;
 mod compile;
@@ -68,6 +71,9 @@ pub mod pipeline;
 pub mod stage;
 pub mod vvm;
 
+pub use cache::{
+    write_atomic, CacheStats, CompileCache, DiskCache, Fingerprint, FingerprintBuilder, MemoryCache,
+};
 pub use compile::{CompileOptions, Compiled, Compiler, OptLevel};
 pub use error::CompileError;
 pub use metrics::CompileMetrics;
@@ -102,4 +108,10 @@ const _: () = {
     assert_send_sync::<Pipeline>();
     assert_send_sync::<Session<'static>>();
     assert_send_sync::<PassTimeline>();
+    // The compile caches are shared across sweep worker threads by
+    // design (`CompileCache: Send + Sync` is a supertrait bound).
+    assert_send_sync::<MemoryCache>();
+    assert_send_sync::<DiskCache>();
+    assert_send_sync::<std::sync::Arc<dyn CompileCache>>();
+    assert_send_sync::<CacheStats>();
 };

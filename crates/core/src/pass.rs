@@ -52,6 +52,7 @@
 //! }
 //! ```
 
+use crate::cache::Fingerprint;
 use crate::compile::CompileOptions;
 use crate::pipeline::Artifact;
 use crate::Result;
@@ -120,6 +121,23 @@ pub trait Pass: Send + Sync {
         diag: &mut Diagnostics,
         input: Artifact,
     ) -> Result<Artifact>;
+
+    /// A stable [`Fingerprint`] of this pass's behaviour — its identity
+    /// plus the subset of `cx` it actually consumes — used by a cached
+    /// [`Session`](crate::Session) as one link of the
+    /// [content-addressed cache key chain](crate::cache).
+    ///
+    /// The default is `None`: the pass is not cacheable, and (because an
+    /// unknown pass may produce anything) neither is any pass after it
+    /// in the session. Override it only when `run` upholds the purity
+    /// contract above *and* the returned fingerprint covers every input
+    /// that can change the output; hash only consumed
+    /// [`CompileOptions`] fields, so pipelines differing in unconsumed
+    /// options still share entries.
+    fn fingerprint(&self, cx: &PassContext<'_>) -> Option<Fingerprint> {
+        let _ = cx;
+        None
+    }
 }
 
 /// Instrumentation record of one executed (or skipped) pass.
@@ -132,6 +150,11 @@ pub struct PassRecord {
     pub stage: String,
     /// Wall-clock time the pass took, in milliseconds (0 when skipped).
     pub wall_ms: f64,
+    /// Compile-cache outcome for this pass: `"hit"` (artifact served
+    /// from the cache), `"miss"` (looked up, recomputed, not banked),
+    /// `"miss+store"` (recomputed and banked), or `""` when the session
+    /// has no cache or the pass is uncacheable.
+    pub cache: String,
     /// One-line summary of the produced artifact.
     pub summary: String,
     /// Diagnostics the pass emitted.
@@ -152,12 +175,14 @@ impl PassTimeline {
         pass: &str,
         artifact: &Artifact,
         wall_ms: f64,
+        cache: &str,
         diag: Diagnostics,
     ) {
         self.records.push(PassRecord {
             pass: pass.to_owned(),
             stage: artifact.kind().name().to_owned(),
             wall_ms,
+            cache: cache.to_owned(),
             summary: artifact.summary(),
             diagnostics: diag.into_notes(),
         });
@@ -168,9 +193,30 @@ impl PassTimeline {
             pass: pass.to_owned(),
             stage: "skipped".to_owned(),
             wall_ms: 0.0,
+            cache: String::new(),
             summary: String::new(),
             diagnostics: Vec::new(),
         });
+    }
+
+    /// Totals the cache outcomes recorded across this timeline's passes
+    /// (`hit` / `miss` / `miss+store` entries; empty outcomes count as
+    /// nothing).
+    #[must_use]
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        let mut stats = crate::cache::CacheStats::default();
+        for r in &self.records {
+            match r.cache.as_str() {
+                "hit" => stats.hits += 1,
+                "miss" => stats.misses += 1,
+                "miss+store" => {
+                    stats.misses += 1;
+                    stats.stores += 1;
+                }
+                _ => {}
+            }
+        }
+        stats
     }
 
     /// Total wall-clock time across all recorded passes, in milliseconds.
@@ -184,13 +230,13 @@ impl PassTimeline {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = format!(
-            "{:<16} {:<8} {:>10}  {}\n",
-            "pass", "stage", "wall(ms)", "summary"
+            "{:<16} {:<8} {:>10} {:<10}  {}\n",
+            "pass", "stage", "wall(ms)", "cache", "summary"
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{:<16} {:<8} {:>10.3}  {}\n",
-                r.pass, r.stage, r.wall_ms, r.summary
+                "{:<16} {:<8} {:>10.3} {:<10}  {}\n",
+                r.pass, r.stage, r.wall_ms, r.cache, r.summary
             ));
             for note in &r.diagnostics {
                 out.push_str(&format!("{:<16} - {note}\n", ""));
@@ -216,6 +262,7 @@ mod tests {
             pass: "cg".into(),
             stage: "cg".into(),
             wall_ms: 1.5,
+            cache: "hit".into(),
             summary: "1 segment(s)".into(),
             diagnostics: vec!["note one".into()],
         });
@@ -224,8 +271,28 @@ mod tests {
         assert!(text.contains("cg"), "{text}");
         assert!(text.contains("note one"), "{text}");
         assert!(text.contains("skipped"), "{text}");
+        assert!(text.contains("hit"), "{text}");
         assert!(text.contains("2 pass(es)"), "{text}");
         assert!((t.total_ms() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_cache_stats_totals_outcomes() {
+        let mut t = PassTimeline::default();
+        for cache in ["hit", "miss+store", "miss", ""] {
+            t.records.push(PassRecord {
+                pass: "p".into(),
+                stage: "cg".into(),
+                wall_ms: 0.0,
+                cache: cache.into(),
+                summary: String::new(),
+                diagnostics: Vec::new(),
+            });
+        }
+        let stats = t.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.stores, 1);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+use crate::cache::{source_fingerprint, CompileCache, Fingerprint, FingerprintBuilder};
 use crate::cg::{schedule_cg_stages, CgSchedule, Segment};
 use crate::codegen::{generate_flow, FlowLayout};
 use crate::compile::{CompileOptions, Compiled, OptLevel};
@@ -54,6 +55,7 @@ use crate::{CompileError, Result};
 use cim_arch::{CimArchitecture, ComputingMode};
 use cim_graph::Graph;
 use cim_mop::MopFlow;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which stage of the flow an [`Artifact`] represents.
@@ -452,6 +454,15 @@ impl Pass for ExtractStagesPass {
         ));
         Ok(Artifact::Staged(Staged { stages }))
     }
+
+    fn fingerprint(&self, cx: &PassContext<'_>) -> Option<Fingerprint> {
+        // Stage extraction reads only the weight precision.
+        Some(
+            FingerprintBuilder::new("cim-mlc/pass/stages/v1")
+                .u64(u64::from(cx.options.weight_bits))
+                .finish(),
+        )
+    }
 }
 
 /// The `cg` pass: CG-grained scheduling (`Staged → CgScheduled`).
@@ -485,6 +496,19 @@ impl Pass for CgPass {
             cg.report.reprogram_cycles
         ));
         Ok(Artifact::CgScheduled(Box::new(CgScheduled { cg })))
+    }
+
+    fn fingerprint(&self, cx: &PassContext<'_>) -> Option<Fingerprint> {
+        // CG scheduling reads its feature toggles and the activation
+        // precision; `level` stays out of the key, so `auto` and `cg`
+        // jobs share this link.
+        Some(
+            FingerprintBuilder::new("cim-mlc/pass/cg/v1")
+                .bool(cx.options.cg.pipeline)
+                .bool(cx.options.cg.duplication)
+                .u64(u64::from(cx.options.act_bits))
+                .finish(),
+        )
     }
 }
 
@@ -520,6 +544,16 @@ impl Pass for MvmPass {
             mvm.staggered
         ));
         Ok(Artifact::MvmScheduled(Box::new(MvmScheduled { cg, mvm })))
+    }
+
+    fn fingerprint(&self, cx: &PassContext<'_>) -> Option<Fingerprint> {
+        Some(
+            FingerprintBuilder::new("cim-mlc/pass/mvm/v1")
+                .bool(cx.options.mvm.duplication)
+                .bool(cx.options.mvm.pipeline)
+                .u64(u64::from(cx.options.act_bits))
+                .finish(),
+        )
     }
 }
 
@@ -558,11 +592,24 @@ impl Pass for VvmPass {
             vvm,
         })))
     }
+
+    fn fingerprint(&self, cx: &PassContext<'_>) -> Option<Fingerprint> {
+        Some(
+            FingerprintBuilder::new("cim-mlc/pass/vvm/v1")
+                .u64(u64::from(cx.options.act_bits))
+                .finish(),
+        )
+    }
 }
 
 /// The `codegen` pass: lowers any scheduled artifact into an executable
 /// meta-operator flow (`CgScheduled | MvmScheduled | VvmScheduled →
 /// Codegenned`).
+///
+/// Codegen keeps the default [`Pass::fingerprint`] of `None`: flows can
+/// reach [`CompileOptions::max_flow_ops`] meta-operators, far too large
+/// to bank in a [compile cache](crate::cache), so the pass always
+/// re-runs (its scheduled *input*, the expensive part, still caches).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CodegenPass;
 
@@ -737,6 +784,8 @@ impl Pipeline {
             cursor: 0,
             artifact: Artifact::Source,
             timeline: PassTimeline::default(),
+            cache: None,
+            chain: None,
         }
     }
 }
@@ -761,6 +810,12 @@ pub struct Session<'a> {
     cursor: usize,
     artifact: Artifact,
     timeline: PassTimeline,
+    /// Compile cache consulted before each pass, when attached.
+    cache: Option<Arc<dyn CompileCache>>,
+    /// Fingerprint of the pass chain that produced `artifact`; `None`
+    /// when no cache is attached, an uncacheable pass ran, or the caller
+    /// touched the artifact (see [`crate::cache`]'s invalidation rules).
+    chain: Option<Fingerprint>,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -797,6 +852,22 @@ impl<'a> Session<'a> {
         &self.options
     }
 
+    /// Attaches a [`CompileCache`]: every subsequent cacheable pass is
+    /// looked up by its [content-addressed fingerprint](crate::cache)
+    /// before running, and stored after a miss. Outcomes land in the
+    /// [`PassTimeline`]'s `cache` column.
+    ///
+    /// Attach before the first [`Session::step`]; on a session that has
+    /// already advanced, the artifact's provenance is unknown, so the
+    /// cache is held but never consulted.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<dyn CompileCache>) -> Self {
+        self.chain = (self.cursor == 0 && matches!(self.artifact, Artifact::Source))
+            .then(|| source_fingerprint(self.graph, self.arch));
+        self.cache = Some(cache);
+        self
+    }
+
     /// Name of the next pass to run, or `None` when the pipeline is done.
     #[must_use]
     pub fn next_pass(&self) -> Option<&'static str> {
@@ -826,12 +897,18 @@ impl<'a> Session<'a> {
     /// consequences: later passes see the modified artifact.
     #[must_use]
     pub fn artifact_mut(&mut self) -> &mut Artifact {
+        // The caller may change the artifact arbitrarily: its provenance
+        // no longer matches the pass chain, so stop caching.
+        self.chain = None;
         &mut self.artifact
     }
 
     /// Replaces the current artifact wholesale, returning the previous
-    /// one — resume-from-elsewhere for checkpointed artifacts.
+    /// one — resume-from-elsewhere for checkpointed artifacts. Like
+    /// [`Session::artifact_mut`], this stops compile-cache participation
+    /// for the rest of the session.
     pub fn replace_artifact(&mut self, artifact: Artifact) -> Artifact {
+        self.chain = None;
         std::mem::replace(&mut self.artifact, artifact)
     }
 
@@ -856,12 +933,51 @@ impl<'a> Session<'a> {
             arch: self.arch,
             options: &self.options,
         };
+        // Advance the cache-key chain: this pass's key links its
+        // fingerprint onto the chain that produced the current artifact.
+        // An uncacheable pass (fingerprint `None`) breaks the chain for
+        // the rest of the session.
+        let key = match (self.cache.as_ref(), self.chain) {
+            (Some(_), Some(prev)) => pass.fingerprint(&cx).map(|pf| prev.chain(pf)),
+            _ => None,
+        };
+        self.chain = key;
+        let started = Instant::now();
+        if let Some(key) = key {
+            let cache = self.cache.as_ref().expect("a key implies a cache");
+            if let Some(artifact) = cache.load(&key) {
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let mut diag = Diagnostics::default();
+                diag.note(format!("served from cache ({key})"));
+                self.timeline
+                    .record(pass.name(), &artifact, wall_ms, "hit", diag);
+                self.artifact = artifact;
+                self.cursor += 1;
+                return Ok(true);
+            }
+        }
         let mut diag = Diagnostics::default();
         let input = std::mem::replace(&mut self.artifact, Artifact::Source);
-        let started = Instant::now();
-        let output = pass.run(&cx, &mut diag, input)?;
+        let output = match pass.run(&cx, &mut diag, input) {
+            Ok(output) => output,
+            Err(e) => {
+                self.chain = None;
+                return Err(e);
+            }
+        };
+        let cache_outcome = match (self.cache.as_ref(), key) {
+            (Some(cache), Some(key)) => {
+                if cache.store(&key, &output) {
+                    "miss+store"
+                } else {
+                    "miss"
+                }
+            }
+            _ => "",
+        };
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        self.timeline.record(pass.name(), &output, wall_ms, diag);
+        self.timeline
+            .record(pass.name(), &output, wall_ms, cache_outcome, diag);
         self.artifact = output;
         self.cursor += 1;
         Ok(true)
@@ -869,9 +985,12 @@ impl<'a> Session<'a> {
 
     /// Skips the next pass without running it, recording the skip in the
     /// timeline. Returns the skipped pass's name, or `None` when the
-    /// pipeline is finished.
+    /// pipeline is finished. Skipping stops compile-cache participation
+    /// for the rest of the session (the artifact no longer corresponds
+    /// to the executed pass chain).
     pub fn skip_next(&mut self) -> Option<&'static str> {
         let name = self.passes.get(self.cursor).map(|p| p.name())?;
+        self.chain = None;
         self.timeline.record_skip(name);
         self.cursor += 1;
         Some(name)

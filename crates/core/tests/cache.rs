@@ -1,0 +1,379 @@
+//! Integration and property tests of the content-addressed compile
+//! cache: fingerprint stability (equal inputs ⇒ equal keys, any single
+//! perturbed field ⇒ different key), cached-session equivalence with
+//! uncached compilation, chain invalidation, and distrust of poisoned
+//! on-disk entries.
+
+use cim_arch::{presets, CimArchitecture};
+use cim_compiler::cache::{fingerprint_arch, fingerprint_graph, source_fingerprint};
+use cim_compiler::cg::CgOptions;
+use cim_compiler::mvm::MvmOptions;
+use cim_compiler::{
+    CgPass, CompileCache, CompileOptions, Compiler, DiskCache, ExtractStagesPass, Fingerprint,
+    MemoryCache, MvmPass, OptLevel, Pass, PassContext, Pipeline, VvmPass,
+};
+use cim_graph::{zoo, Graph};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn pass_by_name(name: &str) -> Box<dyn Pass> {
+    match name {
+        "stages" => Box::new(ExtractStagesPass),
+        "cg" => Box::new(CgPass),
+        "mvm" => Box::new(MvmPass),
+        "vvm" => Box::new(VvmPass),
+        other => panic!("unexpected planned pass `{other}`"),
+    }
+}
+
+/// The cache key of the *final* artifact of the planned pipeline for
+/// (graph, arch, options) — the full fingerprint chain a cached session
+/// walks.
+fn job_key(graph: &Graph, arch: &CimArchitecture, options: &CompileOptions) -> Fingerprint {
+    let cx = PassContext {
+        graph,
+        arch,
+        options,
+    };
+    let mut key = source_fingerprint(graph, arch);
+    for name in Pipeline::plan(options, arch).names() {
+        let link = pass_by_name(name)
+            .fingerprint(&cx)
+            .expect("built-in scheduling passes are cacheable");
+        key = key.chain(link);
+    }
+    key
+}
+
+fn models() -> [Graph; 3] {
+    [zoo::lenet5(), zoo::mlp(), zoo::vgg7()]
+}
+
+fn archs() -> [CimArchitecture; 3] {
+    [
+        presets::isaac_baseline(),
+        presets::jia_isscc21(),
+        presets::jain_sram(),
+    ]
+}
+
+fn options_strategy() -> impl Strategy<Value = CompileOptions> {
+    (
+        2u32..17,
+        2u32..17,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..4,
+    )
+        .prop_map(|(wb, ab, cgp, cgd, mvmd, mvmp, level)| CompileOptions {
+            weight_bits: wb,
+            act_bits: ab,
+            cg: CgOptions {
+                pipeline: cgp,
+                duplication: cgd,
+            },
+            mvm: MvmOptions {
+                duplication: mvmd,
+                pipeline: mvmp,
+            },
+            level: [
+                OptLevel::Auto,
+                OptLevel::Cg,
+                OptLevel::CgMvm,
+                OptLevel::CgMvmVvm,
+            ][level],
+            ..CompileOptions::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn equal_inputs_always_fingerprint_equal(
+        model in 0usize..3,
+        arch in 0usize..3,
+        options in options_strategy(),
+    ) {
+        let g = &models()[model];
+        let a = &archs()[arch];
+        // Rebuilt graph/arch values (not clones) must fingerprint
+        // identically, key by key.
+        prop_assert_eq!(fingerprint_graph(g), fingerprint_graph(&models()[model]));
+        prop_assert_eq!(fingerprint_arch(a), fingerprint_arch(&archs()[arch]));
+        prop_assert_eq!(job_key(g, a, &options), job_key(g, a, &options));
+    }
+
+    #[test]
+    fn perturbing_any_single_field_changes_the_fingerprint(
+        model in 0usize..3,
+        arch in 0usize..3,
+        options in options_strategy(),
+    ) {
+        let g = &models()[model];
+        let a = &archs()[arch];
+        let base = job_key(g, a, &options);
+
+        // Graph axis: a different model must key differently.
+        let other_model = &models()[(model + 1) % 3];
+        prop_assert_ne!(job_key(other_model, a, &options), base);
+
+        // Architecture axis: another preset, and the same preset under a
+        // different computing mode.
+        let other_arch = &archs()[(arch + 1) % 3];
+        prop_assert_ne!(job_key(g, other_arch, &options), base);
+        let remoded = a.with_mode(match a.mode() {
+            cim_arch::ComputingMode::Cm => cim_arch::ComputingMode::Wlm,
+            _ => cim_arch::ComputingMode::Cm,
+        });
+        prop_assert_ne!(
+            source_fingerprint(g, &remoded),
+            source_fingerprint(g, a)
+        );
+
+        // Option axis, one field at a time. Every consumed field must
+        // change the key of the planned pipeline.
+        let mut wb = options;
+        wb.weight_bits += 1;
+        prop_assert_ne!(job_key(g, a, &wb), base);
+
+        let mut ab = options;
+        ab.act_bits += 1;
+        prop_assert_ne!(job_key(g, a, &ab), base);
+
+        let mut cgp = options;
+        cgp.cg.pipeline = !cgp.cg.pipeline;
+        prop_assert_ne!(job_key(g, a, &cgp), base);
+
+        let mut cgd = options;
+        cgd.cg.duplication = !cgd.cg.duplication;
+        prop_assert_ne!(job_key(g, a, &cgd), base);
+
+        // The MVM toggles are consumed only when the plan runs the mvm
+        // pass; otherwise they must NOT perturb the key (that sharing is
+        // what lets auto/cg jobs reuse each other's prefixes).
+        let plan_has_mvm = Pipeline::plan(&options, a).names().contains(&"mvm");
+        let mut mvmd = options;
+        mvmd.mvm.duplication = !mvmd.mvm.duplication;
+        prop_assert_eq!(job_key(g, a, &mvmd) != base, plan_has_mvm);
+
+        // The level field keys by the *work it selects*: a level change
+        // changes the key exactly when it changes the planned pass list.
+        for level in [
+            OptLevel::Auto,
+            OptLevel::Cg,
+            OptLevel::CgMvm,
+            OptLevel::CgMvmVvm,
+        ] {
+            let mut relevelled = options;
+            relevelled.level = level;
+            let same_plan =
+                Pipeline::plan(&relevelled, a).names() == Pipeline::plan(&options, a).names();
+            prop_assert_eq!(job_key(g, a, &relevelled) == base, same_plan);
+        }
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cim_cache_it_{tag}_{}", std::process::id()))
+}
+
+#[test]
+fn cached_sessions_reproduce_uncached_results_exactly() {
+    let cache: Arc<dyn CompileCache> = Arc::new(MemoryCache::new());
+    for g in &models() {
+        for a in &archs() {
+            let uncached = Compiler::new().compile(g, a).unwrap();
+            // Cold: populates the cache; must already match.
+            let cold = Compiler::new()
+                .session(g, a)
+                .with_cache(Arc::clone(&cache))
+                .finish()
+                .unwrap();
+            assert_eq!(cold.report(), uncached.report());
+            // Warm: every pass served from the cache.
+            let mut warm_session = Compiler::new().session(g, a).with_cache(Arc::clone(&cache));
+            warm_session.run().unwrap();
+            assert!(
+                warm_session
+                    .timeline()
+                    .records
+                    .iter()
+                    .all(|r| r.cache == "hit"),
+                "{:?}",
+                warm_session.timeline()
+            );
+            let warm = warm_session.finish().unwrap();
+            assert_eq!(warm.report(), uncached.report());
+            assert_eq!(warm.reports().len(), uncached.reports().len());
+            assert_eq!(
+                warm.steady_state_interval(),
+                uncached.steady_state_interval()
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.hits > 0 && stats.misses > 0 && stats.stores == stats.misses);
+}
+
+#[test]
+fn auto_and_cg_jobs_share_their_pipeline_prefix() {
+    let g = zoo::lenet5();
+    let a = presets::isaac_baseline();
+    let cache: Arc<dyn CompileCache> = Arc::new(MemoryCache::new());
+    let auto = Compiler::new()
+        .session(&g, &a)
+        .with_cache(Arc::clone(&cache));
+    auto.finish().unwrap(); // stages, cg, mvm → 3 stores
+    let cg_only = Compiler::with_options(CompileOptions {
+        level: OptLevel::Cg,
+        ..CompileOptions::default()
+    });
+    let mut session = cg_only.session(&g, &a).with_cache(Arc::clone(&cache));
+    session.run().unwrap();
+    // Despite the different `level`, both of the cg-only job's passes
+    // hit the artifacts the auto job banked.
+    assert!(
+        session.timeline().records.iter().all(|r| r.cache == "hit"),
+        "{:?}",
+        session.timeline()
+    );
+}
+
+#[test]
+fn skipping_or_mutating_stops_cache_participation() {
+    let g = zoo::lenet5();
+    let a = presets::isaac_baseline();
+    let cache: Arc<dyn CompileCache> = Arc::new(MemoryCache::new());
+
+    let mut session = Compiler::new()
+        .session(&g, &a)
+        .with_cache(Arc::clone(&cache));
+    session.step().unwrap(); // stages: miss+store
+    let _ = session.artifact_mut(); // caller may have edited the stages
+    session.run().unwrap();
+    let records = &session.timeline().records;
+    assert_eq!(records[0].cache, "miss+store");
+    assert!(
+        records[1..].iter().all(|r| r.cache.is_empty()),
+        "{records:?}"
+    );
+
+    // skip_next likewise poisons the chain for later passes.
+    let mut session = Compiler::new()
+        .session(&g, &a)
+        .with_cache(Arc::clone(&cache));
+    session.skip_next();
+    while session.step().is_ok_and(|ran| ran) {}
+    assert!(
+        session
+            .timeline()
+            .records
+            .iter()
+            .all(|r| r.cache.is_empty()),
+        "{:?}",
+        session.timeline()
+    );
+}
+
+#[test]
+fn custom_passes_without_fingerprints_break_the_chain_safely() {
+    struct Identity;
+    impl Pass for Identity {
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+        fn run(
+            &self,
+            _cx: &PassContext<'_>,
+            _diag: &mut cim_compiler::Diagnostics,
+            input: cim_compiler::Artifact,
+        ) -> cim_compiler::Result<cim_compiler::Artifact> {
+            Ok(input)
+        }
+    }
+
+    let g = zoo::lenet5();
+    let a = presets::isaac_baseline();
+    let options = CompileOptions::default();
+    let cache: Arc<dyn CompileCache> = Arc::new(MemoryCache::new());
+    let mut pipeline = Pipeline::plan(&options, &a);
+    assert!(pipeline.insert_after("stages", Box::new(Identity)));
+    let mut session = pipeline
+        .session(&g, &a, options)
+        .with_cache(Arc::clone(&cache));
+    session.run().unwrap();
+    let records = &session.timeline().records;
+    assert_eq!(records[0].cache, "miss+store"); // stages, before the break
+    assert!(
+        records[1..].iter().all(|r| r.cache.is_empty()),
+        "{records:?}"
+    );
+}
+
+#[test]
+fn poisoned_disk_entries_are_recompiled_not_trusted() {
+    let dir = tmp_dir("poison");
+    let _ = std::fs::remove_dir_all(&dir);
+    let g = zoo::vgg7();
+    let a = presets::jain_sram();
+    let clean = Compiler::new().compile(&g, &a).unwrap();
+
+    // Populate the cache.
+    {
+        let cache: Arc<dyn CompileCache> = Arc::new(DiskCache::open(&dir).unwrap());
+        Compiler::new()
+            .session(&g, &a)
+            .with_cache(cache)
+            .finish()
+            .unwrap();
+    }
+    // Poison every entry: flip one payload byte in each.
+    let mut poisoned = 0;
+    for shard in std::fs::read_dir(&dir).unwrap() {
+        for entry in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, bytes).unwrap();
+            poisoned += 1;
+        }
+    }
+    assert!(poisoned >= 3, "expected one entry per scheduling pass");
+
+    // A warm run over the poisoned cache must detect every corruption,
+    // recompile, and still produce the clean result.
+    let cache: Arc<dyn CompileCache> = Arc::new(DiskCache::open(&dir).unwrap());
+    let mut session = Compiler::new()
+        .session(&g, &a)
+        .with_cache(Arc::clone(&cache));
+    session.run().unwrap();
+    assert!(
+        session
+            .timeline()
+            .records
+            .iter()
+            .all(|r| r.cache == "miss+store"),
+        "poisoned entries must read as misses: {:?}",
+        session.timeline()
+    );
+    let recompiled = session.finish().unwrap();
+    assert_eq!(recompiled.report(), clean.report());
+    assert_eq!(cache.stats().hits, 0);
+    assert_eq!(cache.stats().misses as usize, poisoned);
+
+    // The recompilation re-banked good entries: a second warm run hits.
+    let cache: Arc<dyn CompileCache> = Arc::new(DiskCache::open(&dir).unwrap());
+    let rewarmed = Compiler::new()
+        .session(&g, &a)
+        .with_cache(Arc::clone(&cache))
+        .finish()
+        .unwrap();
+    assert_eq!(rewarmed.report(), clean.report());
+    assert_eq!(cache.stats().misses, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -18,6 +18,19 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a node id from a value [`NodeId::index`] returned —
+    /// deserialization support for artifacts (schedules, cache entries)
+    /// that reference graph nodes by index. The caller is responsible
+    /// for pairing the id with the graph it came from; ids are not
+    /// validated against any particular graph here.
+    ///
+    /// # Panics
+    /// Panics when `index` exceeds the dense-id range (`u32`).
+    #[must_use]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index fits the dense-id range"))
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -1,0 +1,73 @@
+//! The content-addressed compile cache, three ways:
+//!
+//! 1. one shared [`MemoryCache`] memoizing common pipeline prefixes
+//!    *within* a sweep (what `cimc bench` does by default),
+//! 2. a warm second sweep over the same cache — every pass a hit, same
+//!    report bytes,
+//! 3. a single cached [`Session`] showing per-pass hit/miss outcomes in
+//!    its timeline (what `cimc compile --cache-dir --timings` prints).
+//!
+//! Run with: `cargo run --release --example cached_sweep`
+
+use cim_mlc::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Error> {
+    // --- 1. A sweep sharing one in-memory cache across its worker pool.
+    let spec = SweepSpec::quick();
+    let cache: Arc<dyn CompileCache> = Arc::new(MemoryCache::new());
+    let cold = run_sweep_cached(&spec, 4, Some(Arc::clone(&cache)))?;
+    let cold_stats = cold.cache_stats.expect("cache attached");
+    println!(
+        "cold sweep: {} jobs in {:.1} ms — cache {}",
+        cold.jobs.len(),
+        cold.timing.total_ms,
+        cold_stats.render()
+    );
+    // Even the *cold* run hits: the quick matrix compiles each model for
+    // three architectures under two scheduling modes, and those jobs
+    // share `stages`/`cg` pipeline prefixes.
+    assert!(cold_stats.hits > 0);
+
+    // --- 2. A warm rerun over the same cache: all hits, identical bytes.
+    let warm = run_sweep_cached(&spec, 4, Some(Arc::clone(&cache)))?;
+    let warm_stats = warm.cache_stats.expect("cache attached");
+    println!(
+        "warm sweep: {} jobs in {:.1} ms — cache {}",
+        warm.jobs.len(),
+        warm.timing.total_ms,
+        warm_stats.render()
+    );
+    assert_eq!(warm_stats.misses, 0, "warm sweeps recompute nothing");
+    assert_eq!(
+        cold.comparable().to_json(),
+        warm.comparable().to_json(),
+        "caching never changes results, only wall-clock"
+    );
+
+    // --- 3. A cached session, pass by pass.
+    let graph = zoo::vgg7();
+    let arch = presets::isaac_baseline();
+    let mut session = Compiler::new()
+        .session(&graph, &arch)
+        .with_cache(Arc::clone(&cache));
+    while session.step()? {}
+    println!("\ncached session for vgg7 on isaac:");
+    for record in &session.timeline().records {
+        println!(
+            "  {:<8} {:<10} {}",
+            record.pass, record.cache, record.summary
+        );
+    }
+    // vgg7@isaac#auto ran in both sweeps above, so every scheduling
+    // pass is served from the shared cache.
+    assert!(session.timeline().records.iter().all(|r| r.cache == "hit"));
+    let compiled = session.finish()?;
+    assert_eq!(
+        compiled.report(),
+        Compiler::new().compile(&graph, &arch)?.report(),
+        "cached and fresh compilations are indistinguishable"
+    );
+    println!("\ncached session result matches an uncached compile exactly");
+    Ok(())
+}

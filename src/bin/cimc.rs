@@ -11,7 +11,9 @@
 //! ```
 
 use cim_mlc::prelude::*;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Loads an architecture description file, wrapping failures in the
 /// unified [`Error`] so the whole cause chain reaches stderr.
@@ -53,11 +55,27 @@ fn model(name: &str) -> Result<Graph, String> {
 const USAGE: &str =
     "usage:\n  cimc archs\n  cimc models\n  cimc compile --model <name|file.json> --arch <preset> \
 [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify] \
-[--timings] [--dump-stage cg|mvm|vvm] [--json]\n  \
+[--timings] [--dump-stage cg|mvm|vvm] [--json] [--cache-dir <dir>] [--no-cache]\n  \
 cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] \
 [--baseline <file.json>] [--fail-on-regression] [--tolerance <pct>] [--models <a,b,..>] \
-[--archs <a,b,..>] [--modes <a,b,..>]\n\
+[--archs <a,b,..>] [--modes <a,b,..>] [--cache-dir <dir>] [--no-cache]\n\
 presets: isaac isaac-wlm jia puma jain table2 sensitivity";
+
+/// Opens the `--cache-dir` [`DiskCache`], or falls back to the
+/// subcommand's default cache when the flag is absent (`--no-cache`
+/// conflicts are rejected during argument parsing).
+fn resolve_cache(
+    cache_dir: Option<&str>,
+    default: impl FnOnce() -> Option<Arc<dyn CompileCache>>,
+) -> Result<Option<Arc<dyn CompileCache>>, String> {
+    match cache_dir {
+        Some(dir) => match DiskCache::open(dir) {
+            Ok(cache) => Ok(Some(Arc::new(cache))),
+            Err(e) => Err(format!("cannot open cache dir `{dir}`: {e}")),
+        },
+        None => Ok(default()),
+    }
+}
 
 /// The machine-readable document `cimc compile --json` emits (analogous
 /// to `cimc bench --out`'s report).
@@ -71,11 +89,16 @@ struct CompileDoc {
     reports: Vec<PerfReport>,
     metrics: CompileMetrics,
     timeline: PassTimeline,
+    cache_stats: Option<CacheStats>,
     verified: Option<bool>,
 }
 
 /// Version of the `cimc compile --json` document layout.
-const COMPILE_DOC_VERSION: u32 = 1;
+///
+/// History: **2** added `cache_stats` and the per-record `cache` column
+/// inside `timeline` (mirroring the bench report's v2 bump); **1** was
+/// the initial layout.
+const COMPILE_DOC_VERSION: u32 = 2;
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -119,6 +142,8 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     let mut timings = false;
     let mut json = false;
     let mut dump_stage: Option<StageKind> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
     // A flag's value must be a real operand, not the next flag.
     let value_of = |flag: &str, i: usize| -> Result<String, String> {
         match args.get(i + 1) {
@@ -212,6 +237,20 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 json = true;
                 i += 1;
             }
+            "--cache-dir" => {
+                match value_of("--cache-dir", i) {
+                    Ok(v) => cache_dir = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--no-cache" => {
+                no_cache = true;
+                i += 1;
+            }
             "--dump-stage" => {
                 let value = match value_of("--dump-stage", i) {
                     Ok(v) => v,
@@ -247,6 +286,10 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         eprintln!("--json cannot be combined with --schedule, --flow or --dump-stage");
         return usage();
     }
+    if no_cache && cache_dir.is_some() {
+        eprintln!("--no-cache cannot be combined with --cache-dir");
+        return usage();
+    }
     let graph = match model(&model_name) {
         Ok(g) => g,
         Err(e) => {
@@ -269,6 +312,17 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         ..CompileOptions::default()
     };
 
+    // Compilation caches only on request here: a single `cimc compile`
+    // has no intra-run reuse, so the default is no cache (unlike
+    // `cimc bench`, whose matrix shares a memory cache).
+    let cache = match resolve_cache(cache_dir.as_deref(), || None) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     // Assemble the staged pipeline: the planned scheduling passes, plus
     // code generation when the flow is wanted.
     let mut pipeline = Pipeline::plan(&options, &arch);
@@ -276,6 +330,9 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         pipeline.push(Box::new(CodegenPass));
     }
     let mut session = pipeline.session(&graph, &arch, options);
+    if let Some(cache) = &cache {
+        session = session.with_cache(Arc::clone(cache));
+    }
 
     // Run pass by pass so `--dump-stage` can render the intermediate
     // artifact the moment it exists.
@@ -335,6 +392,9 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         }
         if timings {
             println!("\n{}", timeline.render());
+            if let Some(cache) = &cache {
+                println!("cache: {}", cache.stats().render());
+            }
         }
     }
     if show_schedule {
@@ -399,6 +459,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             reports: compiled.reports().into_iter().cloned().collect(),
             metrics: compiled.metrics(&arch),
             timeline,
+            cache_stats: cache.as_ref().map(|c| c.stats()),
             verified,
         };
         let mut out = serde_json::to_string_pretty(&doc).expect("compile reports always serialize");
@@ -433,6 +494,8 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut models: Option<Vec<String>> = None;
     let mut archs: Option<Vec<String>> = None;
     let mut modes: Option<Vec<ScheduleMode>> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
     let value_of = |flag: &str, i: usize| -> Result<String, String> {
         match args.get(i + 1) {
             Some(v) if !v.starts_with("--") => Ok(v.clone()),
@@ -444,6 +507,20 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--quick" => {
                 quick = true;
+                i += 1;
+            }
+            "--cache-dir" => {
+                match value_of("--cache-dir", i) {
+                    Ok(v) => cache_dir = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--no-cache" => {
+                no_cache = true;
                 i += 1;
             }
             "--fail-on-regression" => {
@@ -587,13 +664,34 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         eprintln!("{e}");
         return usage();
     }
+    if no_cache && cache_dir.is_some() {
+        eprintln!("--no-cache cannot be combined with --cache-dir");
+        return usage();
+    }
     let threads = jobs.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     });
 
-    let report = run_sweep(&spec, threads).expect("spec was validated above");
+    // The worker pool shares one cache: in-memory by default (jobs with
+    // a common pipeline prefix reuse artifacts within this run), on disk
+    // under `--cache-dir` (warm reruns reuse previous runs' artifacts),
+    // or nothing under `--no-cache`.
+    let cache = if no_cache {
+        None
+    } else {
+        match resolve_cache(cache_dir.as_deref(), || {
+            Some(Arc::new(MemoryCache::new()) as Arc<dyn CompileCache>)
+        }) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let report = run_sweep_cached(&spec, threads, cache).expect("spec was validated above");
 
     println!(
         "{:<10} {:<10} {:<11} {:<11} {:>14} {:>14} {:>10} {:>6}",
@@ -626,17 +724,23 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         report.timing.threads,
         report.timing.total_ms
     );
+    if let Some(stats) = &report.cache_stats {
+        println!("cache: {}", stats.render());
+    }
 
     if let Some(path) = out {
-        // `--comparable` strips the wall-clock fields so committed
-        // baselines only change when the metrics do.
+        // `--comparable` strips the run-specific fields (wall clocks,
+        // cache stats) so committed baselines only change when the
+        // metrics do. The write is atomic (temp file + rename): an
+        // interrupted run can never leave a truncated report for CI's
+        // artifact upload.
         let mut json = if comparable {
             report.comparable().to_json()
         } else {
             report.to_json()
         };
         json.push('\n');
-        if let Err(e) = std::fs::write(&path, json) {
+        if let Err(e) = write_atomic(Path::new(&path), json.as_bytes()) {
             eprintln!("cannot write report to `{path}`: {e}");
             return ExitCode::FAILURE;
         }

@@ -96,11 +96,13 @@ pub mod prelude {
         presets, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier,
         NocCost, NocKind, XbShape,
     };
-    pub use cim_bench::{compare, run_sweep, BenchReport, ScheduleMode, SweepSpec, Tolerances};
+    pub use cim_bench::{
+        compare, run_sweep, run_sweep_cached, BenchReport, ScheduleMode, SweepSpec, Tolerances,
+    };
     pub use cim_compiler::{
-        codegen, Artifact, CodegenPass, CompileMetrics, CompileOptions, Compiled, Compiler,
-        Diagnostics, OptLevel, Pass, PassContext, PassTimeline, PerfReport, Pipeline, Session,
-        StageKind,
+        codegen, write_atomic, Artifact, CacheStats, CodegenPass, CompileCache, CompileMetrics,
+        CompileOptions, Compiled, Compiler, Diagnostics, DiskCache, Fingerprint, MemoryCache,
+        OptLevel, Pass, PassContext, PassTimeline, PerfReport, Pipeline, Session, StageKind,
     };
     pub use cim_graph::{zoo, Graph, NodeId, OpKind, Shape};
     pub use cim_mop::{FlowStats, MopFlow};

@@ -171,6 +171,168 @@ fn bench_emits_a_schema_valid_report_and_gates_on_it() {
 }
 
 #[test]
+fn bench_cache_dir_cold_then_warm_is_byte_identical() {
+    let cache_dir = tmp_path("cache_dir");
+    let cold_path = tmp_path("cache_cold.json");
+    let warm_path = tmp_path("cache_warm.json");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let base = [
+        "bench",
+        "--quick",
+        "--jobs",
+        "2",
+        "--comparable",
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ];
+
+    let mut cold = base.to_vec();
+    cold.extend(["--out", cold_path.to_str().unwrap()]);
+    let out = cimc(&cold);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("cache:"), "{}", stdout(&out));
+
+    let mut warm = base.to_vec();
+    warm.extend(["--out", warm_path.to_str().unwrap()]);
+    let out = cimc(&warm);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // The warm run answers every lookup from the cache…
+    assert!(
+        stdout(&out).contains(", 0 miss(es)"),
+        "warm run should be all hits: {}",
+        stdout(&out)
+    );
+    // …and its comparison report matches the cold one byte for byte.
+    assert_eq!(
+        std::fs::read(&cold_path).unwrap(),
+        std::fs::read(&warm_path).unwrap()
+    );
+
+    // --no-cache produces the same comparable report with no cache line.
+    let nocache_path = tmp_path("cache_none.json");
+    let out = cimc(&[
+        "bench",
+        "--quick",
+        "--jobs",
+        "2",
+        "--comparable",
+        "--no-cache",
+        "--out",
+        nocache_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("cache:"), "{}", stdout(&out));
+    assert_eq!(
+        std::fs::read(&cold_path).unwrap(),
+        std::fs::read(&nocache_path).unwrap()
+    );
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    for p in [cold_path, warm_path, nocache_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn no_cache_conflicts_with_cache_dir() {
+    for cmd in [
+        vec!["bench", "--models", "lenet5"],
+        vec!["compile", "--model", "lenet5", "--arch", "isaac"],
+    ] {
+        let mut args = cmd.clone();
+        args.extend(["--no-cache", "--cache-dir", "somewhere"]);
+        let out = cimc(&args);
+        assert_eq!(out.status.code(), Some(2), "{cmd:?}");
+        assert!(
+            stderr(&out).contains("--no-cache") && stderr(&out).contains("--cache-dir"),
+            "{}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bench_out_is_written_atomically() {
+    // A destination whose parent does not exist fails cleanly: exit 1,
+    // no file and no temp litter at the target location.
+    let missing_dir = tmp_path("no_such_dir");
+    let _ = std::fs::remove_dir_all(&missing_dir);
+    let target = missing_dir.join("report.json");
+    let out = cimc(&[
+        "bench",
+        "--models",
+        "lenet5",
+        "--archs",
+        "isaac",
+        "--modes",
+        "cg",
+        "--out",
+        target.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("cannot write report"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(!target.exists());
+
+    // A successful write leaves exactly the report in the directory —
+    // the temp file is renamed away, never left behind.
+    let dir = tmp_path("atomic_ok");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = dir.join("report.json");
+    let out = cimc(&[
+        "bench",
+        "--models",
+        "lenet5",
+        "--archs",
+        "isaac",
+        "--modes",
+        "cg",
+        "--out",
+        target.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    assert_eq!(entries, vec![std::ffi::OsString::from("report.json")]);
+    cim_mlc::bench::BenchReport::from_json(&std::fs::read_to_string(&target).unwrap()).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compile_timings_reports_cache_outcomes() {
+    let cache_dir = tmp_path("compile_cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let args = [
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--timings",
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ];
+    let out = cimc(&args);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("miss+store"), "{text}");
+    assert!(text.contains("cache:"), "{text}");
+
+    let out = cimc(&args);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("hit"), "{text}");
+    assert!(text.contains(", 0 miss(es)"), "{text}");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
 fn compile_timings_prints_the_pass_timeline() {
     let out = cimc(&[
         "compile",
@@ -263,6 +425,7 @@ fn compile_json_emits_a_machine_readable_report() {
         "reports",
         "metrics",
         "timeline",
+        "cache_stats",
         "verified",
     ] {
         assert!(
