@@ -157,6 +157,52 @@ impl CimArchitecture {
         out
     }
 
+    /// Reconstructs a builder seeded with this architecture's tiers and
+    /// computing mode — the starting point for design-space mutations
+    /// that go beyond the single-parameter `with_*` helpers.
+    ///
+    /// The cost model is *not* carried over: [`CimArchitectureBuilder::build`]
+    /// re-derives it from the (possibly mutated) crossbar tier, which is
+    /// what an exploration wants. Call
+    /// [`CimArchitectureBuilder::cost`] explicitly to pin a custom model.
+    #[must_use]
+    pub fn to_builder(&self) -> CimArchitectureBuilder {
+        CimArchitectureBuilder::new(self.name.clone())
+            .chip(self.chip.clone())
+            .core(self.core.clone())
+            .crossbar(self.crossbar.clone())
+            .mode(self.mode)
+    }
+
+    /// The named numeric design axes of this architecture, in a stable
+    /// order — the introspection surface design-space tools (`cim-dse`)
+    /// and sweep UIs enumerate instead of hard-coding accessor lists.
+    ///
+    /// Axis names match the paper's `Abs-arch` vocabulary where one
+    /// exists (`core_number`, `xb_number`, `parallel_row`, …).
+    #[must_use]
+    pub fn axis_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("core_number", u64::from(self.chip.core_count())),
+            ("xb_number", u64::from(self.core.xb_count())),
+            ("xb_rows", u64::from(self.crossbar.shape().rows)),
+            ("xb_cols", u64::from(self.crossbar.shape().cols)),
+            ("parallel_row", u64::from(self.crossbar.parallel_row())),
+            ("dac_bits", u64::from(self.crossbar.dac_bits())),
+            ("adc_bits", u64::from(self.crossbar.adc_bits())),
+            ("cell_bits", u64::from(self.crossbar.cell_bits())),
+        ]
+    }
+
+    /// Looks up one named axis from [`CimArchitecture::axis_values`].
+    #[must_use]
+    pub fn axis(&self, name: &str) -> Option<u64> {
+        self.axis_values()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+
     /// Renders the abstraction in the paper's description format
     /// (Figures 17–19): one block per tier plus the computing mode.
     #[must_use]
@@ -358,6 +404,56 @@ mod tests {
         let bigger = arch.with_xb_count(8).unwrap();
         assert_eq!(bigger.core().xb_count(), 8);
         assert_eq!(bigger.chip(), arch.chip());
+    }
+
+    #[test]
+    fn to_builder_round_trips_tiers_and_mode() {
+        let arch = toy();
+        let back = arch.to_builder().build().unwrap();
+        assert_eq!(back, arch);
+        // Mutating through the rebuilt builder keeps the other tiers.
+        let wider = arch
+            .to_builder()
+            .crossbar(arch.crossbar().with_adc_bits(4).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(wider.crossbar().adc_bits(), 4);
+        assert_eq!(wider.chip(), arch.chip());
+        assert_eq!(wider.mode(), arch.mode());
+    }
+
+    #[test]
+    fn axis_values_enumerate_the_design_axes() {
+        let arch = toy();
+        let axes = arch.axis_values();
+        assert_eq!(axes.len(), 8);
+        assert_eq!(arch.axis("core_number"), Some(2));
+        assert_eq!(arch.axis("xb_rows"), Some(32));
+        assert_eq!(arch.axis("xb_cols"), Some(128));
+        assert_eq!(arch.axis("cell_bits"), Some(2));
+        assert_eq!(arch.axis("nope"), None);
+        // Every advertised axis resolves through the lookup.
+        for (name, value) in axes {
+            assert_eq!(arch.axis(name), Some(value), "{name}");
+        }
+    }
+
+    #[test]
+    fn crossbar_mutation_helpers_revalidate() {
+        let xb = toy().crossbar().clone();
+        // Shrinking the shape clamps parallel_row (16) to the new height.
+        let small = xb.with_shape(XbShape::new(8, 64).unwrap()).unwrap();
+        assert_eq!(small.parallel_row(), 8);
+        assert_eq!(small.cell_bits(), xb.cell_bits());
+        assert!(xb.with_adc_bits(0).is_err());
+        assert!(xb.with_dac_bits(0).is_err());
+        assert!(xb.with_cell_bits(0).is_err());
+        assert!(xb.with_parallel_row(xb.shape().rows + 1).is_err());
+        assert_eq!(
+            xb.with_cell_type(CellType::Reram).unwrap().cell_type(),
+            CellType::Reram
+        );
+        assert_eq!(xb.with_cell_bits(4).unwrap().cell_bits(), 4);
     }
 
     #[test]

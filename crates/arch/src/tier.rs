@@ -610,6 +610,105 @@ impl CrossbarTier {
     pub fn full_parallel(&self) -> bool {
         self.parallel_row == self.shape.rows
     }
+
+    /// Returns a copy with a different crossbar shape, clamping
+    /// `parallel_row` to the new row count so a previously full-parallel
+    /// (or wide-parallel) tier stays valid when the crossbar shrinks.
+    ///
+    /// This is the design-space-exploration mutation for the `xb_size`
+    /// axis: every other peripheral parameter is preserved.
+    ///
+    /// # Errors
+    /// Propagates [`CrossbarTier::new`] validation errors.
+    pub fn with_shape(&self, shape: XbShape) -> crate::Result<Self> {
+        CrossbarTier::new(
+            shape,
+            self.parallel_row.min(shape.rows),
+            self.dac_bits,
+            self.adc_bits,
+            self.cell_type,
+            self.cell_bits,
+        )
+    }
+
+    /// Returns a copy with a different `parallel_row` (word-line
+    /// parallelism sweep, Figure 22d).
+    ///
+    /// # Errors
+    /// Propagates [`CrossbarTier::new`] validation errors (0 or more rows
+    /// than the crossbar has).
+    pub fn with_parallel_row(&self, parallel_row: u32) -> crate::Result<Self> {
+        CrossbarTier::new(
+            self.shape,
+            parallel_row,
+            self.dac_bits,
+            self.adc_bits,
+            self.cell_type,
+            self.cell_bits,
+        )
+    }
+
+    /// Returns a copy with a different ADC precision (converter-resolution
+    /// sweep axis).
+    ///
+    /// # Errors
+    /// Propagates [`CrossbarTier::new`] validation errors (zero bits).
+    pub fn with_adc_bits(&self, adc_bits: u32) -> crate::Result<Self> {
+        CrossbarTier::new(
+            self.shape,
+            self.parallel_row,
+            self.dac_bits,
+            adc_bits,
+            self.cell_type,
+            self.cell_bits,
+        )
+    }
+
+    /// Returns a copy with a different DAC precision.
+    ///
+    /// # Errors
+    /// Propagates [`CrossbarTier::new`] validation errors (zero bits).
+    pub fn with_dac_bits(&self, dac_bits: u32) -> crate::Result<Self> {
+        CrossbarTier::new(
+            self.shape,
+            self.parallel_row,
+            dac_bits,
+            self.adc_bits,
+            self.cell_type,
+            self.cell_bits,
+        )
+    }
+
+    /// Returns a copy with a different per-cell precision (device
+    /// bit-width sweep axis).
+    ///
+    /// # Errors
+    /// Propagates [`CrossbarTier::new`] validation errors (zero bits).
+    pub fn with_cell_bits(&self, cell_bits: u32) -> crate::Result<Self> {
+        CrossbarTier::new(
+            self.shape,
+            self.parallel_row,
+            self.dac_bits,
+            self.adc_bits,
+            self.cell_type,
+            cell_bits,
+        )
+    }
+
+    /// Returns a copy with a different memory-cell technology.
+    ///
+    /// # Errors
+    /// Propagates [`CrossbarTier::new`] validation errors.
+    pub fn with_cell_type(&self, cell_type: CellType) -> crate::Result<Self> {
+        CrossbarTier::new(
+            self.shape,
+            self.parallel_row,
+            self.dac_bits,
+            self.adc_bits,
+            cell_type,
+            self.cell_bits,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod pool;
 pub mod report;
 pub mod sweep;
 

@@ -20,18 +20,18 @@
 //! [`Pass`](cim_compiler::Pass) purity contract), so caching never
 //! changes a report's comparison section.
 
+use crate::pool::run_ordered;
 use crate::report::{BenchReport, JobFailure, JobMetrics, JobRecord, SweepTiming};
 use cim_arch::presets;
 use cim_compiler::{CompileCache, CompileOptions, Compiler, MemoryCache, OptLevel};
 use cim_graph::zoo;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scheduling-depth axis of a sweep: the [`OptLevel`]s a job matrix can
 /// request, with stable serialized names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum ScheduleMode {
     /// Let the target's computing mode decide (the paper's workflow).
@@ -334,31 +334,16 @@ pub fn run_sweep_cached(
     spec.validate()?;
     let jobs = spec.expand();
     let threads = threads.max(1).min(jobs.len().max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     // Snapshot so a long-lived cache reports only *this* sweep's
     // activity in the report's cache_stats block.
     let stats_before = cache.as_ref().map(|c| c.stats());
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let outcome = run_job(job, cache.as_ref());
-                *slots[i].lock().expect("sweep worker poisoned a slot") = Some(outcome);
-            });
-        }
-    });
+    let outcomes = run_ordered(&jobs, threads, |job| run_job(job, cache.as_ref()));
     let total_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut records = Vec::new();
     let mut failures = Vec::new();
-    for slot in slots {
-        match slot
-            .into_inner()
-            .expect("sweep worker poisoned a slot")
-            .expect("every job index was claimed")
-        {
+    for outcome in outcomes {
+        match outcome {
             JobOutcome::Ok(record) => records.push(*record),
             JobOutcome::Failed(failure) => failures.push(failure),
         }

@@ -1,0 +1,367 @@
+//! The exploration engine: strategy batches → parallel cached
+//! evaluation → Pareto front + convergence trace.
+//!
+//! [`Explorer::explore`] drives a [`SearchStrategy`] against a
+//! [`DesignSpace`]: each proposed batch is realized into concrete
+//! architectures, compiled on the shared worker pool
+//! ([`cim_bench::pool::run_ordered`], the same scheduler `cimc bench`
+//! sweeps on), and scored under the run's [`Objective`]. A shared
+//! [`CompileCache`] makes neighboring candidates cheap — points
+//! differing only in scheduling depth share pipeline-prefix artifacts,
+//! revisited points are memoized outright, and a
+//! [`DiskCache`](cim_compiler::DiskCache) makes whole reruns warm.
+//!
+//! Determinism: candidate order equals proposal order (the pool writes
+//! results back by index), strategies are seeded, and every recorded
+//! quantity is a pure function of the compilation — so identical
+//! `(space, strategy, seed, budget, objective, model)` runs produce
+//! byte-identical [`DseReport::comparable`] documents at any `--jobs`
+//! setting and any cache temperature.
+
+use crate::objective::{pareto_front, Objective};
+use crate::report::{DseCandidate, DseFailure, DseReport, DseTiming, TracePoint, SCHEMA_VERSION};
+use crate::space::{DesignPoint, DesignSpace, SpaceError};
+use crate::strategy::{History, SearchStrategy};
+use cim_bench::pool::run_ordered;
+use cim_bench::report::JobMetrics;
+use cim_compiler::{CompileCache, CompileOptions, Compiler};
+use cim_graph::Graph;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why an exploration could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DseError {
+    /// The design space failed validation.
+    Space(SpaceError),
+    /// The evaluation budget is zero.
+    ZeroBudget,
+}
+
+impl std::fmt::Display for DseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DseError::Space(e) => e.fmt(f),
+            DseError::ZeroBudget => write!(f, "exploration budget must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for DseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DseError::Space(e) => Some(e),
+            DseError::ZeroBudget => None,
+        }
+    }
+}
+
+impl From<SpaceError> for DseError {
+    fn from(e: SpaceError) -> Self {
+        DseError::Space(e)
+    }
+}
+
+/// Drives design-space exploration runs. Configure once (threads,
+/// cache), then call [`Explorer::explore`] per run.
+#[derive(Default)]
+pub struct Explorer {
+    threads: usize,
+    cache: Option<Arc<dyn CompileCache>>,
+}
+
+impl Explorer {
+    /// An explorer evaluating candidates sequentially with no cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Explorer {
+            threads: 1,
+            cache: None,
+        }
+    }
+
+    /// Sets the worker-thread count for batch evaluation (clamped to at
+    /// least 1). Results are identical for every value; only wall-clock
+    /// time changes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Shares `cache` across every candidate compilation of every run —
+    /// the warm-rerun/cross-candidate reuse the exploration workload is
+    /// built around.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<dyn CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Runs `strategy` over `space` against workload `graph`, charging
+    /// at most `budget` evaluations, and assembles the versioned report.
+    ///
+    /// `seed` must be the seed `strategy` was built with — it is
+    /// recorded in the report for reproduction, not consumed here.
+    ///
+    /// # Errors
+    /// Returns [`DseError`] on an invalid space or a zero budget.
+    /// Per-candidate build/compile failures do *not* abort the run; they
+    /// are recorded in the report's `failures` section.
+    pub fn explore(
+        &self,
+        graph: &Graph,
+        space: &DesignSpace,
+        strategy: &mut dyn SearchStrategy,
+        objective: &Objective,
+        seed: u64,
+        budget: usize,
+    ) -> Result<DseReport, DseError> {
+        space.validate()?;
+        if budget == 0 {
+            return Err(DseError::ZeroBudget);
+        }
+        let base = space.base_arch();
+        let stats_before = self.cache.as_ref().map(|c| c.stats());
+        let started = Instant::now();
+
+        let mut history = History::new();
+        let mut trace = Vec::new();
+        let mut proposed = 0usize;
+        while proposed < budget {
+            let remaining = budget - proposed;
+            let mut batch = strategy.next_batch(space, &history, remaining);
+            if batch.is_empty() {
+                break;
+            }
+            batch.truncate(remaining);
+            proposed += batch.len();
+
+            // Unique new points of this batch, in first-proposal order;
+            // revisits (across batches or within one) are memo-served.
+            let mut seen: HashSet<String> = HashSet::new();
+            let fresh: Vec<DesignPoint> = batch
+                .into_iter()
+                .filter(|p| !history.contains(p) && seen.insert(p.key()))
+                .collect();
+
+            let outcomes = run_ordered(&fresh, self.threads, |point| {
+                evaluate(point, graph, &base, self.cache.as_ref())
+            });
+            for (point, outcome) in fresh.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok((metrics, eval_ms)) => {
+                        let objectives = objective.vector(&metrics);
+                        let score = objective.score(&metrics);
+                        history.record_success(DseCandidate {
+                            point,
+                            metrics,
+                            objectives,
+                            score,
+                            eval_ms,
+                        });
+                    }
+                    Err(error) => history.record_failure(DseFailure { point, error }),
+                }
+            }
+            trace.push(TracePoint {
+                proposed,
+                evaluated: history.candidates().len(),
+                best_score: history.best().map(|c| c.score),
+            });
+        }
+
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        let (candidates, failures) = history.into_parts();
+        let vectors: Vec<Vec<f64>> = candidates.iter().map(|c| c.objectives.clone()).collect();
+        let front = pareto_front(&vectors);
+        let mut report = DseReport {
+            schema_version: SCHEMA_VERSION,
+            toolchain: concat!("cim-dse ", env!("CARGO_PKG_VERSION")).to_owned(),
+            model: graph.name().to_owned(),
+            space: space.clone(),
+            strategy: strategy.name().to_owned(),
+            objective: objective.canonical(),
+            seed,
+            budget,
+            proposed,
+            candidates,
+            failures,
+            front,
+            trace,
+            timing: DseTiming {
+                total_ms,
+                threads: self.threads,
+            },
+            cache_stats: None,
+        };
+        report.cache_stats = self
+            .cache
+            .as_ref()
+            .zip(stats_before)
+            .map(|(c, before)| c.stats().since(&before));
+        Ok(report)
+    }
+}
+
+/// Compiles one candidate: realize the architecture, run the staged
+/// pipeline (with the shared cache when present), summarize. The
+/// returned metrics are pure functions of the point, so memoizing by
+/// point key is sound.
+fn evaluate(
+    point: &DesignPoint,
+    graph: &Graph,
+    base: &cim_arch::CimArchitecture,
+    cache: Option<&Arc<dyn CompileCache>>,
+) -> Result<(JobMetrics, f64), String> {
+    let started = Instant::now();
+    let arch = point
+        .realize(base)
+        .map_err(|e| format!("invalid architecture: {e}"))?;
+    let options = CompileOptions {
+        level: point.mode.opt_level(),
+        ..CompileOptions::default()
+    };
+    let mut session = Compiler::with_options(options).session(graph, &arch);
+    if let Some(cache) = cache {
+        session = session.with_cache(Arc::clone(cache));
+    }
+    match session.finish() {
+        Ok(compiled) => {
+            let eval_ms = started.elapsed().as_secs_f64() * 1e3;
+            Ok((JobMetrics::from(&compiled.metrics(&arch)), eval_ms))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Metric;
+    use crate::strategy::{Exhaustive, HillClimb, StrategyKind};
+    use cim_graph::zoo;
+
+    fn tiny_space() -> DesignSpace {
+        DesignSpace {
+            base: "isaac-wlm".to_owned(),
+            xb_rows: vec![64, 128],
+            xb_cols: vec![128],
+            xb_per_core: vec![8, 16],
+            cores: vec![384],
+            cell_bits: vec![2],
+            adc_bits: vec![6, 8],
+            modes: vec![cim_bench::ScheduleMode::Auto, cim_bench::ScheduleMode::Cg],
+        }
+    }
+
+    #[test]
+    fn exhaustive_covers_the_whole_tiny_space() {
+        let space = tiny_space();
+        let graph = zoo::lenet5();
+        let mut strategy = Exhaustive::new();
+        let report = Explorer::new()
+            .with_threads(2)
+            .explore(
+                &graph,
+                &space,
+                &mut strategy,
+                &Objective::single(Metric::Latency),
+                0,
+                1000,
+            )
+            .unwrap();
+        // 2*1*2*1*1*2*2 = 16 points, all unique, all compiled.
+        assert_eq!(report.proposed, 16);
+        assert_eq!(report.candidates.len(), 16);
+        assert!(report.failures.is_empty());
+        assert!(!report.front.is_empty());
+        // Single-objective front members all share the minimum score.
+        let best = report.best().unwrap().score;
+        for c in report.front_candidates() {
+            assert_eq!(c.score, best);
+        }
+        // The trace is monotone in proposals and ends at the budget spent.
+        assert!(report
+            .trace
+            .windows(2)
+            .all(|w| w[0].proposed < w[1].proposed));
+        assert_eq!(report.trace.last().unwrap().proposed, 16);
+    }
+
+    #[test]
+    fn zero_budget_and_bad_space_are_rejected() {
+        let graph = zoo::lenet5();
+        let mut strategy = Exhaustive::new();
+        let err = Explorer::new()
+            .explore(
+                &graph,
+                &tiny_space(),
+                &mut strategy,
+                &Objective::single(Metric::Latency),
+                0,
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(err, DseError::ZeroBudget);
+
+        let mut bad = tiny_space();
+        bad.base = "nope".to_owned();
+        let err = Explorer::new()
+            .explore(
+                &graph,
+                &bad,
+                &mut strategy,
+                &Objective::single(Metric::Latency),
+                0,
+                4,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("`nope`"), "{err}");
+    }
+
+    #[test]
+    fn hill_climb_improves_or_matches_its_start_and_respects_budget() {
+        let space = tiny_space();
+        let graph = zoo::lenet5();
+        let mut strategy = HillClimb::new(11);
+        let objective = Objective::single(Metric::Latency);
+        let report = Explorer::new()
+            .with_threads(2)
+            .explore(&graph, &space, &mut strategy, &objective, 11, 40)
+            .unwrap();
+        assert!(report.proposed <= 40);
+        let start = &report.candidates[0];
+        assert!(report.best().unwrap().score <= start.score);
+    }
+
+    #[test]
+    fn memoized_revisits_do_not_duplicate_candidates() {
+        // Random sampling of a 16-point space with a 64-proposal budget
+        // must revisit, yet candidates stay unique.
+        let space = tiny_space();
+        let graph = zoo::lenet5();
+        let mut strategy = StrategyKind::Random.build(5);
+        let report = Explorer::new()
+            .with_threads(4)
+            .explore(
+                &graph,
+                &space,
+                strategy.as_mut(),
+                &Objective::parse("latency,energy").unwrap(),
+                5,
+                64,
+            )
+            .unwrap();
+        assert_eq!(report.proposed, 64);
+        let mut keys: Vec<String> = report.candidates.iter().map(|c| c.point.key()).collect();
+        let unique_before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), unique_before, "duplicate candidate recorded");
+        assert!(unique_before <= 16);
+        // Multi-objective vectors have one entry per metric.
+        assert_eq!(report.candidates[0].objectives.len(), 2);
+    }
+}

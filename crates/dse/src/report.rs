@@ -1,0 +1,404 @@
+//! Versioned, machine-readable exploration reports.
+//!
+//! A [`DseReport`] is the JSON artifact `cimc explore --out` emits,
+//! following the [`BenchReport`](cim_bench::BenchReport) conventions:
+//! a `schema_version` gate on load, run-specific wall-clock/cache fields
+//! isolated from the deterministic comparison section, and a
+//! [`DseReport::comparable`] view that serializes byte-identically for
+//! identical `(strategy, seed, budget, space, objective)` runs
+//! regardless of worker count or cache state.
+
+use crate::space::{DesignPoint, DesignSpace};
+use cim_bench::report::JobMetrics;
+use cim_compiler::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Version of the exploration-report layout. Bump on any
+/// backwards-incompatible change; [`DseReport::from_json`] rejects
+/// documents outside [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`].
+///
+/// # History
+///
+/// * **1** — initial layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Oldest report layout [`DseReport::from_json`] still reads.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
+
+/// One evaluated (successfully compiled) design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseCandidate {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Full deterministic metrics of the compilation.
+    pub metrics: JobMetrics,
+    /// Direction-adjusted per-objective values (lower is better; the
+    /// coordinates the Pareto front is decided on).
+    pub objectives: Vec<f64>,
+    /// Weighted scalar score (lower is better).
+    pub score: f64,
+    /// Wall-clock evaluation time in milliseconds — run-specific;
+    /// zeroed by [`DseReport::comparable`].
+    pub eval_ms: f64,
+}
+
+/// One design point that failed to build or compile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseFailure {
+    /// The design point.
+    pub point: DesignPoint,
+    /// The build/compile error, verbatim.
+    pub error: String,
+}
+
+/// One convergence-trace sample, recorded after every strategy batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Evaluations charged against the budget so far (including
+    /// memo-served revisits).
+    pub proposed: usize,
+    /// Unique candidates successfully evaluated so far.
+    pub evaluated: usize,
+    /// Best (lowest) scalar score seen so far, if any candidate
+    /// compiled.
+    pub best_score: Option<f64>,
+}
+
+/// Wall-clock summary of an exploration. Run-specific: excluded from the
+/// comparison section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseTiming {
+    /// Total exploration wall-clock time in milliseconds.
+    pub total_ms: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// The machine-readable artifact of one exploration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseReport {
+    /// Document layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The toolchain that produced the report.
+    pub toolchain: String,
+    /// Workload the space was explored against (zoo model name).
+    pub model: String,
+    /// The explored space.
+    pub space: DesignSpace,
+    /// Search strategy name.
+    pub strategy: String,
+    /// Canonical objective expression ([`crate::Objective::canonical`]).
+    pub objective: String,
+    /// Seed the strategy was constructed with.
+    pub seed: u64,
+    /// Evaluation budget requested.
+    pub budget: usize,
+    /// Evaluations actually charged (≤ budget; a strategy may exhaust
+    /// its space early).
+    pub proposed: usize,
+    /// Unique successfully-evaluated candidates, in first-evaluation
+    /// order.
+    pub candidates: Vec<DseCandidate>,
+    /// Unique failed points, in first-evaluation order.
+    pub failures: Vec<DseFailure>,
+    /// Ascending indices into `candidates` of the exact Pareto front
+    /// over the `objectives` vectors.
+    pub front: Vec<usize>,
+    /// Per-batch convergence trace.
+    pub trace: Vec<TracePoint>,
+    /// Wall-clock section (excluded from comparison).
+    pub timing: DseTiming,
+    /// Compile-cache counters of the run (`None` when uncached).
+    /// Run-specific like `timing`, and excluded from comparison: a cold
+    /// and a warm exploration differ here and nowhere else.
+    #[serde(default)]
+    pub cache_stats: Option<CacheStats>,
+}
+
+/// Why a report document was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DseReportError {
+    /// The document is not valid JSON or does not match the schema.
+    Parse(String),
+    /// The document's `schema_version` is outside
+    /// [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`].
+    SchemaVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Newest version this toolchain reads and writes.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for DseReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DseReportError::Parse(e) => write!(f, "invalid exploration report: {e}"),
+            DseReportError::SchemaVersion { found, expected } => write!(
+                f,
+                "exploration report schema_version {found} is outside the supported \
+                 range {MIN_SCHEMA_VERSION}..={expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DseReportError {}
+
+impl DseReport {
+    /// Serializes the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("exploration reports always serialize")
+    }
+
+    /// Parses and validates a report document.
+    ///
+    /// # Errors
+    /// Returns [`DseReportError`] on malformed JSON, a schema-version
+    /// mismatch, or a `front` index that does not resolve into
+    /// `candidates` (a truncated or hand-edited document), so
+    /// [`DseReport::front_candidates`] can never panic on a loaded
+    /// report.
+    pub fn from_json(json: &str) -> Result<Self, DseReportError> {
+        let report: DseReport =
+            serde_json::from_str(json).map_err(|e| DseReportError::Parse(e.to_string()))?;
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&report.schema_version) {
+            return Err(DseReportError::SchemaVersion {
+                found: report.schema_version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        if let Some(&bad) = report.front.iter().find(|&&i| i >= report.candidates.len()) {
+            return Err(DseReportError::Parse(format!(
+                "front index {bad} is out of bounds for {} candidate(s)",
+                report.candidates.len()
+            )));
+        }
+        Ok(report)
+    }
+
+    /// A copy with every run-specific field stripped — wall clocks
+    /// zeroed, `cache_stats` dropped. Two explorations with identical
+    /// `(space, strategy, seed, budget, objective, model)` inputs
+    /// serialize this copy to byte-identical JSON regardless of worker
+    /// count or cache state.
+    #[must_use]
+    pub fn comparable(&self) -> Self {
+        let mut report = self.clone();
+        report.timing = DseTiming {
+            total_ms: 0.0,
+            threads: 0,
+        };
+        for candidate in &mut report.candidates {
+            candidate.eval_ms = 0.0;
+        }
+        report.cache_stats = None;
+        report
+    }
+
+    /// The Pareto-front candidates themselves, in `front` order.
+    #[must_use]
+    pub fn front_candidates(&self) -> Vec<&DseCandidate> {
+        self.front.iter().map(|&i| &self.candidates[i]).collect()
+    }
+
+    /// The best candidate by scalar score (ties to the earliest
+    /// evaluated), if any compiled.
+    #[must_use]
+    pub fn best(&self) -> Option<&DseCandidate> {
+        self.candidates
+            .iter()
+            .reduce(|best, c| if c.score < best.score { c } else { best })
+    }
+
+    /// Renders a human-readable summary: the front as an aligned table,
+    /// plus counts and the best scalar score.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "exploration: {} on `{}` ({} strategy, objective {}, seed {})\n\
+             {} evaluation(s) charged of {} budget; {} unique candidate(s), {} failure(s)\n",
+            self.space.base,
+            self.model,
+            self.strategy,
+            self.objective,
+            self.seed,
+            self.proposed,
+            self.budget,
+            self.candidates.len(),
+            self.failures.len(),
+        ));
+        if let Some(best) = self.best() {
+            out.push_str(&format!(
+                "best score {:.4} at {}\n",
+                best.score,
+                best.point.key()
+            ));
+        }
+        out.push_str(&format!(
+            "Pareto front ({} point(s), objective(s) {}):\n",
+            self.front.len(),
+            self.objective
+        ));
+        for c in self.front_candidates() {
+            out.push_str(&format!(
+                "  {:<34} score {:>14.4}  latency {:>14.0}  energy {:>14.1}  util {:>6.3}\n",
+                c.point.key(),
+                c.score,
+                c.metrics.latency_cycles,
+                c.metrics.energy_total,
+                c.metrics.utilization,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bench::ScheduleMode;
+
+    fn metrics(latency: f64) -> JobMetrics {
+        JobMetrics {
+            level: "cg".to_owned(),
+            latency_cycles: latency,
+            steady_state_interval: latency,
+            peak_power: 10.0,
+            peak_active_crossbars: 64,
+            energy_total: 100.0,
+            energy_crossbar: 80.0,
+            energy_adc: 5.0,
+            energy_dac: 5.0,
+            energy_movement: 5.0,
+            energy_alu: 5.0,
+            segments: 1,
+            reprogram_cycles: 0.0,
+            stages: 3,
+            mvm_ops: 1000,
+            crossbars_allocated: 128,
+            utilization: 0.5,
+        }
+    }
+
+    fn point() -> DesignPoint {
+        DesignPoint {
+            xb_rows: 128,
+            xb_cols: 128,
+            xb_per_core: 16,
+            cores: 768,
+            cell_bits: 2,
+            adc_bits: 8,
+            mode: ScheduleMode::Auto,
+        }
+    }
+
+    fn report() -> DseReport {
+        DseReport {
+            schema_version: SCHEMA_VERSION,
+            toolchain: "cim-dse test".to_owned(),
+            model: "lenet5".to_owned(),
+            space: DesignSpace::default_space(),
+            strategy: "random".to_owned(),
+            objective: "latency".to_owned(),
+            seed: 7,
+            budget: 10,
+            proposed: 10,
+            candidates: vec![
+                DseCandidate {
+                    point: point(),
+                    metrics: metrics(1000.0),
+                    objectives: vec![1000.0],
+                    score: 1000.0,
+                    eval_ms: 1.5,
+                },
+                DseCandidate {
+                    point: DesignPoint {
+                        xb_rows: 64,
+                        ..point()
+                    },
+                    metrics: metrics(800.0),
+                    objectives: vec![800.0],
+                    score: 800.0,
+                    eval_ms: 2.5,
+                },
+            ],
+            failures: vec![DseFailure {
+                point: DesignPoint {
+                    cell_bits: 1,
+                    ..point()
+                },
+                error: "boom".to_owned(),
+            }],
+            front: vec![1],
+            trace: vec![TracePoint {
+                proposed: 10,
+                evaluated: 2,
+                best_score: Some(800.0),
+            }],
+            timing: DseTiming {
+                total_ms: 12.0,
+                threads: 4,
+            },
+            cache_stats: Some(CacheStats {
+                hits: 3,
+                misses: 2,
+                stores: 2,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report();
+        let back = DseReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_version_mismatch_rejected() {
+        let mut r = report();
+        r.schema_version = SCHEMA_VERSION + 1;
+        let err = DseReport::from_json(&r.to_json()).unwrap_err();
+        assert!(matches!(err, DseReportError::SchemaVersion { .. }), "{err}");
+        assert!(DseReport::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_front_indices_are_rejected_on_load() {
+        let mut r = report();
+        r.front = vec![1, 7];
+        let err = DseReport::from_json(&r.to_json()).unwrap_err();
+        assert!(
+            matches!(&err, DseReportError::Parse(m) if m.contains("7")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn comparable_strips_only_run_specific_fields() {
+        let r = report();
+        let c = r.comparable();
+        assert_eq!(c.timing.total_ms, 0.0);
+        assert_eq!(c.timing.threads, 0);
+        assert_eq!(c.candidates[0].eval_ms, 0.0);
+        assert_eq!(c.cache_stats, None);
+        assert_eq!(c.candidates[0].metrics, r.candidates[0].metrics);
+        assert_eq!(c.front, r.front);
+        assert_eq!(c.trace, r.trace);
+    }
+
+    #[test]
+    fn accessors_resolve_the_front_and_best() {
+        let r = report();
+        assert_eq!(r.best().unwrap().score, 800.0);
+        let front = r.front_candidates();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].point.xb_rows, 64);
+        let text = r.render();
+        assert!(text.contains("Pareto front"), "{text}");
+        assert!(text.contains("r64x128"), "{text}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Design-space exploration, end to end:
+//!
+//! 1. a seeded hill-climb over the default space with a single latency
+//!    objective — watch the convergence trace improve on the base
+//!    preset,
+//! 2. a multi-objective evolutionary run (latency × energy) extracting
+//!    an exact Pareto front,
+//! 3. the same run re-executed warm over a shared cache — identical
+//!    comparison bytes, every compilation a hit.
+//!
+//! Run with: `cargo run --release --example explore_pareto`
+
+use cim_mlc::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Error> {
+    let model = zoo::lenet5();
+    let space = DesignSpace::default_space();
+    println!(
+        "space: {} points around `{}` ({} axes)\n",
+        space.size(),
+        space.base,
+        cim_mlc::dse::NUM_AXES
+    );
+
+    // --- 1. Seeded hill-climb, scalar latency objective.
+    let objective = Objective::single(Metric::Latency);
+    let mut strategy = StrategyKind::HillClimb.build(42);
+    let report = Explorer::new().with_threads(4).explore(
+        &model,
+        &space,
+        strategy.as_mut(),
+        &objective,
+        42,
+        120,
+    )?;
+    println!("hill-climb convergence (best latency score per batch):");
+    for t in &report.trace {
+        if let Some(best) = t.best_score {
+            println!("  after {:>3} proposal(s): {:>12.2}", t.proposed, best);
+        }
+    }
+    let start = &report.candidates[0]; // the base preset's neighborhood seed
+    let best = report.best().expect("candidates compiled");
+    println!(
+        "start {} -> best {} ({:.1}% lower latency score)\n",
+        start.point.key(),
+        best.point.key(),
+        100.0 * (1.0 - best.score / start.score)
+    );
+    assert!(best.score <= start.score, "climbing never regresses");
+
+    // --- 2. Multi-objective evolutionary search: exact Pareto front.
+    let objective = Objective::parse("latency,energy").expect("valid expression");
+    let mut strategy = StrategyKind::Evolutionary.build(7);
+    let cache: Arc<dyn CompileCache> = Arc::new(MemoryCache::new());
+    let explorer = Explorer::new()
+        .with_threads(4)
+        .with_cache(Arc::clone(&cache));
+    let cold = explorer.explore(&model, &space, strategy.as_mut(), &objective, 7, 160)?;
+    println!("{}", cold.render());
+    // Every front member is undominated among ALL evaluated candidates.
+    for member in cold.front_candidates() {
+        for candidate in &cold.candidates {
+            assert!(
+                !cim_mlc::dse::dominates(&candidate.objectives, &member.objectives),
+                "{} dominates front member {}",
+                candidate.point.key(),
+                member.point.key()
+            );
+        }
+    }
+
+    // --- 3. Warm rerun: same seed, same bytes, all cache hits.
+    let mut strategy = StrategyKind::Evolutionary.build(7);
+    let warm = explorer.explore(&model, &space, strategy.as_mut(), &objective, 7, 160)?;
+    let stats = warm.cache_stats.expect("cache attached");
+    println!("warm rerun: cache {}", stats.render());
+    assert_eq!(
+        cold.comparable().to_json(),
+        warm.comparable().to_json(),
+        "identical seeds give identical comparison sections"
+    );
+    assert_eq!(stats.misses, 0, "warm rerun recompiles nothing");
+    Ok(())
+}

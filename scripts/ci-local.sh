@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Mirrors every CI job (.github/workflows/ci.yml) for offline pre-push
 # verification: build-and-test, lint (fmt + clippy + docs gate),
-# bench-report (regression gate against the committed baseline), and
-# cache-consistency (cold-vs-warm sweep equivalence + speedup).
+# bench-report (regression gate against the committed baseline),
+# cache-consistency (cold-vs-warm sweep equivalence + speedup), and
+# dse-smoke (seeded exploration determinism + warm-cache reuse).
 #
 # usage: scripts/ci-local.sh [job...]
-#   job ∈ build-and-test | lint | bench-report | cache-consistency
-#   (no arguments = run all four, in CI order)
+#   job ∈ build-and-test | lint | bench-report | cache-consistency | dse-smoke
+#   (no arguments = run all five, in CI order)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,9 +84,42 @@ cache_consistency() {
     test "$speedup_ok" -eq 1
 }
 
+# Seeded design-space exploration smoke gate: a tiny fixed-seed
+# hill-climb must (a) emit byte-identical --comparable reports at
+# --jobs 1 and --jobs 4 with a non-empty Pareto front, and (b) report a
+# 100% hit rate (hits > 0, 0 misses) when re-run warm over a shared
+# --cache-dir. Set DSE_SMOKE_DIR to keep the logs/reports (CI uploads
+# them).
+dse_smoke() {
+    local dir="${DSE_SMOKE_DIR:-}"
+    if [ -z "$dir" ]; then
+        dir="$(mktemp -d)"
+        trap 'rm -rf "$dir"' RETURN
+    fi
+    mkdir -p "$dir"
+    cargo build --release --bin cimc
+    local explore=(./target/release/cimc explore --strategy hill-climb
+                   --budget 48 --seed 42 --objective latency,energy)
+
+    bold "dse-smoke: seeded hill-climb at --jobs 1 and --jobs 4"
+    "${explore[@]}" --jobs 1 --comparable --out "$dir/j1.json" | tee "$dir/j1.log"
+    "${explore[@]}" --jobs 4 --comparable --out "$dir/j4.json" | tee "$dir/j4.log"
+
+    bold "dse-smoke: deterministic front (byte-identical reports, front non-empty)"
+    cmp "$dir/j1.json" "$dir/j4.json"
+    grep -E 'Pareto front \([1-9][0-9]* point' "$dir/j1.log"
+
+    bold "dse-smoke: warm rerun over --cache-dir is all hits"
+    rm -rf "$dir/cache"
+    "${explore[@]}" --jobs 2 --cache-dir "$dir/cache" | tee "$dir/cold.log"
+    "${explore[@]}" --jobs 2 --cache-dir "$dir/cache" | tee "$dir/warm.log"
+    # Hit rate > 0 and no recompilation: nonzero hits, zero misses.
+    grep -E '^cache: [1-9][0-9]* hit\(s\), 0 miss\(es\)' "$dir/warm.log"
+}
+
 jobs=("$@")
 if [ ${#jobs[@]} -eq 0 ]; then
-    jobs=(build-and-test lint bench-report cache-consistency)
+    jobs=(build-and-test lint bench-report cache-consistency dse-smoke)
 fi
 for job in "${jobs[@]}"; do
     case "$job" in
@@ -93,8 +127,9 @@ for job in "${jobs[@]}"; do
         lint) lint ;;
         bench-report) bench_report ;;
         cache-consistency) cache_consistency ;;
+        dse-smoke) dse_smoke ;;
         *)
-            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report or cache-consistency)" >&2
+            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency or dse-smoke)" >&2
             exit 2
             ;;
     esac

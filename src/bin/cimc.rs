@@ -53,12 +53,17 @@ fn model(name: &str) -> Result<Graph, String> {
 }
 
 const USAGE: &str =
-    "usage:\n  cimc archs\n  cimc models\n  cimc compile --model <name|file.json> --arch <preset> \
+    "usage:\n  cimc archs\n  cimc models\n  cimc list <models|archs|modes|strategies|objectives>\n  \
+cimc compile --model <name|file.json> --arch <preset> \
 [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify] \
 [--timings] [--dump-stage cg|mvm|vvm] [--json] [--cache-dir <dir>] [--no-cache]\n  \
 cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] \
 [--baseline <file.json>] [--fail-on-regression] [--tolerance <pct>] [--models <a,b,..>] \
-[--archs <a,b,..>] [--modes <a,b,..>] [--cache-dir <dir>] [--no-cache]\n\
+[--archs <a,b,..>] [--modes <a,b,..>] [--cache-dir <dir>] [--no-cache]\n  \
+cimc explore [--model <name|file.json>] [--space <file.json>] \
+[--strategy exhaustive|random|hill-climb|evolutionary] [--budget <n>] [--seed <n>] \
+[--objective <metric[:w],..>] [--jobs <n>] [--out <file.json>] [--comparable] \
+[--cache-dir <dir>] [--no-cache]\n\
 presets: isaac isaac-wlm jia puma jain table2 sensitivity";
 
 /// Opens the `--cache-dir` [`DiskCache`], or falls back to the
@@ -472,6 +477,264 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `cimc list <category>` — the discoverable vocabularies of the sweep
+/// and exploration axes, one value per line (machine-friendly: pipe
+/// into `xargs`/scripts instead of reading source).
+fn cmd_list(args: &[String]) -> ExitCode {
+    let Some(category) = args.first() else {
+        eprintln!("`cimc list` needs a category (models, archs, modes, strategies or objectives)");
+        return usage();
+    };
+    if let Some(extra) = args.get(1) {
+        eprintln!("unexpected argument `{extra}` after `cimc list {category}`");
+        return usage();
+    }
+    let names: Vec<&str> = match category.as_str() {
+        "models" => zoo::NAMES.to_vec(),
+        "archs" => presets::NAMES.to_vec(),
+        "modes" => ScheduleMode::ALL.iter().map(|m| m.name()).collect(),
+        "strategies" => StrategyKind::NAMES.to_vec(),
+        "objectives" => Metric::NAMES.to_vec(),
+        other => {
+            eprintln!(
+                "unknown list category `{other}` (expected models, archs, modes, strategies \
+                 or objectives)"
+            );
+            return usage();
+        }
+    };
+    for name in names {
+        println!("{name}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Loads a design-space description file, wrapping failures in the
+/// unified [`Error`] so the whole cause chain reaches stderr.
+fn load_space_file(path: &str) -> Result<DesignSpace, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e).render_chain())?;
+    serde_json::from_str(&json).map_err(|e| format!("invalid design space `{path}`: {e}"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let mut model_name: Option<String> = None;
+    let mut space_path: Option<String> = None;
+    let mut strategy_name: Option<String> = None;
+    let mut budget: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut objective_expr: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut comparable = false;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let value_of = |flag: &str, i: usize| -> Result<String, String> {
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("missing value for `{flag}`")),
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" | "--space" | "--strategy" | "--objective" | "--out" | "--cache-dir" => {
+                let flag = args[i].clone();
+                let value = match value_of(&flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match flag.as_str() {
+                    "--model" => model_name = Some(value),
+                    "--space" => space_path = Some(value),
+                    "--strategy" => strategy_name = Some(value),
+                    "--objective" => objective_expr = Some(value),
+                    "--out" => out = Some(value),
+                    _ => cache_dir = Some(value),
+                }
+                i += 2;
+            }
+            "--budget" => {
+                let value = match value_of("--budget", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<usize>() {
+                    Ok(0) | Err(_) => {
+                        eprintln!("invalid --budget value `{value}` (expected a positive integer)");
+                        return usage();
+                    }
+                    Ok(n) => budget = Some(n),
+                }
+                i += 2;
+            }
+            "--seed" => {
+                let value = match value_of("--seed", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<u64>() {
+                    Ok(n) => seed = Some(n),
+                    Err(_) => {
+                        eprintln!("invalid --seed value `{value}` (expected an unsigned integer)");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                let value = match value_of("--jobs", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<usize>() {
+                    Ok(0) | Err(_) => {
+                        eprintln!("invalid --jobs value `{value}` (expected a positive integer)");
+                        return usage();
+                    }
+                    Ok(n) => jobs = Some(n),
+                }
+                i += 2;
+            }
+            "--comparable" => {
+                comparable = true;
+                i += 1;
+            }
+            "--no-cache" => {
+                no_cache = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    if no_cache && cache_dir.is_some() {
+        eprintln!("--no-cache cannot be combined with --cache-dir");
+        return usage();
+    }
+    let Some(kind) = StrategyKind::parse(strategy_name.as_deref().unwrap_or("hill-climb")) else {
+        eprintln!(
+            "unknown strategy `{}` (known: {})",
+            strategy_name.unwrap_or_default(),
+            StrategyKind::NAMES.join(", ")
+        );
+        return usage();
+    };
+    let objective = match Objective::parse(objective_expr.as_deref().unwrap_or("latency")) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let space = match &space_path {
+        Some(path) => match load_space_file(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => DesignSpace::default_space(),
+    };
+    // Space *content* errors are input errors too: name the offending
+    // axis value and exit 2, same as any bad flag.
+    if let Err(e) = space.validate() {
+        eprintln!("{e}");
+        return usage();
+    }
+    let graph = match model(model_name.as_deref().unwrap_or("lenet5")) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    // Like `cimc bench`: memoize in-process by default (local searches
+    // revisit points constantly), on disk under `--cache-dir` (warm
+    // reruns), or nothing under `--no-cache`.
+    let cache = if no_cache {
+        None
+    } else {
+        match resolve_cache(cache_dir.as_deref(), || {
+            Some(Arc::new(MemoryCache::new()) as Arc<dyn CompileCache>)
+        }) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let seed = seed.unwrap_or(0);
+    let budget = budget.unwrap_or(200);
+    let mut explorer = Explorer::new().with_threads(threads);
+    if let Some(cache) = &cache {
+        explorer = explorer.with_cache(Arc::clone(cache));
+    }
+    let mut strategy = kind.build(seed);
+    let report = match explorer.explore(&graph, &space, strategy.as_mut(), &objective, seed, budget)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            // Space/budget problems are argument errors (exit 2); both
+            // were pre-validated above, so anything here is unexpected.
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+
+    print!("{}", report.render());
+    println!(
+        "explored on {} thread(s) in {:.0} ms",
+        report.timing.threads, report.timing.total_ms
+    );
+    if let Some(stats) = &report.cache_stats {
+        println!("cache: {}", stats.render());
+    }
+
+    if let Some(path) = out {
+        // Atomic like `bench --out`: an interrupted run never leaves a
+        // truncated report.
+        let mut json = if comparable {
+            report.comparable().to_json()
+        } else {
+            report.to_json()
+        };
+        json.push('\n');
+        if let Err(e) = write_atomic(Path::new(&path), json.as_bytes()) {
+            eprintln!("cannot write report to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Parses a comma-separated list flag value into its items.
 fn split_list(value: &str) -> Vec<String> {
     value
@@ -781,15 +1044,18 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("archs") => cmd_archs(),
         Some("models") => cmd_models(),
+        Some("list") => cmd_list(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
         }
         Some(other) => {
             eprintln!(
-                "unknown subcommand `{other}` (expected archs, models, compile, bench or help)"
+                "unknown subcommand `{other}` (expected archs, models, list, compile, bench, \
+                 explore or help)"
             );
             usage()
         }

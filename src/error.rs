@@ -26,6 +26,7 @@ use std::fmt;
 use cim_arch::ArchError;
 use cim_bench::{ReportError, SweepError};
 use cim_compiler::CompileError;
+use cim_dse::{DseError, DseReportError};
 use cim_graph::GraphError;
 
 /// Any error the CIM-MLC stack can produce, with the subsystem error as
@@ -43,6 +44,10 @@ pub enum Error {
     Sweep(SweepError),
     /// A bench report document was rejected.
     Report(ReportError),
+    /// A design-space exploration could not start.
+    Dse(DseError),
+    /// An exploration report document was rejected.
+    DseReport(DseReportError),
     /// A file could not be read or written.
     Io {
         /// The path involved.
@@ -85,6 +90,8 @@ impl fmt::Display for Error {
             Error::Compile(_) => write!(f, "compilation failed"),
             Error::Sweep(_) => write!(f, "invalid sweep spec"),
             Error::Report(_) => write!(f, "invalid bench report"),
+            Error::Dse(_) => write!(f, "invalid exploration"),
+            Error::DseReport(_) => write!(f, "invalid exploration report"),
             Error::Io { path, .. } => write!(f, "cannot access `{path}`"),
         }
     }
@@ -98,6 +105,8 @@ impl StdError for Error {
             Error::Compile(e) => Some(e),
             Error::Sweep(e) => Some(e),
             Error::Report(e) => Some(e),
+            Error::Dse(e) => Some(e),
+            Error::DseReport(e) => Some(e),
             Error::Io { source, .. } => Some(source),
         }
     }
@@ -130,6 +139,18 @@ impl From<SweepError> for Error {
 impl From<ReportError> for Error {
     fn from(e: ReportError) -> Self {
         Error::Report(e)
+    }
+}
+
+impl From<DseError> for Error {
+    fn from(e: DseError) -> Self {
+        Error::Dse(e)
+    }
+}
+
+impl From<DseReportError> for Error {
+    fn from(e: DseReportError) -> Self {
+        Error::DseReport(e)
     }
 }
 
@@ -171,5 +192,7 @@ mod tests {
         .into();
         let _: Error = SweepError::EmptyAxis("models").into();
         let _: Error = ReportError::Parse("x".into()).into();
+        let _: Error = DseError::ZeroBudget.into();
+        let _: Error = DseReportError::Parse("x".into()).into();
     }
 }

@@ -20,7 +20,11 @@
 //!   schedules the paper compares against;
 //! * [`bench`](mod@bench) (`cim-bench`) — figure/table regeneration harness plus the
 //!   parallel sweep driver with machine-readable bench reports
-//!   (`cimc bench`).
+//!   (`cimc bench`);
+//! * [`dse`] (`cim-dse`) — design-space exploration: pluggable search
+//!   strategies over the parameterized architecture axes,
+//!   multi-objective Pareto fronts, cached parallel candidate
+//!   evaluation (`cimc explore`).
 //!
 //! ## Quickstart: the staged pipeline
 //!
@@ -81,6 +85,7 @@ pub use cim_arch as arch;
 pub use cim_baselines as baselines;
 pub use cim_bench as bench;
 pub use cim_compiler as compiler;
+pub use cim_dse as dse;
 pub use cim_graph as graph;
 pub use cim_mop as mop;
 pub use cim_sim as sim;
@@ -103,6 +108,10 @@ pub mod prelude {
         codegen, write_atomic, Artifact, CacheStats, CodegenPass, CompileCache, CompileMetrics,
         CompileOptions, Compiled, Compiler, Diagnostics, DiskCache, Fingerprint, MemoryCache,
         OptLevel, Pass, PassContext, PassTimeline, PerfReport, Pipeline, Session, StageKind,
+    };
+    pub use cim_dse::{
+        pareto_front, DesignPoint, DesignSpace, DseError, DseReport, Explorer, Metric, Objective,
+        SearchStrategy, StrategyKind,
     };
     pub use cim_graph::{zoo, Graph, NodeId, OpKind, Shape};
     pub use cim_mop::{FlowStats, MopFlow};

@@ -456,3 +456,150 @@ fn compile_json_rejects_text_output_flags() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("--json"), "{}", stderr(&out));
 }
+
+// ---------------------------------------------------------------------------
+// `cimc list` — axis-vocabulary discovery.
+
+#[test]
+fn list_categories_enumerate_the_vocabularies() {
+    let out = cimc(&["list", "models"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.lines().any(|l| l == "lenet5"), "{text}");
+    assert!(text.lines().any(|l| l == "vit_base"), "{text}");
+
+    let out = cimc(&["list", "archs"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).lines().any(|l| l == "isaac-wlm"));
+
+    let out = cimc(&["list", "modes"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.lines().any(|l| l == "auto") && text.lines().any(|l| l == "cg_mvm_vvm"));
+
+    let out = cimc(&["list", "strategies"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).lines().any(|l| l == "hill-climb"));
+
+    let out = cimc(&["list", "objectives"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).lines().any(|l| l == "latency"));
+}
+
+#[test]
+fn list_rejects_unknown_or_missing_category() {
+    let out = cimc(&["list", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("`nope`") && err.contains("usage:"), "{err}");
+
+    let out = cimc(&["list"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("category"), "{}", stderr(&out));
+
+    let out = cimc(&["list", "models", "extra"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`extra`"), "{}", stderr(&out));
+}
+
+// ---------------------------------------------------------------------------
+// `cimc explore` — design-space exploration.
+
+#[test]
+fn explore_rejects_bad_arguments_with_the_offending_value() {
+    let out = cimc(&["explore", "--strategy", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("`bogus`") && err.contains("hill-climb"),
+        "{err}"
+    );
+
+    let out = cimc(&["explore", "--budget", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`0`"), "{}", stderr(&out));
+
+    let out = cimc(&["explore", "--seed", "minus-one"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`minus-one`"), "{}", stderr(&out));
+
+    let out = cimc(&["explore", "--objective", "latency,bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`bogus`"), "{}", stderr(&out));
+
+    let out = cimc(&["explore", "--no-cache", "--cache-dir", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--no-cache"), "{}", stderr(&out));
+
+    let out = cimc(&["explore", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`--frobnicate`"), "{}", stderr(&out));
+}
+
+#[test]
+fn explore_rejects_a_space_file_naming_the_offending_value() {
+    let space_path = tmp_path("bad_space.json");
+    // Structurally valid JSON, semantically out of bounds: xb_rows 0.
+    let json = r#"{
+        "base": "isaac-wlm",
+        "xb_rows": [0], "xb_cols": [128], "xb_per_core": [8],
+        "cores": [384], "cell_bits": [2], "adc_bits": [8],
+        "modes": ["auto"]
+    }"#;
+    std::fs::write(&space_path, json).unwrap();
+    let out = cimc(&["explore", "--space", space_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("xb_rows") && err.contains("`0`"), "{err}");
+    std::fs::remove_file(&space_path).unwrap();
+}
+
+#[test]
+fn explore_emits_a_schema_valid_report_reproducible_across_jobs() {
+    let space_path = tmp_path("tiny_space.json");
+    let json = r#"{
+        "base": "isaac-wlm",
+        "xb_rows": [64, 128], "xb_cols": [128], "xb_per_core": [8, 16],
+        "cores": [384], "cell_bits": [2], "adc_bits": [8],
+        "modes": ["auto", "cg"]
+    }"#;
+    std::fs::write(&space_path, json).unwrap();
+    let run = |jobs: &str, tag: &str| {
+        let report_path = tmp_path(&format!("explore_{tag}.json"));
+        let out = cimc(&[
+            "explore",
+            "--space",
+            space_path.to_str().unwrap(),
+            "--strategy",
+            "hill-climb",
+            "--budget",
+            "12",
+            "--seed",
+            "42",
+            "--jobs",
+            jobs,
+            "--comparable",
+            "--out",
+            report_path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert!(stdout(&out).contains("Pareto front"), "{}", stdout(&out));
+        std::fs::read_to_string(&report_path).unwrap()
+    };
+    let sequential = run("1", "j1");
+    let parallel = run("4", "j4");
+    assert_eq!(
+        sequential, parallel,
+        "explore reports must be jobs-invariant"
+    );
+
+    let report = cim_mlc::dse::DseReport::from_json(&sequential).unwrap();
+    assert_eq!(report.strategy, "hill-climb");
+    assert_eq!(report.seed, 42);
+    assert!(!report.front.is_empty());
+    assert!(
+        report.cache_stats.is_none(),
+        "--comparable strips cache stats"
+    );
+    std::fs::remove_file(&space_path).unwrap();
+}
