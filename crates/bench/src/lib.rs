@@ -17,10 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod compile_time;
 pub mod pool;
 pub mod report;
 pub mod sweep;
 
+pub use compile_time::{
+    measure_entry, measure_gate_entries, CompileTimeBudget, CompileTimeRecord, GATE_ENTRIES,
+};
 pub use report::{compare, BenchReport, RegressionReport, ReportError, Tolerances};
 pub use sweep::{run_sweep, run_sweep_cached, ScheduleMode, SweepError, SweepSpec};
 

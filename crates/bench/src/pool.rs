@@ -1,54 +1,11 @@
 //! A deterministic work-queue thread pool for batch evaluation.
 //!
-//! [`run_ordered`] is the scheduling core shared by the sweep driver
-//! ([`crate::run_sweep_cached`]) and the design-space explorer
-//! (`cim-dse`): workers pull item indices off a shared atomic counter —
-//! so a slow item never blocks the rest of the batch behind a static
-//! partition — and write results back *by index*, so the output order
-//! equals the input order regardless of worker count or interleaving.
-//! Anything built on top of it therefore produces thread-count-invariant
-//! results as long as the per-item function is pure.
+//! The implementation lives in [`cim_compiler::pool`] since the compiler
+//! itself fans intra-graph scheduling out onto it; this module re-exports
+//! it for the sweep driver ([`crate::run_sweep_cached`]), the design-space
+//! explorer (`cim-dse`) and historical callers of `cim_bench::pool`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Maps `f` over `items` on `threads` worker threads (clamped to
-/// `1..=items.len()`), returning the results in input order.
-///
-/// `f` must be pure with respect to the output (it may hit shared
-/// caches): the contract every caller relies on is that the returned
-/// vector is identical for any `threads` value.
-///
-/// # Panics
-/// Panics if a worker thread panics (a bug in `f`, not an input error).
-pub fn run_ordered<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let out = f(item);
-                *slots[i].lock().expect("pool worker poisoned a slot") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("pool worker poisoned a slot")
-                .expect("every item index was claimed")
-        })
-        .collect()
-}
+pub use cim_compiler::pool::run_ordered;
 
 #[cfg(test)]
 mod tests {

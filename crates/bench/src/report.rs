@@ -22,6 +22,11 @@ use serde::{Deserialize, Serialize};
 ///
 /// # History
 ///
+/// * **3** — adds the optional `compile_time` section: median
+///   cold-compile wall clocks of the [`crate::compile_time::GATE_ENTRIES`]
+///   workloads, attached by `scripts/refresh-baseline.sh` and consumed
+///   by the `cimc compile-perf` drift gate. Version-1/2 documents remain
+///   readable: the section defaults to absent, and nothing else changed.
 /// * **2** — adds the optional `cache_stats` block (compile-cache
 ///   hit/miss/store counters of the sweep that produced the report).
 ///   Version-1 documents remain readable: `cache_stats` defaults to
@@ -29,7 +34,7 @@ use serde::{Deserialize, Serialize};
 ///   with `scripts/refresh-baseline.sh` at leisure; v1 baselines keep
 ///   gating correctly in the meantime.
 /// * **1** — initial layout.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest report layout [`BenchReport::from_json`] still reads (see
 /// [`SCHEMA_VERSION`] for the migration history).
@@ -183,6 +188,17 @@ pub struct BenchReport {
     /// and a warm sweep of the same spec differ here and nowhere else.
     #[serde(default)]
     pub cache_stats: Option<CacheStats>,
+    /// Median cold-compile wall clocks of the compile-perf gate
+    /// workloads ([`crate::compile_time::GATE_ENTRIES`]). Ordinary sweep
+    /// runs carry `None`; `scripts/refresh-baseline.sh` attaches freshly
+    /// measured medians so `cimc compile-perf --baseline` can gate
+    /// drift. Unlike `timing`/`cache_stats` this section *survives*
+    /// [`BenchReport::comparable`]: it is reference data deliberately
+    /// baked into the committed baseline, not a by-product of the run —
+    /// and since plain sweeps never populate it, cold/warm comparable
+    /// byte-identity is unaffected.
+    #[serde(default)]
+    pub compile_time: Option<Vec<crate::compile_time::CompileTimeRecord>>,
 }
 
 /// Why a report document was rejected.
@@ -233,6 +249,7 @@ impl BenchReport {
             failures,
             timing,
             cache_stats: None,
+            compile_time: None,
         }
     }
 
@@ -263,7 +280,9 @@ impl BenchReport {
     /// zeroed and `cache_stats` dropped: the comparison section. Two
     /// sweeps of the same spec on the same toolchain serialize this copy
     /// to byte-identical JSON regardless of worker count or cache state
-    /// (cold, warm, or uncached).
+    /// (cold, warm, or uncached). The `compile_time` section is kept:
+    /// it is deliberately attached reference data (absent from plain
+    /// sweep runs), not a run by-product.
     #[must_use]
     pub fn comparable(&self) -> Self {
         let mut report = self.clone();
@@ -596,45 +615,81 @@ mod tests {
             misses: 2,
             stores: 2,
         });
+        r.compile_time = Some(vec![crate::compile_time::CompileTimeRecord {
+            model: "vit_base".to_owned(),
+            arch: "isaac".to_owned(),
+            jobs: 4,
+            samples: 9,
+            median_ms: 3.3,
+        }]);
         let c = r.comparable();
         assert_eq!(c.jobs[0].compile_ms, 0.0);
         assert_eq!(c.timing.total_ms, 0.0);
         assert_eq!(c.cache_stats, None);
+        assert_eq!(
+            c.compile_time, r.compile_time,
+            "compile_time is reference data and survives comparable()"
+        );
         assert_eq!(c.jobs[0].metrics, r.jobs[0].metrics);
         assert_eq!(c.spec, r.spec);
     }
 
+    /// Rewrites a current report as an older document: `schema_version`
+    /// forced to `version`, every field in `absent` removed entirely
+    /// (older writers never emitted them).
+    fn downgraded_json(r: &BenchReport, version: u64, absent: &[&str]) -> String {
+        use serde::{Serialize, Value};
+        let Value::Map(entries) = r.to_value() else {
+            panic!("reports serialize to objects")
+        };
+        let old_entries: Vec<(String, Value)> = entries
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "schema_version" {
+                    (k, Value::U64(version))
+                } else {
+                    (k, v)
+                }
+            })
+            .filter(|(k, _)| !absent.contains(&k.as_str()))
+            .collect();
+        serde_json::to_string(&Value::Map(old_entries)).unwrap()
+    }
+
     #[test]
     fn schema_v1_documents_remain_readable() {
-        use serde::{Serialize, Value};
-        // Rewrite a current report as a v1 document: version 1, no
-        // `cache_stats` field at all (v1 writers never emitted it).
         let mut r = report(vec![record("lenet5", 1000.0)], vec![]);
         r.cache_stats = Some(CacheStats {
             hits: 1,
             misses: 2,
             stores: 3,
         });
-        let Value::Map(entries) = r.to_value() else {
-            panic!("reports serialize to objects")
-        };
-        let v1_entries: Vec<(String, Value)> = entries
-            .into_iter()
-            .map(|(k, v)| {
-                if k == "schema_version" {
-                    (k, Value::U64(1))
-                } else {
-                    (k, v)
-                }
-            })
-            .filter(|(k, _)| k != "cache_stats")
-            .collect();
-        let v1_json = serde_json::to_string(&Value::Map(v1_entries)).unwrap();
+        let v1_json = downgraded_json(&r, 1, &["cache_stats", "compile_time"]);
         let back = BenchReport::from_json(&v1_json).unwrap();
         assert_eq!(back.schema_version, 1);
         assert_eq!(back.cache_stats, None, "v1 has no cache stats");
+        assert_eq!(back.compile_time, None, "v1 has no compile-time section");
         assert_eq!(back.jobs, r.jobs);
-        // The v1 baseline still gates against a v2 current report.
+        // The v1 baseline still gates against a current report.
+        assert!(compare(&back, &r, &Tolerances::default()).passes());
+    }
+
+    #[test]
+    fn schema_v2_documents_remain_readable() {
+        // v2 documents have `cache_stats` but no `compile_time` section.
+        let mut r = report(vec![record("lenet5", 1000.0)], vec![]);
+        r.cache_stats = Some(CacheStats {
+            hits: 1,
+            misses: 2,
+            stores: 3,
+        });
+        let v2_json = downgraded_json(&r, 2, &["compile_time"]);
+        let back = BenchReport::from_json(&v2_json).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.cache_stats, r.cache_stats, "v2 keeps cache stats");
+        assert_eq!(back.compile_time, None, "v2 has no compile-time section");
+        assert_eq!(back.jobs, r.jobs);
+        // The v2 baseline still gates against a v3 current report.
         assert!(compare(&back, &r, &Tolerances::default()).passes());
     }
 

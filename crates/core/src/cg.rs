@@ -16,6 +16,7 @@
 
 use crate::alloc::{self, AllocItem};
 use crate::perf::{phase_power, PerfReport};
+use crate::scratch::ScratchArena;
 use crate::stage::{extract_stages, movement_cycles, Stage};
 use crate::{CompileError, Result};
 use cim_arch::CimArchitecture;
@@ -201,6 +202,41 @@ pub fn schedule_cg_stages(
     options: CgOptions,
     act_bits: u32,
 ) -> Result<CgSchedule> {
+    schedule_cg_stages_in(
+        model,
+        stages,
+        arch,
+        options,
+        act_bits,
+        1,
+        &ScratchArena::new(),
+    )
+}
+
+/// [`schedule_cg_stages`] with an explicit worker count and scratch arena
+/// — the form the [`crate::CgPass`] calls with
+/// [`CompileOptions::jobs`](crate::CompileOptions::jobs) and the
+/// session's arena.
+///
+/// With `jobs > 1` the segmentation DP's candidate-segment evaluations
+/// fan out onto [`crate::pool::run_ordered`] (one job per DP row) and the
+/// chosen segments are scheduled concurrently. Every evaluation is a pure
+/// function of the stage list, so the returned schedule is byte-identical
+/// for every `jobs` value — the jobs=1-vs-jobs=4 equality is pinned by a
+/// test and by CI's dse-smoke gate.
+///
+/// # Errors
+/// As [`schedule_cg_stages`].
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_cg_stages_in(
+    model: &str,
+    stages: Vec<Stage>,
+    arch: &CimArchitecture,
+    options: CgOptions,
+    act_bits: u32,
+    jobs: usize,
+    scratch: &ScratchArena,
+) -> Result<CgSchedule> {
     if stages.is_empty() {
         return Err(CompileError::NothingToMap {
             model: model.to_owned(),
@@ -239,16 +275,197 @@ pub fn schedule_cg_stages(
     // nodes while the DP latency improves). Stages whose single replica
     // exceeds the chip fold across it and stand alone.
     let n = stages.len();
-    let whole_model_cores: u64 = stages
+    // Per-stage scheduling stats, computed ONCE: the DP below evaluates
+    // O(n²) candidate segments, and every segment is a contiguous stage
+    // range, so its allocator input is a slice of this table.
+    let needs: Vec<u64> = stages
         .iter()
         .map(|s| u64::from(s.mapping.cores_per_replica(arch)))
-        .sum();
+        .collect();
+    let cpms: Vec<u64> = stages
+        .iter()
+        .map(|s| s.mapping.cycles_per_mvm(arch, act_bits))
+        .collect();
+    let items_all: Vec<AllocItem> = stages
+        .iter()
+        .zip(&cpms)
+        .map(|(stage, &cpm)| AllocItem {
+            cost: stage.mapping.cores_per_replica(arch),
+            latency: stage.mapping.mvm_count as f64 * cpm as f64,
+            max_dup: duplication_cap(stage, arch, act_bits, cpm),
+        })
+        .collect();
+    let whole_model_cores: u64 = needs.iter().sum();
     let prefer_resident =
         !arch.crossbar().cell_type().writes_are_cheap() && whole_model_cores <= core_count;
-    let eval = |idxs: &[usize]| -> Segment {
+
+    // Candidate-segment memoization. DNNs repeat blocks, so many of the
+    // DP's O(n²) contiguous ranges contain *identical* per-stage feature
+    // sequences (a ViT body repeats with period 6, a ResNet with its
+    // block size) and therefore evaluate to bit-identical latencies.
+    // Intern each stage's full `eval_latency`-relevant feature tuple to a
+    // small id; a candidate segment is then keyed by its id slice, and
+    // equal keys imply equal inputs — a hit returns exactly what the
+    // evaluation would have computed.
+    #[derive(Hash, PartialEq, Eq)]
+    struct StageFeatures {
+        cpr: u32,
+        cap: u32,
+        cpm: u64,
+        mvm: u64,
+        mov_bits: u64,
+        alu_ops: u64,
+        fill_bits: u64,
+        write_bits: u64,
+    }
+    let mut feature_ids: std::collections::HashMap<StageFeatures, u32> =
+        std::collections::HashMap::new();
+    let ids: Vec<u32> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, stage)| {
+            let write_bits = if stage.dynamic_weights {
+                (arch
+                    .cost()
+                    .write_cycles(stage.mapping.rows.min(arch.crossbar().shape().rows))
+                    as f64)
+                    .to_bits()
+            } else {
+                0
+            };
+            let key = StageFeatures {
+                cpr: stage.mapping.cores_per_replica(arch),
+                cap: items_all[i].max_dup,
+                cpm: cpms[i],
+                mvm: stage.mapping.mvm_count,
+                mov_bits: movement_cycles(stage, arch, act_bits).to_bits(),
+                alu_ops: stage.alu_ops,
+                fill_bits: stage.fill_fraction.to_bits(),
+                write_bits,
+            };
+            let next = feature_ids.len() as u32;
+            *feature_ids.entry(key).or_insert(next)
+        })
+        .collect();
+    let memo: std::sync::Mutex<std::collections::HashMap<Box<[u32]>, f64>> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
+
+    // Latency of the candidate segment `start..=end` (all replica-fitting
+    // stages): exactly `schedule_segment`'s latency, minus the plan /
+    // power bookkeeping the DP never reads. `dup` and `lat_fill` are
+    // caller-leased scratch so the O(n²) evaluations allocate nothing.
+    let eval_latency =
+        |start: usize, end: usize, dup: &mut Vec<u32>, lat_fill: &mut Vec<(f64, f64)>| -> f64 {
+            let range_key = &ids[start..=end];
+            if let Some(&hit) = memo.lock().expect("segment memo poisoned").get(range_key) {
+                return hit;
+            }
+            let items = &items_all[start..=end];
+            if options.duplication {
+                if options.pipeline {
+                    alloc::minimize_bottleneck_into(items, core_count, dup);
+                } else {
+                    alloc::minimize_total_into(items, core_count, dup);
+                }
+            } else {
+                dup.clear();
+                dup.resize(items.len(), 1);
+            }
+            lat_fill.clear();
+            for (k, i) in (start..=end).enumerate() {
+                let stage = &stages[i];
+                let latency = stage_latency(stage, arch, act_bits, dup[k], cpms[i], 1);
+                lat_fill.push((latency, stage.fill_fraction));
+            }
+            let latency = if options.pipeline {
+                pipeline_latency(lat_fill)
+            } else {
+                lat_fill.iter().map(|&(l, _)| l).sum()
+            };
+            memo.lock()
+                .expect("segment memo poisoned")
+                .insert(range_key.into(), latency);
+            latency
+        };
+
+    let mut dp = scratch.f64s(n + 1);
+    dp.resize(n + 1, f64::INFINITY);
+    let mut cut = scratch.usizes(n + 1);
+    cut.resize(n + 1, n + 1);
+    dp[n] = 0.0;
+    if prefer_resident {
+        cut.iter_mut().take(n).for_each(|c| *c = n);
+    } else {
+        // Row `i` of the DP: latencies of every budget-feasible candidate
+        // segment starting at stage `i` (`[i..=i]`, `[i..=i+1]`, … until
+        // the core budget runs out). Rows are independent of the DP
+        // recurrence — the break condition is the core budget, not
+        // `dp` — so they fan out onto the worker pool; the recurrence
+        // itself then runs sequentially over precomputed latencies, which
+        // keeps the schedule byte-identical for every `jobs` value.
+        let row = |i: &usize| -> Vec<f64> {
+            let i = *i;
+            let mut row = Vec::new();
+            if needs[i] > core_count {
+                // Single over-weight stage: folds across the whole chip.
+                let folds = needs[i].div_ceil(core_count) as u32;
+                row.push(stage_latency(&stages[i], arch, act_bits, 1, cpms[i], folds));
+                return row;
+            }
+            let mut dup = scratch.u32s(8);
+            let mut lat_fill = scratch.pairs(8);
+            let mut cores: u64 = 0;
+            for (k, &need) in needs.iter().enumerate().skip(i) {
+                if need > core_count || cores + need > core_count {
+                    break;
+                }
+                cores += need;
+                row.push(eval_latency(i, k, &mut dup, &mut lat_fill));
+            }
+            row
+        };
+        let indices: Vec<usize> = (0..n).collect();
+        let rows: Vec<Vec<f64>> = if jobs > 1 {
+            crate::pool::run_ordered(&indices, jobs, row)
+        } else {
+            indices.iter().map(row).collect()
+        };
+        for i in (0..n).rev() {
+            if needs[i] > core_count {
+                let boundary = if i + 1 < n { reprogram_cycles } else { 0.0 };
+                dp[i] = rows[i][0] + boundary + dp[i + 1];
+                cut[i] = i + 1;
+                continue;
+            }
+            for (j, &lat) in rows[i].iter().enumerate() {
+                let k = i + j;
+                let boundary = if k + 1 < n { reprogram_cycles } else { 0.0 };
+                let total = lat + boundary + dp[k + 1];
+                if total < dp[i] {
+                    dp[i] = total;
+                    cut[i] = k + 1;
+                }
+            }
+            debug_assert!(cut[i] > i, "segmentation made no progress at stage {i}");
+        }
+    }
+    let mut seg_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let k = cut[i];
+        seg_ranges.push((i, k));
+        i = k;
+    }
+
+    // ---- Per-segment duplication + latency. Segments are independent,
+    // so they schedule concurrently; the merge below folds them back in
+    // execution order, keeping totals and peak selection byte-identical
+    // to the sequential walk.
+    let full_segment = |&(start, end): &(usize, usize)| -> Segment {
+        let idxs: Vec<usize> = (start..end).collect();
         schedule_segment(
             &stages,
-            idxs,
+            &idxs,
             arch,
             options,
             act_bits,
@@ -256,75 +473,25 @@ pub fn schedule_cg_stages(
             xb_per_core,
         )
     };
-    let mut dp = vec![f64::INFINITY; n + 1];
-    let mut cut = vec![n + 1; n + 1];
-    dp[n] = 0.0;
-    if prefer_resident {
-        cut.iter_mut().take(n).for_each(|c| *c = n);
-    }
-    for i in (0..n).rev() {
-        if prefer_resident {
-            continue;
-        }
-        let need_i = u64::from(stages[i].mapping.cores_per_replica(arch));
-        if need_i > core_count {
-            let seg = eval(&[i]);
-            let boundary = if i + 1 < n { reprogram_cycles } else { 0.0 };
-            dp[i] = seg.latency + boundary + dp[i + 1];
-            cut[i] = i + 1;
-            continue;
-        }
-        let mut cores: u64 = 0;
-        let mut idxs: Vec<usize> = Vec::new();
-        for k in i..n {
-            let need = u64::from(stages[k].mapping.cores_per_replica(arch));
-            if need > core_count || cores + need > core_count {
-                break;
-            }
-            cores += need;
-            idxs.push(k);
-            let seg = eval(&idxs);
-            let boundary = if k + 1 < n { reprogram_cycles } else { 0.0 };
-            let total = seg.latency + boundary + dp[k + 1];
-            if total < dp[i] {
-                dp[i] = total;
-                cut[i] = k + 1;
-            }
-        }
-        debug_assert!(cut[i] > i, "segmentation made no progress at stage {i}");
-    }
-    let mut segments_idx: Vec<Vec<usize>> = Vec::new();
-    let mut i = 0;
-    while i < n {
-        let k = cut[i];
-        segments_idx.push((i..k).collect());
-        i = k;
-    }
-
-    // ---- Per-segment duplication + latency.
-    let mut segments = Vec::with_capacity(segments_idx.len());
+    let scheduled: Vec<Segment> = if jobs > 1 && seg_ranges.len() > 1 {
+        crate::pool::run_ordered(&seg_ranges, jobs, full_segment)
+    } else {
+        seg_ranges.iter().map(full_segment).collect()
+    };
+    let mut segments = Vec::with_capacity(scheduled.len());
     let mut total_latency = 0.0;
     let mut total_reprogram = 0.0;
     let mut peak_power = 0.0;
     let mut peak_active = 0u64;
     let mut peak_breakdown = Default::default();
     let needs_initial_program = true;
-    for (seg_no, idxs) in segments_idx.iter().enumerate() {
+    for (seg_no, seg) in scheduled.into_iter().enumerate() {
         // Reprogramming happens before every segment except that the very
         // first programming of a frozen-weight device is offline (weights
         // pre-loaded); segments after the first always pay.
         if seg_no > 0 || !needs_initial_program {
             total_reprogram += reprogram_cycles;
         }
-        let seg = schedule_segment(
-            &stages,
-            idxs,
-            arch,
-            options,
-            act_bits,
-            core_count,
-            xb_per_core,
-        );
         total_latency += seg.latency;
         let (power, breakdown) =
             phase_power(arch, seg.active_crossbars, seg.streaming_bits_per_cycle);

@@ -309,7 +309,7 @@ impl Generator<'_> {
 
     // --- CM ---------------------------------------------------------------
 
-    fn emit_cm(&mut self, node: &Node, m: &OpMapping, placement: Placement, mat: MatId) {
+    fn emit_cm(&mut self, node: Node<'_>, m: &OpMapping, placement: Placement, mat: MatId) {
         let in_id = node.inputs()[0];
         let src = BufRef::l0(self.layout.offset(in_id));
         let dst = BufRef::l0(self.layout.offset(node.id()));
@@ -424,7 +424,7 @@ impl Generator<'_> {
     /// Emits the full MVM loop of one CIM operator (XBM or WLM reads).
     fn emit_crossbar_compute(
         &mut self,
-        node: &Node,
+        node: Node<'_>,
         m: &OpMapping,
         placement: Placement,
         wlm: bool,
@@ -454,7 +454,7 @@ impl Generator<'_> {
     /// every MVM's gather, computes the chunk's partial products and
     /// accumulates them into the L0 output (`shiftacc`), so the final
     /// tensor is exact despite the folding.
-    fn emit_folded_compute(&mut self, node: &Node, m: &OpMapping, mat: MatId, wlm: bool) {
+    fn emit_folded_compute(&mut self, node: Node<'_>, m: &OpMapping, mat: MatId, wlm: bool) {
         let total_slots = self.arch.chip().core_count() * self.xb_per_core();
         let xb = self.arch.crossbar();
         let pr = xb.parallel_row();
@@ -544,7 +544,14 @@ impl Generator<'_> {
     }
 
     /// Gathers the `mvm`-th input vector into the staging buffer.
-    fn emit_gather(&mut self, node: &Node, m: &OpMapping, mvm: u64, in_base: u64, staging: BufRef) {
+    fn emit_gather(
+        &mut self,
+        node: Node<'_>,
+        m: &OpMapping,
+        mvm: u64,
+        in_base: u64,
+        staging: BufRef,
+    ) {
         match node.op() {
             OpKind::Conv2d {
                 kernel,
@@ -690,7 +697,7 @@ impl Generator<'_> {
     /// Scatters an MVM's output vector into the node's L0 tensor.
     fn emit_scatter(
         &mut self,
-        node: &Node,
+        node: Node<'_>,
         m: &OpMapping,
         mvm: u64,
         out_base: u64,
@@ -702,7 +709,7 @@ impl Generator<'_> {
     /// Scatter with optional accumulation (`shiftacc`) for fold partials.
     fn emit_scatter_acc(
         &mut self,
-        node: &Node,
+        node: Node<'_>,
         m: &OpMapping,
         mvm: u64,
         out_base: u64,
@@ -747,7 +754,7 @@ impl Generator<'_> {
 
     // --- digital --------------------------------------------------------------
 
-    fn emit_digital(&mut self, node: &Node) {
+    fn emit_digital(&mut self, node: Node<'_>) {
         let dst = BufRef::l0(self.layout.offset(node.id()));
         let len = node.out_shape().elements();
         let srcs: Vec<BufRef> = node

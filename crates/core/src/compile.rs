@@ -45,6 +45,12 @@ pub struct CompileOptions {
     /// requested (guards against emitting multi-gigabyte flows for
     /// ImageNet-scale models).
     pub max_flow_ops: u64,
+    /// Worker threads for intra-graph scheduling (the CG segmentation
+    /// rows and per-segment MVM refinement fan out onto
+    /// [`crate::pool::run_ordered`]). Purely an execution knob: schedules
+    /// are byte-identical for every value, so it participates in neither
+    /// pass fingerprints nor cache keys.
+    pub jobs: usize,
 }
 
 impl Default for CompileOptions {
@@ -56,6 +62,7 @@ impl Default for CompileOptions {
             mvm: MvmOptions::full(),
             level: OptLevel::Auto,
             max_flow_ops: 20_000_000,
+            jobs: 1,
         }
     }
 }

@@ -68,6 +68,8 @@ pub mod mvm;
 pub mod pass;
 pub mod perf;
 pub mod pipeline;
+pub mod pool;
+pub mod scratch;
 pub mod stage;
 pub mod vvm;
 
@@ -83,6 +85,8 @@ pub use pipeline::{
     Artifact, CgPass, CodegenPass, ExtractStagesPass, MvmPass, Pipeline, Session, StageKind,
     VvmPass,
 };
+pub use pool::run_ordered;
+pub use scratch::{ScratchArena, ScratchVec};
 
 /// Convenient result alias for fallible compilation operations.
 pub type Result<T> = std::result::Result<T, CompileError>;
@@ -114,4 +118,7 @@ const _: () = {
     assert_send_sync::<DiskCache>();
     assert_send_sync::<std::sync::Arc<dyn CompileCache>>();
     assert_send_sync::<CacheStats>();
+    // The scratch arena is leased from concurrently by `pool::run_ordered`
+    // workers inside a pass.
+    assert_send_sync::<ScratchArena>();
 };

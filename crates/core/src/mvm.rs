@@ -76,14 +76,28 @@ pub fn schedule_mvm(
     options: MvmOptions,
     act_bits: u32,
 ) -> MvmSchedule {
-    let xb_per_core = arch.core().xb_count();
-    let mut segments = Vec::with_capacity(cg.segments.len());
-    let mut total_latency = 0.0;
-    let mut peak_power = 0.0;
-    let mut peak_active = 0u64;
-    let mut peak_breakdown = Default::default();
+    schedule_mvm_jobs(cg, arch, options, act_bits, 1)
+}
 
-    for seg in &cg.segments {
+/// [`schedule_mvm`] with an explicit worker count — the form the
+/// [`crate::MvmPass`] calls with
+/// [`CompileOptions::jobs`](crate::CompileOptions::jobs).
+///
+/// Segments are refined independently (each is a pure function of its CG
+/// segment), so with `jobs > 1` they fan out onto
+/// [`crate::pool::run_ordered`] and merge back in segment order; the
+/// refined schedule is byte-identical for every `jobs` value.
+#[must_use]
+pub fn schedule_mvm_jobs(
+    cg: &CgSchedule,
+    arch: &CimArchitecture,
+    options: MvmOptions,
+    act_bits: u32,
+    jobs: usize,
+) -> MvmSchedule {
+    let xb_per_core = arch.core().xb_count();
+
+    let refine = |seg: &Segment| -> Segment {
         let mut plans = Vec::with_capacity(seg.plans.len());
         let mut lat_fill = Vec::with_capacity(seg.plans.len());
         for plan in &seg.plans {
@@ -158,20 +172,35 @@ pub fn schedule_mvm(
         } else {
             plans.iter().map(per_plan_active).max().unwrap_or(0)
         };
-        let streaming = seg.streaming_bits_per_cycle;
-        let (power, breakdown) = phase_power(arch, active, streaming);
-        if power > peak_power {
-            peak_power = power;
-            peak_active = active;
-            peak_breakdown = breakdown;
-        }
-        total_latency += latency;
-        segments.push(Segment {
+        Segment {
             plans,
             latency,
             active_crossbars: active,
-            streaming_bits_per_cycle: streaming,
-        });
+            streaming_bits_per_cycle: seg.streaming_bits_per_cycle,
+        }
+    };
+
+    let segments: Vec<Segment> = if jobs > 1 && cg.segments.len() > 1 {
+        crate::pool::run_ordered(&cg.segments, jobs, refine)
+    } else {
+        cg.segments.iter().map(refine).collect()
+    };
+
+    // Fold totals and the peak-power phase in segment (execution) order,
+    // exactly as the sequential walk did.
+    let mut total_latency = 0.0;
+    let mut peak_power = 0.0;
+    let mut peak_active = 0u64;
+    let mut peak_breakdown = Default::default();
+    for seg in &segments {
+        let (power, breakdown) =
+            phase_power(arch, seg.active_crossbars, seg.streaming_bits_per_cycle);
+        if power > peak_power {
+            peak_power = power;
+            peak_active = seg.active_crossbars;
+            peak_breakdown = breakdown;
+        }
+        total_latency += seg.latency;
     }
 
     let report = PerfReport {

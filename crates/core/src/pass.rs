@@ -55,14 +55,17 @@
 use crate::cache::Fingerprint;
 use crate::compile::CompileOptions;
 use crate::pipeline::Artifact;
+use crate::scratch::ScratchArena;
 use crate::Result;
 use cim_arch::CimArchitecture;
 use cim_graph::Graph;
 use serde::Serialize;
 
 /// Everything a pass may read besides its input artifact: the model, the
-/// target and the compile options. Passes must treat all three as
-/// immutable inputs (see the module docs for the full contract).
+/// target, the compile options and the session's scratch arena. Passes
+/// must treat graph/arch/options as immutable inputs (see the module docs
+/// for the full contract); the scratch arena is for short-lived buffers
+/// only and must never leak state into the produced artifact.
 #[derive(Debug, Clone, Copy)]
 pub struct PassContext<'a> {
     /// The model being compiled.
@@ -71,6 +74,9 @@ pub struct PassContext<'a> {
     pub arch: &'a CimArchitecture,
     /// The compile options in force.
     pub options: &'a CompileOptions,
+    /// The session's pooled scratch buffers (see [`crate::scratch`]).
+    /// Peak usage per pass lands in [`PassRecord::scratch_peak_bytes`].
+    pub scratch: &'a ScratchArena,
 }
 
 /// Per-pass diagnostics sink: free-form notes a pass wants surfaced in
@@ -157,6 +163,9 @@ pub struct PassRecord {
     pub cache: String,
     /// One-line summary of the produced artifact.
     pub summary: String,
+    /// Peak bytes leased from the session's [`ScratchArena`] while the
+    /// pass ran (0 when skipped, served from cache, or scratch-free).
+    pub scratch_peak_bytes: u64,
     /// Diagnostics the pass emitted.
     pub diagnostics: Vec<String>,
 }
@@ -176,6 +185,7 @@ impl PassTimeline {
         artifact: &Artifact,
         wall_ms: f64,
         cache: &str,
+        scratch_peak_bytes: u64,
         diag: Diagnostics,
     ) {
         self.records.push(PassRecord {
@@ -184,6 +194,7 @@ impl PassTimeline {
             wall_ms,
             cache: cache.to_owned(),
             summary: artifact.summary(),
+            scratch_peak_bytes,
             diagnostics: diag.into_notes(),
         });
     }
@@ -195,6 +206,7 @@ impl PassTimeline {
             wall_ms: 0.0,
             cache: String::new(),
             summary: String::new(),
+            scratch_peak_bytes: 0,
             diagnostics: Vec::new(),
         });
     }
@@ -230,13 +242,13 @@ impl PassTimeline {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = format!(
-            "{:<16} {:<8} {:>10} {:<10}  {}\n",
-            "pass", "stage", "wall(ms)", "cache", "summary"
+            "{:<16} {:<8} {:>10} {:>12} {:<10}  {}\n",
+            "pass", "stage", "wall(ms)", "scratch(B)", "cache", "summary"
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{:<16} {:<8} {:>10.3} {:<10}  {}\n",
-                r.pass, r.stage, r.wall_ms, r.cache, r.summary
+                "{:<16} {:<8} {:>10.3} {:>12} {:<10}  {}\n",
+                r.pass, r.stage, r.wall_ms, r.scratch_peak_bytes, r.cache, r.summary
             ));
             for note in &r.diagnostics {
                 out.push_str(&format!("{:<16} - {note}\n", ""));
@@ -264,6 +276,7 @@ mod tests {
             wall_ms: 1.5,
             cache: "hit".into(),
             summary: "1 segment(s)".into(),
+            scratch_peak_bytes: 4096,
             diagnostics: vec!["note one".into()],
         });
         t.record_skip("mvm");
@@ -286,6 +299,7 @@ mod tests {
                 wall_ms: 0.0,
                 cache: cache.into(),
                 summary: String::new(),
+                scratch_peak_bytes: 0,
                 diagnostics: Vec::new(),
             });
         }

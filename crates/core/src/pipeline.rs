@@ -43,10 +43,10 @@
 //! ```
 
 use crate::cache::{source_fingerprint, CompileCache, Fingerprint, FingerprintBuilder};
-use crate::cg::{schedule_cg_stages, CgSchedule, Segment};
+use crate::cg::{schedule_cg_stages_in, CgSchedule, Segment};
 use crate::codegen::{generate_flow, FlowLayout};
 use crate::compile::{CompileOptions, Compiled, OptLevel};
-use crate::mvm::{schedule_mvm, MvmSchedule};
+use crate::mvm::{schedule_mvm_jobs, MvmSchedule};
 use crate::pass::{Diagnostics, Pass, PassContext, PassTimeline};
 use crate::perf::PerfReport;
 use crate::stage::{extract_stages, Stage};
@@ -483,12 +483,17 @@ impl Pass for CgPass {
         let Artifact::Staged(staged) = input else {
             return Err(stage_mismatch(self.name(), "staged", &input));
         };
-        let cg = schedule_cg_stages(
+        // Policy lives here, mechanism in the scheduler: the requested
+        // worker count is clamped to the machine so `--jobs 4` on a
+        // single-core box takes the zero-overhead sequential path.
+        let cg = schedule_cg_stages_in(
             cx.graph.name(),
             staged.stages,
             cx.arch,
             cx.options.cg,
             cx.options.act_bits,
+            crate::pool::effective_threads(cx.options.jobs),
+            cx.scratch,
         )?;
         diag.note(format!(
             "{} segment(s), {:.0} reprogram cycle(s)",
@@ -531,7 +536,13 @@ impl Pass for MvmPass {
             return Err(stage_mismatch(self.name(), "cg", &input));
         };
         let cg = a.cg;
-        let mvm = schedule_mvm(&cg, cx.arch, cx.options.mvm, cx.options.act_bits);
+        let mvm = schedule_mvm_jobs(
+            &cg,
+            cx.arch,
+            cx.options.mvm,
+            cx.options.act_bits,
+            crate::pool::effective_threads(cx.options.jobs),
+        );
         let refined = mvm
             .segments
             .iter()
@@ -786,6 +797,7 @@ impl Pipeline {
             timeline: PassTimeline::default(),
             cache: None,
             chain: None,
+            scratch: crate::scratch::ScratchArena::new(),
         }
     }
 }
@@ -816,6 +828,11 @@ pub struct Session<'a> {
     /// when no cache is attached, an uncacheable pass ran, or the caller
     /// touched the artifact (see [`crate::cache`]'s invalidation rules).
     chain: Option<Fingerprint>,
+    /// Pooled scratch buffers shared by every pass of this session (and
+    /// by the intra-graph worker threads a pass fans out to). Reset-peak
+    /// bracketing around each pass feeds
+    /// [`PassRecord::scratch_peak_bytes`](crate::PassRecord::scratch_peak_bytes).
+    scratch: crate::scratch::ScratchArena,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -932,6 +949,7 @@ impl<'a> Session<'a> {
             graph: self.graph,
             arch: self.arch,
             options: &self.options,
+            scratch: &self.scratch,
         };
         // Advance the cache-key chain: this pass's key links its
         // fingerprint onto the chain that produced the current artifact.
@@ -950,7 +968,7 @@ impl<'a> Session<'a> {
                 let mut diag = Diagnostics::default();
                 diag.note(format!("served from cache ({key})"));
                 self.timeline
-                    .record(pass.name(), &artifact, wall_ms, "hit", diag);
+                    .record(pass.name(), &artifact, wall_ms, "hit", 0, diag);
                 self.artifact = artifact;
                 self.cursor += 1;
                 return Ok(true);
@@ -958,6 +976,7 @@ impl<'a> Session<'a> {
         }
         let mut diag = Diagnostics::default();
         let input = std::mem::replace(&mut self.artifact, Artifact::Source);
+        self.scratch.reset_peak();
         let output = match pass.run(&cx, &mut diag, input) {
             Ok(output) => output,
             Err(e) => {
@@ -965,6 +984,7 @@ impl<'a> Session<'a> {
                 return Err(e);
             }
         };
+        let scratch_peak = self.scratch.peak_bytes();
         let cache_outcome = match (self.cache.as_ref(), key) {
             (Some(cache), Some(key)) => {
                 if cache.store(&key, &output) {
@@ -976,8 +996,14 @@ impl<'a> Session<'a> {
             _ => "",
         };
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        self.timeline
-            .record(pass.name(), &output, wall_ms, cache_outcome, diag);
+        self.timeline.record(
+            pass.name(),
+            &output,
+            wall_ms,
+            cache_outcome,
+            scratch_peak,
+            diag,
+        );
         self.artifact = output;
         self.cursor += 1;
         Ok(true)

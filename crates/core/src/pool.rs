@@ -1,0 +1,167 @@
+//! A deterministic work-queue thread pool for batch evaluation.
+//!
+//! [`run_ordered`] is the scheduling core shared by the compiler's own
+//! intra-graph fan-out ([`crate::cg`]'s segmentation rows, [`crate::mvm`]'s
+//! per-segment refinement), the `cim-bench` sweep driver and the
+//! design-space explorer (`cim-dse`): workers pull item indices off a
+//! shared atomic counter — so a slow item never blocks the rest of the
+//! batch behind a static partition — and write results back *by index*,
+//! so the output order equals the input order regardless of worker count
+//! or interleaving. Anything built on top of it therefore produces
+//! thread-count-invariant results as long as the per-item function is
+//! pure.
+//!
+//! Worker threads are named `cim-pool-{i}` so they are identifiable in
+//! debuggers, profilers and panic backtraces, and a panic inside `f` is
+//! re-raised on the caller with the index of the job that panicked.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count actually worth spawning for a CPU-bound fan-out:
+/// `requested` clamped to the machine's available parallelism.
+///
+/// The compiler's intra-graph call sites branch on this before touching
+/// [`run_ordered`], so `--jobs 4` on a single-core container degrades to
+/// the plain sequential path (no threads, no overhead) instead of
+/// oversubscribing one CPU. Results are unaffected either way —
+/// [`run_ordered`] is thread-count-invariant.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    requested
+        .max(1)
+        .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Maps `f` over `items` on `threads` worker threads (clamped to
+/// `1..=items.len()`), returning the results in input order.
+///
+/// `f` must be pure with respect to the output (it may hit shared
+/// caches): the contract every caller relies on is that the returned
+/// vector is identical for any `threads` value.
+///
+/// # Panics
+/// Panics if a worker thread panics (a bug in `f`, not an input error).
+/// The message names the input index of the job that panicked — when
+/// several jobs panic concurrently, the lowest index wins.
+pub fn run_ordered<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // First panic per worker, recorded as (job index, payload text); the
+    // lowest job index is re-raised after the scope joins so the caller
+    // sees a deterministic culprit.
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let worker_loop = || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(out) => {
+                        *slots[i].lock().expect("pool worker poisoned a slot") = Some(out);
+                    }
+                    Err(payload) => {
+                        let text = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_owned());
+                        panics
+                            .lock()
+                            .expect("pool panic log poisoned")
+                            .push((i, text));
+                        break;
+                    }
+                }
+            };
+            std::thread::Builder::new()
+                .name(format!("cim-pool-{worker}"))
+                .spawn_scoped(scope, worker_loop)
+                .expect("spawning a cim-pool worker thread failed");
+        }
+    });
+    let mut panics = panics.into_inner().expect("pool panic log poisoned");
+    if let Some((job, text)) = panics.drain(..).min_by_key(|&(job, _)| job) {
+        panic!("cim-pool worker panicked on job {job}: {text}");
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool worker poisoned a slot")
+                .expect("every item index was claimed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|n| n * n).collect();
+        for threads in [1, 2, 4, 16, 200] {
+            assert_eq!(run_ordered(&items, threads, |n| n * n), expect);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = run_ordered(&[] as &[u32], 4, |n| *n);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn work_queue_balances_uneven_items() {
+        // A deliberately skewed workload: one heavy item plus many light
+        // ones. Correctness (order) must hold; this is primarily a
+        // does-not-deadlock/does-not-partition-statically check.
+        let items: Vec<u64> = (0..32).collect();
+        let out = run_ordered(&items, 4, |n| {
+            if *n == 0 {
+                (0..10_000u64).fold(0, |a, b| a ^ b.wrapping_mul(*n + 1))
+            } else {
+                *n
+            }
+        });
+        assert_eq!(out[5], 5);
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn workers_are_named() {
+        let names = run_ordered(&[(), (), (), ()], 4, |()| {
+            std::thread::current().name().map(str::to_owned)
+        });
+        for name in names.into_iter().flatten() {
+            assert!(name.starts_with("cim-pool-"), "{name}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_names_the_job() {
+        let items: Vec<u32> = (0..8).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(&items, 2, |n| {
+                assert!(*n != 5, "job five is poisoned");
+                *n
+            })
+        }))
+        .unwrap_err();
+        let text = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted string");
+        assert!(text.contains("job 5"), "{text}");
+        assert!(text.contains("job five is poisoned"), "{text}");
+    }
+}

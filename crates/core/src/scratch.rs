@@ -1,0 +1,240 @@
+//! Reusable scratch buffers for the scheduling passes.
+//!
+//! The CG-grained segmentation DP and the MVM-grained refinement are
+//! called thousands of times per compile (once per candidate segment) and
+//! each call needs a handful of short-lived vectors — duplication
+//! numbers, latency/fill pairs, DP tables. Allocating them fresh on every
+//! evaluation dominated the pre-arena profile, so a [`ScratchArena`]
+//! owned by the [`Session`](crate::Session) pools them instead: a pass
+//! leases a [`ScratchVec`] (recycling a previously returned buffer when
+//! one is available), uses it like a `Vec`, and the buffer returns to the
+//! pool on drop with its capacity intact.
+//!
+//! The arena is `Sync` — the pooled free lists sit behind mutexes — so
+//! the intra-graph worker threads of [`crate::pool::run_ordered`] lease
+//! from the same arena the sequential parts of a pass use. Leases only
+//! touch the pool on construction and drop, never per element, so the
+//! mutexes are uncontended in practice.
+//!
+//! Peak accounting: the arena tracks the bytes leased out at any instant
+//! and the high-water mark since the last [`ScratchArena::reset_peak`].
+//! The session resets the mark before each pass and stores the peak in
+//! the pass's [`PassRecord`](crate::PassRecord), which is what
+//! `cimc compile --timings` surfaces per pass.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pool of reusable scratch buffers with peak-usage accounting.
+///
+/// See the [module docs](self) for the lifecycle. One arena per
+/// [`Session`](crate::Session); passes reach it through
+/// [`PassContext::scratch`](crate::PassContext::scratch).
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    f64s: Mutex<Vec<Vec<f64>>>,
+    u32s: Mutex<Vec<Vec<u32>>>,
+    usizes: Mutex<Vec<Vec<usize>>>,
+    pairs: Mutex<Vec<Vec<(f64, f64)>>>,
+    /// Bytes currently leased out (sum of leased capacities).
+    in_use: AtomicUsize,
+    /// High-water mark of `in_use` since the last [`Self::reset_peak`].
+    peak: AtomicUsize,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Leases an empty `f64` buffer with at least `capacity` slots.
+    #[must_use]
+    pub fn f64s(&self, capacity: usize) -> ScratchVec<'_, f64> {
+        self.lease(&self.f64s, capacity)
+    }
+
+    /// Leases an empty `u32` buffer with at least `capacity` slots.
+    #[must_use]
+    pub fn u32s(&self, capacity: usize) -> ScratchVec<'_, u32> {
+        self.lease(&self.u32s, capacity)
+    }
+
+    /// Leases an empty `usize` buffer with at least `capacity` slots.
+    #[must_use]
+    pub fn usizes(&self, capacity: usize) -> ScratchVec<'_, usize> {
+        self.lease(&self.usizes, capacity)
+    }
+
+    /// Leases an empty `(f64, f64)` buffer with at least `capacity`
+    /// slots (latency/fill pairs).
+    #[must_use]
+    pub fn pairs(&self, capacity: usize) -> ScratchVec<'_, (f64, f64)> {
+        self.lease(&self.pairs, capacity)
+    }
+
+    /// Bytes currently leased out across all buffer types.
+    #[must_use]
+    pub fn in_use_bytes(&self) -> u64 {
+        self.in_use.load(Ordering::Relaxed) as u64
+    }
+
+    /// High-water mark of leased bytes since the last
+    /// [`Self::reset_peak`] (or arena creation).
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed) as u64
+    }
+
+    /// Resets the high-water mark to the bytes currently leased.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.in_use.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn lease<'a, T: ScratchItem>(
+        &'a self,
+        pool: &'a Mutex<Vec<Vec<T>>>,
+        capacity: usize,
+    ) -> ScratchVec<'a, T> {
+        let mut buf = pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        if buf.capacity() < capacity {
+            buf.reserve(capacity - buf.len());
+        }
+        let bytes = buf.capacity() * std::mem::size_of::<T>();
+        self.charge(bytes);
+        ScratchVec {
+            arena: self,
+            pool,
+            charged: bytes,
+            buf,
+        }
+    }
+
+    fn charge(&self, bytes: usize) {
+        let now = self.in_use.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn release(&self, bytes: usize) {
+        self.in_use.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Marker for the element types the arena pools.
+pub trait ScratchItem: Copy + Default {}
+impl ScratchItem for f64 {}
+impl ScratchItem for u32 {}
+impl ScratchItem for usize {}
+impl ScratchItem for (f64, f64) {}
+
+/// A leased scratch buffer: dereferences to `Vec<T>`, returns to its
+/// arena's pool (capacity intact) on drop.
+#[derive(Debug)]
+pub struct ScratchVec<'a, T: ScratchItem> {
+    arena: &'a ScratchArena,
+    pool: &'a Mutex<Vec<Vec<T>>>,
+    /// Bytes charged against the arena at lease time; reconciled with the
+    /// final capacity on drop (the buffer may have grown in use).
+    charged: usize,
+    buf: Vec<T>,
+}
+
+impl<T: ScratchItem> Deref for ScratchVec<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.buf
+    }
+}
+
+impl<T: ScratchItem> DerefMut for ScratchVec<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+impl<T: ScratchItem> Drop for ScratchVec<'_, T> {
+    fn drop(&mut self) {
+        let final_bytes = self.buf.capacity() * std::mem::size_of::<T>();
+        if final_bytes > self.charged {
+            // The vec reallocated while leased; account the growth so the
+            // peak reflects what was actually held.
+            self.arena.charge(final_bytes - self.charged);
+        }
+        self.arena.release(final_bytes.max(self.charged));
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        self.pool.lock().expect("scratch pool poisoned").push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_across_leases() {
+        let arena = ScratchArena::new();
+        let ptr = {
+            let mut v = arena.f64s(128);
+            v.extend(std::iter::repeat_n(1.0, 100));
+            v.as_ptr()
+        };
+        // The returned buffer (capacity >= 128) is reused by the next lease.
+        let v2 = arena.f64s(64);
+        assert_eq!(v2.as_ptr(), ptr);
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= 128);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let arena = ScratchArena::new();
+        {
+            let _a = arena.f64s(100);
+            let _b = arena.u32s(50);
+            assert!(arena.in_use_bytes() >= 100 * 8 + 50 * 4);
+        }
+        assert_eq!(arena.in_use_bytes(), 0);
+        assert!(arena.peak_bytes() >= 100 * 8 + 50 * 4);
+        arena.reset_peak();
+        assert_eq!(arena.peak_bytes(), 0);
+        let _c = arena.usizes(10);
+        assert!(arena.peak_bytes() >= 10 * std::mem::size_of::<usize>() as u64);
+    }
+
+    #[test]
+    fn growth_while_leased_is_accounted() {
+        let arena = ScratchArena::new();
+        {
+            let mut v = arena.pairs(1);
+            v.extend(std::iter::repeat_n((0.0, 0.0), 10_000));
+        }
+        assert_eq!(arena.in_use_bytes(), 0);
+        assert!(arena.peak_bytes() >= 10_000 * 16);
+    }
+
+    #[test]
+    fn arena_is_shareable_across_threads() {
+        let arena = ScratchArena::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        let mut v = arena.f64s(32);
+                        v.push(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.in_use_bytes(), 0);
+        assert!(arena.peak_bytes() > 0);
+    }
+}

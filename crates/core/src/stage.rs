@@ -218,7 +218,6 @@ mod tests {
         let attached_total: usize = stages.iter().map(|s| s.digital.len()).sum();
         let digital_total = g
             .nodes()
-            .iter()
             .filter(|n| !n.op().is_cim_supported() && !matches!(n.op(), OpKind::Input { .. }))
             .count();
         assert_eq!(attached_total, digital_total);

@@ -31,10 +31,12 @@ fn pass_by_name(name: &str) -> Box<dyn Pass> {
 /// (graph, arch, options) — the full fingerprint chain a cached session
 /// walks.
 fn job_key(graph: &Graph, arch: &CimArchitecture, options: &CompileOptions) -> Fingerprint {
+    let scratch = cim_compiler::ScratchArena::new();
     let cx = PassContext {
         graph,
         arch,
         options,
+        scratch: &scratch,
     };
     let mut key = source_fingerprint(graph, arch);
     for name in Pipeline::plan(options, arch).names() {

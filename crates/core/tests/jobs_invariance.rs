@@ -1,0 +1,75 @@
+//! `CompileOptions::jobs` is purely an execution knob: intra-graph
+//! scheduling must produce byte-identical schedules and reports for
+//! every worker count. These tests pin that contract both at the
+//! scheduler API (forcing the threaded path even on single-core
+//! machines — `schedule_cg_stages_in`/`schedule_mvm_jobs` spawn exactly
+//! the workers they are given) and end-to-end through the compiler.
+
+use cim_compiler::cg::{schedule_cg_stages_in, CgOptions};
+use cim_compiler::mvm::{schedule_mvm_jobs, MvmOptions};
+use cim_compiler::stage::extract_stages;
+use cim_compiler::{CompileOptions, Compiler, ScratchArena};
+use cim_graph::zoo;
+
+const MODELS: &[(&str, &str)] = &[
+    ("vit_base", "isaac"), // deep DP path, 2 segments
+    ("resnet50", "puma"),  // segmentation-heavy small chip
+    ("vgg16", "jia"),      // SRAM, many segments
+    ("resnet50", "isaac"), // whole-model-resident fast path
+];
+
+#[test]
+fn scheduler_output_is_identical_across_worker_counts() {
+    for &(model, arch) in MODELS {
+        let graph = zoo::by_name(model).unwrap();
+        let arch = cim_arch::presets::by_name(arch).unwrap();
+        let stages = extract_stages(&graph, &arch, 8);
+        let schedule = |jobs: usize| {
+            let scratch = ScratchArena::new();
+            let cg = schedule_cg_stages_in(
+                graph.name(),
+                stages.clone(),
+                &arch,
+                CgOptions::full(),
+                8,
+                jobs,
+                &scratch,
+            )
+            .unwrap();
+            let mvm = schedule_mvm_jobs(&cg, &arch, MvmOptions::full(), 8, jobs);
+            (cg, mvm)
+        };
+        let (cg1, mvm1) = schedule(1);
+        for jobs in [2, 4, 7] {
+            let (cg, mvm) = schedule(jobs);
+            assert_eq!(cg1, cg, "{model}: cg schedule differs at jobs={jobs}");
+            assert_eq!(mvm1, mvm, "{model}: mvm schedule differs at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn compiled_output_is_identical_across_worker_counts() {
+    for &(model, arch_name) in MODELS {
+        let graph = zoo::by_name(model).unwrap();
+        let arch = cim_arch::presets::by_name(arch_name).unwrap();
+        let compile = |jobs: usize| {
+            Compiler::with_options(CompileOptions {
+                jobs,
+                ..CompileOptions::default()
+            })
+            .session(&graph, &arch)
+            .finish()
+            .unwrap()
+        };
+        let one = compile(1);
+        let four = compile(4);
+        assert_eq!(one.cg, four.cg, "{model}@{arch_name}");
+        assert_eq!(one.mvm, four.mvm, "{model}@{arch_name}");
+        assert_eq!(
+            one.reports(),
+            four.reports(),
+            "{model}@{arch_name}: reports differ across jobs"
+        );
+    }
+}

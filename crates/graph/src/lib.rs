@@ -35,7 +35,7 @@ mod serde_io;
 mod shape;
 pub mod zoo;
 
-pub use graph::{Graph, GraphError, Node, NodeId};
+pub use graph::{Adjacency, Graph, GraphError, Node, NodeId, Nodes, OpId, ShapeId};
 pub use op::{OpKind, PoolKind};
 pub use serde_io::{from_json, to_json};
 pub use shape::Shape;

@@ -40,7 +40,6 @@ pub fn to_json(graph: &Graph) -> String {
         name: graph.name().to_owned(),
         nodes: graph
             .nodes()
-            .iter()
             .map(|n| NodeDoc {
                 name: n.name().to_owned(),
                 op: n.op().clone(),

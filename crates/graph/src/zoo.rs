@@ -575,12 +575,10 @@ mod tests {
         let g = vgg16();
         let convs = g
             .nodes()
-            .iter()
             .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
             .count();
         let fcs = g
             .nodes()
-            .iter()
             .filter(|n| matches!(n.op(), OpKind::Linear { .. }))
             .count();
         assert_eq!(convs, 13);
@@ -588,7 +586,6 @@ mod tests {
         // Feature extractor ends at [512, 7, 7].
         let flatten = g
             .nodes()
-            .iter()
             .find(|n| matches!(n.op(), OpKind::Flatten))
             .unwrap();
         let before = g.node(flatten.inputs()[0]);
@@ -603,7 +600,6 @@ mod tests {
         let g = vgg7();
         let convs = g
             .nodes()
-            .iter()
             .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
             .count();
         assert_eq!(convs, 6);
@@ -615,7 +611,6 @@ mod tests {
         let g = resnet18();
         let convs = g
             .nodes()
-            .iter()
             .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
             .count();
         // 1 stem + 16 block convs + 3 downsample 1x1 convs
@@ -634,7 +629,6 @@ mod tests {
         // final stage output must be [2048, 7, 7]
         let gap = g
             .nodes()
-            .iter()
             .find(|n| matches!(n.op(), OpKind::GlobalAvgPool))
             .unwrap();
         let before = g.node(gap.inputs()[0]);
@@ -660,7 +654,6 @@ mod tests {
         // VGG19 has 16 convs + 3 FCs.
         let convs = vgg19()
             .nodes()
-            .iter()
             .filter(|n| matches!(n.op(), OpKind::Conv2d { .. }))
             .count();
         assert_eq!(convs, 16);
@@ -690,7 +683,6 @@ mod tests {
         // 12 layers x 5 linears (q,k,v,proj,fc1,fc2 = 6) ... count them:
         let linears = g
             .nodes()
-            .iter()
             .filter(|n| matches!(n.op(), OpKind::Linear { .. }))
             .count();
         assert_eq!(linears, 12 * 6 + 1);

@@ -536,7 +536,6 @@ mod tests {
         let values = crate::reference::execute(graph);
         graph
             .nodes()
-            .iter()
             .map(|n| (n.id(), values[&n.id()].clone()))
             .collect()
     }

@@ -2,12 +2,14 @@
 # Mirrors every CI job (.github/workflows/ci.yml) for offline pre-push
 # verification: build-and-test, lint (fmt + clippy + docs gate),
 # bench-report (regression gate against the committed baseline),
-# cache-consistency (cold-vs-warm sweep equivalence + speedup), and
-# dse-smoke (seeded exploration determinism + warm-cache reuse).
+# cache-consistency (cold-vs-warm sweep equivalence + speedup),
+# dse-smoke (seeded exploration determinism + warm-cache reuse), and
+# compile-perf (median cold-compile budgets + drift vs the baseline).
 #
 # usage: scripts/ci-local.sh [job...]
-#   job ∈ build-and-test | lint | bench-report | cache-consistency | dse-smoke
-#   (no arguments = run all five, in CI order)
+#   job ∈ build-and-test | lint | bench-report | cache-consistency |
+#         dse-smoke | compile-perf
+#   (no arguments = run all six, in CI order)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,10 +42,12 @@ bench_report() {
 }
 
 # Cold-then-warm full sweep over a shared --cache-dir. Byte-identity and
-# the warm-run all-hits invariant must hold on EVERY attempt; the >= 3x
-# wall-clock speedup is noise-prone on loaded machines, so the cold/warm
-# pair is re-measured (up to 3 attempts, fresh cache each time) and only
-# needs to clear the bar once — mirroring crates/bench/tests/cache.rs.
+# the warm-run all-hits invariant must hold on EVERY attempt; the >= 1.5x
+# wall-clock speedup (3x before the memoized segmentation DP made cold
+# compiles ~3-6x cheaper) is noise-prone on loaded machines, so the
+# cold/warm pair is re-measured (up to 3 attempts, fresh cache each time)
+# and only needs to clear the bar once — mirroring
+# crates/bench/tests/cache.rs.
 # Set CACHE_CONSISTENCY_DIR to keep the logs/reports (CI uploads them).
 cache_consistency() {
     local dir="${CACHE_CONSISTENCY_DIR:-}"
@@ -74,13 +78,13 @@ cache_consistency() {
         warm_ms=$(sed -n 's/^sweep: .* in \([0-9][0-9]*\) ms$/\1/p' "$dir/warm.log")
         echo "cold=${cold_ms}ms warm=${warm_ms}ms"
         test -n "$cold_ms" && test -n "$warm_ms"
-        if [ "$((warm_ms * 3))" -le "$cold_ms" ]; then
+        if [ "$((warm_ms * 3))" -le "$((cold_ms * 2))" ]; then
             speedup_ok=1
             break
         fi
-        echo "warm speedup below 3x on attempt $attempt; re-measuring"
+        echo "warm speedup below 1.5x on attempt $attempt; re-measuring"
     done
-    bold "cache-consistency: warm >= 3x faster than cold"
+    bold "cache-consistency: warm >= 1.5x faster than cold"
     test "$speedup_ok" -eq 1
 }
 
@@ -117,9 +121,23 @@ dse_smoke() {
     grep -E '^cache: [1-9][0-9]* hit\(s\), 0 miss\(es\)' "$dir/warm.log"
 }
 
+# Compile-time regression gate: `cimc compile-perf` re-measures the
+# gate workloads' median cold-compile times and fails when one exceeds
+# its absolute budget (half the pre-refactor median — the ">= 2x
+# cold-compile speedup" bar, enforced forever) or drifts more than the
+# tolerance over the committed baseline's compile_time section. The
+# budgets carry the hard guarantee; the drift tolerance is generous
+# (100%) because wall clocks vary machine-to-machine. Retries
+# (3 attempts) live inside the subcommand, like the cache gate's.
+compile_perf() {
+    bold "compile-perf: median cold-compile budgets and baseline drift"
+    cargo build --release --bin cimc
+    ./target/release/cimc compile-perf --baseline bench/baseline.json --tolerance 100
+}
+
 jobs=("$@")
 if [ ${#jobs[@]} -eq 0 ]; then
-    jobs=(build-and-test lint bench-report cache-consistency dse-smoke)
+    jobs=(build-and-test lint bench-report cache-consistency dse-smoke compile-perf)
 fi
 for job in "${jobs[@]}"; do
     case "$job" in
@@ -128,8 +146,9 @@ for job in "${jobs[@]}"; do
         bench-report) bench_report ;;
         cache-consistency) cache_consistency ;;
         dse-smoke) dse_smoke ;;
+        compile-perf) compile_perf ;;
         *)
-            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency or dse-smoke)" >&2
+            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency, dse-smoke or compile-perf)" >&2
             exit 2
             ;;
     esac

@@ -55,11 +55,13 @@ fn model(name: &str) -> Result<Graph, String> {
 const USAGE: &str =
     "usage:\n  cimc archs\n  cimc models\n  cimc list <models|archs|modes|strategies|objectives>\n  \
 cimc compile --model <name|file.json> --arch <preset> \
-[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--schedule] [--flow <lines>] [--verify] \
+[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--jobs <n>] [--schedule] [--flow <lines>] [--verify] \
 [--timings] [--dump-stage cg|mvm|vvm] [--json] [--cache-dir <dir>] [--no-cache]\n  \
-cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] \
+cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] [--compile-time] \
 [--baseline <file.json>] [--fail-on-regression] [--tolerance <pct>] [--models <a,b,..>] \
 [--archs <a,b,..>] [--modes <a,b,..>] [--cache-dir <dir>] [--no-cache]\n  \
+cimc compile-perf [--samples <n>] [--attempts <n>] [--baseline <file.json>] \
+[--tolerance <pct>]\n  \
 cimc explore [--model <name|file.json>] [--space <file.json>] \
 [--strategy exhaustive|random|hill-climb|evolutionary] [--budget <n>] [--seed <n>] \
 [--objective <metric[:w],..>] [--jobs <n>] [--out <file.json>] [--comparable] \
@@ -100,10 +102,12 @@ struct CompileDoc {
 
 /// Version of the `cimc compile --json` document layout.
 ///
-/// History: **2** added `cache_stats` and the per-record `cache` column
-/// inside `timeline` (mirroring the bench report's v2 bump); **1** was
-/// the initial layout.
-const COMPILE_DOC_VERSION: u32 = 2;
+/// History: **3** added the per-record `scratch_peak_bytes` column
+/// inside `timeline` (peak scratch-arena footprint of each pass);
+/// **2** added `cache_stats` and the per-record `cache` column inside
+/// `timeline` (mirroring the bench report's v2 bump); **1** was the
+/// initial layout.
+const COMPILE_DOC_VERSION: u32 = 3;
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -141,6 +145,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     let mut arch_name = None;
     let mut mode: Option<ComputingMode> = None;
     let mut level: Option<OptLevel> = None;
+    let mut jobs: Option<usize> = None;
     let mut show_schedule = false;
     let mut flow_lines: Option<usize> = None;
     let mut verify = false;
@@ -209,6 +214,23 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                         return usage();
                     }
                 };
+                i += 2;
+            }
+            "--jobs" => {
+                let value = match value_of("--jobs", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<usize>() {
+                    Ok(0) | Err(_) => {
+                        eprintln!("invalid --jobs value `{value}` (expected a positive integer)");
+                        return usage();
+                    }
+                    Ok(n) => jobs = Some(n),
+                }
                 i += 2;
             }
             "--schedule" => {
@@ -312,8 +334,12 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     if let Some(m) = mode {
         arch = arch.with_mode(m);
     }
+    // `jobs` parallelizes scheduling *within* this one compilation
+    // (DP rows and segments fan out); results are byte-identical for
+    // every value, so it stays out of fingerprints and cache keys.
     let options = CompileOptions {
         level: level.unwrap_or_default(),
+        jobs: jobs.unwrap_or(1),
         ..CompileOptions::default()
     };
 
@@ -749,6 +775,7 @@ fn split_list(value: &str) -> Vec<String> {
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut quick = false;
     let mut comparable = false;
+    let mut compile_time = false;
     let mut jobs: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -792,6 +819,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
             "--comparable" => {
                 comparable = true;
+                i += 1;
+            }
+            "--compile-time" => {
+                compile_time = true;
                 i += 1;
             }
             "--jobs" => {
@@ -954,7 +985,21 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
         }
     };
-    let report = run_sweep_cached(&spec, threads, cache).expect("spec was validated above");
+    let mut report = run_sweep_cached(&spec, threads, cache).expect("spec was validated above");
+    if compile_time {
+        // `--compile-time` bakes the compile-perf gate's reference
+        // medians into the report (used by refresh-baseline.sh when
+        // regenerating the committed baseline). Plain sweeps leave the
+        // section absent so cold/warm `--comparable` reports stay
+        // byte-identical.
+        match measure_gate_entries(9) {
+            Ok(records) => report.compile_time = Some(records),
+            Err(e) => {
+                eprintln!("cannot measure compile-time medians: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     println!(
         "{:<10} {:<10} {:<11} {:<11} {:>14} {:>14} {:>10} {:>6}",
@@ -989,6 +1034,16 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     );
     if let Some(stats) = &report.cache_stats {
         println!("cache: {}", stats.render());
+    }
+    if let Some(records) = &report.compile_time {
+        for r in records {
+            println!(
+                "compile-time {}: median {:.3} ms over {} sample(s)",
+                r.key(),
+                r.median_ms,
+                r.samples
+            );
+        }
     }
 
     if let Some(path) = out {
@@ -1039,6 +1094,193 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `cimc compile-perf` — the compile-time regression gate.
+///
+/// Re-measures the reference workloads' median cold-compile times
+/// ([`GATE_ENTRIES`]) and fails when one exceeds its absolute budget —
+/// half the pre-refactor median, so passing *is* the ">= 2x cold-compile
+/// speedup" guarantee. With `--baseline`, medians are additionally
+/// checked for drift against the committed baseline's `compile_time`
+/// section (schema v3+).
+///
+/// Wall clocks are noisy, so like the cache-consistency gate the
+/// measurement retries: up to `--attempts` rounds (default 3), passing
+/// if any round is clean. `--tolerance` is the allowed drift over the
+/// baseline median, in percent (default 50 — generous on purpose:
+/// machine-to-machine variance dwarfs scheduler regressions, which the
+/// absolute budgets catch anyway).
+fn cmd_compile_perf(args: &[String]) -> ExitCode {
+    let mut samples: usize = 9;
+    let mut attempts: usize = 3;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance: f64 = 50.0;
+    let value_of = |flag: &str, i: usize| -> Result<String, String> {
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("missing value for `{flag}`")),
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" | "--attempts" => {
+                let flag = args[i].clone();
+                let value = match value_of(&flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<usize>() {
+                    Ok(0) | Err(_) => {
+                        eprintln!("invalid {flag} value `{value}` (expected a positive integer)");
+                        return usage();
+                    }
+                    Ok(n) if flag == "--samples" => samples = n,
+                    Ok(n) => attempts = n,
+                }
+                i += 2;
+            }
+            "--baseline" => {
+                match value_of("--baseline", i) {
+                    Ok(v) => baseline_path = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--tolerance" => {
+                let value = match value_of("--tolerance", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 && pct.is_finite() => tolerance = pct,
+                    _ => {
+                        eprintln!(
+                            "invalid --tolerance value `{value}` (expected a percentage >= 0)"
+                        );
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    // Load the baseline's compile_time section up front so a bad path
+    // fails fast, before minutes of measurement.
+    let baseline_records: Option<Vec<CompileTimeRecord>> = match &baseline_path {
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read baseline `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let baseline = match BenchReport::from_json(&json) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("baseline `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if baseline.compile_time.is_none() {
+                // Pre-v3 baselines gate on the absolute budgets alone.
+                println!(
+                    "baseline `{path}` has no compile_time section (schema v{} < 3); \
+                     drift gate skipped — regenerate with scripts/refresh-baseline.sh",
+                    baseline.schema_version
+                );
+            }
+            baseline.compile_time
+        }
+        None => None,
+    };
+
+    for attempt in 1..=attempts {
+        let records = match measure_gate_entries(samples) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot measure compile-time medians: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut violations = Vec::new();
+        for (entry, record) in GATE_ENTRIES.iter().zip(&records) {
+            let mut status = "ok";
+            if record.median_ms > entry.budget_ms {
+                status = "OVER BUDGET";
+                violations.push(format!(
+                    "{}: median {:.3} ms exceeds the {:.3} ms budget \
+                     (half the pre-refactor median)",
+                    record.key(),
+                    record.median_ms,
+                    entry.budget_ms
+                ));
+            }
+            let mut drift_note = String::new();
+            if let Some(base) = baseline_records
+                .as_ref()
+                .and_then(|rs| rs.iter().find(|r| r.key() == record.key()))
+            {
+                let drift = 100.0 * (record.median_ms - base.median_ms) / base.median_ms;
+                drift_note = format!(
+                    "   drift {:+.1}% vs baseline {:.3} ms",
+                    drift, base.median_ms
+                );
+                if drift > tolerance {
+                    status = "DRIFT";
+                    violations.push(format!(
+                        "{}: median {:.3} ms drifted {:+.1}% over the baseline's {:.3} ms \
+                         (tolerance {tolerance}%)",
+                        record.key(),
+                        record.median_ms,
+                        drift,
+                        base.median_ms
+                    ));
+                }
+            }
+            println!(
+                "attempt {attempt}: {:<22} median {:>8.3} ms (budget {:>7.3} ms, \
+                 {} samples)  {status}{drift_note}",
+                record.key(),
+                record.median_ms,
+                entry.budget_ms,
+                record.samples
+            );
+        }
+        if violations.is_empty() {
+            println!("compile-perf gate: PASS (attempt {attempt}/{attempts})");
+            return ExitCode::SUCCESS;
+        }
+        if attempt < attempts {
+            println!("attempt {attempt}/{attempts} failed; re-measuring (wall clocks are noisy)");
+        } else {
+            eprintln!("compile-perf gate: FAIL after {attempts} attempt(s)");
+            for v in violations {
+                eprintln!("  {v}");
+            }
+        }
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1047,6 +1289,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("compile-perf") => cmd_compile_perf(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
@@ -1055,7 +1298,7 @@ fn main() -> ExitCode {
         Some(other) => {
             eprintln!(
                 "unknown subcommand `{other}` (expected archs, models, list, compile, bench, \
-                 explore or help)"
+                 compile-perf, explore or help)"
             );
             usage()
         }

@@ -102,7 +102,8 @@ pub mod prelude {
         NocCost, NocKind, XbShape,
     };
     pub use cim_bench::{
-        compare, run_sweep, run_sweep_cached, BenchReport, ScheduleMode, SweepSpec, Tolerances,
+        compare, measure_entry, measure_gate_entries, run_sweep, run_sweep_cached, BenchReport,
+        CompileTimeBudget, CompileTimeRecord, ScheduleMode, SweepSpec, Tolerances, GATE_ENTRIES,
     };
     pub use cim_compiler::{
         codegen, write_atomic, Artifact, CacheStats, CodegenPass, CompileCache, CompileMetrics,

@@ -33,6 +33,36 @@ fn help_lists_the_bench_subcommand() {
     let text = stdout(&out);
     assert!(text.contains("cimc bench"), "{text}");
     assert!(text.contains("--fail-on-regression"), "{text}");
+    assert!(text.contains("cimc compile-perf"), "{text}");
+}
+
+// ---------------------------------------------------------------------------
+// `cimc compile-perf` — argument handling (the measurement itself runs in
+// release CI; debug-build wall clocks would be meaningless here).
+
+#[test]
+fn compile_perf_rejects_zero_samples() {
+    let out = cimc(&["compile-perf", "--samples", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--samples") && err.contains("`0`"), "{err}");
+}
+
+#[test]
+fn compile_perf_fails_fast_on_a_missing_baseline() {
+    // The baseline is loaded before any measurement, so a bad path
+    // errors immediately instead of after minutes of compiles.
+    let out = cimc(&["compile-perf", "--baseline", "/nonexistent/baseline.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot read baseline"), "{err}");
+}
+
+#[test]
+fn compile_perf_rejects_unknown_arguments() {
+    let out = cimc(&["compile-perf", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`--bogus`"), "{}", stderr(&out));
 }
 
 #[test]
@@ -440,6 +470,56 @@ fn compile_json_emits_a_machine_readable_report() {
     // No human-readable output mixed into the JSON stream: stdout is one
     // JSON document (the full-string parse above already enforces this).
     assert!(text.starts_with('{') && text.ends_with("}\n"), "{text}");
+}
+
+#[test]
+fn compile_json_documents_carry_the_scratch_column() {
+    // Doc schema v3: every timeline record reports the pass's peak
+    // scratch-arena footprint.
+    let out = cimc(&["compile", "--model", "lenet5", "--arch", "isaac", "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let doc: serde::Value = serde_json::from_str(&text).expect("valid JSON document");
+    let entries = doc.as_map().expect("top-level object");
+    assert_eq!(
+        serde::Value::lookup(entries, "schema_version"),
+        Some(&serde::Value::U64(3))
+    );
+    assert!(text.contains("scratch_peak_bytes"), "{text}");
+}
+
+#[test]
+fn compile_jobs_flag_does_not_change_the_output() {
+    // `--jobs` is an execution knob: the emitted document must be
+    // byte-identical for every worker count.
+    let one = cimc(&["compile", "--model", "resnet50", "--arch", "puma", "--json"]);
+    let four = cimc(&[
+        "compile", "--model", "resnet50", "--arch", "puma", "--json", "--jobs", "4",
+    ]);
+    assert!(one.status.success(), "{}", stderr(&one));
+    assert!(four.status.success(), "{}", stderr(&four));
+    // The timeline's wall clocks are the only run-specific field.
+    let strip_wall = |text: String| -> String {
+        text.lines()
+            .filter(|l| !l.contains("\"wall_ms\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_wall(stdout(&one)),
+        strip_wall(stdout(&four)),
+        "--jobs changed compile output"
+    );
+}
+
+#[test]
+fn compile_jobs_zero_is_rejected_with_the_offending_value() {
+    let out = cimc(&[
+        "compile", "--model", "lenet5", "--arch", "isaac", "--jobs", "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--jobs") && err.contains("`0`"), "{err}");
 }
 
 #[test]
