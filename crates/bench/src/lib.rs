@@ -18,12 +18,17 @@
 
 pub mod ablations;
 pub mod compile_time;
+pub mod loadtest;
 pub mod pool;
 pub mod report;
 pub mod sweep;
 
 pub use compile_time::{
     measure_entry, measure_gate_entries, CompileTimeBudget, CompileTimeRecord, GATE_ENTRIES,
+};
+pub use loadtest::{
+    LoadSample, LoadtestEntry, LoadtestReport, SampleClass, LOADTEST_MIN_SCHEMA_VERSION,
+    LOADTEST_SCHEMA_VERSION,
 };
 pub use report::{compare, BenchReport, RegressionReport, ReportError, Tolerances};
 pub use sweep::{run_sweep, run_sweep_cached, ScheduleMode, SweepError, SweepSpec};

@@ -5,7 +5,7 @@
 //! it for the sweep driver ([`crate::run_sweep_cached`]), the design-space
 //! explorer (`cim-dse`) and historical callers of `cim_bench::pool`.
 
-pub use cim_compiler::pool::run_ordered;
+pub use cim_compiler::pool::{run_ordered, Pool, PoolFull};
 
 #[cfg(test)]
 mod tests {

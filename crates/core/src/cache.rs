@@ -504,6 +504,81 @@ impl CompileCache for DiskCache {
     }
 }
 
+/// A two-level [`CompileCache`]: a [`MemoryCache`] front backed by a
+/// [`DiskCache`]. This is what a long-running `cimc serve` process
+/// shares across every request when given a cache directory — repeat
+/// requests hit the in-process map without touching the filesystem,
+/// while a restart still finds its artifacts on disk.
+///
+/// `load` consults memory first and, on a disk hit, promotes the entry
+/// into memory so the next lookup is RAM-speed. `store` banks in both
+/// levels. [`stats`](CompileCache::stats) counts each *logical* lookup
+/// once: hits are memory hits plus disk hits (promotions are not
+/// double-counted), misses are lookups both levels missed, and stores
+/// are the disk level's (the durable one).
+#[derive(Debug)]
+pub struct TieredCache {
+    memory: MemoryCache,
+    disk: DiskCache,
+}
+
+impl TieredCache {
+    /// Opens (creating if needed) a tiered cache whose disk level is
+    /// rooted at `dir`, with an empty memory level.
+    ///
+    /// # Errors
+    /// Propagates the I/O error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Ok(TieredCache {
+            memory: MemoryCache::new(),
+            disk: DiskCache::open(dir)?,
+        })
+    }
+
+    /// The disk level's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        self.disk.root()
+    }
+
+    /// Number of artifacts currently promoted into the memory level.
+    #[must_use]
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+}
+
+impl CompileCache for TieredCache {
+    fn load(&self, key: &Fingerprint) -> Option<Artifact> {
+        if let Some(artifact) = self.memory.load(key) {
+            return Some(artifact);
+        }
+        let artifact = self.disk.load(key)?;
+        // Promote so the next lookup stays in RAM. The promotion store
+        // bumps the memory level's store counter, which `stats` ignores
+        // (only durable disk stores are reported).
+        self.memory.store(key, &artifact);
+        Some(artifact)
+    }
+
+    fn store(&self, key: &Fingerprint, artifact: &Artifact) -> bool {
+        let banked_in_memory = self.memory.store(key, artifact);
+        self.disk.store(key, artifact) || banked_in_memory
+    }
+
+    fn stats(&self) -> CacheStats {
+        let memory = self.memory.stats();
+        let disk = self.disk.stats();
+        CacheStats {
+            hits: memory.hits + disk.hits,
+            // A memory miss that the disk served is a hit, not a miss;
+            // only lookups both levels missed count.
+            misses: disk.misses,
+            stores: disk.stores,
+        }
+    }
+}
+
 /// Writes `contents` to `path` atomically: the bytes land in a hidden
 /// sibling temp file first and are renamed into place, so readers (and
 /// CI artifact uploads) can never observe a truncated file, even if the
@@ -1173,6 +1248,44 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiered_cache_promotes_disk_hits_and_counts_lookups_once() {
+        let dir = std::env::temp_dir().join(format!("cim_cache_tiered_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let artifact = artifact_at(OptLevel::Auto, &g, &arch);
+        let key = source_fingerprint(&g, &arch);
+
+        // Cold process: store banks in both levels.
+        let cache = TieredCache::open(&dir).unwrap();
+        assert!(cache.load(&key).is_none());
+        assert!(cache.store(&key, &artifact));
+        assert_eq!(cache.memory_len(), 1);
+        assert!(cache.load(&key).is_some());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stores: 1
+            }
+        );
+
+        // Fresh process over the same directory: the first load is a
+        // disk hit that promotes into memory; the second stays in RAM.
+        let warm = TieredCache::open(&dir).unwrap();
+        assert_eq!(warm.memory_len(), 0);
+        assert!(warm.load(&key).is_some());
+        assert_eq!(warm.memory_len(), 1);
+        assert!(warm.load(&key).is_some());
+        let stats = warm.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 0), "{stats:?}");
+        assert_eq!(warm.root(), dir.as_path());
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

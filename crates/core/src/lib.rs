@@ -74,7 +74,8 @@ pub mod stage;
 pub mod vvm;
 
 pub use cache::{
-    write_atomic, CacheStats, CompileCache, DiskCache, Fingerprint, FingerprintBuilder, MemoryCache,
+    write_atomic, CacheStats, CompileCache, DiskCache, Fingerprint, FingerprintBuilder,
+    MemoryCache, TieredCache,
 };
 pub use compile::{CompileOptions, Compiled, Compiler, OptLevel};
 pub use error::CompileError;
@@ -85,7 +86,7 @@ pub use pipeline::{
     Artifact, CgPass, CodegenPass, ExtractStagesPass, MvmPass, Pipeline, Session, StageKind,
     VvmPass,
 };
-pub use pool::run_ordered;
+pub use pool::{run_ordered, Pool, PoolFull};
 pub use scratch::{ScratchArena, ScratchVec};
 
 /// Convenient result alias for fallible compilation operations.

@@ -59,7 +59,7 @@ use crate::scratch::ScratchArena;
 use crate::Result;
 use cim_arch::CimArchitecture;
 use cim_graph::Graph;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Everything a pass may read besides its input artifact: the model, the
 /// target, the compile options and the session's scratch arena. Passes
@@ -147,7 +147,10 @@ pub trait Pass: Send + Sync {
 }
 
 /// Instrumentation record of one executed (or skipped) pass.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Serializes both ways: the `cimc serve` wire protocol ships timelines
+/// inside compile responses, so clients must be able to parse them back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PassRecord {
     /// The pass's [`Pass::name`].
     pub pass: String,
@@ -172,7 +175,7 @@ pub struct PassRecord {
 
 /// The per-pass instrumentation of one pipeline session: what ran, in
 /// which order, how long each pass took and what it produced.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PassTimeline {
     /// Records in execution order.
     pub records: Vec<PassRecord>,

@@ -17,7 +17,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Worker count actually worth spawning for a CPU-bound fan-out:
 /// `requested` clamped to the machine's available parallelism.
@@ -101,6 +101,193 @@ where
         .collect()
 }
 
+/// Rejection returned by [`Pool::try_submit`] when the bounded queue is
+/// full: the admission-control signal a server turns into a structured
+/// "overloaded" response instead of unbounded buffering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFull {
+    /// Jobs queued (but not yet started) at rejection time.
+    pub depth: usize,
+    /// The queue's capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for PoolFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool queue full ({} of {} slots taken)",
+            self.depth, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for PoolFull {}
+
+struct PoolState {
+    jobs: std::collections::VecDeque<Box<dyn FnOnce() + Send>>,
+    draining: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: std::sync::Condvar,
+    capacity: usize,
+}
+
+/// A persistent, bounded-queue thread pool for long-running services.
+///
+/// Where [`run_ordered`] maps one batch and joins, a [`Pool`] keeps its
+/// `cim-pool-{i}` workers alive across submissions — this is what
+/// `cimc serve` multiplexes concurrent requests onto. Admission is
+/// bounded: [`try_submit`](Pool::try_submit) rejects with [`PoolFull`]
+/// instead of queueing without limit, so overload surfaces as a
+/// structured response, not ballooning memory and latency.
+///
+/// A panicking job is caught and reported on stderr; the worker survives
+/// and moves on to the next job, so one poisoned request cannot shrink
+/// the pool. [`drain`](Pool::drain) finishes every queued job and joins
+/// the workers (graceful shutdown).
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `threads` workers (clamped via [`effective_threads`])
+    /// fed from a queue bounded at `capacity` pending jobs
+    /// (`capacity >= 1` enforced).
+    ///
+    /// # Panics
+    /// Panics if the OS refuses to spawn a worker thread.
+    #[must_use]
+    pub fn new(threads: usize, capacity: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: std::collections::VecDeque::new(),
+                draining: false,
+            }),
+            available: std::sync::Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..effective_threads(threads))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cim-pool-{i}"))
+                    .spawn(move || Pool::worker_loop(&shared))
+                    .expect("spawning a cim-pool worker thread failed")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        loop {
+            let job = {
+                let mut state = shared.state.lock().expect("pool state poisoned");
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                    if state.draining {
+                        return;
+                    }
+                    state = shared
+                        .available
+                        .wait(state)
+                        .expect("pool state poisoned while waiting");
+                }
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                let text = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                eprintln!("cim-pool worker: job panicked: {text}");
+            }
+        }
+    }
+
+    /// Number of jobs queued but not yet started.
+    ///
+    /// # Panics
+    /// Panics if a previous pool user panicked while holding the lock.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .jobs
+            .len()
+    }
+
+    /// The queue's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues `job`, or rejects it with [`PoolFull`] when `capacity`
+    /// jobs are already pending (or the pool is draining).
+    ///
+    /// # Errors
+    /// Returns [`PoolFull`] with the observed depth when the queue is at
+    /// capacity or [`drain`](Pool::drain) has begun.
+    ///
+    /// # Panics
+    /// Panics if a previous pool user panicked while holding the lock.
+    pub fn try_submit(&self, job: Box<dyn FnOnce() + Send>) -> Result<(), PoolFull> {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        if state.draining || state.jobs.len() >= self.shared.capacity {
+            return Err(PoolFull {
+                depth: state.jobs.len(),
+                capacity: self.shared.capacity,
+            });
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Finishes every queued job, then joins the workers. Further
+    /// submissions are rejected the moment this is called.
+    ///
+    /// # Panics
+    /// Panics if a previous pool user panicked while holding the lock,
+    /// or if a worker thread cannot be joined.
+    pub fn drain(mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.draining = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("cim-pool worker thread panicked");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Best-effort drain when the owner forgets: mark draining and
+        // detach (joining in drop could deadlock a panicking thread).
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.draining = true;
+        }
+        self.shared.available.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +332,84 @@ mod tests {
         for name in names.into_iter().flatten() {
             assert!(name.starts_with("cim-pool-"), "{name}");
         }
+    }
+
+    #[test]
+    fn persistent_pool_runs_jobs_and_drains_gracefully() {
+        let pool = Pool::new(2, 64);
+        assert_eq!(pool.capacity(), 64);
+        assert!(pool.workers() >= 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }))
+            .expect("queue has room");
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_depth_and_capacity() {
+        let pool = Pool::new(1, 2);
+        let gate = Arc::new(Mutex::new(()));
+        // Park the single worker on a held lock so the queue backs up.
+        let held = gate.lock().unwrap();
+        let block = Arc::clone(&gate);
+        pool.try_submit(Box::new(move || {
+            drop(block.lock());
+        }))
+        .expect("first job admitted");
+        // Wait for the worker to pick the blocker up so the queue is
+        // provably empty before we fill it.
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(Box::new(|| {})).expect("slot 1");
+        pool.try_submit(Box::new(|| {})).expect("slot 2");
+        let err = pool.try_submit(Box::new(|| {})).unwrap_err();
+        assert_eq!(
+            err,
+            PoolFull {
+                depth: 2,
+                capacity: 2
+            }
+        );
+        assert!(err.to_string().contains("2 of 2"), "{err}");
+        drop(held);
+        pool.drain();
+    }
+
+    #[test]
+    fn draining_pool_rejects_new_work_but_finishes_queued_jobs() {
+        let pool = Pool::new(1, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = Pool::new(1, 8);
+        pool.try_submit(Box::new(|| panic!("poisoned request")))
+            .unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.try_submit(Box::new(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The `cimc serve` request/response API, in process — no socket needed:
+//!
+//! 1. build a typed [`Request`], wrap it in a [`RequestEnvelope`], and
+//!    look at the exact JSON line a client would send;
+//! 2. answer it with a [`Handler`] sharing a process-wide cache (what
+//!    the server does for every connection);
+//! 3. parse the response line back and inspect the outcome structurally
+//!    — including the per-request warm/cold verdict the load tester
+//!    aggregates into its hit rate.
+//!
+//! Run with: `cargo run --release --example serve_roundtrip`
+
+use cim_mlc::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. A typed request and its wire form.
+    let request = Request::Compile(cim_mlc::api::CompileRequest {
+        model: "lenet5".to_owned(),
+        arch: "isaac".to_owned(),
+        mode: None,
+        level: None,
+        jobs: 0,
+        schedule: false,
+        flow: None,
+        verify: true,
+        dump_stage: None,
+        cache: CachePolicy::Default,
+    });
+    let envelope = RequestEnvelope::new(1, request);
+    println!("client sends:  {}", envelope.to_json());
+
+    // The same line parses back into the same envelope — the protocol is
+    // just serde over these types, so any JSON-speaking client works.
+    let parsed = RequestEnvelope::from_json(&envelope.to_json()).expect("wire round-trip");
+    assert_eq!(parsed, envelope);
+
+    // --- 2. One handler, one shared cache: the server's whole state.
+    let handler = Handler::with_shared_cache(Arc::new(MemoryCache::new()));
+    let cold = handler.respond(&envelope);
+    println!("server answers ({} bytes)", cold.to_json().len());
+
+    // --- 3. Structural inspection, after a wire round-trip.
+    let cold = Response::from_json(&cold.to_json()).expect("response round-trip");
+    assert_eq!(cold.id, 1);
+    let ResponseBody::Compile(outcome) = &cold.body else {
+        panic!("compile requests yield compile outcomes");
+    };
+    println!(
+        "compiled {}@{}: {} cycles at level {}, verified: {:?}, warm: {:?}",
+        outcome.model,
+        outcome.arch,
+        outcome.metrics.latency_cycles.round(),
+        outcome.level,
+        outcome.verified,
+        outcome.warm(),
+    );
+    assert_eq!(outcome.verified, Some(true));
+    assert_eq!(outcome.warm(), Some(false), "first compile is cold");
+
+    // A repeat against the same handler is served from the shared cache.
+    let warm = handler.respond(&RequestEnvelope::new(2, envelope.request.clone()));
+    let ResponseBody::Compile(warm_outcome) = &warm.body else {
+        panic!("compile requests yield compile outcomes");
+    };
+    assert_eq!(warm_outcome.warm(), Some(true), "repeat runs fully warm");
+    assert_eq!(warm_outcome.metrics, outcome.metrics, "identical results");
+    println!(
+        "repeat ran warm in {:.2} ms (cold took {:.2} ms)",
+        warm.elapsed_ms, cold.elapsed_ms
+    );
+
+    // Errors are structured too: same message the CLI prints, plus a
+    // kind that decides the exit code.
+    let bad = handler.handle(&Request::List(cim_mlc::api::ListRequest {
+        category: "nonsense".to_owned(),
+    }));
+    let ResponseBody::Error(error) = bad else {
+        panic!("unknown categories are errors");
+    };
+    println!("structured error: [{:?}] {}", error.kind, error.message);
+}

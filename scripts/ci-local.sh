@@ -3,13 +3,14 @@
 # verification: build-and-test, lint (fmt + clippy + docs gate),
 # bench-report (regression gate against the committed baseline),
 # cache-consistency (cold-vs-warm sweep equivalence + speedup),
-# dse-smoke (seeded exploration determinism + warm-cache reuse), and
-# compile-perf (median cold-compile budgets + drift vs the baseline).
+# dse-smoke (seeded exploration determinism + warm-cache reuse),
+# compile-perf (median cold-compile budgets + drift vs the baseline),
+# and serve-smoke (persistent server under a scripted loadtest).
 #
 # usage: scripts/ci-local.sh [job...]
 #   job ∈ build-and-test | lint | bench-report | cache-consistency |
-#         dse-smoke | compile-perf
-#   (no arguments = run all six, in CI order)
+#         dse-smoke | compile-perf | serve-smoke
+#   (no arguments = run all seven, in CI order)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -135,9 +136,60 @@ compile_perf() {
     ./target/release/cimc compile-perf --baseline bench/baseline.json --tolerance 100
 }
 
+# Persistent-server smoke gate: start `cimc serve` on an ephemeral port,
+# replay the stock 1000-request script at concurrency 8, and require a
+# clean protocol (zero protocol errors, every request ok) plus a shared
+# cache that actually serves repeats (> 90% of cache-eligible requests
+# fully warm — only the first compile of each model×arch pair may miss).
+# Finishes with a graceful shutdown and checks the server exits 0. Set
+# SERVE_SMOKE_DIR to keep the logs/report (CI uploads them).
+serve_smoke() {
+    local dir="${SERVE_SMOKE_DIR:-}"
+    local cleanup_dir=0
+    if [ -z "$dir" ]; then
+        dir="$(mktemp -d)"
+        cleanup_dir=1
+    fi
+    mkdir -p "$dir"
+    cargo build --release --bin cimc
+
+    bold "serve-smoke: start cimc serve on an ephemeral port"
+    ./target/release/cimc serve --tcp 127.0.0.1:0 > "$dir/server.log" &
+    local server_pid=$!
+    trap 'kill "$server_pid" 2>/dev/null || true
+          if [ "$cleanup_dir" -eq 1 ]; then rm -rf "$dir"; fi' RETURN
+    local addr="" i
+    for i in $(seq 1 100); do
+        addr=$(sed -n 's/^cimc serve: listening on //p' "$dir/server.log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    test -n "$addr"
+    echo "server up at $addr (pid $server_pid)"
+
+    bold "serve-smoke: replay 1000 requests at concurrency 8"
+    ./target/release/cimc loadtest --addr "$addr" --requests 1000 --concurrency 8 \
+        --out "$dir/loadtest.json" | tee "$dir/loadtest.log"
+
+    bold "serve-smoke: every request ok, zero protocol errors"
+    grep -E '^outcomes: 1000 ok, 0 error\(s\), 0 overloaded, 0 deadline-exceeded, 0 protocol error\(s\)' \
+        "$dir/loadtest.log"
+
+    bold "serve-smoke: warm hit rate > 90%"
+    local pct
+    pct=$(sed -n 's/.*fully warm (\([0-9.]*\)%).*/\1/p' "$dir/loadtest.log")
+    echo "warm hit rate: ${pct}%"
+    test -n "$pct"
+    awk -v p="$pct" 'BEGIN { exit !(p > 90) }'
+
+    bold "serve-smoke: graceful shutdown"
+    ./target/release/cimc loadtest --addr "$addr" --shutdown
+    wait "$server_pid"
+}
+
 jobs=("$@")
 if [ ${#jobs[@]} -eq 0 ]; then
-    jobs=(build-and-test lint bench-report cache-consistency dse-smoke compile-perf)
+    jobs=(build-and-test lint bench-report cache-consistency dse-smoke compile-perf serve-smoke)
 fi
 for job in "${jobs[@]}"; do
     case "$job" in
@@ -147,8 +199,9 @@ for job in "${jobs[@]}"; do
         cache-consistency) cache_consistency ;;
         dse-smoke) dse_smoke ;;
         compile-perf) compile_perf ;;
+        serve-smoke) serve_smoke ;;
         *)
-            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency, dse-smoke or compile-perf)" >&2
+            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency, dse-smoke, compile-perf or serve-smoke)" >&2
             exit 2
             ;;
     esac

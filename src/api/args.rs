@@ -1,0 +1,186 @@
+//! Shared flag-parsing helpers for the `cimc` subcommand shims, so the
+//! CLI and the server reject bad arguments with identical messages.
+//!
+//! Each helper returns `Err(message)` with the exact string the binary
+//! prints to stderr before rendering usage (exit 2). They are pure
+//! functions of their inputs — no printing, no exiting — which is what
+//! lets tests (and the server's own flag surface) reuse them.
+
+use super::CachePolicy;
+
+/// Extracts the value operand of `flag` at position `i` in `args`. A
+/// flag's value must be a real operand, not the next flag.
+///
+/// # Errors
+/// ``missing value for `<flag>` `` when absent or another flag follows.
+pub fn value_of(args: &[String], flag: &str, i: usize) -> Result<String, String> {
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Ok(v.clone()),
+        _ => Err(format!("missing value for `{flag}`")),
+    }
+}
+
+/// Parses a strictly positive integer flag value (`--jobs`, `--budget`,
+/// `--samples`, …).
+///
+/// # Errors
+/// ``invalid <flag> value `<value>` (expected a positive integer)`` on
+/// zero or non-numeric input.
+pub fn parse_positive(flag: &str, value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(0) | Err(_) => Err(format!(
+            "invalid {flag} value `{value}` (expected a positive integer)"
+        )),
+        Ok(n) => Ok(n),
+    }
+}
+
+/// Parses `cimc bench`'s `--jobs`, whose zero case has its own
+/// historical message (pinned by the CLI tests).
+///
+/// # Errors
+/// ``invalid --jobs value `0` (must be at least 1)`` on zero,
+/// ``invalid --jobs value `<value>` (expected a positive integer)``
+/// otherwise.
+pub fn parse_bench_jobs(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(0) => Err("invalid --jobs value `0` (must be at least 1)".to_owned()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid --jobs value `{value}` (expected a positive integer)"
+        )),
+    }
+}
+
+/// Parses an unsigned integer flag value (`--seed`).
+///
+/// # Errors
+/// ``invalid <flag> value `<value>` (expected an unsigned integer)``.
+pub fn parse_unsigned(flag: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("invalid {flag} value `{value}` (expected an unsigned integer)"))
+}
+
+/// Parses a percentage flag value (`--tolerance`): finite and >= 0.
+///
+/// # Errors
+/// ``invalid <flag> value `<value>` (expected a percentage >= 0)``.
+pub fn parse_percentage(flag: &str, value: &str) -> Result<f64, String> {
+    match value.parse::<f64>() {
+        Ok(pct) if pct >= 0.0 && pct.is_finite() => Ok(pct),
+        _ => Err(format!(
+            "invalid {flag} value `{value}` (expected a percentage >= 0)"
+        )),
+    }
+}
+
+/// Parses a strictly positive milliseconds flag value (`--deadline-ms`).
+///
+/// # Errors
+/// ``invalid <flag> value `<value>` (expected milliseconds > 0)``.
+pub fn parse_millis(flag: &str, value: &str) -> Result<f64, String> {
+    match value.parse::<f64>() {
+        Ok(ms) if ms > 0.0 && ms.is_finite() => Ok(ms),
+        _ => Err(format!(
+            "invalid {flag} value `{value}` (expected milliseconds > 0)"
+        )),
+    }
+}
+
+/// Folds the `--no-cache`/`--cache-dir` flag pair into a [`CachePolicy`].
+///
+/// # Errors
+/// `--no-cache cannot be combined with --cache-dir` when both are set.
+pub fn cache_policy(no_cache: bool, cache_dir: Option<String>) -> Result<CachePolicy, String> {
+    match (no_cache, cache_dir) {
+        (true, Some(_)) => Err("--no-cache cannot be combined with --cache-dir".to_owned()),
+        (true, None) => Ok(CachePolicy::Off),
+        (false, Some(dir)) => Ok(CachePolicy::Disk { dir }),
+        (false, None) => Ok(CachePolicy::Default),
+    }
+}
+
+/// Splits a comma-separated list flag value into its items, trimming
+/// whitespace and dropping empties.
+#[must_use]
+pub fn split_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Rejects trailing operands after a complete subcommand, naming the
+/// offender (`cimc archs extra` must fail, not silently ignore `extra`).
+///
+/// # Errors
+/// ``unexpected argument `<first>` after `cimc <subcommand>` ``.
+pub fn reject_trailing(subcommand: &str, args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(extra) => Err(format!(
+            "unexpected argument `{extra}` after `cimc {subcommand}`"
+        )),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_of_rejects_flags_as_values() {
+        let args: Vec<String> = vec!["--model".into(), "--arch".into()];
+        assert_eq!(
+            value_of(&args, "--model", 0),
+            Err("missing value for `--model`".to_owned())
+        );
+        let args: Vec<String> = vec!["--model".into(), "lenet5".into()];
+        assert_eq!(value_of(&args, "--model", 0), Ok("lenet5".to_owned()));
+    }
+
+    #[test]
+    fn positive_and_unsigned_parsers_name_the_offender() {
+        assert_eq!(parse_positive("--jobs", "4"), Ok(4));
+        assert!(parse_positive("--jobs", "0").unwrap_err().contains("`0`"));
+        assert!(parse_positive("--budget", "x")
+            .unwrap_err()
+            .contains("--budget"));
+        assert_eq!(
+            parse_bench_jobs("0"),
+            Err("invalid --jobs value `0` (must be at least 1)".to_owned())
+        );
+        assert!(parse_unsigned("--seed", "-1").unwrap_err().contains("`-1`"));
+    }
+
+    #[test]
+    fn percentage_and_millis_reject_non_finite() {
+        assert_eq!(parse_percentage("--tolerance", "12.5"), Ok(12.5));
+        assert!(parse_percentage("--tolerance", "nan").is_err());
+        assert!(parse_millis("--deadline-ms", "0").is_err());
+        assert_eq!(parse_millis("--deadline-ms", "2.5"), Ok(2.5));
+    }
+
+    #[test]
+    fn cache_policy_folds_the_flag_pair() {
+        assert_eq!(cache_policy(false, None), Ok(CachePolicy::Default));
+        assert_eq!(cache_policy(true, None), Ok(CachePolicy::Off));
+        assert_eq!(
+            cache_policy(false, Some("d".into())),
+            Ok(CachePolicy::Disk { dir: "d".into() })
+        );
+        assert!(cache_policy(true, Some("d".into())).is_err());
+    }
+
+    #[test]
+    fn trailing_arguments_are_named() {
+        assert_eq!(reject_trailing("archs", &[]), Ok(()));
+        assert_eq!(
+            reject_trailing("archs", &["extra".to_owned()]),
+            Err("unexpected argument `extra` after `cimc archs`".to_owned())
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! Request execution: one [`Handler`] owns the (optional) shared compile
+//! cache and turns [`Request`]s into [`ResponseBody`]s.
+//!
+//! Every error message produced here is byte-identical to what the
+//! pre-API `cimc` printed to stderr, because the CLI now renders these
+//! responses verbatim — there is exactly one copy of each message.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cim_arch::{presets, CimArchitecture};
+use cim_bench::{measure_gate_entries, run_sweep_cached, BenchReport, ScheduleMode, SweepSpec};
+use cim_compiler::{
+    Artifact, CodegenPass, CompileCache, CompileOptions, DiskCache, MemoryCache, Pipeline,
+    StageKind,
+};
+use cim_dse::{DesignSpace, DseReport, Explorer, Metric, Objective, StrategyKind};
+use cim_graph::{zoo, Graph};
+use cim_mop::FlowStats;
+use cim_sim::{reference, Machine, WeightStore};
+
+use super::{
+    ApiError, BenchRequest, CachePolicy, CompileOutcome, CompilePerfRequest, CompileRequest,
+    ExploreRequest, FlowSummary, ListRequest, Request, RequestEnvelope, Response, ResponseBody,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use crate::Error;
+
+/// Loads an architecture description file, wrapping failures in the
+/// unified [`Error`] so the whole cause chain reaches the message.
+fn load_arch_file(path: &str) -> Result<CimArchitecture, Error> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    Ok(cim_arch::from_json(&json)?)
+}
+
+/// Loads a model graph file, wrapping failures in the unified [`Error`].
+fn load_model_file(path: &str) -> Result<Graph, Error> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    Ok(cim_graph::from_json(&json)?)
+}
+
+/// Resolves an architecture operand: preset name or `.json` path.
+fn preset(name: &str) -> Result<CimArchitecture, String> {
+    if let Some(arch) = presets::by_name(name) {
+        return Ok(arch);
+    }
+    match name {
+        path if path.ends_with(".json") => load_arch_file(path).map_err(|e| e.render_chain()),
+        other => Err(format!(
+            "unknown preset `{other}` (try `cimc archs` or a .json path)"
+        )),
+    }
+}
+
+/// Resolves a model operand: zoo name or `.json` path.
+fn model(name: &str) -> Result<Graph, String> {
+    if let Some(graph) = zoo::by_name(name) {
+        return Ok(graph);
+    }
+    match name {
+        path if path.ends_with(".json") => load_model_file(path).map_err(|e| e.render_chain()),
+        other => Err(format!(
+            "unknown model `{other}` (try `cimc models` or a .json path)"
+        )),
+    }
+}
+
+/// Executes [`Request`]s against an optional process-wide shared cache.
+///
+/// The CLI constructs a cacheless handler per invocation
+/// ([`Handler::new`]); `cimc serve` constructs one handler for the whole
+/// process with a shared memory(+disk) cache
+/// ([`Handler::with_shared_cache`]) so every request after the first
+/// compiles warm.
+#[derive(Default)]
+pub struct Handler {
+    shared_cache: Option<Arc<dyn CompileCache>>,
+}
+
+impl Handler {
+    /// A handler without a shared cache: every request gets the
+    /// subcommand's historical default (no cache for compile, a fresh
+    /// in-memory cache for bench/explore) — exactly the old one-shot
+    /// CLI behavior.
+    #[must_use]
+    pub fn new() -> Self {
+        Handler::default()
+    }
+
+    /// A handler whose [`CachePolicy::Default`] requests share `cache`.
+    #[must_use]
+    pub fn with_shared_cache(cache: Arc<dyn CompileCache>) -> Self {
+        Handler {
+            shared_cache: Some(cache),
+        }
+    }
+
+    /// The shared cache, when this handler has one.
+    #[must_use]
+    pub fn shared_cache(&self) -> Option<&Arc<dyn CompileCache>> {
+        self.shared_cache.as_ref()
+    }
+
+    /// Resolves a request's cache policy against this handler's shared
+    /// cache, falling back to the subcommand default when unshared.
+    fn resolve_cache(
+        &self,
+        policy: &CachePolicy,
+        default: impl FnOnce() -> Option<Arc<dyn CompileCache>>,
+    ) -> Result<Option<Arc<dyn CompileCache>>, ApiError> {
+        match policy {
+            CachePolicy::Off => Ok(None),
+            CachePolicy::Disk { dir } => match DiskCache::open(dir) {
+                Ok(cache) => Ok(Some(Arc::new(cache))),
+                Err(e) => Err(ApiError::input(format!(
+                    "cannot open cache dir `{dir}`: {e}"
+                ))),
+            },
+            CachePolicy::Default => match &self.shared_cache {
+                Some(cache) => Ok(Some(Arc::clone(cache))),
+                None => Ok(default()),
+            },
+        }
+    }
+
+    /// Executes one request. Never panics on bad input — failures come
+    /// back as [`ResponseBody::Error`].
+    #[must_use]
+    pub fn handle(&self, request: &Request) -> ResponseBody {
+        match request {
+            Request::Compile(req) => match self.compile(req) {
+                Ok(outcome) => ResponseBody::Compile(outcome),
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::Bench(req) => match self.bench(req) {
+                Ok(report) => ResponseBody::Bench { report },
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::Explore(req) => match self.explore(req) {
+                Ok(report) => ResponseBody::Explore { report },
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::List(req) => match Self::list(req) {
+                Ok(names) => ResponseBody::List { names },
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::CompilePerf(req) => match Self::compile_perf(req) {
+                Ok(records) => ResponseBody::CompilePerf { records },
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::Ping => ResponseBody::Pong,
+            Request::Sleep(req) => {
+                let ms = if req.ms.is_finite() {
+                    req.ms.max(0.0)
+                } else {
+                    0.0
+                };
+                std::thread::sleep(std::time::Duration::from_secs_f64(ms / 1000.0));
+                ResponseBody::Slept { ms }
+            }
+            // A server intercepts Shutdown before execution; handled
+            // directly (CLI/tests), there is nothing to drain.
+            Request::Shutdown => ResponseBody::ShuttingDown { pending: 0 },
+        }
+    }
+
+    /// Executes one envelope: protocol-version gate, then
+    /// [`Handler::handle`], stamping the correlation id and wall clock.
+    /// (Deadlines and admission control live in the server, which owns
+    /// the queue.)
+    #[must_use]
+    pub fn respond(&self, envelope: &RequestEnvelope) -> Response {
+        let start = Instant::now();
+        let body = if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&envelope.protocol_version)
+        {
+            self.handle(&envelope.request)
+        } else {
+            ResponseBody::Error(ApiError::protocol(format!(
+                "unsupported protocol version {} (supported {}..={})",
+                envelope.protocol_version, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION
+            )))
+        };
+        Response::new(envelope.id, start.elapsed().as_secs_f64() * 1e3, body)
+    }
+
+    /// The `cimc compile` core: staged pipeline, optional codegen, and
+    /// every inspection surface (schedule, flow head, dumps, verify).
+    fn compile(&self, req: &CompileRequest) -> Result<CompileOutcome, ApiError> {
+        let graph = model(&req.model).map_err(ApiError::input)?;
+        let mut arch = preset(&req.arch).map_err(ApiError::input)?;
+        if let Some(m) = req.mode {
+            arch = arch.with_mode(m.into());
+        }
+        // `jobs` parallelizes scheduling *within* this one compilation
+        // (DP rows and segments fan out); results are byte-identical
+        // for every value, so it stays out of fingerprints and cache
+        // keys.
+        let options = CompileOptions {
+            level: req.level.map(Into::into).unwrap_or_default(),
+            jobs: if req.jobs == 0 { 1 } else { req.jobs },
+            ..CompileOptions::default()
+        };
+
+        // A single one-shot compile has no intra-run reuse, so the
+        // unshared default is no cache (unlike bench/explore, whose
+        // matrices share one).
+        let cache = self.resolve_cache(&req.cache, || None)?;
+        // Per-request deltas, so concurrent requests against the shared
+        // server cache each report only their own traffic. For the
+        // one-shot CLI the snapshot is zero and this equals `stats()`.
+        let cache_before = cache.as_ref().map(|c| c.stats());
+
+        let mut pipeline = Pipeline::plan(&options, &arch);
+        if req.flow.is_some() || req.verify {
+            pipeline.push(Box::new(CodegenPass));
+        }
+        let mut session = pipeline.session(&graph, &arch, options);
+        if let Some(cache) = &cache {
+            session = session.with_cache(Arc::clone(cache));
+        }
+
+        // Run pass by pass so `dump_stage` can render the intermediate
+        // artifact the moment it exists.
+        let dump_stage: Option<StageKind> = req.dump_stage.map(Into::into);
+        let mut dumps = Vec::new();
+        loop {
+            match session.step() {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return Err(ApiError::input(format!("compile error: {e}"))),
+            }
+            if let Some(kind) = dump_stage {
+                if session.artifact().kind() == kind {
+                    dumps.push(session.artifact().render());
+                }
+            }
+        }
+        if let Some(kind) = dump_stage {
+            if dumps.is_empty() {
+                return Err(ApiError::input(format!(
+                    "stage `{}` did not run for this target (deepest stage: {})",
+                    kind.name(),
+                    session.artifact().kind().name()
+                )));
+            }
+        }
+
+        let (artifact, timeline) = session.into_parts();
+        let (compiled, flow_pack) = match artifact {
+            Artifact::Codegenned(c) => {
+                let c = *c;
+                (c.compiled, Some((c.flow, c.layout)))
+            }
+            other => match other.into_compiled(graph.name(), arch.name(), options) {
+                Ok(compiled) => (compiled, None),
+                Err(e) => return Err(ApiError::input(format!("compile error: {e}"))),
+            },
+        };
+
+        let mut flow_head = Vec::new();
+        let mut flow_stats = None;
+        if let Some(n) = req.flow {
+            let (flow, _) = flow_pack.as_ref().expect("codegen pass ran");
+            flow_head = flow
+                .to_string()
+                .lines()
+                .take(n)
+                .map(str::to_owned)
+                .collect();
+            let stats = FlowStats::of(flow);
+            flow_stats = Some(FlowSummary {
+                total: stats.total(),
+                cim_reads: stats.cim_reads(),
+                cim_writes: stats.cim_writes(),
+                dcom: stats.dcom,
+                mov: stats.mov,
+            });
+        }
+
+        let mut verified = None;
+        let mut verified_outputs = 0;
+        if req.verify {
+            let (flow, layout) = flow_pack.as_ref().expect("codegen pass ran");
+            if let Err(e) = flow.validate(&arch) {
+                return Err(ApiError::input(format!("flow validation failed: {e}")));
+            }
+            let store = WeightStore::for_flow(flow);
+            let mut machine = Machine::new(&arch);
+            machine.load_inputs(&graph, layout);
+            if let Err(e) = machine.execute(flow, &store) {
+                return Err(ApiError::input(format!(
+                    "functional simulation failed: {e}"
+                )));
+            }
+            let expected = reference::execute(&graph);
+            let out = graph.outputs()[0];
+            let want = &expected[&out];
+            let got = machine.read_l0(layout.offset(out), want.len());
+            verified = Some(&got == want);
+            verified_outputs = want.len();
+        }
+
+        Ok(CompileOutcome {
+            model: compiled.model().to_owned(),
+            arch: compiled.arch_name().to_owned(),
+            mode: arch.mode().name().to_owned(),
+            level: compiled.report().level.to_owned(),
+            reports: compiled.reports().into_iter().cloned().collect(),
+            metrics: compiled.metrics(&arch),
+            timeline,
+            cache_stats: cache.as_ref().map(|c| {
+                let before = cache_before.as_ref().expect("snapshot taken with cache");
+                c.stats().since(before)
+            }),
+            verified,
+            verified_outputs,
+            schedule: req.schedule.then(|| compiled.render_schedule()),
+            flow_head,
+            flow_stats,
+            dumps,
+        })
+    }
+
+    /// The `cimc bench` core: validate the sweep spec, run it on the
+    /// worker pool against the resolved cache, optionally attach the
+    /// compile-time gate medians.
+    fn bench(&self, req: &BenchRequest) -> Result<BenchReport, ApiError> {
+        let mut spec = if req.quick {
+            SweepSpec::quick()
+        } else {
+            SweepSpec::full()
+        };
+        if let Some(m) = &req.models {
+            spec.models = m.clone();
+        }
+        if let Some(a) = &req.archs {
+            spec.archs = a.clone();
+        }
+        if let Some(m) = &req.modes {
+            spec.modes = m.clone();
+        }
+        if let Err(e) = spec.validate() {
+            return Err(ApiError::argument(e.to_string()));
+        }
+        let threads = if req.jobs == 0 {
+            available_parallelism()
+        } else {
+            req.jobs
+        };
+        // The worker pool shares one cache: in-memory per request by
+        // default (jobs with a common pipeline prefix reuse artifacts
+        // within this run), or the server's process-wide cache when one
+        // is shared (warm across requests).
+        let cache = self.resolve_cache(&req.cache, || {
+            Some(Arc::new(MemoryCache::new()) as Arc<dyn CompileCache>)
+        })?;
+        let mut report = run_sweep_cached(&spec, threads, cache).expect("spec was validated above");
+        if req.compile_time {
+            match measure_gate_entries(9) {
+                Ok(records) => report.compile_time = Some(records),
+                Err(e) => {
+                    return Err(ApiError::input(format!(
+                        "cannot measure compile-time medians: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// The `cimc explore` core: validate strategy/objective/space, then
+    /// run the explorer against the resolved cache.
+    fn explore(&self, req: &ExploreRequest) -> Result<DseReport, ApiError> {
+        let Some(kind) = StrategyKind::parse(req.strategy.as_deref().unwrap_or("hill-climb"))
+        else {
+            return Err(ApiError::argument(format!(
+                "unknown strategy `{}` (known: {})",
+                req.strategy.clone().unwrap_or_default(),
+                StrategyKind::NAMES.join(", ")
+            )));
+        };
+        let objective = Objective::parse(req.objective.as_deref().unwrap_or("latency"))
+            .map_err(|e| ApiError::argument(e.to_string()))?;
+        let space = match &req.space {
+            Some(space) => space.clone(),
+            None => DesignSpace::default_space(),
+        };
+        // Space *content* errors are argument errors too: name the
+        // offending axis value, same as any bad flag.
+        if let Err(e) = space.validate() {
+            return Err(ApiError::argument(e.to_string()));
+        }
+        let graph = model(req.model.as_deref().unwrap_or("lenet5")).map_err(ApiError::input)?;
+        let threads = if req.jobs == 0 {
+            available_parallelism()
+        } else {
+            req.jobs
+        };
+        // Like bench: memoize in-process per request by default (local
+        // searches revisit points constantly), or share the server's
+        // cache when one exists.
+        let cache = self.resolve_cache(&req.cache, || {
+            Some(Arc::new(MemoryCache::new()) as Arc<dyn CompileCache>)
+        })?;
+
+        let seed = req.seed.unwrap_or(0);
+        let budget = req.budget.unwrap_or(200);
+        let mut explorer = Explorer::new().with_threads(threads);
+        if let Some(cache) = &cache {
+            explorer = explorer.with_cache(Arc::clone(cache));
+        }
+        let mut strategy = kind.build(seed);
+        explorer
+            .explore(&graph, &space, strategy.as_mut(), &objective, seed, budget)
+            // Space/budget problems are argument errors (exit 2); both
+            // were pre-validated above, so anything here is unexpected.
+            .map_err(|e| ApiError::argument(e.to_string()))
+    }
+
+    /// The `cimc list` core: the discoverable vocabularies, one value
+    /// per entry in CLI output order.
+    fn list(req: &ListRequest) -> Result<Vec<String>, ApiError> {
+        let names: Vec<&str> = match req.category.as_str() {
+            "models" => zoo::NAMES.to_vec(),
+            "archs" => presets::NAMES.to_vec(),
+            "modes" => ScheduleMode::ALL.iter().map(|m| m.name()).collect(),
+            "strategies" => StrategyKind::NAMES.to_vec(),
+            "objectives" => Metric::NAMES.to_vec(),
+            other => {
+                return Err(ApiError::argument(format!(
+                    "unknown list category `{other}` (expected models, archs, modes, strategies \
+                     or objectives)"
+                )));
+            }
+        };
+        Ok(names.into_iter().map(str::to_owned).collect())
+    }
+
+    /// The `cimc compile-perf` core: one measurement round over the gate
+    /// workloads. The retry/budget/drift policy is presentation and
+    /// stays with the caller.
+    fn compile_perf(
+        req: &CompilePerfRequest,
+    ) -> Result<Vec<cim_bench::CompileTimeRecord>, ApiError> {
+        let samples = if req.samples == 0 { 9 } else { req.samples };
+        measure_gate_entries(samples)
+            .map_err(|e| ApiError::input(format!("cannot measure compile-time medians: {e}")))
+    }
+}
+
+/// All available cores (the bench/explore `--jobs` default).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl std::fmt::Debug for Handler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handler")
+            .field("shared_cache", &self.shared_cache.is_some())
+            .finish()
+    }
+}

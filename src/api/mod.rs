@@ -1,0 +1,624 @@
+//! The typed request/response API behind `cimc` — one schema-versioned
+//! [`Request`] variant per subcommand, a [`Handler`] that executes them,
+//! and the JSON-lines wire format `cimc serve` speaks.
+//!
+//! Every `cimc` subcommand is a thin shim over this module: the CLI
+//! parses flags into a [`Request`], hands it to a [`Handler`], and
+//! renders the resulting [`ResponseBody`] (see [`render`]). The server
+//! (`cim_mlc::serve`) speaks the exact same types over stdio or TCP, so
+//! a request behaves identically whether it arrives as argv or as a
+//! JSON line — provably the same code path.
+//!
+//! # Wire format
+//!
+//! One JSON object per line. A client sends a [`RequestEnvelope`]:
+//!
+//! ```json
+//! {"protocol_version": 1, "id": 7, "deadline_ms": null,
+//!  "request": {"compile": {"model": "lenet5", "arch": "isaac", ...}}}
+//! ```
+//!
+//! and receives a [`Response`] with the same `id`, the server-side wall
+//! clock, and an externally-tagged [`ResponseBody`]:
+//!
+//! ```json
+//! {"protocol_version": 1, "id": 7, "elapsed_ms": 3.2,
+//!  "body": {"compile": {...}}}
+//! ```
+//!
+//! The protocol is versioned like the bench-report schema:
+//! [`PROTOCOL_VERSION`] stamps outgoing messages, and envelopes outside
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] are rejected with a
+//! structured [`ErrorKind::Protocol`] error instead of being misread.
+
+pub mod args;
+mod handler;
+pub mod render;
+
+pub use handler::Handler;
+
+use cim_bench::{BenchReport, CompileTimeRecord, ScheduleMode};
+use cim_compiler::{CacheStats, CompileMetrics, PassTimeline, PerfReport};
+use cim_dse::{DesignSpace, DseReport};
+use serde::{Deserialize, Serialize};
+
+/// Version of the wire protocol (requests *and* responses). Bump on any
+/// backwards-incompatible change to the types in this module.
+///
+/// # History
+///
+/// * **1** — initial protocol.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Oldest protocol version this toolchain still accepts.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Classification of an [`ApiError`], deciding both the wire shape and
+/// how the CLI exits: [`Argument`](ErrorKind::Argument) errors render
+/// usage and exit 2, everything else exits 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorKind {
+    /// The request's parameters are invalid (bad flag value, unknown
+    /// strategy, invalid sweep spec…). CLI: message + usage, exit 2.
+    Argument,
+    /// The request was well-formed but could not be executed: unknown
+    /// model/preset, unreadable cache dir, compile or simulation
+    /// failure. CLI: message, exit 1.
+    Input,
+    /// The envelope itself was unusable: unparseable JSON or an
+    /// unsupported protocol version. Only servers emit this.
+    Protocol,
+    /// The server is draining and no longer admits work.
+    Unavailable,
+}
+
+/// A structured error response, carrying the exact message the CLI
+/// would have printed to stderr.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// What went wrong, at the granularity exit codes care about.
+    pub kind: ErrorKind,
+    /// Human-readable message (identical to the CLI's stderr line).
+    pub message: String,
+}
+
+impl ApiError {
+    /// An [`ErrorKind::Argument`] error.
+    #[must_use]
+    pub fn argument(message: impl Into<String>) -> Self {
+        ApiError {
+            kind: ErrorKind::Argument,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Input`] error.
+    #[must_use]
+    pub fn input(message: impl Into<String>) -> Self {
+        ApiError {
+            kind: ErrorKind::Input,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Protocol`] error.
+    #[must_use]
+    pub fn protocol(message: impl Into<String>) -> Self {
+        ApiError {
+            kind: ErrorKind::Protocol,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ErrorKind::Unavailable`] error.
+    #[must_use]
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        ApiError {
+            kind: ErrorKind::Unavailable,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Which compile cache a request runs against.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CachePolicy {
+    /// The handler's default: the server's shared process-wide cache
+    /// when one exists, otherwise the subcommand's historical default
+    /// (no cache for `compile`, a fresh in-memory cache for `bench` and
+    /// `explore`).
+    #[default]
+    Default,
+    /// No cache at all (`--no-cache`).
+    Off,
+    /// A [`DiskCache`](cim_compiler::DiskCache) rooted at `dir`
+    /// (`--cache-dir`).
+    Disk {
+        /// The cache directory.
+        dir: String,
+    },
+}
+
+/// Computing-mode override (`--mode`), mirroring
+/// [`ComputingMode`](cim_arch::ComputingMode) on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ModeArg {
+    /// Whole-crossbar mode.
+    Cm,
+    /// Crossbar-slice mode.
+    Xbm,
+    /// Wordline mode.
+    Wlm,
+}
+
+impl From<ModeArg> for cim_arch::ComputingMode {
+    fn from(m: ModeArg) -> Self {
+        match m {
+            ModeArg::Cm => cim_arch::ComputingMode::Cm,
+            ModeArg::Xbm => cim_arch::ComputingMode::Xbm,
+            ModeArg::Wlm => cim_arch::ComputingMode::Wlm,
+        }
+    }
+}
+
+/// Optimization-level override (`--level`), mirroring
+/// [`OptLevel`](cim_compiler::OptLevel) on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum LevelArg {
+    /// CG-grained scheduling only.
+    Cg,
+    /// CG + MVM-grained scheduling.
+    Mvm,
+    /// CG + MVM + VVM-grained scheduling.
+    Vvm,
+}
+
+impl From<LevelArg> for cim_compiler::OptLevel {
+    fn from(l: LevelArg) -> Self {
+        match l {
+            LevelArg::Cg => cim_compiler::OptLevel::Cg,
+            LevelArg::Mvm => cim_compiler::OptLevel::CgMvm,
+            LevelArg::Vvm => cim_compiler::OptLevel::CgMvmVvm,
+        }
+    }
+}
+
+/// Stage selector for `--dump-stage`, mirroring
+/// [`StageKind`](cim_compiler::StageKind) on the wire (only the
+/// dumpable stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StageArg {
+    /// The CG-grained schedule.
+    Cg,
+    /// The MVM-grained refinement.
+    Mvm,
+    /// The VVM-grained refinement.
+    Vvm,
+}
+
+impl From<StageArg> for cim_compiler::StageKind {
+    fn from(s: StageArg) -> Self {
+        match s {
+            StageArg::Cg => cim_compiler::StageKind::Cg,
+            StageArg::Mvm => cim_compiler::StageKind::Mvm,
+            StageArg::Vvm => cim_compiler::StageKind::Vvm,
+        }
+    }
+}
+
+/// `cimc compile` as a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileRequest {
+    /// Zoo model name or `.json` graph path.
+    pub model: String,
+    /// Preset name or `.json` architecture path.
+    pub arch: String,
+    /// Computing-mode override.
+    #[serde(default)]
+    pub mode: Option<ModeArg>,
+    /// Optimization-level override.
+    #[serde(default)]
+    pub level: Option<LevelArg>,
+    /// Intra-compile worker threads; 0 means the subcommand default (1).
+    #[serde(default)]
+    pub jobs: usize,
+    /// Render the per-stage schedule into the outcome.
+    #[serde(default)]
+    pub schedule: bool,
+    /// Generate code and include the first `n` flow lines.
+    #[serde(default)]
+    pub flow: Option<usize>,
+    /// Functionally verify the generated flow against the reference
+    /// executor.
+    #[serde(default)]
+    pub verify: bool,
+    /// Include the rendered intermediate artifact of this stage.
+    #[serde(default)]
+    pub dump_stage: Option<StageArg>,
+    /// Which cache to compile against.
+    #[serde(default)]
+    pub cache: CachePolicy,
+}
+
+/// `cimc bench` as a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRequest {
+    /// Use the quick spec instead of the full matrix.
+    #[serde(default)]
+    pub quick: bool,
+    /// Model-axis override.
+    #[serde(default)]
+    pub models: Option<Vec<String>>,
+    /// Architecture-axis override.
+    #[serde(default)]
+    pub archs: Option<Vec<String>>,
+    /// Mode-axis override.
+    #[serde(default)]
+    pub modes: Option<Vec<ScheduleMode>>,
+    /// Worker threads; 0 means all available cores.
+    #[serde(default)]
+    pub jobs: usize,
+    /// Attach the compile-time gate medians to the report.
+    #[serde(default)]
+    pub compile_time: bool,
+    /// Which cache the sweep's worker pool shares.
+    #[serde(default)]
+    pub cache: CachePolicy,
+}
+
+/// `cimc explore` as a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploreRequest {
+    /// Zoo model name or `.json` graph path (default `lenet5`).
+    #[serde(default)]
+    pub model: Option<String>,
+    /// Inline design space (the CLI loads `--space <file>` into this;
+    /// absent means [`DesignSpace::default_space`]).
+    #[serde(default)]
+    pub space: Option<DesignSpace>,
+    /// Strategy name (default `hill-climb`); validated by the handler
+    /// so CLI and server reject unknown names identically.
+    #[serde(default)]
+    pub strategy: Option<String>,
+    /// Objective expression (default `latency`).
+    #[serde(default)]
+    pub objective: Option<String>,
+    /// Evaluation budget (default 200).
+    #[serde(default)]
+    pub budget: Option<usize>,
+    /// Strategy seed (default 0).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Worker threads; 0 means all available cores.
+    #[serde(default)]
+    pub jobs: usize,
+    /// Which cache candidate evaluation shares.
+    #[serde(default)]
+    pub cache: CachePolicy,
+}
+
+/// `cimc list` as a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListRequest {
+    /// One of `models`, `archs`, `modes`, `strategies`, `objectives`.
+    pub category: String,
+}
+
+/// `cimc compile-perf` (one measurement round) as a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilePerfRequest {
+    /// Cold-compile samples per gate workload; 0 means the default (9).
+    #[serde(default)]
+    pub samples: usize,
+}
+
+/// A diagnostic request that occupies a worker for `ms` milliseconds —
+/// the deterministic way to exercise admission control and deadlines in
+/// tests and load scripts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SleepRequest {
+    /// How long to sleep, in milliseconds.
+    pub ms: f64,
+}
+
+/// Every operation the stack exposes, one variant per `cimc`
+/// subcommand plus the server control/diagnostic requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+// An ExploreRequest can carry an inline DesignSpace; boxing it would
+// push the indirection onto every client constructing requests.
+#[allow(clippy::large_enum_variant)]
+pub enum Request {
+    /// Compile one model for one architecture.
+    Compile(CompileRequest),
+    /// Run a benchmark sweep.
+    Bench(BenchRequest),
+    /// Run a design-space exploration.
+    Explore(ExploreRequest),
+    /// List a vocabulary (models, archs, modes, strategies, objectives).
+    List(ListRequest),
+    /// Measure the compile-time gate workloads once.
+    CompilePerf(CompilePerfRequest),
+    /// Liveness probe.
+    Ping,
+    /// Occupy a worker for a fixed duration (diagnostics only).
+    Sleep(SleepRequest),
+    /// Ask the server to stop accepting work and drain gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Stable grouping key for load-test reporting (e.g.
+    /// `compile lenet5@isaac`).
+    #[must_use]
+    pub fn key(&self) -> String {
+        match self {
+            Request::Compile(c) => format!("compile {}@{}", c.model, c.arch),
+            Request::Bench(b) => {
+                if b.quick {
+                    "bench quick".to_owned()
+                } else if b.models.is_some() || b.archs.is_some() || b.modes.is_some() {
+                    "bench custom".to_owned()
+                } else {
+                    "bench full".to_owned()
+                }
+            }
+            Request::Explore(e) => format!(
+                "explore {} {}",
+                e.strategy.as_deref().unwrap_or("hill-climb"),
+                e.model.as_deref().unwrap_or("lenet5")
+            ),
+            Request::List(l) => format!("list {}", l.category),
+            Request::CompilePerf(_) => "compile-perf".to_owned(),
+            Request::Ping => "ping".to_owned(),
+            Request::Sleep(s) => format!("sleep {}ms", s.ms),
+            Request::Shutdown => "shutdown".to_owned(),
+        }
+    }
+}
+
+fn default_protocol_version() -> u32 {
+    PROTOCOL_VERSION
+}
+
+/// One JSON line from client to server: the request plus its
+/// correlation id, protocol version and optional deadline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version the client speaks (defaults to the current one
+    /// when omitted).
+    #[serde(default = "default_protocol_version")]
+    pub protocol_version: u32,
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Per-request deadline in milliseconds. Work still queued (or
+    /// finishing) past the deadline is answered with
+    /// [`ResponseBody::DeadlineExceeded`] instead of its result.
+    #[serde(default)]
+    pub deadline_ms: Option<f64>,
+    /// The operation to perform.
+    pub request: Request,
+}
+
+impl RequestEnvelope {
+    /// Wraps a request with the current protocol version and no
+    /// deadline.
+    #[must_use]
+    pub fn new(id: u64, request: Request) -> Self {
+        RequestEnvelope {
+            protocol_version: PROTOCOL_VERSION,
+            id,
+            deadline_ms: None,
+            request,
+        }
+    }
+
+    /// Serializes the envelope as one compact JSON line (no newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("request envelopes always serialize")
+    }
+
+    /// Parses an envelope from one JSON line.
+    ///
+    /// # Errors
+    /// Returns the JSON parser's message on malformed input. Protocol
+    /// version checking happens in [`Handler::respond`], not here, so
+    /// the error can be answered with a structured response.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Summary of a generated meta-operator flow (the `... (N
+/// meta-operators: …)` line of `cimc compile --flow`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSummary {
+    /// Total meta-operators.
+    pub total: usize,
+    /// CIM read operations.
+    pub cim_reads: usize,
+    /// CIM write operations.
+    pub cim_writes: usize,
+    /// Digital-compute operations.
+    pub dcom: usize,
+    /// Data-movement operations.
+    pub mov: usize,
+}
+
+/// Everything a successful compile request produced — enough for the
+/// CLI to reproduce its pre-API output byte for byte, and for clients
+/// to inspect results structurally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileOutcome {
+    /// Model name as compiled.
+    pub model: String,
+    /// Architecture name as compiled.
+    pub arch: String,
+    /// Computing-mode name actually used.
+    pub mode: String,
+    /// Deepest scheduling level that ran.
+    pub level: String,
+    /// Per-level performance reports.
+    pub reports: Vec<PerfReport>,
+    /// The full metrics block.
+    pub metrics: CompileMetrics,
+    /// Per-pass instrumentation.
+    pub timeline: PassTimeline,
+    /// Cache counters accumulated by this request (present when a cache
+    /// was in play).
+    pub cache_stats: Option<CacheStats>,
+    /// Functional-verification verdict (when requested).
+    pub verified: Option<bool>,
+    /// Output elements compared during verification.
+    #[serde(default)]
+    pub verified_outputs: usize,
+    /// Rendered per-stage schedule (when requested).
+    #[serde(default)]
+    pub schedule: Option<String>,
+    /// First `n` rendered flow lines (when requested).
+    #[serde(default)]
+    pub flow_head: Vec<String>,
+    /// Flow statistics (when a flow was generated for display).
+    #[serde(default)]
+    pub flow_stats: Option<FlowSummary>,
+    /// Rendered intermediate artifacts (when `dump_stage` matched).
+    #[serde(default)]
+    pub dumps: Vec<String>,
+}
+
+impl CompileOutcome {
+    /// Whether this compile ran fully warm: every cacheable pass was
+    /// served from the cache (per the timeline's per-pass records, which
+    /// are immune to concurrent requests touching the shared counters).
+    /// `None` when no pass touched a cache at all.
+    #[must_use]
+    pub fn warm(&self) -> Option<bool> {
+        let stats = self.timeline.cache_stats();
+        if stats.lookups() == 0 {
+            None
+        } else {
+            Some(stats.misses == 0 && stats.hits > 0)
+        }
+    }
+}
+
+/// Every way a request can conclude, externally tagged on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+#[allow(clippy::large_enum_variant)]
+pub enum ResponseBody {
+    /// A compile request's result.
+    Compile(CompileOutcome),
+    /// A bench request's result.
+    Bench {
+        /// The sweep report.
+        report: BenchReport,
+    },
+    /// An explore request's result.
+    Explore {
+        /// The exploration report.
+        report: DseReport,
+    },
+    /// A list request's result.
+    List {
+        /// The vocabulary, one entry per line in CLI output order.
+        names: Vec<String>,
+    },
+    /// A compile-perf request's result (one measurement round).
+    CompilePerf {
+        /// Median cold-compile records, one per gate workload.
+        records: Vec<CompileTimeRecord>,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Sleep`].
+    Slept {
+        /// How long the worker slept, in milliseconds.
+        ms: f64,
+    },
+    /// Answer to [`Request::Shutdown`]: the server stops admitting work
+    /// and drains.
+    ShuttingDown {
+        /// Jobs still queued at shutdown time (they will complete).
+        pending: usize,
+    },
+    /// Admission control rejected the request: the bounded queue was
+    /// full. Retry later or reduce concurrency.
+    Overloaded {
+        /// Jobs queued when the request was rejected.
+        queue_depth: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The request's deadline elapsed before (or while) it ran; any
+    /// late result was abandoned.
+    DeadlineExceeded {
+        /// The deadline that was missed, in milliseconds.
+        deadline_ms: f64,
+    },
+    /// The request failed; the message matches the CLI's stderr.
+    Error(ApiError),
+}
+
+/// One JSON line from server to client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Protocol version the server speaks.
+    pub protocol_version: u32,
+    /// The request envelope's `id`, echoed (0 for unparseable input).
+    pub id: u64,
+    /// Server-side wall clock from admission to response, milliseconds.
+    pub elapsed_ms: f64,
+    /// How the request concluded.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// Assembles a response stamped with the current protocol version.
+    #[must_use]
+    pub fn new(id: u64, elapsed_ms: f64, body: ResponseBody) -> Self {
+        Response {
+            protocol_version: PROTOCOL_VERSION,
+            id,
+            elapsed_ms,
+            body,
+        }
+    }
+
+    /// Serializes the response as one compact JSON line (no newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("responses always serialize")
+    }
+
+    /// Parses a response from one JSON line.
+    ///
+    /// # Errors
+    /// Returns the JSON parser's message on malformed input, or a
+    /// version-window violation.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let response: Response = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&response.protocol_version) {
+            return Err(format!(
+                "unsupported protocol version {} (supported {}..={})",
+                response.protocol_version, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION
+            ));
+        }
+        Ok(response)
+    }
+}

@@ -1,0 +1,232 @@
+//! Response rendering: turns [`ResponseBody`](super::ResponseBody)
+//! payloads back into the exact text (and exit code) the pre-API `cimc`
+//! printed, so the CLI shims stay byte-compatible.
+
+use std::fmt::Write as _;
+
+use cim_bench::BenchReport;
+use cim_compiler::{CacheStats, CompileMetrics, PassTimeline, PerfReport};
+use cim_dse::DseReport;
+use serde::Serialize;
+
+use super::{ApiError, CompileOutcome, ErrorKind};
+
+/// Version of the `cimc compile --json` document layout.
+///
+/// History: **3** added the per-record `scratch_peak_bytes` column
+/// inside `timeline` (peak scratch-arena footprint of each pass);
+/// **2** added `cache_stats` and the per-record `cache` column inside
+/// `timeline` (mirroring the bench report's v2 bump); **1** was the
+/// initial layout.
+pub const COMPILE_DOC_VERSION: u32 = 3;
+
+/// The machine-readable document `cimc compile --json` emits (analogous
+/// to `cimc bench --out`'s report).
+#[derive(Serialize)]
+struct CompileDoc {
+    schema_version: u32,
+    model: String,
+    arch: String,
+    mode: String,
+    level: String,
+    reports: Vec<PerfReport>,
+    metrics: CompileMetrics,
+    timeline: PassTimeline,
+    cache_stats: Option<CacheStats>,
+    verified: Option<bool>,
+}
+
+/// What a CLI shim prints and how it exits. `code` 2 means "argument
+/// error": the binary appends usage to stderr after `stderr`.
+#[derive(Debug, Clone, Default)]
+pub struct Rendered {
+    /// Text for stdout (already newline-terminated).
+    pub stdout: String,
+    /// Text for stderr (already newline-terminated).
+    pub stderr: String,
+    /// Process exit code: 0 success, 1 failure, 2 argument error.
+    pub code: u8,
+}
+
+/// Renders a failed request the way the old CLI did: message on stderr,
+/// exit 2 for argument errors (the binary appends usage), 1 otherwise.
+#[must_use]
+pub fn render_error(error: &ApiError) -> Rendered {
+    Rendered {
+        stdout: String::new(),
+        stderr: format!("{}\n", error.message),
+        code: match error.kind {
+            ErrorKind::Argument => 2,
+            _ => 1,
+        },
+    }
+}
+
+/// Renders a compile outcome exactly as `cimc compile` printed it:
+/// dumps (in pass order), per-level report lines, `--timings`, the
+/// schedule, the flow head, the verification verdict, and the `--json`
+/// document.
+#[must_use]
+#[allow(clippy::missing_panics_doc)] // infallible String writes
+pub fn render_compile(outcome: &CompileOutcome, json: bool, timings: bool) -> Rendered {
+    let mut out = String::new();
+    let mut err = String::new();
+    let mut code = 0u8;
+    for dump in &outcome.dumps {
+        let _ = writeln!(out, "{dump}");
+    }
+    if !json {
+        for report in &outcome.reports {
+            let _ = writeln!(
+                out,
+                "level {:<12} latency {:>14.0} cycles   peak power {:>10.1}   energy {:>14.1}   segments {}",
+                report.level,
+                report.latency_cycles,
+                report.peak_power,
+                report.energy.total(),
+                report.segments
+            );
+        }
+        if timings {
+            let _ = writeln!(out, "\n{}", outcome.timeline.render());
+            if let Some(stats) = &outcome.cache_stats {
+                let _ = writeln!(out, "cache: {}", stats.render());
+            }
+        }
+    }
+    if let Some(schedule) = &outcome.schedule {
+        let _ = writeln!(out, "\n{schedule}");
+    }
+    if let Some(stats) = &outcome.flow_stats {
+        out.push('\n');
+        for line in &outcome.flow_head {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(
+            out,
+            "... ({} meta-operators: {} cim reads, {} cim writes, {} dcom, {} mov)",
+            stats.total, stats.cim_reads, stats.cim_writes, stats.dcom, stats.mov
+        );
+    }
+    match outcome.verified {
+        Some(true) if !json => {
+            let _ = writeln!(
+                out,
+                "\nfunctional verification: PASS (flow == reference, {} outputs)",
+                outcome.verified_outputs
+            );
+        }
+        Some(false) => {
+            err.push_str("\nfunctional verification: FAIL\n");
+            code = 1;
+        }
+        _ => {}
+    }
+    if json {
+        let doc = CompileDoc {
+            schema_version: COMPILE_DOC_VERSION,
+            model: outcome.model.clone(),
+            arch: outcome.arch.clone(),
+            mode: outcome.mode.clone(),
+            level: outcome.level.clone(),
+            reports: outcome.reports.clone(),
+            metrics: outcome.metrics.clone(),
+            timeline: outcome.timeline.clone(),
+            cache_stats: outcome.cache_stats,
+            verified: outcome.verified,
+        };
+        let mut doc = serde_json::to_string_pretty(&doc).expect("compile reports always serialize");
+        doc.push('\n');
+        out.push_str(&doc);
+    }
+    Rendered {
+        stdout: out,
+        stderr: err,
+        code,
+    }
+}
+
+/// Renders a bench report's result table, failure lines, sweep summary,
+/// cache line and compile-time medians — the fixed stdout block of
+/// `cimc bench` (the `--out`/`--baseline` tail stays in the shim, which
+/// owns file IO).
+#[must_use]
+pub fn render_bench(report: &BenchReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:<11} {:<11} {:>14} {:>14} {:>10} {:>6}",
+        "model", "arch", "mode", "level", "latency(cyc)", "energy", "peak pwr", "util"
+    );
+    for job in &report.jobs {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:<11} {:<11} {:>14.0} {:>14.1} {:>10.1} {:>6.3}",
+            job.model,
+            job.arch,
+            job.mode,
+            job.metrics.level,
+            job.metrics.latency_cycles,
+            job.metrics.energy_total,
+            job.metrics.peak_power,
+            job.metrics.utilization
+        );
+    }
+    for failure in &report.failures {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:<11} FAILED: {}",
+            failure.model, failure.arch, failure.mode, failure.error
+        );
+    }
+    let _ = writeln!(
+        out,
+        "sweep: {} job(s) ({} ok, {} failed) on {} thread(s) in {:.0} ms",
+        report.jobs.len() + report.failures.len(),
+        report.jobs.len(),
+        report.failures.len(),
+        report.timing.threads,
+        report.timing.total_ms
+    );
+    if let Some(stats) = &report.cache_stats {
+        let _ = writeln!(out, "cache: {}", stats.render());
+    }
+    if let Some(records) = &report.compile_time {
+        for r in records {
+            let _ = writeln!(
+                out,
+                "compile-time {}: median {:.3} ms over {} sample(s)",
+                r.key(),
+                r.median_ms,
+                r.samples
+            );
+        }
+    }
+    out
+}
+
+/// Renders an exploration report's fixed stdout block: the Pareto-front
+/// report, the timing summary and the cache line.
+#[must_use]
+pub fn render_explore(report: &DseReport) -> String {
+    let mut out = report.render();
+    let _ = writeln!(
+        out,
+        "explored on {} thread(s) in {:.0} ms",
+        report.timing.threads, report.timing.total_ms
+    );
+    if let Some(stats) = &report.cache_stats {
+        let _ = writeln!(out, "cache: {}", stats.render());
+    }
+    out
+}
+
+/// Renders a vocabulary listing, one value per line.
+#[must_use]
+pub fn render_list(names: &[String]) -> String {
+    let mut out = String::new();
+    for name in names {
+        let _ = writeln!(out, "{name}");
+    }
+    out
+}

@@ -8,49 +8,31 @@
 //! cimc compile --model lenet5 --arch isaac --flow 20    # meta-operator flow head
 //! cimc compile --model lenet5 --arch jain --verify      # functional check
 //! cimc compile --model path/to/graph.json --arch puma --mode wlm
+//! cimc serve --tcp 127.0.0.1:7171     # persistent compile service (JSON lines)
+//! cimc loadtest --addr 127.0.0.1:7171 # replay a script against a running server
 //! ```
+//!
+//! Every subcommand is a thin shim: flags parse into a typed
+//! [`Request`], a [`Handler`] executes it, and the response renders back
+//! to text ([`cim_mlc::api::render`]) — the exact same code path
+//! `cimc serve` runs for requests arriving as JSON lines.
 
+use cim_mlc::api::args::{
+    cache_policy, parse_bench_jobs, parse_millis, parse_percentage, parse_positive, parse_unsigned,
+    reject_trailing, split_list, value_of,
+};
+use cim_mlc::api::{
+    render, ApiError, BenchRequest, CompilePerfRequest, CompileRequest, ExploreRequest, Handler,
+    LevelArg, ListRequest, ModeArg, Request, ResponseBody, StageArg,
+};
+use cim_mlc::compiler::TieredCache;
+use cim_mlc::loadtest::{run_loadtest, send_shutdown, LoadtestOptions};
 use cim_mlc::prelude::*;
+use cim_mlc::serve::{run_stdio, run_tcp, ServeOptions};
+use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
-
-/// Loads an architecture description file, wrapping failures in the
-/// unified [`Error`] so the whole cause chain reaches stderr.
-fn load_arch_file(path: &str) -> Result<CimArchitecture, Error> {
-    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
-    Ok(cim_mlc::arch::from_json(&json)?)
-}
-
-/// Loads a model graph file, wrapping failures in the unified [`Error`].
-fn load_model_file(path: &str) -> Result<Graph, Error> {
-    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
-    Ok(cim_mlc::graph::from_json(&json)?)
-}
-
-fn preset(name: &str) -> Result<CimArchitecture, String> {
-    if let Some(arch) = presets::by_name(name) {
-        return Ok(arch);
-    }
-    match name {
-        path if path.ends_with(".json") => load_arch_file(path).map_err(|e| e.render_chain()),
-        other => Err(format!(
-            "unknown preset `{other}` (try `cimc archs` or a .json path)"
-        )),
-    }
-}
-
-fn model(name: &str) -> Result<Graph, String> {
-    if let Some(graph) = zoo::by_name(name) {
-        return Ok(graph);
-    }
-    match name {
-        path if path.ends_with(".json") => load_model_file(path).map_err(|e| e.render_chain()),
-        other => Err(format!(
-            "unknown model `{other}` (try `cimc models` or a .json path)"
-        )),
-    }
-}
 
 const USAGE: &str =
     "usage:\n  cimc archs\n  cimc models\n  cimc list <models|archs|modes|strategies|objectives>\n  \
@@ -65,63 +47,52 @@ cimc compile-perf [--samples <n>] [--attempts <n>] [--baseline <file.json>] \
 cimc explore [--model <name|file.json>] [--space <file.json>] \
 [--strategy exhaustive|random|hill-climb|evolutionary] [--budget <n>] [--seed <n>] \
 [--objective <metric[:w],..>] [--jobs <n>] [--out <file.json>] [--comparable] \
-[--cache-dir <dir>] [--no-cache]\n\
+[--cache-dir <dir>] [--no-cache]\n  \
+cimc serve [--tcp <host:port>] [--stdio] [--workers <n>] [--queue <n>] \
+[--deadline-ms <ms>] [--cache-dir <dir>] [--no-cache]\n  \
+cimc loadtest --addr <host:port> [--requests <n>] [--concurrency <n>] \
+[--deadline-ms <ms>] [--script <file.json>] [--out <file.json>] [--shutdown]\n\
 presets: isaac isaac-wlm jia puma jain table2 sensitivity";
-
-/// Opens the `--cache-dir` [`DiskCache`], or falls back to the
-/// subcommand's default cache when the flag is absent (`--no-cache`
-/// conflicts are rejected during argument parsing).
-fn resolve_cache(
-    cache_dir: Option<&str>,
-    default: impl FnOnce() -> Option<Arc<dyn CompileCache>>,
-) -> Result<Option<Arc<dyn CompileCache>>, String> {
-    match cache_dir {
-        Some(dir) => match DiskCache::open(dir) {
-            Ok(cache) => Ok(Some(Arc::new(cache))),
-            Err(e) => Err(format!("cannot open cache dir `{dir}`: {e}")),
-        },
-        None => Ok(default()),
-    }
-}
-
-/// The machine-readable document `cimc compile --json` emits (analogous
-/// to `cimc bench --out`'s report).
-#[derive(serde::Serialize)]
-struct CompileDoc {
-    schema_version: u32,
-    model: String,
-    arch: String,
-    mode: String,
-    level: String,
-    reports: Vec<PerfReport>,
-    metrics: CompileMetrics,
-    timeline: PassTimeline,
-    cache_stats: Option<CacheStats>,
-    verified: Option<bool>,
-}
-
-/// Version of the `cimc compile --json` document layout.
-///
-/// History: **3** added the per-record `scratch_peak_bytes` column
-/// inside `timeline` (peak scratch-arena footprint of each pass);
-/// **2** added `cache_stats` and the per-record `cache` column inside
-/// `timeline` (mirroring the bench report's v2 bump); **1** was the
-/// initial layout.
-const COMPILE_DOC_VERSION: u32 = 3;
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
-fn cmd_archs() -> ExitCode {
+/// Emits a [`render::Rendered`] block and converts its code into the
+/// process exit (code 2 additionally renders usage, like every other
+/// argument error).
+fn finish(rendered: &render::Rendered) -> ExitCode {
+    print!("{}", rendered.stdout);
+    eprint!("{}", rendered.stderr);
+    match rendered.code {
+        0 => ExitCode::SUCCESS,
+        2 => usage(),
+        _ => ExitCode::FAILURE,
+    }
+}
+
+/// Renders a handler error the way the old inline subcommands did.
+fn fail(error: &ApiError) -> ExitCode {
+    finish(&render::render_error(error))
+}
+
+fn cmd_archs(args: &[String]) -> ExitCode {
+    if let Err(e) = reject_trailing("archs", args) {
+        eprintln!("{e}");
+        return usage();
+    }
     for arch in presets::all() {
         println!("{}", arch.describe());
     }
     ExitCode::SUCCESS
 }
 
-fn cmd_models() -> ExitCode {
+fn cmd_models(args: &[String]) -> ExitCode {
+    if let Err(e) = reject_trailing("models", args) {
+        eprintln!("{e}");
+        return usage();
+    }
     println!(
         "{:<12} {:>7} {:>9} {:>14} {:>14}",
         "model", "nodes", "CIM ops", "weights", "MACs"
@@ -143,29 +114,22 @@ fn cmd_models() -> ExitCode {
 fn cmd_compile(args: &[String]) -> ExitCode {
     let mut model_name = None;
     let mut arch_name = None;
-    let mut mode: Option<ComputingMode> = None;
-    let mut level: Option<OptLevel> = None;
+    let mut mode: Option<ModeArg> = None;
+    let mut level: Option<LevelArg> = None;
     let mut jobs: Option<usize> = None;
     let mut show_schedule = false;
     let mut flow_lines: Option<usize> = None;
     let mut verify = false;
     let mut timings = false;
     let mut json = false;
-    let mut dump_stage: Option<StageKind> = None;
+    let mut dump_stage: Option<StageArg> = None;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
-    // A flag's value must be a real operand, not the next flag.
-    let value_of = |flag: &str, i: usize| -> Result<String, String> {
-        match args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => Ok(v.clone()),
-            _ => Err(format!("missing value for `{flag}`")),
-        }
-    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--model" => {
-                match value_of("--model", i) {
+                match value_of(args, "--model", i) {
                     Ok(v) => model_name = Some(v),
                     Err(e) => {
                         eprintln!("{e}");
@@ -175,7 +139,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--arch" => {
-                match value_of("--arch", i) {
+                match value_of(args, "--arch", i) {
                     Ok(v) => arch_name = Some(v),
                     Err(e) => {
                         eprintln!("{e}");
@@ -186,9 +150,9 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             }
             "--mode" => {
                 mode = match args.get(i + 1).map(String::as_str) {
-                    Some("cm") => Some(ComputingMode::Cm),
-                    Some("xbm") => Some(ComputingMode::Xbm),
-                    Some("wlm") => Some(ComputingMode::Wlm),
+                    Some("cm") => Some(ModeArg::Cm),
+                    Some("xbm") => Some(ModeArg::Xbm),
+                    Some("wlm") => Some(ModeArg::Wlm),
                     Some(other) => {
                         eprintln!("invalid --mode `{other}` (expected cm, xbm or wlm)");
                         return usage();
@@ -202,9 +166,9 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             }
             "--level" => {
                 level = match args.get(i + 1).map(String::as_str) {
-                    Some("cg") => Some(OptLevel::Cg),
-                    Some("mvm") => Some(OptLevel::CgMvm),
-                    Some("vvm") => Some(OptLevel::CgMvmVvm),
+                    Some("cg") => Some(LevelArg::Cg),
+                    Some("mvm") => Some(LevelArg::Mvm),
+                    Some("vvm") => Some(LevelArg::Vvm),
                     Some(other) => {
                         eprintln!("invalid --level `{other}` (expected cg, mvm or vvm)");
                         return usage();
@@ -217,19 +181,19 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--jobs" => {
-                let value = match value_of("--jobs", i) {
+                let value = match value_of(args, "--jobs", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<usize>() {
-                    Ok(0) | Err(_) => {
-                        eprintln!("invalid --jobs value `{value}` (expected a positive integer)");
+                match parse_positive("--jobs", &value) {
+                    Ok(n) => jobs = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
                         return usage();
                     }
-                    Ok(n) => jobs = Some(n),
                 }
                 i += 2;
             }
@@ -238,7 +202,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--flow" => {
-                let value = match value_of("--flow", i) {
+                let value = match value_of(args, "--flow", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
@@ -265,7 +229,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--cache-dir" => {
-                match value_of("--cache-dir", i) {
+                match value_of(args, "--cache-dir", i) {
                     Ok(v) => cache_dir = Some(v),
                     Err(e) => {
                         eprintln!("{e}");
@@ -279,15 +243,17 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--dump-stage" => {
-                let value = match value_of("--dump-stage", i) {
+                let value = match value_of(args, "--dump-stage", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                dump_stage = match StageKind::parse(&value) {
-                    Some(kind @ (StageKind::Cg | StageKind::Mvm | StageKind::Vvm)) => Some(kind),
+                dump_stage = match value.as_str() {
+                    "cg" => Some(StageArg::Cg),
+                    "mvm" => Some(StageArg::Mvm),
+                    "vvm" => Some(StageArg::Vvm),
                     _ => {
                         eprintln!("invalid --dump-stage `{value}` (expected cg, mvm or vvm)");
                         return usage();
@@ -313,194 +279,30 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         eprintln!("--json cannot be combined with --schedule, --flow or --dump-stage");
         return usage();
     }
-    if no_cache && cache_dir.is_some() {
-        eprintln!("--no-cache cannot be combined with --cache-dir");
-        return usage();
-    }
-    let graph = match model(&model_name) {
-        Ok(g) => g,
+    let cache = match cache_policy(no_cache, cache_dir) {
+        Ok(policy) => policy,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return usage();
         }
     };
-    let mut arch = match preset(&arch_name) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Some(m) = mode {
-        arch = arch.with_mode(m);
+    let request = Request::Compile(CompileRequest {
+        model: model_name,
+        arch: arch_name,
+        mode,
+        level,
+        jobs: jobs.unwrap_or(0),
+        schedule: show_schedule,
+        flow: flow_lines,
+        verify,
+        dump_stage,
+        cache,
+    });
+    match Handler::new().handle(&request) {
+        ResponseBody::Compile(outcome) => finish(&render::render_compile(&outcome, json, timings)),
+        ResponseBody::Error(e) => fail(&e),
+        _ => unreachable!("compile requests yield compile outcomes"),
     }
-    // `jobs` parallelizes scheduling *within* this one compilation
-    // (DP rows and segments fan out); results are byte-identical for
-    // every value, so it stays out of fingerprints and cache keys.
-    let options = CompileOptions {
-        level: level.unwrap_or_default(),
-        jobs: jobs.unwrap_or(1),
-        ..CompileOptions::default()
-    };
-
-    // Compilation caches only on request here: a single `cimc compile`
-    // has no intra-run reuse, so the default is no cache (unlike
-    // `cimc bench`, whose matrix shares a memory cache).
-    let cache = match resolve_cache(cache_dir.as_deref(), || None) {
-        Ok(cache) => cache,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    // Assemble the staged pipeline: the planned scheduling passes, plus
-    // code generation when the flow is wanted.
-    let mut pipeline = Pipeline::plan(&options, &arch);
-    if flow_lines.is_some() || verify {
-        pipeline.push(Box::new(CodegenPass));
-    }
-    let mut session = pipeline.session(&graph, &arch, options);
-    if let Some(cache) = &cache {
-        session = session.with_cache(Arc::clone(cache));
-    }
-
-    // Run pass by pass so `--dump-stage` can render the intermediate
-    // artifact the moment it exists.
-    let mut dumped = false;
-    loop {
-        match session.step() {
-            Ok(true) => {}
-            Ok(false) => break,
-            Err(e) => {
-                eprintln!("compile error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        if let Some(kind) = dump_stage {
-            if session.artifact().kind() == kind {
-                println!("{}", session.artifact().render());
-                dumped = true;
-            }
-        }
-    }
-    if let Some(kind) = dump_stage {
-        if !dumped {
-            eprintln!(
-                "stage `{}` did not run for this target (deepest stage: {})",
-                kind.name(),
-                session.artifact().kind().name()
-            );
-            return ExitCode::FAILURE;
-        }
-    }
-
-    let (artifact, timeline) = session.into_parts();
-    let (compiled, flow_pack) = match artifact {
-        Artifact::Codegenned(c) => {
-            let c = *c;
-            (c.compiled, Some((c.flow, c.layout)))
-        }
-        other => match other.into_compiled(graph.name(), arch.name(), options) {
-            Ok(compiled) => (compiled, None),
-            Err(e) => {
-                eprintln!("compile error: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-    };
-
-    if !json {
-        for report in compiled.reports() {
-            println!(
-                "level {:<12} latency {:>14.0} cycles   peak power {:>10.1}   energy {:>14.1}   segments {}",
-                report.level,
-                report.latency_cycles,
-                report.peak_power,
-                report.energy.total(),
-                report.segments
-            );
-        }
-        if timings {
-            println!("\n{}", timeline.render());
-            if let Some(cache) = &cache {
-                println!("cache: {}", cache.stats().render());
-            }
-        }
-    }
-    if show_schedule {
-        println!("\n{}", compiled.render_schedule());
-    }
-    if let Some(n) = flow_lines {
-        let (flow, _) = flow_pack.as_ref().expect("codegen pass ran");
-        println!();
-        for line in flow.to_string().lines().take(n) {
-            println!("{line}");
-        }
-        let stats = FlowStats::of(flow);
-        println!(
-            "... ({} meta-operators: {} cim reads, {} cim writes, {} dcom, {} mov)",
-            stats.total(),
-            stats.cim_reads(),
-            stats.cim_writes(),
-            stats.dcom,
-            stats.mov
-        );
-    }
-    let mut verified = None;
-    if verify {
-        let (flow, layout) = flow_pack.as_ref().expect("codegen pass ran");
-        if let Err(e) = flow.validate(&arch) {
-            eprintln!("flow validation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-        let store = WeightStore::for_flow(flow);
-        let mut machine = Machine::new(&arch);
-        machine.load_inputs(&graph, layout);
-        if let Err(e) = machine.execute(flow, &store) {
-            eprintln!("functional simulation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-        let expected = reference::execute(&graph);
-        let out = graph.outputs()[0];
-        let want = &expected[&out];
-        let got = machine.read_l0(layout.offset(out), want.len());
-        verified = Some(&got == want);
-        if &got == want {
-            if !json {
-                println!(
-                    "\nfunctional verification: PASS (flow == reference, {} outputs)",
-                    want.len()
-                );
-            }
-        } else {
-            eprintln!("\nfunctional verification: FAIL");
-            if !json {
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    if json {
-        let doc = CompileDoc {
-            schema_version: COMPILE_DOC_VERSION,
-            model: compiled.model().to_owned(),
-            arch: compiled.arch_name().to_owned(),
-            mode: arch.mode().name().to_owned(),
-            level: compiled.report().level.to_owned(),
-            reports: compiled.reports().into_iter().cloned().collect(),
-            metrics: compiled.metrics(&arch),
-            timeline,
-            cache_stats: cache.as_ref().map(|c| c.stats()),
-            verified,
-        };
-        let mut out = serde_json::to_string_pretty(&doc).expect("compile reports always serialize");
-        out.push('\n');
-        print!("{out}");
-        if verified == Some(false) {
-            return ExitCode::FAILURE;
-        }
-    }
-    ExitCode::SUCCESS
 }
 
 /// `cimc list <category>` — the discoverable vocabularies of the sweep
@@ -515,24 +317,17 @@ fn cmd_list(args: &[String]) -> ExitCode {
         eprintln!("unexpected argument `{extra}` after `cimc list {category}`");
         return usage();
     }
-    let names: Vec<&str> = match category.as_str() {
-        "models" => zoo::NAMES.to_vec(),
-        "archs" => presets::NAMES.to_vec(),
-        "modes" => ScheduleMode::ALL.iter().map(|m| m.name()).collect(),
-        "strategies" => StrategyKind::NAMES.to_vec(),
-        "objectives" => Metric::NAMES.to_vec(),
-        other => {
-            eprintln!(
-                "unknown list category `{other}` (expected models, archs, modes, strategies \
-                 or objectives)"
-            );
-            return usage();
+    let request = Request::List(ListRequest {
+        category: category.clone(),
+    });
+    match Handler::new().handle(&request) {
+        ResponseBody::List { names } => {
+            print!("{}", render::render_list(&names));
+            ExitCode::SUCCESS
         }
-    };
-    for name in names {
-        println!("{name}");
+        ResponseBody::Error(e) => fail(&e),
+        _ => unreachable!("list requests yield listings"),
     }
-    ExitCode::SUCCESS
 }
 
 /// Loads a design-space description file, wrapping failures in the
@@ -555,18 +350,12 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut comparable = false;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
-    let value_of = |flag: &str, i: usize| -> Result<String, String> {
-        match args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => Ok(v.clone()),
-            _ => Err(format!("missing value for `{flag}`")),
-        }
-    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--model" | "--space" | "--strategy" | "--objective" | "--out" | "--cache-dir" => {
                 let flag = args[i].clone();
-                let value = match value_of(&flag, i) {
+                let value = match value_of(args, &flag, i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
@@ -584,53 +373,53 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--budget" => {
-                let value = match value_of("--budget", i) {
+                let value = match value_of(args, "--budget", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<usize>() {
-                    Ok(0) | Err(_) => {
-                        eprintln!("invalid --budget value `{value}` (expected a positive integer)");
+                match parse_positive("--budget", &value) {
+                    Ok(n) => budget = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
                         return usage();
                     }
-                    Ok(n) => budget = Some(n),
                 }
                 i += 2;
             }
             "--seed" => {
-                let value = match value_of("--seed", i) {
+                let value = match value_of(args, "--seed", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<u64>() {
+                match parse_unsigned("--seed", &value) {
                     Ok(n) => seed = Some(n),
-                    Err(_) => {
-                        eprintln!("invalid --seed value `{value}` (expected an unsigned integer)");
+                    Err(e) => {
+                        eprintln!("{e}");
                         return usage();
                     }
                 }
                 i += 2;
             }
             "--jobs" => {
-                let value = match value_of("--jobs", i) {
+                let value = match value_of(args, "--jobs", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<usize>() {
-                    Ok(0) | Err(_) => {
-                        eprintln!("invalid --jobs value `{value}` (expected a positive integer)");
+                match parse_positive("--jobs", &value) {
+                    Ok(n) => jobs = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
                         return usage();
                     }
-                    Ok(n) => jobs = Some(n),
                 }
                 i += 2;
             }
@@ -652,20 +441,8 @@ fn cmd_explore(args: &[String]) -> ExitCode {
             }
         }
     }
-    if no_cache && cache_dir.is_some() {
-        eprintln!("--no-cache cannot be combined with --cache-dir");
-        return usage();
-    }
-    let Some(kind) = StrategyKind::parse(strategy_name.as_deref().unwrap_or("hill-climb")) else {
-        eprintln!(
-            "unknown strategy `{}` (known: {})",
-            strategy_name.unwrap_or_default(),
-            StrategyKind::NAMES.join(", ")
-        );
-        return usage();
-    };
-    let objective = match Objective::parse(objective_expr.as_deref().unwrap_or("latency")) {
-        Ok(o) => o,
+    let cache = match cache_policy(no_cache, cache_dir) {
+        Ok(policy) => policy,
         Err(e) => {
             eprintln!("{e}");
             return usage();
@@ -673,75 +450,31 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     };
     let space = match &space_path {
         Some(path) => match load_space_file(path) {
-            Ok(s) => s,
+            Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         },
-        None => DesignSpace::default_space(),
+        None => None,
     };
-    // Space *content* errors are input errors too: name the offending
-    // axis value and exit 2, same as any bad flag.
-    if let Err(e) = space.validate() {
-        eprintln!("{e}");
-        return usage();
-    }
-    let graph = match model(model_name.as_deref().unwrap_or("lenet5")) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let threads = jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+    let request = Request::Explore(ExploreRequest {
+        model: model_name,
+        space,
+        strategy: strategy_name,
+        objective: objective_expr,
+        budget,
+        seed,
+        jobs: jobs.unwrap_or(0),
+        cache,
     });
-    // Like `cimc bench`: memoize in-process by default (local searches
-    // revisit points constantly), on disk under `--cache-dir` (warm
-    // reruns), or nothing under `--no-cache`.
-    let cache = if no_cache {
-        None
-    } else {
-        match resolve_cache(cache_dir.as_deref(), || {
-            Some(Arc::new(MemoryCache::new()) as Arc<dyn CompileCache>)
-        }) {
-            Ok(cache) => cache,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let report = match Handler::new().handle(&request) {
+        ResponseBody::Explore { report } => report,
+        ResponseBody::Error(e) => return fail(&e),
+        _ => unreachable!("explore requests yield exploration reports"),
     };
 
-    let seed = seed.unwrap_or(0);
-    let budget = budget.unwrap_or(200);
-    let mut explorer = Explorer::new().with_threads(threads);
-    if let Some(cache) = &cache {
-        explorer = explorer.with_cache(Arc::clone(cache));
-    }
-    let mut strategy = kind.build(seed);
-    let report = match explorer.explore(&graph, &space, strategy.as_mut(), &objective, seed, budget)
-    {
-        Ok(r) => r,
-        Err(e) => {
-            // Space/budget problems are argument errors (exit 2); both
-            // were pre-validated above, so anything here is unexpected.
-            eprintln!("{e}");
-            return usage();
-        }
-    };
-
-    print!("{}", report.render());
-    println!(
-        "explored on {} thread(s) in {:.0} ms",
-        report.timing.threads, report.timing.total_ms
-    );
-    if let Some(stats) = &report.cache_stats {
-        println!("cache: {}", stats.render());
-    }
+    print!("{}", render::render_explore(&report));
 
     if let Some(path) = out {
         // Atomic like `bench --out`: an interrupted run never leaves a
@@ -761,16 +494,6 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses a comma-separated list flag value into its items.
-fn split_list(value: &str) -> Vec<String> {
-    value
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(str::to_owned)
-        .collect()
-}
-
 #[allow(clippy::too_many_lines)]
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut quick = false;
@@ -786,12 +509,6 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut modes: Option<Vec<ScheduleMode>> = None;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
-    let value_of = |flag: &str, i: usize| -> Result<String, String> {
-        match args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => Ok(v.clone()),
-            _ => Err(format!("missing value for `{flag}`")),
-        }
-    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -800,7 +517,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--cache-dir" => {
-                match value_of("--cache-dir", i) {
+                match value_of(args, "--cache-dir", i) {
                     Ok(v) => cache_dir = Some(v),
                     Err(e) => {
                         eprintln!("{e}");
@@ -826,47 +543,41 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--jobs" => {
-                let value = match value_of("--jobs", i) {
+                let value = match value_of(args, "--jobs", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<usize>() {
-                    Ok(0) => {
-                        eprintln!("invalid --jobs value `0` (must be at least 1)");
-                        return usage();
-                    }
+                match parse_bench_jobs(&value) {
                     Ok(n) => jobs = Some(n),
-                    Err(_) => {
-                        eprintln!("invalid --jobs value `{value}` (expected a positive integer)");
+                    Err(e) => {
+                        eprintln!("{e}");
                         return usage();
                     }
                 }
                 i += 2;
             }
             "--tolerance" => {
-                let value = match value_of("--tolerance", i) {
+                let value = match value_of(args, "--tolerance", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<f64>() {
-                    Ok(pct) if pct >= 0.0 && pct.is_finite() => tolerance = Some(pct),
-                    _ => {
-                        eprintln!(
-                            "invalid --tolerance value `{value}` (expected a percentage >= 0)"
-                        );
+                match parse_percentage("--tolerance", &value) {
+                    Ok(pct) => tolerance = Some(pct),
+                    Err(e) => {
+                        eprintln!("{e}");
                         return usage();
                     }
                 }
                 i += 2;
             }
             "--out" => {
-                match value_of("--out", i) {
+                match value_of(args, "--out", i) {
                     Ok(v) => out = Some(v),
                     Err(e) => {
                         eprintln!("{e}");
@@ -876,7 +587,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--baseline" => {
-                match value_of("--baseline", i) {
+                match value_of(args, "--baseline", i) {
                     Ok(v) => baseline_path = Some(v),
                     Err(e) => {
                         eprintln!("{e}");
@@ -886,7 +597,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--models" => {
-                match value_of("--models", i) {
+                match value_of(args, "--models", i) {
                     Ok(v) => models = Some(split_list(&v)),
                     Err(e) => {
                         eprintln!("{e}");
@@ -896,7 +607,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--archs" => {
-                match value_of("--archs", i) {
+                match value_of(args, "--archs", i) {
                     Ok(v) => archs = Some(split_list(&v)),
                     Err(e) => {
                         eprintln!("{e}");
@@ -906,7 +617,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--modes" => {
-                let value = match value_of("--modes", i) {
+                let value = match value_of(args, "--modes", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
@@ -939,112 +650,29 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
         }
     }
-
-    let mut spec = if quick {
-        SweepSpec::quick()
-    } else {
-        SweepSpec::full()
+    let cache = match cache_policy(no_cache, cache_dir) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
     };
-    if let Some(m) = models {
-        spec.models = m;
-    }
-    if let Some(a) = archs {
-        spec.archs = a;
-    }
-    if let Some(m) = modes {
-        spec.modes = m;
-    }
-    if let Err(e) = spec.validate() {
-        eprintln!("{e}");
-        return usage();
-    }
-    if no_cache && cache_dir.is_some() {
-        eprintln!("--no-cache cannot be combined with --cache-dir");
-        return usage();
-    }
-    let threads = jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+    let request = Request::Bench(BenchRequest {
+        quick,
+        models,
+        archs,
+        modes,
+        jobs: jobs.unwrap_or(0),
+        compile_time,
+        cache,
     });
-
-    // The worker pool shares one cache: in-memory by default (jobs with
-    // a common pipeline prefix reuse artifacts within this run), on disk
-    // under `--cache-dir` (warm reruns reuse previous runs' artifacts),
-    // or nothing under `--no-cache`.
-    let cache = if no_cache {
-        None
-    } else {
-        match resolve_cache(cache_dir.as_deref(), || {
-            Some(Arc::new(MemoryCache::new()) as Arc<dyn CompileCache>)
-        }) {
-            Ok(cache) => cache,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let report = match Handler::new().handle(&request) {
+        ResponseBody::Bench { report } => report,
+        ResponseBody::Error(e) => return fail(&e),
+        _ => unreachable!("bench requests yield bench reports"),
     };
-    let mut report = run_sweep_cached(&spec, threads, cache).expect("spec was validated above");
-    if compile_time {
-        // `--compile-time` bakes the compile-perf gate's reference
-        // medians into the report (used by refresh-baseline.sh when
-        // regenerating the committed baseline). Plain sweeps leave the
-        // section absent so cold/warm `--comparable` reports stay
-        // byte-identical.
-        match measure_gate_entries(9) {
-            Ok(records) => report.compile_time = Some(records),
-            Err(e) => {
-                eprintln!("cannot measure compile-time medians: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
 
-    println!(
-        "{:<10} {:<10} {:<11} {:<11} {:>14} {:>14} {:>10} {:>6}",
-        "model", "arch", "mode", "level", "latency(cyc)", "energy", "peak pwr", "util"
-    );
-    for job in &report.jobs {
-        println!(
-            "{:<10} {:<10} {:<11} {:<11} {:>14.0} {:>14.1} {:>10.1} {:>6.3}",
-            job.model,
-            job.arch,
-            job.mode,
-            job.metrics.level,
-            job.metrics.latency_cycles,
-            job.metrics.energy_total,
-            job.metrics.peak_power,
-            job.metrics.utilization
-        );
-    }
-    for failure in &report.failures {
-        println!(
-            "{:<10} {:<10} {:<11} FAILED: {}",
-            failure.model, failure.arch, failure.mode, failure.error
-        );
-    }
-    println!(
-        "sweep: {} job(s) ({} ok, {} failed) on {} thread(s) in {:.0} ms",
-        report.jobs.len() + report.failures.len(),
-        report.jobs.len(),
-        report.failures.len(),
-        report.timing.threads,
-        report.timing.total_ms
-    );
-    if let Some(stats) = &report.cache_stats {
-        println!("cache: {}", stats.render());
-    }
-    if let Some(records) = &report.compile_time {
-        for r in records {
-            println!(
-                "compile-time {}: median {:.3} ms over {} sample(s)",
-                r.key(),
-                r.median_ms,
-                r.samples
-            );
-        }
-    }
+    print!("{}", render::render_bench(&report));
 
     if let Some(path) = out {
         // `--comparable` strips the run-specific fields (wall clocks,
@@ -1109,41 +737,36 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 /// baseline median, in percent (default 50 — generous on purpose:
 /// machine-to-machine variance dwarfs scheduler regressions, which the
 /// absolute budgets catch anyway).
+#[allow(clippy::too_many_lines)]
 fn cmd_compile_perf(args: &[String]) -> ExitCode {
     let mut samples: usize = 9;
     let mut attempts: usize = 3;
     let mut baseline_path: Option<String> = None;
     let mut tolerance: f64 = 50.0;
-    let value_of = |flag: &str, i: usize| -> Result<String, String> {
-        match args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => Ok(v.clone()),
-            _ => Err(format!("missing value for `{flag}`")),
-        }
-    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--samples" | "--attempts" => {
                 let flag = args[i].clone();
-                let value = match value_of(&flag, i) {
+                let value = match value_of(args, &flag, i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<usize>() {
-                    Ok(0) | Err(_) => {
-                        eprintln!("invalid {flag} value `{value}` (expected a positive integer)");
-                        return usage();
-                    }
+                match parse_positive(&flag, &value) {
                     Ok(n) if flag == "--samples" => samples = n,
                     Ok(n) => attempts = n,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
                 }
                 i += 2;
             }
             "--baseline" => {
-                match value_of("--baseline", i) {
+                match value_of(args, "--baseline", i) {
                     Ok(v) => baseline_path = Some(v),
                     Err(e) => {
                         eprintln!("{e}");
@@ -1153,19 +776,17 @@ fn cmd_compile_perf(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--tolerance" => {
-                let value = match value_of("--tolerance", i) {
+                let value = match value_of(args, "--tolerance", i) {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("{e}");
                         return usage();
                     }
                 };
-                match value.parse::<f64>() {
-                    Ok(pct) if pct >= 0.0 && pct.is_finite() => tolerance = pct,
-                    _ => {
-                        eprintln!(
-                            "invalid --tolerance value `{value}` (expected a percentage >= 0)"
-                        );
+                match parse_percentage("--tolerance", &value) {
+                    Ok(pct) => tolerance = pct,
+                    Err(e) => {
+                        eprintln!("{e}");
                         return usage();
                     }
                 }
@@ -1213,13 +834,12 @@ fn cmd_compile_perf(args: &[String]) -> ExitCode {
         None => None,
     };
 
+    let handler = Handler::new();
     for attempt in 1..=attempts {
-        let records = match measure_gate_entries(samples) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("cannot measure compile-time medians: {e}");
-                return ExitCode::FAILURE;
-            }
+        let records = match handler.handle(&Request::CompilePerf(CompilePerfRequest { samples })) {
+            ResponseBody::CompilePerf { records } => records,
+            ResponseBody::Error(e) => return fail(&e),
+            _ => unreachable!("compile-perf requests yield records"),
         };
         let mut violations = Vec::new();
         for (entry, record) in GATE_ENTRIES.iter().zip(&records) {
@@ -1281,16 +901,358 @@ fn cmd_compile_perf(args: &[String]) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// `cimc serve` — the persistent compile service (see
+/// [`cim_mlc::serve`]). One handler, one shared cache, one bounded
+/// worker pool; requests arrive as JSON lines on stdin (default) or TCP.
+#[allow(clippy::too_many_lines)]
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut tcp_addr: Option<String> = None;
+    let mut stdio = false;
+    let mut workers: usize = 0;
+    let mut queue: usize = 64;
+    let mut deadline_ms: Option<f64> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => {
+                match value_of(args, "--tcp", i) {
+                    Ok(v) => tcp_addr = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--stdio" => {
+                stdio = true;
+                i += 1;
+            }
+            "--workers" => {
+                let value = match value_of(args, "--workers", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_positive("--workers", &value) {
+                    Ok(n) => workers = n,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--queue" => {
+                let value = match value_of(args, "--queue", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_positive("--queue", &value) {
+                    Ok(n) => queue = n,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let value = match value_of(args, "--deadline-ms", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_millis("--deadline-ms", &value) {
+                    Ok(ms) => deadline_ms = Some(ms),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--cache-dir" => {
+                match value_of(args, "--cache-dir", i) {
+                    Ok(v) => cache_dir = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--no-cache" => {
+                no_cache = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    if stdio && tcp_addr.is_some() {
+        eprintln!("--stdio cannot be combined with --tcp");
+        return usage();
+    }
+    if no_cache && cache_dir.is_some() {
+        eprintln!("--no-cache cannot be combined with --cache-dir");
+        return usage();
+    }
+    // The whole point of serving: one process-wide cache, so every
+    // request after the first compiles warm. In-memory by default;
+    // memory+disk under `--cache-dir` (warm across restarts too).
+    let handler = if no_cache {
+        Handler::new()
+    } else {
+        match cache_dir {
+            Some(dir) => match TieredCache::open(&dir) {
+                Ok(cache) => Handler::with_shared_cache(Arc::new(cache)),
+                Err(e) => {
+                    eprintln!("cannot open cache dir `{dir}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Handler::with_shared_cache(Arc::new(MemoryCache::new())),
+        }
+    };
+    let options = ServeOptions {
+        workers,
+        queue_capacity: queue,
+        default_deadline_ms: deadline_ms,
+    };
+    let result = match tcp_addr {
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot bind `{addr}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match listener.local_addr() {
+                Ok(local) => println!("cimc serve: listening on {local}"),
+                Err(_) => println!("cimc serve: listening on {addr}"),
+            }
+            // Scripts parse the line above to discover the bound port
+            // (`--tcp 127.0.0.1:0`); make sure it is out before serving.
+            let _ = std::io::stdout().flush();
+            run_tcp(handler, &listener, &options)
+        }
+        None => {
+            eprintln!("cimc serve: reading JSON-lines requests on stdin");
+            run_stdio(handler, &options)
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cimc loadtest` — replay a request script against a running server
+/// (see [`cim_mlc::loadtest`]) and report latency percentiles,
+/// throughput, outcome counts and the warm-cache hit rate.
+#[allow(clippy::too_many_lines)]
+fn cmd_loadtest(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut requests: Option<usize> = None;
+    let mut concurrency: Option<usize> = None;
+    let mut deadline_ms: Option<f64> = None;
+    let mut script_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                match value_of(args, "--addr", i) {
+                    Ok(v) => addr = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--requests" | "--concurrency" => {
+                let flag = args[i].clone();
+                let value = match value_of(args, &flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_positive(&flag, &value) {
+                    Ok(n) if flag == "--requests" => requests = Some(n),
+                    Ok(n) => concurrency = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let value = match value_of(args, "--deadline-ms", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_millis("--deadline-ms", &value) {
+                    Ok(ms) => deadline_ms = Some(ms),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--script" => {
+                match value_of(args, "--script", i) {
+                    Ok(v) => script_path = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--out" => {
+                match value_of(args, "--out", i) {
+                    Ok(v) => out = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("`cimc loadtest` needs --addr <host:port>");
+        return usage();
+    };
+
+    // `--shutdown` without an explicit request count is a pure shutdown
+    // message — the idiom CI uses to stop the server it started.
+    let replay = requests.is_some() || !shutdown;
+    if replay {
+        let mut options = LoadtestOptions::new(addr.clone());
+        if let Some(n) = requests {
+            options.requests = n;
+        }
+        if let Some(n) = concurrency {
+            options.concurrency = n;
+        }
+        options.deadline_ms = deadline_ms;
+        if let Some(path) = &script_path {
+            let json = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read script `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            options.script = match serde_json::from_str::<Vec<Request>>(&json) {
+                Ok(script) => script,
+                Err(e) => {
+                    eprintln!("invalid loadtest script `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        }
+        let report = match run_loadtest(&options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}", e.render_chain());
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report.render());
+        if let Some(path) = out {
+            let mut json = report.to_json();
+            json.push('\n');
+            if let Err(e) = write_atomic(Path::new(&path), json.as_bytes()) {
+                eprintln!("cannot write report to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("report written to {path}");
+        }
+        if shutdown {
+            if let Err(e) = send_shutdown(&addr) {
+                eprintln!("{}", e.render_chain());
+                return ExitCode::FAILURE;
+            }
+            println!("shutdown sent to {addr}");
+        }
+        if report.protocol_errors > 0 {
+            eprintln!(
+                "loadtest: {} protocol error(s) — see the report above",
+                report.protocol_errors
+            );
+            return ExitCode::FAILURE;
+        }
+        ExitCode::SUCCESS
+    } else {
+        match send_shutdown(&addr) {
+            Ok(()) => {
+                println!("shutdown sent to {addr}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{}", e.render_chain());
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("archs") => cmd_archs(),
-        Some("models") => cmd_models(),
+        Some("archs") => cmd_archs(&args[1..]),
+        Some("models") => cmd_models(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("compile-perf") => cmd_compile_perf(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -1298,7 +1260,7 @@ fn main() -> ExitCode {
         Some(other) => {
             eprintln!(
                 "unknown subcommand `{other}` (expected archs, models, list, compile, bench, \
-                 compile-perf, explore or help)"
+                 compile-perf, explore, serve, loadtest or help)"
             );
             usage()
         }

@@ -48,6 +48,8 @@ pub enum Error {
     Dse(DseError),
     /// An exploration report document was rejected.
     DseReport(DseReportError),
+    /// An API request failed (see [`crate::api::ApiError::kind`]).
+    Api(crate::api::ApiError),
     /// A file could not be read or written.
     Io {
         /// The path involved.
@@ -92,6 +94,7 @@ impl fmt::Display for Error {
             Error::Report(_) => write!(f, "invalid bench report"),
             Error::Dse(_) => write!(f, "invalid exploration"),
             Error::DseReport(_) => write!(f, "invalid exploration report"),
+            Error::Api(_) => write!(f, "request failed"),
             Error::Io { path, .. } => write!(f, "cannot access `{path}`"),
         }
     }
@@ -107,6 +110,7 @@ impl StdError for Error {
             Error::Report(e) => Some(e),
             Error::Dse(e) => Some(e),
             Error::DseReport(e) => Some(e),
+            Error::Api(e) => Some(e),
             Error::Io { source, .. } => Some(source),
         }
     }
@@ -154,6 +158,12 @@ impl From<DseReportError> for Error {
     }
 }
 
+impl From<crate::api::ApiError> for Error {
+    fn from(e: crate::api::ApiError) -> Self {
+        Error::Api(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +204,6 @@ mod tests {
         let _: Error = ReportError::Parse("x".into()).into();
         let _: Error = DseError::ZeroBudget.into();
         let _: Error = DseReportError::Parse("x".into()).into();
+        let _: Error = crate::api::ApiError::argument("x").into();
     }
 }

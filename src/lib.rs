@@ -90,12 +90,21 @@ pub use cim_graph as graph;
 pub use cim_mop as mop;
 pub use cim_sim as sim;
 
+pub mod api;
 mod error;
+pub mod loadtest;
+pub mod serve;
 
 pub use error::Error;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
+    pub use crate::api::{
+        ApiError, CachePolicy, Handler, Request, RequestEnvelope, Response, ResponseBody,
+        MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    };
+    pub use crate::loadtest::{run_loadtest, LoadtestOptions};
+    pub use crate::serve::{run_stdio, run_tcp, ServeOptions};
     pub use crate::Error;
     pub use cim_arch::{
         presets, CellType, ChipTier, CimArchitecture, ComputingMode, CoreTier, CrossbarTier,

@@ -683,3 +683,266 @@ fn explore_emits_a_schema_valid_report_reproducible_across_jobs() {
     );
     std::fs::remove_file(&space_path).unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Byte-parity goldens — the API refactor moved every subcommand onto the
+// Request/Handler/render path; these pin the rendered output to captures
+// taken from the pre-refactor binary. Only wall-clock digits are
+// normalized; everything else must match byte for byte.
+
+/// Blanks the volatile timing digits: ` in N ms` suffixes and
+/// `"wall_ms": N` JSON fields.
+fn normalize_timings(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if let Some(pos) = line.find("\"wall_ms\":") {
+            out.push_str(&line[..pos]);
+            out.push_str("\"wall_ms\": X,");
+        } else if let Some(pos) = line.rfind(" in ") {
+            let rest = &line[pos + 4..];
+            let is_timing = rest.strip_suffix(" ms").is_some_and(|num| {
+                !num.is_empty() && num.chars().all(|c| c.is_ascii_digit() || c == '.')
+            });
+            if is_timing {
+                out.push_str(&line[..pos]);
+                out.push_str(" in X ms");
+            } else {
+                out.push_str(line);
+            }
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn assert_matches_golden(args: &[&str], golden: &str) {
+    let out = cimc(args);
+    assert!(
+        out.status.success(),
+        "cimc {args:?} failed: {}",
+        stderr(&out)
+    );
+    let path = format!(
+        "{}/tests/golden/cli/{golden}.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let expected = std::fs::read_to_string(&path).expect("golden file exists");
+    assert_eq!(
+        normalize_timings(&stdout(&out)),
+        normalize_timings(&expected),
+        "cimc {args:?} drifted from {path}"
+    );
+}
+
+#[test]
+fn golden_compile_report() {
+    assert_matches_golden(
+        &["compile", "--model", "lenet5", "--arch", "isaac"],
+        "compile_lenet5_isaac",
+    );
+}
+
+#[test]
+fn golden_compile_schedule() {
+    assert_matches_golden(
+        &[
+            "compile",
+            "--model",
+            "lenet5",
+            "--arch",
+            "table2",
+            "--schedule",
+        ],
+        "compile_schedule",
+    );
+}
+
+#[test]
+fn golden_compile_flow_head() {
+    assert_matches_golden(
+        &[
+            "compile", "--model", "lenet5", "--arch", "isaac", "--flow", "10",
+        ],
+        "compile_flow",
+    );
+}
+
+#[test]
+fn golden_compile_verify() {
+    assert_matches_golden(
+        &["compile", "--model", "lenet5", "--arch", "jain", "--verify"],
+        "compile_verify",
+    );
+}
+
+#[test]
+fn golden_compile_json() {
+    assert_matches_golden(
+        &["compile", "--model", "resnet18", "--arch", "puma", "--json"],
+        "compile_json",
+    );
+}
+
+#[test]
+fn golden_compile_dump_stage() {
+    assert_matches_golden(
+        &[
+            "compile",
+            "--model",
+            "mlp",
+            "--arch",
+            "isaac",
+            "--dump-stage",
+            "mvm",
+        ],
+        "compile_dump",
+    );
+}
+
+#[test]
+fn golden_bench_small_sweep() {
+    assert_matches_golden(
+        &[
+            "bench",
+            "--models",
+            "lenet5,mlp",
+            "--archs",
+            "isaac,jain",
+            "--modes",
+            "auto,cg",
+            "--jobs",
+            "1",
+        ],
+        "bench_small",
+    );
+}
+
+#[test]
+fn golden_explore_seeded() {
+    assert_matches_golden(
+        &[
+            "explore", "--model", "lenet5", "--seed", "42", "--budget", "12", "--jobs", "1",
+        ],
+        "explore_seeded",
+    );
+}
+
+#[test]
+fn golden_archs_models_and_lists() {
+    assert_matches_golden(&["archs"], "archs");
+    assert_matches_golden(&["models"], "models");
+    for category in ["models", "archs", "modes", "strategies", "objectives"] {
+        assert_matches_golden(&["list", category], &format!("list_{category}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trailing arguments — every subcommand rejects leftovers with exit 2,
+// naming the offender (`archs` and `models` silently ignored them before).
+
+#[test]
+fn archs_rejects_trailing_arguments() {
+    let out = cimc(&["archs", "extra"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("`extra`") && err.contains("cimc archs"),
+        "{err}"
+    );
+}
+
+#[test]
+fn models_rejects_trailing_arguments() {
+    let out = cimc(&["models", "--verbose"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("`--verbose`") && err.contains("cimc models"),
+        "{err}"
+    );
+}
+
+#[test]
+fn list_rejects_trailing_arguments() {
+    let out = cimc(&["list", "models", "extra"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`extra`"), "{}", stderr(&out));
+}
+
+// ---------------------------------------------------------------------------
+// `cimc serve` / `cimc loadtest` — argument handling (the server's
+// behavior itself is exercised end to end in tests/cimc_serve.rs).
+
+#[test]
+fn help_lists_serve_and_loadtest() {
+    let out = cimc(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("cimc serve"), "{text}");
+    assert!(text.contains("cimc loadtest"), "{text}");
+    let out = cimc(&["benhc"]);
+    let err = stderr(&out);
+    assert!(err.contains("serve") && err.contains("loadtest"), "{err}");
+}
+
+#[test]
+fn serve_rejects_bad_arguments() {
+    let out = cimc(&["serve", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--workers"), "{}", stderr(&out));
+
+    let out = cimc(&["serve", "--queue", "none"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`none`"), "{}", stderr(&out));
+
+    let out = cimc(&["serve", "--stdio", "--tcp", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--stdio") && err.contains("--tcp"), "{err}");
+
+    let out = cimc(&["serve", "--no-cache", "--cache-dir", "somewhere"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("--no-cache") && err.contains("--cache-dir"),
+        "{err}"
+    );
+
+    let out = cimc(&["serve", "--deadline-ms", "-5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--deadline-ms"), "{}", stderr(&out));
+}
+
+#[test]
+fn loadtest_requires_an_address() {
+    let out = cimc(&["loadtest"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--addr"), "{}", stderr(&out));
+}
+
+#[test]
+fn loadtest_rejects_bad_arguments() {
+    let out = cimc(&["loadtest", "--addr", "127.0.0.1:1", "--requests", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--requests") && err.contains("`0`"), "{err}");
+
+    let out = cimc(&["loadtest", "--addr", "127.0.0.1:1", "--concurrency", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--concurrency"), "{}", stderr(&out));
+
+    let out = cimc(&["loadtest", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`--bogus`"), "{}", stderr(&out));
+}
+
+#[test]
+fn loadtest_fails_cleanly_when_the_server_is_unreachable() {
+    // Port 1 is essentially never listening; the pre-flight probe turns
+    // this into one clean error instead of a thread-fleet pileup.
+    let out = cimc(&["loadtest", "--addr", "127.0.0.1:1", "--requests", "10"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("127.0.0.1:1"), "{}", stderr(&out));
+}

@@ -1,0 +1,321 @@
+//! End-to-end tests of `cimc serve`: a real server process on an
+//! ephemeral TCP port, driven by real clients over the JSON-lines
+//! protocol. Covers response isolation under concurrency, admission
+//! control, deadlines, warm-cache repeats, malformed input, and the
+//! `cimc loadtest` client against a live server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use cim_mlc::api::{
+    CachePolicy, CompileRequest, Request, RequestEnvelope, Response, ResponseBody, SleepRequest,
+};
+
+/// A `cimc serve --tcp 127.0.0.1:0` child process, shut down (or killed)
+/// on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start(extra_args: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cimc"))
+            .arg("serve")
+            .args(["--tcp", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("cimc serve starts");
+        // The first stdout line announces the bound address.
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("server announces its address");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address in the announcement")
+            .to_owned();
+        assert!(
+            line.contains("listening on"),
+            "unexpected announcement: {line}"
+        );
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("server accepts connections");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn shutdown(mut self) {
+        let mut client = self.connect();
+        client.send_line(&RequestEnvelope::new(999, Request::Shutdown).to_json());
+        let _ = client.read_response();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Belt and braces: if a test failed before the graceful path,
+        // don't leak the process.
+        if self.child.try_wait().map(|s| s.is_none()).unwrap_or(false) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn send_line(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("request writes");
+        self.writer.flush().expect("request flushes");
+    }
+
+    fn read_response(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("response reads");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        Response::from_json(&line).expect("response parses")
+    }
+
+    fn roundtrip(&mut self, envelope: &RequestEnvelope) -> Response {
+        self.send_line(&envelope.to_json());
+        self.read_response()
+    }
+}
+
+fn compile_request(model: &str, arch: &str) -> Request {
+    Request::Compile(CompileRequest {
+        model: model.to_owned(),
+        arch: arch.to_owned(),
+        mode: None,
+        level: None,
+        jobs: 0,
+        schedule: false,
+        flow: None,
+        verify: false,
+        dump_stage: None,
+        cache: CachePolicy::Default,
+    })
+}
+
+#[test]
+fn concurrent_clients_get_isolated_correctly_correlated_responses() {
+    let server = Server::start(&[]);
+    let models = ["lenet5", "mlp", "lenet5", "mlp"];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = models
+            .iter()
+            .enumerate()
+            .map(|(i, model)| {
+                let mut client = server.connect();
+                scope.spawn(move || {
+                    let id = i as u64 * 100 + 1;
+                    let response = client
+                        .roundtrip(&RequestEnvelope::new(id, compile_request(model, "isaac")));
+                    (id, model, response)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (id, model, response) = handle.join().expect("client thread");
+            assert_eq!(response.id, id, "response correlates to its request");
+            match &response.body {
+                ResponseBody::Compile(outcome) => {
+                    assert_eq!(&outcome.model, model, "each client gets its own result");
+                    assert!(response.elapsed_ms >= 0.0);
+                }
+                other => panic!("expected a compile outcome, got {other:?}"),
+            }
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn a_burst_beyond_queue_capacity_is_rejected_structurally_not_hung() {
+    // One worker, a queue of one: a burst of long sleeps must overflow.
+    let server = Server::start(&["--workers", "1", "--queue", "1"]);
+    let mut client = server.connect();
+    let burst = 8;
+    for i in 0..burst {
+        let envelope = RequestEnvelope::new(i + 1, Request::Sleep(SleepRequest { ms: 200.0 }));
+        client.send_line(&envelope.to_json());
+    }
+    let mut overloaded = 0;
+    let mut slept = 0;
+    for _ in 0..burst {
+        let response = client.read_response();
+        match response.body {
+            ResponseBody::Overloaded {
+                queue_depth,
+                capacity,
+            } => {
+                assert_eq!(capacity, 1);
+                assert!(queue_depth >= capacity, "rejected only when full");
+                overloaded += 1;
+            }
+            ResponseBody::Slept { ms } => {
+                assert!((ms - 200.0).abs() < f64::EPSILON);
+                slept += 1;
+            }
+            other => panic!("expected slept or overloaded, got {other:?}"),
+        }
+    }
+    assert!(overloaded > 0, "the burst must overflow the queue");
+    assert!(slept > 0, "admitted work still completes");
+    server.shutdown();
+}
+
+#[test]
+fn a_tiny_deadline_yields_deadline_exceeded() {
+    // One worker so the second request queues behind a long sleep and
+    // its 1 ms deadline lapses while it waits.
+    let server = Server::start(&["--workers", "1", "--queue", "8"]);
+    let mut client = server.connect();
+    client
+        .send_line(&RequestEnvelope::new(1, Request::Sleep(SleepRequest { ms: 300.0 })).to_json());
+    let mut doomed = RequestEnvelope::new(2, Request::Ping);
+    doomed.deadline_ms = Some(1.0);
+    client.send_line(&doomed.to_json());
+    let mut saw_deadline = false;
+    for _ in 0..2 {
+        let response = client.read_response();
+        if response.id == 2 {
+            match response.body {
+                ResponseBody::DeadlineExceeded { deadline_ms } => {
+                    assert!((deadline_ms - 1.0).abs() < f64::EPSILON);
+                    saw_deadline = true;
+                }
+                other => panic!("expected deadline_exceeded, got {other:?}"),
+            }
+        }
+    }
+    assert!(saw_deadline);
+    server.shutdown();
+}
+
+#[test]
+fn repeats_against_the_shared_cache_run_warm() {
+    let server = Server::start(&[]);
+    let mut client = server.connect();
+    let cold = client.roundtrip(&RequestEnvelope::new(1, compile_request("lenet5", "jain")));
+    let ResponseBody::Compile(cold) = cold.body else {
+        panic!("expected a compile outcome, got {:?}", cold.body);
+    };
+    assert_eq!(
+        cold.warm(),
+        Some(false),
+        "first compile misses the fresh shared cache"
+    );
+    // …even from a different connection: the cache is process-wide.
+    let mut other = server.connect();
+    let warm = other.roundtrip(&RequestEnvelope::new(2, compile_request("lenet5", "jain")));
+    let ResponseBody::Compile(warm) = warm.body else {
+        panic!("expected a compile outcome, got {:?}", warm.body);
+    };
+    assert_eq!(warm.warm(), Some(true), "repeat is served from the cache");
+    assert_eq!(warm.metrics, cold.metrics, "warm results are identical");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_gets_an_error_response_and_the_connection_survives() {
+    let server = Server::start(&[]);
+    let mut client = server.connect();
+    client.send_line("{this is not json");
+    let response = client.read_response();
+    assert_eq!(response.id, 0, "unparseable input cannot echo an id");
+    match &response.body {
+        ResponseBody::Error(e) => {
+            assert!(e.message.contains("invalid request"), "{e}");
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    // The connection is still usable afterwards.
+    let pong = client.roundtrip(&RequestEnvelope::new(5, Request::Ping));
+    assert_eq!(pong.id, 5);
+    assert!(matches!(pong.body, ResponseBody::Pong));
+
+    // An unknown request shape parses as JSON but not as an envelope.
+    let mut client2 = server.connect();
+    client2.send_line(r#"{"request": {"frobnicate": {}}}"#);
+    let response = client2.read_response();
+    assert!(matches!(response.body, ResponseBody::Error(_)));
+    server.shutdown();
+}
+
+#[test]
+fn after_shutdown_new_requests_are_refused_and_the_process_exits() {
+    let server = Server::start(&[]);
+    let mut client = server.connect();
+    let response = client.roundtrip(&RequestEnvelope::new(1, Request::Shutdown));
+    assert!(
+        matches!(response.body, ResponseBody::ShuttingDown { .. }),
+        "{:?}",
+        response.body
+    );
+    // The accept loop polls every 50 ms; well within a few seconds the
+    // process must be gone.
+    let mut server = server;
+    let mut status = None;
+    for _ in 0..200 {
+        if let Some(s) = server.child.try_wait().expect("wait works") {
+            status = Some(s);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let status = status.expect("server drains and exits after shutdown");
+    assert!(status.success(), "{status:?}");
+}
+
+#[test]
+fn loadtest_reports_warm_hits_against_a_live_server() {
+    let server = Server::start(&[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_cimc"))
+        .args([
+            "loadtest",
+            "--addr",
+            &server.addr,
+            "--requests",
+            "40",
+            "--concurrency",
+            "4",
+        ])
+        .output()
+        .expect("cimc loadtest runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("40 request(s) at concurrency 4"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("40 ok"), "{stdout}");
+    assert!(stdout.contains("0 protocol error(s)"), "{stdout}");
+    // 4 model×arch pairs: everything after the 4 cold compiles is warm,
+    // so the warm rate must clear 90/100 = 36/40.
+    assert!(stdout.contains("36/40 cache-eligible"), "{stdout}");
+    server.shutdown();
+}
