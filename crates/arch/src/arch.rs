@@ -126,6 +126,28 @@ impl CimArchitecture {
         Ok(out)
     }
 
+    /// Carves a spatial partition out of this chip: a copy owning
+    /// `cores` of the chip's cores (and therefore `cores × xb_count`
+    /// crossbars), with every other tier parameter unchanged. This is
+    /// the slice of hardware a co-resident tenant owns in a
+    /// multi-tenant deployment, so compiling a model against the
+    /// partition prices exactly what that slice can do.
+    ///
+    /// # Errors
+    /// Rejects `cores == 0` and `cores` beyond the chip's core count.
+    pub fn partition(&self, cores: u32) -> Result<Self> {
+        let available = self.chip.core_count();
+        if cores == 0 || cores > available {
+            return Err(ArchError::invalid(
+                "partition_cores",
+                format!("partition must own 1..={available} core(s), got {cores}"),
+            ));
+        }
+        let mut out = self.with_core_count(cores)?;
+        out.name = format!("{}[{cores}/{available} cores]", self.name);
+        Ok(out)
+    }
+
     /// Returns a copy with a different per-core crossbar count
     /// (Figure 22b).
     ///

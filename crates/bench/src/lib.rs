@@ -21,6 +21,7 @@ pub mod compile_time;
 pub mod loadtest;
 pub mod pool;
 pub mod report;
+pub mod stats;
 pub mod sweep;
 
 pub use compile_time::{
@@ -31,6 +32,7 @@ pub use loadtest::{
     LOADTEST_SCHEMA_VERSION,
 };
 pub use report::{compare, BenchReport, RegressionReport, ReportError, Tolerances};
+pub use stats::{percentile, LatencySummary};
 pub use sweep::{run_sweep, run_sweep_cached, ScheduleMode, SweepError, SweepSpec};
 
 use cim_arch::{presets, CellType, CimArchitecture, CrossbarTier, XbShape};

@@ -13,6 +13,7 @@
 //! format is versioned next to [`crate::report`]'s, with the same
 //! [`LOADTEST_MIN_SCHEMA_VERSION`] forwards-compat contract.
 
+use crate::stats::percentile;
 use serde::{Deserialize, Serialize};
 
 /// Version of the load-test report layout. Bump on any
@@ -123,16 +124,6 @@ pub struct LoadtestReport {
     pub max_ms: f64,
     /// Per-key rows, ranked by median latency (fastest first).
     pub entries: Vec<LoadtestEntry>,
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice (`q` in 0..=1).
-/// Empty input yields 0.
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = (q * sorted_ms.len() as f64).ceil() as usize;
-    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
 impl LoadtestReport {
@@ -292,16 +283,6 @@ mod tests {
             latency_ms,
             warm,
         }
-    }
-
-    #[test]
-    fn percentile_uses_nearest_rank() {
-        let ms: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&ms, 0.50), 50.0);
-        assert_eq!(percentile(&ms, 0.99), 99.0);
-        assert_eq!(percentile(&ms, 1.0), 100.0);
-        assert_eq!(percentile(&[7.5], 0.99), 7.5);
-        assert_eq!(percentile(&[], 0.5), 0.0);
     }
 
     #[test]

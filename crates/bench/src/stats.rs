@@ -1,0 +1,135 @@
+//! Shared latency statistics: nearest-rank percentiles and the
+//! p50/p99/max/mean summary every report in the stack quotes.
+//!
+//! Both the serve-layer load tester ([`crate::loadtest`]) and the
+//! traffic simulator (`cim-traffic`) reduce a bag of per-request
+//! latencies to the same four headline numbers. This module owns that
+//! math in one place so "p99" means the same thing in every report:
+//! the **nearest-rank** percentile of the ascending-sorted samples
+//! (exact order statistic, no interpolation), which is deterministic,
+//! unit-agnostic, and well-defined down to a single sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in
+/// `0..=1`). Empty input yields 0.
+///
+/// The nearest-rank definition returns an element of the input (never
+/// an interpolated midpoint): the `ceil(q·n)`-th smallest sample,
+/// clamped to the first for `q = 0`.
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The four-number latency summary (plus count and mean) shared by
+/// load-test and traffic reports. Unit-agnostic: the caller decides
+/// whether samples are milliseconds or cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Median ([`percentile`] at 0.50).
+    pub p50: f64,
+    /// 99th percentile ([`percentile`] at 0.99).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// The all-zero summary of an empty sample set.
+    #[must_use]
+    pub fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            p50: 0.0,
+            p99: 0.0,
+            max: 0.0,
+            mean: 0.0,
+        }
+    }
+
+    /// Summarizes `samples` in any order (they are copied and sorted
+    /// with [`f64::total_cmp`], so NaN-free inputs are totally ordered
+    /// and the result is independent of input order).
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self::of_sorted(&sorted)
+    }
+
+    /// Summarizes an already ascending-sorted sample slice without
+    /// copying it.
+    #[must_use]
+    pub fn of_sorted(sorted: &[f64]) -> Self {
+        if sorted.is_empty() {
+            return Self::empty();
+        }
+        LatencySummary {
+            count: sorted.len() as u64,
+            p50: percentile(sorted, 0.50),
+            p99: percentile(sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank_on_known_distributions() {
+        // 1..=100: the q-th percentile is exactly the q-th element.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+
+        // 10 samples: p50 is the 5th, p99 the 10th (ceil(9.9) = 10).
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 5.0);
+        assert_eq!(percentile(&v, 0.99), 10.0);
+
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_is_order_independent_and_pins_headline_numbers() {
+        let asc: Vec<f64> = (1..=100).map(f64::from).collect();
+        let mut desc = asc.clone();
+        desc.reverse();
+        let a = LatencySummary::of(&asc);
+        let b = LatencySummary::of(&desc);
+        assert_eq!(a, b);
+        assert_eq!(a.count, 100);
+        assert_eq!(a.p50, 50.0);
+        assert_eq!(a.p99, 99.0);
+        assert_eq!(a.max, 100.0);
+        assert!((a.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        assert_eq!(LatencySummary::of(&[]), LatencySummary::empty());
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = LatencySummary::of(&[3.0, 1.0, 2.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LatencySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -18,7 +18,7 @@
 //! byte-identical [`DseReport::comparable`] documents at any `--jobs`
 //! setting and any cache temperature.
 
-use crate::objective::{pareto_front, Objective};
+use crate::objective::{pareto_front, Objective, TrafficEval};
 use crate::report::{DseCandidate, DseFailure, DseReport, DseTiming, TracePoint, SCHEMA_VERSION};
 use crate::space::{DesignPoint, DesignSpace, SpaceError};
 use crate::strategy::{History, SearchStrategy};
@@ -26,6 +26,7 @@ use cim_bench::pool::run_ordered;
 use cim_bench::report::JobMetrics;
 use cim_compiler::{CompileCache, CompileOptions, Compiler};
 use cim_graph::Graph;
+use cim_traffic::{simulate_priced, Batching, Placement, PolicyKind, SimConfig, Trace};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,6 +38,12 @@ pub enum DseError {
     Space(SpaceError),
     /// The evaluation budget is zero.
     ZeroBudget,
+    /// The objective reads serving metrics but the explorer carries no
+    /// traffic workload ([`Explorer::with_traffic`]).
+    TrafficRequired {
+        /// The first traffic-requiring metric of the objective.
+        metric: String,
+    },
 }
 
 impl std::fmt::Display for DseError {
@@ -44,6 +51,11 @@ impl std::fmt::Display for DseError {
         match self {
             DseError::Space(e) => e.fmt(f),
             DseError::ZeroBudget => write!(f, "exploration budget must be at least 1"),
+            DseError::TrafficRequired { metric } => write!(
+                f,
+                "objective metric `{metric}` needs a traffic workload \
+                 (provide a trace to simulate candidates under)"
+            ),
         }
     }
 }
@@ -52,9 +64,25 @@ impl std::error::Error for DseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DseError::Space(e) => Some(e),
-            DseError::ZeroBudget => None,
+            _ => None,
         }
     }
+}
+
+/// The fixed serving workload candidates are simulated under when the
+/// objective includes a traffic metric: one trace, the graphs of every
+/// model it references, and the scheduling configuration. Held constant
+/// across the whole exploration so candidates are comparable.
+#[derive(Clone)]
+pub struct TrafficWorkload {
+    /// The request trace (its spec names the tenants and models).
+    pub trace: Trace,
+    /// Graph for every distinct model the trace's tenants run.
+    pub models: Vec<(String, Graph)>,
+    /// Scheduling policy candidates serve under.
+    pub policy: PolicyKind,
+    /// Batch-forming limits.
+    pub batching: Batching,
 }
 
 impl From<SpaceError> for DseError {
@@ -69,6 +97,7 @@ impl From<SpaceError> for DseError {
 pub struct Explorer {
     threads: usize,
     cache: Option<Arc<dyn CompileCache>>,
+    traffic: Option<TrafficWorkload>,
 }
 
 impl Explorer {
@@ -78,6 +107,7 @@ impl Explorer {
         Explorer {
             threads: 1,
             cache: None,
+            traffic: None,
         }
     }
 
@@ -96,6 +126,18 @@ impl Explorer {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<dyn CompileCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a fixed serving workload: every candidate architecture
+    /// is additionally carved into a balanced per-model placement,
+    /// priced through the shared compile cache, and replayed under
+    /// `workload.trace` — populating each candidate's `traffic`
+    /// evaluation and enabling the `p99_latency`/`throughput`/
+    /// `miss_rate` objectives.
+    #[must_use]
+    pub fn with_traffic(mut self, workload: TrafficWorkload) -> Self {
+        self.traffic = Some(workload);
         self
     }
 
@@ -122,6 +164,15 @@ impl Explorer {
         if budget == 0 {
             return Err(DseError::ZeroBudget);
         }
+        if objective.needs_traffic() && self.traffic.is_none() {
+            return Err(DseError::TrafficRequired {
+                metric: objective
+                    .first_traffic_metric()
+                    .expect("needs_traffic implies a traffic metric")
+                    .name()
+                    .to_owned(),
+            });
+        }
         let base = space.base_arch();
         let stats_before = self.cache.as_ref().map(|c| c.stats());
         let started = Instant::now();
@@ -147,16 +198,23 @@ impl Explorer {
                 .collect();
 
             let outcomes = run_ordered(&fresh, self.threads, |point| {
-                evaluate(point, graph, &base, self.cache.as_ref())
+                evaluate(
+                    point,
+                    graph,
+                    &base,
+                    self.traffic.as_ref(),
+                    self.cache.as_ref(),
+                )
             });
             for (point, outcome) in fresh.into_iter().zip(outcomes) {
                 match outcome {
-                    Ok((metrics, eval_ms)) => {
-                        let objectives = objective.vector(&metrics);
-                        let score = objective.score(&metrics);
+                    Ok((metrics, traffic, eval_ms)) => {
+                        let objectives = objective.vector(&metrics, traffic.as_ref());
+                        let score = objective.score(&metrics, traffic.as_ref());
                         history.record_success(DseCandidate {
                             point,
                             metrics,
+                            traffic,
                             objectives,
                             score,
                             eval_ms,
@@ -206,15 +264,18 @@ impl Explorer {
 }
 
 /// Compiles one candidate: realize the architecture, run the staged
-/// pipeline (with the shared cache when present), summarize. The
-/// returned metrics are pure functions of the point, so memoizing by
-/// point key is sound.
+/// pipeline (with the shared cache when present), summarize — and, when
+/// a traffic workload is attached, carve the candidate into a balanced
+/// placement and replay the trace against it. The returned metrics are
+/// pure functions of the point (and the fixed workload), so memoizing
+/// by point key is sound.
 fn evaluate(
     point: &DesignPoint,
     graph: &Graph,
     base: &cim_arch::CimArchitecture,
+    traffic: Option<&TrafficWorkload>,
     cache: Option<&Arc<dyn CompileCache>>,
-) -> Result<(JobMetrics, f64), String> {
+) -> Result<(JobMetrics, Option<TrafficEval>, f64), String> {
     let started = Instant::now();
     let arch = point
         .realize(base)
@@ -227,13 +288,48 @@ fn evaluate(
     if let Some(cache) = cache {
         session = session.with_cache(Arc::clone(cache));
     }
-    match session.finish() {
-        Ok(compiled) => {
-            let eval_ms = started.elapsed().as_secs_f64() * 1e3;
-            Ok((JobMetrics::from(&compiled.metrics(&arch)), eval_ms))
-        }
-        Err(e) => Err(e.to_string()),
-    }
+    let metrics = match session.finish() {
+        Ok(compiled) => JobMetrics::from(&compiled.metrics(&arch)),
+        Err(e) => return Err(e.to_string()),
+    };
+    let traffic_eval = match traffic {
+        Some(w) => Some(evaluate_traffic(&arch, w, cache)?),
+        None => None,
+    };
+    let eval_ms = started.elapsed().as_secs_f64() * 1e3;
+    Ok((metrics, traffic_eval, eval_ms))
+}
+
+/// Simulates the fixed workload on one candidate architecture. Pricing
+/// goes through the shared compile cache; the simulation itself is the
+/// bit-reproducible integer-cycle engine, so the result is a pure
+/// function of `(point, workload)` at any cache temperature.
+fn evaluate_traffic(
+    arch: &cim_arch::CimArchitecture,
+    workload: &TrafficWorkload,
+    cache: Option<&Arc<dyn CompileCache>>,
+) -> Result<TrafficEval, String> {
+    let placement = Placement::balanced(arch, &workload.trace.spec)
+        .map_err(|e| format!("traffic placement failed: {e}"))?;
+    let services = cim_traffic::price_placement(arch, &placement, &workload.models, cache, 1)
+        .map_err(|e| format!("traffic pricing failed: {e}"))?;
+    let config = SimConfig {
+        policy: workload.policy,
+        batching: workload.batching,
+    };
+    let (report, _) = simulate_priced(&workload.trace, arch, &placement, &services, &config, 1)
+        .map_err(|e| format!("traffic simulation failed: {e}"))?;
+    let agg = &report.aggregate;
+    let miss_rate = if agg.requests > 0 {
+        (agg.dropped + agg.missed) as f64 / agg.requests as f64
+    } else {
+        0.0
+    };
+    Ok(TrafficEval {
+        p99_latency: agg.latency.p99,
+        throughput: agg.throughput,
+        miss_rate,
+    })
 }
 
 #[cfg(test)]
@@ -334,6 +430,74 @@ mod tests {
         assert!(report.proposed <= 40);
         let start = &report.candidates[0];
         assert!(report.best().unwrap().score <= start.score);
+    }
+
+    #[test]
+    fn traffic_objective_without_workload_is_rejected_up_front() {
+        let graph = zoo::lenet5();
+        let mut strategy = Exhaustive::new();
+        let err = Explorer::new()
+            .explore(
+                &graph,
+                &tiny_space(),
+                &mut strategy,
+                &Objective::parse("p99_latency").unwrap(),
+                0,
+                4,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, DseError::TrafficRequired { metric } if metric == "p99_latency"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn traffic_objective_explores_and_reproduces_across_thread_counts() {
+        use cim_traffic::{GeneratorKind, TenantSpec, TraceSpec};
+        let spec = TraceSpec {
+            name: "dse-fixed".to_owned(),
+            kind: GeneratorKind::Poisson,
+            seed: 7,
+            horizon: 400_000,
+            mean_gap: 4_000.0,
+            burst_len: 8,
+            idle_gap: 50_000.0,
+            tenants: vec![TenantSpec {
+                name: "t0".to_owned(),
+                model: "lenet5".to_owned(),
+                weight: 1.0,
+                priority: 0,
+                deadline: Some(100_000),
+            }],
+        };
+        let workload = TrafficWorkload {
+            trace: spec.generate().unwrap(),
+            models: vec![("lenet5".to_owned(), zoo::lenet5())],
+            policy: PolicyKind::Edf,
+            batching: Batching::default(),
+        };
+        let graph = zoo::lenet5();
+        let objective = Objective::parse("p99_latency,throughput").unwrap();
+        let run = |threads: usize| {
+            let mut strategy = Exhaustive::new();
+            Explorer::new()
+                .with_threads(threads)
+                .with_traffic(workload.clone())
+                .explore(&graph, &tiny_space(), &mut strategy, &objective, 0, 8)
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert!(!a.front.is_empty());
+        assert!(a.candidates.iter().all(|c| c.traffic.is_some()));
+        let c = a.best().unwrap();
+        assert!(c.traffic.unwrap().throughput > 0.0);
+        assert_eq!(
+            a.comparable().to_json(),
+            b.comparable().to_json(),
+            "traffic exploration must be thread-count invariant"
+        );
     }
 
     #[test]

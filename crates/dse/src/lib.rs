@@ -52,8 +52,8 @@ pub mod report;
 pub mod space;
 pub mod strategy;
 
-pub use explorer::{DseError, Explorer};
-pub use objective::{dominates, pareto_front, Metric, Objective, ObjectiveError};
+pub use explorer::{DseError, Explorer, TrafficWorkload};
+pub use objective::{dominates, pareto_front, Metric, Objective, ObjectiveError, TrafficEval};
 pub use report::{
     DseCandidate, DseFailure, DseReport, DseReportError, DseTiming, TracePoint, MIN_SCHEMA_VERSION,
     SCHEMA_VERSION,

@@ -10,8 +10,30 @@
 //! [`pareto_front`].
 
 use cim_bench::report::JobMetrics;
+use serde::{Deserialize, Serialize};
 
-/// One optimizable scalar of a compilation's metrics.
+/// The serving-quality scalars of one design point under a fixed
+/// traffic workload — produced by simulating the candidate architecture
+/// with `cim-traffic` and consumed by the traffic [`Metric`] family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficEval {
+    /// Aggregate p99 request latency in cycles (minimize).
+    pub p99_latency: f64,
+    /// Served requests per million cycles (maximize).
+    pub throughput: f64,
+    /// Fraction of requests dropped or served past their deadline
+    /// (minimize).
+    pub miss_rate: f64,
+}
+
+/// One optimizable scalar of a design point's evaluation.
+///
+/// The first four read the compile metrics of the candidate
+/// architecture; the traffic family ([`Metric::P99Latency`],
+/// [`Metric::Throughput`], [`Metric::MissRate`]) reads a [`TrafficEval`]
+/// obtained by replaying a fixed request trace against the candidate,
+/// and is only available when the explorer was given a traffic
+/// workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// End-to-end inference latency in cycles (minimize).
@@ -22,20 +44,38 @@ pub enum Metric {
     PeakPower,
     /// Peak fraction of crossbars simultaneously active (maximize).
     Utilization,
+    /// Aggregate p99 serving latency under the traffic workload
+    /// (minimize).
+    P99Latency,
+    /// Served throughput under the traffic workload (maximize).
+    Throughput,
+    /// Drop + deadline-miss rate under the traffic workload (minimize).
+    MissRate,
 }
 
 impl Metric {
     /// Every metric, in canonical order.
-    pub const ALL: [Metric; 4] = [
+    pub const ALL: [Metric; 7] = [
         Metric::Latency,
         Metric::Energy,
         Metric::PeakPower,
         Metric::Utilization,
+        Metric::P99Latency,
+        Metric::Throughput,
+        Metric::MissRate,
     ];
 
     /// Canonical names accepted by [`Metric::parse`] and the
     /// `cimc explore --objective` flag, in [`Metric::ALL`] order.
-    pub const NAMES: [&'static str; 4] = ["latency", "energy", "peak-power", "utilization"];
+    pub const NAMES: [&'static str; 7] = [
+        "latency",
+        "energy",
+        "peak-power",
+        "utilization",
+        "p99_latency",
+        "throughput",
+        "miss_rate",
+    ];
 
     /// Stable CLI/report name.
     #[must_use]
@@ -45,6 +85,9 @@ impl Metric {
             Metric::Energy => "energy",
             Metric::PeakPower => "peak-power",
             Metric::Utilization => "utilization",
+            Metric::P99Latency => "p99_latency",
+            Metric::Throughput => "throughput",
+            Metric::MissRate => "miss_rate",
         }
     }
 
@@ -57,25 +100,55 @@ impl Metric {
     /// Whether smaller raw values are better for this metric.
     #[must_use]
     pub fn lower_is_better(self) -> bool {
-        !matches!(self, Metric::Utilization)
+        !matches!(self, Metric::Utilization | Metric::Throughput)
     }
 
-    /// The raw value of this metric in `metrics`.
+    /// Whether this metric reads a [`TrafficEval`] (and therefore
+    /// requires the explorer to carry a traffic workload).
     #[must_use]
-    pub fn value(self, metrics: &JobMetrics) -> f64 {
+    pub fn needs_traffic(self) -> bool {
+        matches!(
+            self,
+            Metric::P99Latency | Metric::Throughput | Metric::MissRate
+        )
+    }
+
+    /// The raw value of this metric in an evaluation.
+    ///
+    /// # Panics
+    /// Panics when a traffic metric is read without a [`TrafficEval`];
+    /// the explorer pre-validates (`DseError::TrafficRequired`) so this
+    /// cannot fire on the `cimc explore` path.
+    #[must_use]
+    pub fn value(self, metrics: &JobMetrics, traffic: Option<&TrafficEval>) -> f64 {
+        let serving = || {
+            traffic.unwrap_or_else(|| {
+                panic!(
+                    "metric `{}` requires a traffic evaluation, but none was provided",
+                    self.name()
+                )
+            })
+        };
         match self {
             Metric::Latency => metrics.latency_cycles,
             Metric::Energy => metrics.energy_total,
             Metric::PeakPower => metrics.peak_power,
             Metric::Utilization => metrics.utilization,
+            Metric::P99Latency => serving().p99_latency,
+            Metric::Throughput => serving().throughput,
+            Metric::MissRate => serving().miss_rate,
         }
     }
 
     /// The direction-adjusted value: raw for minimized metrics, negated
     /// for maximized ones, so *lower is always better*.
+    ///
+    /// # Panics
+    /// Like [`Metric::value`], panics when a traffic metric is read
+    /// without a [`TrafficEval`].
     #[must_use]
-    pub fn goal_value(self, metrics: &JobMetrics) -> f64 {
-        let v = self.value(metrics);
+    pub fn goal_value(self, metrics: &JobMetrics, traffic: Option<&TrafficEval>) -> f64 {
+        let v = self.value(metrics, traffic);
         if self.lower_is_better() {
             v
         } else {
@@ -230,25 +303,49 @@ impl Objective {
         self.terms.len()
     }
 
+    /// Whether any term reads a [`TrafficEval`] — such objectives can
+    /// only be explored with a traffic workload attached.
+    #[must_use]
+    pub fn needs_traffic(&self) -> bool {
+        self.terms.iter().any(|(m, _)| m.needs_traffic())
+    }
+
+    /// The first traffic-requiring metric, if any (for error messages).
+    #[must_use]
+    pub fn first_traffic_metric(&self) -> Option<Metric> {
+        self.terms
+            .iter()
+            .map(|(m, _)| *m)
+            .find(|m| m.needs_traffic())
+    }
+
     /// The direction-adjusted, *unweighted* per-metric vector — the
     /// coordinates Pareto dominance is decided on (lower is better in
     /// every coordinate).
+    ///
+    /// # Panics
+    /// Panics when a traffic term is evaluated without a
+    /// [`TrafficEval`] (see [`Metric::value`]).
     #[must_use]
-    pub fn vector(&self, metrics: &JobMetrics) -> Vec<f64> {
+    pub fn vector(&self, metrics: &JobMetrics, traffic: Option<&TrafficEval>) -> Vec<f64> {
         self.terms
             .iter()
-            .map(|(m, _)| m.goal_value(metrics))
+            .map(|(m, _)| m.goal_value(metrics, traffic))
             .collect()
     }
 
     /// The weighted scalarization (lower is better): the ranking key of
     /// hill-climbing and evolutionary selection, and the quantity the
     /// convergence trace records.
+    ///
+    /// # Panics
+    /// Panics when a traffic term is evaluated without a
+    /// [`TrafficEval`] (see [`Metric::value`]).
     #[must_use]
-    pub fn score(&self, metrics: &JobMetrics) -> f64 {
+    pub fn score(&self, metrics: &JobMetrics, traffic: Option<&TrafficEval>) -> f64 {
         self.terms
             .iter()
-            .map(|(m, w)| w * m.goal_value(metrics))
+            .map(|(m, w)| w * m.goal_value(metrics, traffic))
             .sum()
     }
 }
@@ -355,18 +452,40 @@ mod tests {
         let b = metrics(100.0, 50.0, 0.5);
         let o = Objective::single(Metric::Utilization);
         assert!(
-            o.score(&a) < o.score(&b),
+            o.score(&a, None) < o.score(&b, None),
             "higher utilization scores better"
         );
-        assert_eq!(o.vector(&a), vec![-0.9]);
+        assert_eq!(o.vector(&a, None), vec![-0.9]);
     }
 
     #[test]
     fn weighted_score_folds_directions() {
         let m = metrics(100.0, 50.0, 0.5);
         let o = Objective::parse("latency:2,energy").unwrap();
-        assert_eq!(o.score(&m), 2.0 * 100.0 + 50.0);
-        assert_eq!(o.vector(&m), vec![100.0, 50.0]);
+        assert_eq!(o.score(&m, None), 2.0 * 100.0 + 50.0);
+        assert_eq!(o.vector(&m, None), vec![100.0, 50.0]);
+    }
+
+    #[test]
+    fn traffic_metrics_read_the_traffic_eval() {
+        let m = metrics(100.0, 50.0, 0.5);
+        let t = TrafficEval {
+            p99_latency: 9_000.0,
+            throughput: 12.5,
+            miss_rate: 0.25,
+        };
+        let o = Objective::parse("p99_latency,throughput,miss_rate").unwrap();
+        assert!(o.needs_traffic());
+        assert_eq!(o.first_traffic_metric(), Some(Metric::P99Latency));
+        assert_eq!(o.vector(&m, Some(&t)), vec![9_000.0, -12.5, 0.25]);
+        assert!(!Objective::parse("latency,energy").unwrap().needs_traffic());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a traffic evaluation")]
+    fn traffic_metric_without_eval_panics() {
+        let m = metrics(100.0, 50.0, 0.5);
+        let _ = Objective::single(Metric::P99Latency).score(&m, None);
     }
 
     #[test]

@@ -20,7 +20,11 @@ use serde::{Deserialize, Serialize};
 /// # History
 ///
 /// * **1** — initial layout.
-pub const SCHEMA_VERSION: u32 = 1;
+/// * **2** — candidates gain an optional `traffic` evaluation
+///   (serving p99/throughput/miss-rate under a fixed trace, for the
+///   `p99_latency`/`throughput`/`miss_rate` objective family). Absent
+///   for compile-only objectives, so v1 documents still load.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Oldest report layout [`DseReport::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -32,6 +36,12 @@ pub struct DseCandidate {
     pub point: DesignPoint,
     /// Full deterministic metrics of the compilation.
     pub metrics: JobMetrics,
+    /// Serving-quality scalars under the run's traffic workload, when
+    /// the exploration carried one. Deterministic like `metrics` (the
+    /// simulation is bit-reproducible), so kept by
+    /// [`DseReport::comparable`].
+    #[serde(default)]
+    pub traffic: Option<crate::objective::TrafficEval>,
     /// Direction-adjusted per-objective values (lower is better; the
     /// coordinates the Pareto front is decided on).
     pub objectives: Vec<f64>,
@@ -244,13 +254,20 @@ impl DseReport {
         ));
         for c in self.front_candidates() {
             out.push_str(&format!(
-                "  {:<34} score {:>14.4}  latency {:>14.0}  energy {:>14.1}  util {:>6.3}\n",
+                "  {:<34} score {:>14.4}  latency {:>14.0}  energy {:>14.1}  util {:>6.3}",
                 c.point.key(),
                 c.score,
                 c.metrics.latency_cycles,
                 c.metrics.energy_total,
                 c.metrics.utilization,
             ));
+            if let Some(t) = &c.traffic {
+                out.push_str(&format!(
+                    "  p99 {:>12.0}  thrpt {:>8.2}/Mcyc  miss {:>6.3}",
+                    t.p99_latency, t.throughput, t.miss_rate
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -310,6 +327,7 @@ mod tests {
                 DseCandidate {
                     point: point(),
                     metrics: metrics(1000.0),
+                    traffic: None,
                     objectives: vec![1000.0],
                     score: 1000.0,
                     eval_ms: 1.5,
@@ -320,6 +338,11 @@ mod tests {
                         ..point()
                     },
                     metrics: metrics(800.0),
+                    traffic: Some(crate::objective::TrafficEval {
+                        p99_latency: 9_000.0,
+                        throughput: 12.5,
+                        miss_rate: 0.1,
+                    }),
                     objectives: vec![800.0],
                     score: 800.0,
                     eval_ms: 2.5,
@@ -386,8 +409,23 @@ mod tests {
         assert_eq!(c.candidates[0].eval_ms, 0.0);
         assert_eq!(c.cache_stats, None);
         assert_eq!(c.candidates[0].metrics, r.candidates[0].metrics);
+        assert_eq!(
+            c.candidates[1].traffic, r.candidates[1].traffic,
+            "traffic evaluation is deterministic and survives comparable()"
+        );
         assert_eq!(c.front, r.front);
         assert_eq!(c.trace, r.trace);
+    }
+
+    #[test]
+    fn v1_documents_without_traffic_still_load() {
+        let mut r = report();
+        r.schema_version = 1;
+        let json = r.to_json().replace("\"traffic\"", "\"traffic_unknown\"");
+        // serde ignores the unknown key and defaults `traffic` to None.
+        let back = DseReport::from_json(&json).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert!(back.candidates.iter().all(|c| c.traffic.is_none()));
     }
 
     #[test]

@@ -645,6 +645,7 @@ mod tests {
         history.record_success(DseCandidate {
             point: first[0].clone(),
             metrics: test_metrics(1000.0),
+            traffic: None,
             objectives: vec![1000.0],
             score: 1000.0,
             eval_ms: 0.0,

@@ -58,10 +58,12 @@ pub mod func;
 pub mod kernels;
 pub mod perf_flow;
 pub mod reference;
+pub mod service;
 pub mod trace;
 pub mod weights;
 
 pub use func::{Machine, SimError};
+pub use service::ServiceModel;
 pub use weights::WeightStore;
 
 // Parallel drivers (the `cim-bench` sweep pool) run one simulator per

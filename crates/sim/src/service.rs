@@ -1,0 +1,101 @@
+//! Request-serving cost model: what one inference (and one *batch* of
+//! inferences) costs on a given compiled schedule.
+//!
+//! The performance simulator prices a single inference; a serving
+//! simulator needs the cost of back-to-back requests. A compiled
+//! pipeline overlaps consecutive inferences at its steady-state
+//! initiation interval, so a batch of `b` requests occupies the
+//! hardware for `latency + (b - 1) × interval` cycles — the first
+//! result after the full pipeline latency, every further one an
+//! interval later. [`ServiceModel`] captures exactly those two numbers,
+//! quantized to integer cycles so downstream discrete-event simulation
+//! stays in exact integer arithmetic.
+
+use cim_compiler::CompileMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Integer-cycle serving costs derived from one compiled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// End-to-end latency of a single inference, in cycles (≥ 1).
+    pub latency_cycles: u64,
+    /// Steady-state initiation interval between pipelined inferences,
+    /// in cycles (≥ 1, ≤ `latency_cycles`).
+    pub interval_cycles: u64,
+}
+
+impl ServiceModel {
+    /// Builds the model from compile metrics, rounding fractional
+    /// cycles up (a request can never finish mid-cycle) and clamping
+    /// both figures to at least one cycle.
+    #[must_use]
+    pub fn from_metrics(metrics: &CompileMetrics) -> Self {
+        let latency = ceil_cycles(metrics.latency_cycles);
+        let interval = ceil_cycles(metrics.steady_state_interval).min(latency);
+        ServiceModel {
+            latency_cycles: latency,
+            interval_cycles: interval,
+        }
+    }
+
+    /// Cycles one batch of `batch` requests occupies the partition:
+    /// `latency + (batch - 1) × interval`. A zero batch costs nothing.
+    #[must_use]
+    pub fn batch_cycles(&self, batch: usize) -> u64 {
+        if batch == 0 {
+            return 0;
+        }
+        self.latency_cycles + (batch as u64 - 1) * self.interval_cycles
+    }
+}
+
+fn ceil_cycles(cycles: f64) -> u64 {
+    if cycles.is_finite() && cycles > 1.0 {
+        cycles.ceil() as u64
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::presets;
+    use cim_compiler::Compiler;
+    use cim_graph::zoo;
+
+    #[test]
+    fn batch_cost_is_latency_plus_intervals() {
+        let m = ServiceModel {
+            latency_cycles: 100,
+            interval_cycles: 10,
+        };
+        assert_eq!(m.batch_cycles(0), 0);
+        assert_eq!(m.batch_cycles(1), 100);
+        assert_eq!(m.batch_cycles(4), 130);
+    }
+
+    #[test]
+    fn degenerate_metrics_clamp_to_one_cycle() {
+        let mut metrics = compile_metrics();
+        metrics.latency_cycles = 0.0;
+        metrics.steady_state_interval = f64::NAN;
+        let m = ServiceModel::from_metrics(&metrics);
+        assert_eq!(m.latency_cycles, 1);
+        assert_eq!(m.interval_cycles, 1);
+    }
+
+    #[test]
+    fn real_compile_yields_positive_pipelined_model() {
+        let m = ServiceModel::from_metrics(&compile_metrics());
+        assert!(m.latency_cycles >= 1);
+        assert!(1 <= m.interval_cycles && m.interval_cycles <= m.latency_cycles);
+    }
+
+    fn compile_metrics() -> CompileMetrics {
+        let graph = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let compiled = Compiler::new().compile(&graph, &arch).unwrap();
+        compiled.metrics(&arch)
+    }
+}

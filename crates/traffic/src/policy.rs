@@ -1,0 +1,247 @@
+//! Pluggable scheduling policies and the batching knob.
+//!
+//! A [`SchedPolicy`] decides, each time a partition frees up, *which*
+//! queued requests board the next batch: the engine sorts the
+//! partition's queue by [`SchedPolicy::compare`] and takes the front.
+//! Policies therefore compose with batching instead of replacing it —
+//! the [`Batching`] limits (max batch size, max head-of-line wait) are
+//! honored identically by every policy.
+//!
+//! Built-ins:
+//!
+//! | name       | order                                   | drop-on-miss |
+//! |------------|-----------------------------------------|--------------|
+//! | `fifo`     | arrival time                            | no           |
+//! | `priority` | priority (desc), then arrival           | no           |
+//! | `edf`      | absolute deadline (asc), then arrival   | yes          |
+//!
+//! `edf` is the deadline-aware policy: earliest-deadline-first order,
+//! and a request whose deadline has already passed when the batch is
+//! formed is *dropped* (counted, never served) instead of wasting the
+//! partition on an answer nobody can use.
+
+use crate::trace::TraceEvent;
+use std::cmp::Ordering;
+
+/// Batch-forming limits honored by every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batching {
+    /// Most requests one batch may carry (≥ 1).
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait, in cycles, before a
+    /// partial batch is dispatched anyway. `0` dispatches as soon as
+    /// the partition is free.
+    pub max_wait: u64,
+}
+
+impl Default for Batching {
+    fn default() -> Self {
+        Batching {
+            max_batch: 8,
+            max_wait: 0,
+        }
+    }
+}
+
+/// A queued request: the trace event plus the cycle it joined the
+/// queue (its arrival, kept separate so policies cannot confuse the
+/// two once re-queueing policies exist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Queued {
+    /// The trace event.
+    pub event: TraceEvent,
+    /// Cycle the request entered its partition queue.
+    pub enqueued: u64,
+}
+
+/// A scheduling discipline over one partition's queue.
+///
+/// Implementations must be total, deterministic orders: the engine
+/// sorts by [`SchedPolicy::compare`] (stable sort, so equal elements
+/// keep arrival order) and dispatches the front of the queue.
+pub trait SchedPolicy: Send + Sync {
+    /// Stable policy name, as listed by `cimc list policies`.
+    fn name(&self) -> &'static str;
+
+    /// Orders two queued requests; [`Ordering::Less`] boards first.
+    fn compare(&self, a: &Queued, b: &Queued) -> Ordering;
+
+    /// Whether a request whose deadline has passed at batch-forming
+    /// time is dropped instead of served.
+    fn drop_on_miss(&self) -> bool {
+        false
+    }
+}
+
+/// First-in, first-out: order of arrival, blind to everything else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl SchedPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn compare(&self, a: &Queued, b: &Queued) -> Ordering {
+        (a.event.arrival, a.event.id).cmp(&(b.event.arrival, b.event.id))
+    }
+}
+
+/// Strict priority: higher `priority` first, FIFO within a class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Priority;
+
+impl SchedPolicy for Priority {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn compare(&self, a: &Queued, b: &Queued) -> Ordering {
+        b.event
+            .priority
+            .cmp(&a.event.priority)
+            .then_with(|| (a.event.arrival, a.event.id).cmp(&(b.event.arrival, b.event.id)))
+    }
+}
+
+/// Earliest-deadline-first with drop-on-miss. Requests without a
+/// deadline sort last (an infinite deadline) and are never dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdfDrop;
+
+impl SchedPolicy for EdfDrop {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn compare(&self, a: &Queued, b: &Queued) -> Ordering {
+        let da = a.event.deadline.unwrap_or(u64::MAX);
+        let db = b.event.deadline.unwrap_or(u64::MAX);
+        da.cmp(&db)
+            .then_with(|| (a.event.arrival, a.event.id).cmp(&(b.event.arrival, b.event.id)))
+    }
+
+    fn drop_on_miss(&self) -> bool {
+        true
+    }
+}
+
+/// The built-in policies, nameable from the CLI and the wire API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`Fifo`].
+    Fifo,
+    /// [`Priority`].
+    Priority,
+    /// [`EdfDrop`].
+    Edf,
+}
+
+impl PolicyKind {
+    /// Every built-in policy, in canonical order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Fifo, PolicyKind::Priority, PolicyKind::Edf];
+
+    /// Canonical names accepted by [`PolicyKind::parse`] and the
+    /// `cimc simulate --policies` flag, in [`PolicyKind::ALL`] order.
+    pub const NAMES: [&'static str; 3] = ["fifo", "priority", "edf"];
+
+    /// Stable CLI/report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Priority => "priority",
+            PolicyKind::Edf => "edf",
+        }
+    }
+
+    /// Parses a name produced by [`PolicyKind::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Instantiates the policy.
+    #[must_use]
+    pub fn build(self) -> Box<dyn SchedPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(Fifo),
+            PolicyKind::Priority => Box::new(Priority),
+            PolicyKind::Edf => Box::new(EdfDrop),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(id: u64, arrival: u64, priority: u32, deadline: Option<u64>) -> Queued {
+        Queued {
+            event: TraceEvent {
+                id,
+                tenant: 0,
+                arrival,
+                priority,
+                deadline,
+            },
+            enqueued: arrival,
+        }
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival_then_id() {
+        let p = Fifo;
+        assert_eq!(
+            p.compare(&queued(0, 5, 9, None), &queued(1, 6, 0, None)),
+            Ordering::Less
+        );
+        assert_eq!(
+            p.compare(&queued(1, 5, 0, None), &queued(0, 5, 9, None)),
+            Ordering::Greater
+        );
+        assert!(!p.drop_on_miss());
+    }
+
+    #[test]
+    fn priority_prefers_urgent_then_fifo() {
+        let p = Priority;
+        assert_eq!(
+            p.compare(&queued(9, 50, 2, None), &queued(1, 1, 0, None)),
+            Ordering::Less
+        );
+        assert_eq!(
+            p.compare(&queued(1, 1, 1, None), &queued(2, 2, 1, None)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn edf_prefers_earliest_deadline_and_sorts_deadline_free_last() {
+        let p = EdfDrop;
+        assert_eq!(
+            p.compare(&queued(9, 50, 0, Some(100)), &queued(1, 1, 9, Some(200))),
+            Ordering::Less
+        );
+        assert_eq!(
+            p.compare(&queued(0, 1, 0, Some(1_000_000)), &queued(1, 2, 0, None)),
+            Ordering::Less
+        );
+        assert!(p.drop_on_miss());
+    }
+
+    #[test]
+    fn kinds_round_trip_names() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(PolicyKind::parse("lifo"), None);
+    }
+}

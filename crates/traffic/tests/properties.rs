@@ -1,0 +1,159 @@
+//! Property tests for the traffic subsystem's determinism and policy
+//! invariants:
+//!
+//! * identical `(spec, seed)` pairs serialize to byte-identical trace
+//!   files, across generator kinds and tenant mixes;
+//! * `comparable()` reports are bit-identical at 1 and 4 simulation
+//!   threads;
+//! * EDF never serves an admitted request while a strictly-earlier-
+//!   deadline request sits in the same queue (checked against the
+//!   dispatch log).
+
+use cim_arch::presets;
+use cim_sim::ServiceModel;
+use cim_traffic::{
+    simulate_priced, Batching, GeneratorKind, Placement, PolicyKind, SimConfig, TenantSpec, Trace,
+    TraceSpec,
+};
+use proptest::prelude::*;
+
+/// Arbitrary small-but-varied specs: 1–3 tenants over the two smallest
+/// zoo models, every generator kind, and optional deadlines.
+fn specs() -> impl Strategy<Value = TraceSpec> {
+    (
+        prop_oneof![
+            Just(GeneratorKind::Poisson),
+            Just(GeneratorKind::Bursty),
+            Just(GeneratorKind::Mix),
+        ],
+        0u64..1_000,
+        100_000u64..400_000,
+        (200u32..4_000).prop_map(f64::from),
+        1u32..24,
+        (1_000u32..40_000).prop_map(f64::from),
+        proptest::collection::vec(
+            (
+                prop_oneof![Just("lenet5"), Just("mlp")],
+                0u32..4,
+                proptest::option::of(5_000u64..80_000),
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(
+            |(kind, seed, horizon, mean_gap, burst_len, idle_gap, tenants)| TraceSpec {
+                name: "prop".into(),
+                kind,
+                seed,
+                horizon,
+                mean_gap,
+                burst_len,
+                idle_gap,
+                tenants: tenants
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, (model, priority, deadline))| TenantSpec {
+                        name: format!("t{idx}"),
+                        model: model.to_owned(),
+                        weight: 1.0 + idx as f64,
+                        priority,
+                        deadline,
+                    })
+                    .collect(),
+            },
+        )
+}
+
+/// A fixed service per partition: deterministic and cheap, so the
+/// properties exercise the engine rather than the compiler.
+fn services(n: usize) -> Vec<ServiceModel> {
+    vec![
+        ServiceModel {
+            latency_cycles: 4_000,
+            interval_cycles: 400,
+        };
+        n
+    ]
+}
+
+fn config(policy: PolicyKind) -> SimConfig {
+    SimConfig {
+        policy,
+        batching: Batching {
+            max_batch: 4,
+            max_wait: 0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn identical_specs_generate_byte_identical_traces(spec in specs()) {
+        let a = spec.generate().unwrap().to_json();
+        let b = spec.generate().unwrap().to_json();
+        prop_assert_eq!(&a, &b, "same (spec, seed) must be byte-identical");
+        // And the file round-trips losslessly.
+        let reparsed = Trace::from_json(&a).unwrap();
+        prop_assert_eq!(reparsed.to_json(), a);
+    }
+
+    #[test]
+    fn comparable_reports_are_bit_identical_across_thread_counts(spec in specs()) {
+        let trace = spec.generate().unwrap();
+        let arch = presets::isaac_baseline();
+        let placement = Placement::balanced(&arch, &spec).unwrap();
+        let services = services(placement.partitions.len());
+        for policy in PolicyKind::ALL {
+            let (one, _) = simulate_priced(
+                &trace, &arch, &placement, &services, &config(policy), 1,
+            )
+            .unwrap();
+            let (four, _) = simulate_priced(
+                &trace, &arch, &placement, &services, &config(policy), 4,
+            )
+            .unwrap();
+            prop_assert_eq!(
+                one.comparable().to_json(),
+                four.comparable().to_json(),
+                "policy {:?} diverged across thread counts",
+                policy
+            );
+        }
+    }
+
+    #[test]
+    fn edf_never_serves_past_an_earlier_deadline_in_queue(spec in specs()) {
+        let trace = spec.generate().unwrap();
+        let arch = presets::isaac_baseline();
+        let placement = Placement::balanced(&arch, &spec).unwrap();
+        let services = services(placement.partitions.len());
+        let (_, log) = simulate_priced(
+            &trace, &arch, &placement, &services, &config(PolicyKind::Edf), 1,
+        )
+        .unwrap();
+        let deadline_of = |id: u64| trace.requests[id as usize].deadline;
+        for record in &log {
+            // Every request left queued must have a deadline no earlier
+            // than every request dispatched in this batch (requests
+            // without a deadline sort last).
+            let latest_served = record
+                .batch
+                .iter()
+                .map(|&id| deadline_of(id).unwrap_or(u64::MAX))
+                .max()
+                .unwrap_or(0);
+            for &queued in &record.queued {
+                prop_assert!(
+                    deadline_of(queued).unwrap_or(u64::MAX) >= latest_served,
+                    "request {} (deadline {:?}) was left queued while a later-deadline \
+                     request was served at cycle {}",
+                    queued,
+                    deadline_of(queued),
+                    record.at
+                );
+            }
+        }
+    }
+}

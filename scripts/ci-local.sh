@@ -5,12 +5,13 @@
 # cache-consistency (cold-vs-warm sweep equivalence + speedup),
 # dse-smoke (seeded exploration determinism + warm-cache reuse),
 # compile-perf (median cold-compile budgets + drift vs the baseline),
-# and serve-smoke (persistent server under a scripted loadtest).
+# serve-smoke (persistent server under a scripted loadtest), and
+# traffic-smoke (deterministic multi-tenant serving simulation).
 #
 # usage: scripts/ci-local.sh [job...]
 #   job ∈ build-and-test | lint | bench-report | cache-consistency |
-#         dse-smoke | compile-perf | serve-smoke
-#   (no arguments = run all seven, in CI order)
+#         dse-smoke | compile-perf | serve-smoke | traffic-smoke
+#   (no arguments = run all eight, in CI order)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -187,9 +188,53 @@ serve_smoke() {
     wait "$server_pid"
 }
 
+# Multi-tenant serving simulation gate: generate the fixed-seed bursty
+# two-tenant trace, replay it under all three policies, and require
+# (a) byte-identical --comparable report arrays at --jobs 1 vs --jobs 4,
+# (b) a baseline match against the committed bench/traffic-baseline.json
+# (same schema_version, byte-identical metrics), and (c) EDF beating
+# FIFO on tail latency under the bursty overload (the reason the policy
+# exists). Set TRAFFIC_SMOKE_DIR to keep the logs/reports (CI uploads
+# them).
+traffic_smoke() {
+    local dir="${TRAFFIC_SMOKE_DIR:-}"
+    if [ -z "$dir" ]; then
+        dir="$(mktemp -d)"
+        trap 'rm -rf "$dir"' RETURN
+    fi
+    mkdir -p "$dir"
+    cargo build --release --bin cimc
+
+    bold "traffic-smoke: fixed-seed bursty two-tenant trace"
+    ./target/release/cimc trace --models lenet5,mlp --kind bursty --seed 11 \
+        --mean-gap 100 --burst-len 128 --idle-gap 50000 --deadline 8000 \
+        --horizon 2000000 --out "$dir/trace.json" | tee "$dir/trace.log"
+
+    bold "traffic-smoke: all three policies at --jobs 1 and --jobs 4"
+    ./target/release/cimc simulate --trace "$dir/trace.json" --jobs 1 \
+        --comparable --out "$dir/j1.json" | tee "$dir/j1.log"
+    ./target/release/cimc simulate --trace "$dir/trace.json" --jobs 4 \
+        --comparable --out "$dir/j4.json" | tee "$dir/j4.log"
+
+    bold "traffic-smoke: comparable reports byte-identical across thread counts"
+    cmp "$dir/j1.json" "$dir/j4.json"
+
+    bold "traffic-smoke: committed baseline matches (schema + metrics)"
+    cmp "$dir/j1.json" bench/traffic-baseline.json
+
+    bold "traffic-smoke: EDF beats FIFO on p99 under bursty overload"
+    # Ranked table columns: rank policy p50 p99 max served dropped ...
+    local edf_p99 fifo_p99
+    edf_p99=$(awk '$2 == "edf" { print $4 }' "$dir/j1.log")
+    fifo_p99=$(awk '$2 == "fifo" { print $4 }' "$dir/j1.log")
+    echo "edf p99=${edf_p99} fifo p99=${fifo_p99}"
+    test -n "$edf_p99" && test -n "$fifo_p99"
+    test "$edf_p99" -lt "$fifo_p99"
+}
+
 jobs=("$@")
 if [ ${#jobs[@]} -eq 0 ]; then
-    jobs=(build-and-test lint bench-report cache-consistency dse-smoke compile-perf serve-smoke)
+    jobs=(build-and-test lint bench-report cache-consistency dse-smoke compile-perf serve-smoke traffic-smoke)
 fi
 for job in "${jobs[@]}"; do
     case "$job" in
@@ -200,8 +245,9 @@ for job in "${jobs[@]}"; do
         dse-smoke) dse_smoke ;;
         compile-perf) compile_perf ;;
         serve-smoke) serve_smoke ;;
+        traffic-smoke) traffic_smoke ;;
         *)
-            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency, dse-smoke, compile-perf or serve-smoke)" >&2
+            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency, dse-smoke, compile-perf, serve-smoke or traffic-smoke)" >&2
             exit 2
             ;;
     esac

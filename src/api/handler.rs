@@ -14,15 +14,19 @@ use cim_compiler::{
     Artifact, CodegenPass, CompileCache, CompileOptions, DiskCache, MemoryCache, Pipeline,
     StageKind,
 };
-use cim_dse::{DesignSpace, DseReport, Explorer, Metric, Objective, StrategyKind};
+use cim_dse::{DesignSpace, DseReport, Explorer, Metric, Objective, StrategyKind, TrafficWorkload};
 use cim_graph::{zoo, Graph};
 use cim_mop::FlowStats;
 use cim_sim::{reference, Machine, WeightStore};
+use cim_traffic::{
+    simulate_priced, Batching, GeneratorKind, Placement, PolicyKind, SimConfig, TenantSpec, Trace,
+    TraceSpec, TrafficReport, TrafficTiming,
+};
 
 use super::{
     ApiError, BenchRequest, CachePolicy, CompileOutcome, CompilePerfRequest, CompileRequest,
     ExploreRequest, FlowSummary, ListRequest, Request, RequestEnvelope, Response, ResponseBody,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    SimulateRequest, TraceRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::Error;
 
@@ -62,6 +66,61 @@ fn model(name: &str) -> Result<Graph, String> {
         other => Err(format!(
             "unknown model `{other}` (try `cimc models` or a .json path)"
         )),
+    }
+}
+
+/// Validates a trace that arrived pre-deserialized through the typed
+/// API (so it skipped [`Trace::from_json`]'s checks), returning a clone.
+fn revalidated(trace: &Trace) -> Result<Trace, ApiError> {
+    trace
+        .validate()
+        .map_err(|e| ApiError::argument(e.to_string()))?;
+    Ok(trace.clone())
+}
+
+/// Resolves the distinct models a trace's tenants reference, in first-
+/// appearance order — the `(name, graph)` list placement pricing needs.
+fn trace_models(spec: &TraceSpec) -> Result<Vec<(String, Graph)>, ApiError> {
+    let mut models: Vec<(String, Graph)> = Vec::new();
+    for tenant in &spec.tenants {
+        if models.iter().any(|(name, _)| *name == tenant.model) {
+            continue;
+        }
+        let graph = model(&tenant.model).map_err(ApiError::input)?;
+        models.push((tenant.model.clone(), graph));
+    }
+    Ok(models)
+}
+
+/// The fixed built-in workload `cimc explore --objective p99_latency`
+/// uses when no trace is supplied: two tenants (a deadline-bound lenet5
+/// flow and a background mlp flow) under a seeded Poisson process.
+/// Fixed parameters keep explore runs reproducible by construction.
+fn default_explore_spec() -> TraceSpec {
+    TraceSpec {
+        name: "builtin-explore".to_owned(),
+        kind: GeneratorKind::Poisson,
+        seed: 42,
+        horizon: 1_000_000,
+        mean_gap: 5_000.0,
+        burst_len: 8,
+        idle_gap: 10.0,
+        tenants: vec![
+            TenantSpec {
+                name: "interactive".to_owned(),
+                model: "lenet5".to_owned(),
+                weight: 2.0,
+                priority: 1,
+                deadline: Some(200_000),
+            },
+            TenantSpec {
+                name: "batch".to_owned(),
+                model: "mlp".to_owned(),
+                weight: 1.0,
+                priority: 0,
+                deadline: None,
+            },
+        ],
     }
 }
 
@@ -138,6 +197,14 @@ impl Handler {
             },
             Request::Explore(req) => match self.explore(req) {
                 Ok(report) => ResponseBody::Explore { report },
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::Trace(req) => match Self::trace(req) {
+                Ok((trace, description)) => ResponseBody::Trace { trace, description },
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::Simulate(req) => match self.simulate(req) {
+                Ok(reports) => ResponseBody::Simulate { reports },
                 Err(e) => ResponseBody::Error(e),
             },
             Request::List(req) => match Self::list(req) {
@@ -409,12 +476,160 @@ impl Handler {
         if let Some(cache) = &cache {
             explorer = explorer.with_cache(Arc::clone(cache));
         }
+        // Traffic objectives (and any explicitly supplied trace) attach
+        // a fixed serving workload: every candidate is additionally
+        // simulated under it, making `p99_latency`/`throughput`/
+        // `miss_rate` optimizable. With no trace given, a fixed
+        // built-in two-tenant spec keeps `--objective p99_latency`
+        // usable out of the box — fixed, so runs stay reproducible.
+        if objective.needs_traffic() || req.trace.is_some() || req.trace_spec.is_some() {
+            explorer = explorer.with_traffic(Self::explore_workload(req)?);
+        }
         let mut strategy = kind.build(seed);
         explorer
             .explore(&graph, &space, strategy.as_mut(), &objective, seed, budget)
             // Space/budget problems are argument errors (exit 2); both
             // were pre-validated above, so anything here is unexpected.
             .map_err(|e| ApiError::argument(e.to_string()))
+    }
+
+    /// Resolves an explore request's traffic workload: explicit trace,
+    /// generated spec, or the fixed built-in default.
+    fn explore_workload(req: &ExploreRequest) -> Result<TrafficWorkload, ApiError> {
+        let trace = match (&req.trace, &req.trace_spec) {
+            (Some(_), Some(_)) => {
+                return Err(ApiError::argument(
+                    "an explore request takes `trace` or `trace_spec`, not both",
+                ));
+            }
+            (Some(trace), None) => revalidated(trace)?,
+            (None, Some(spec)) => spec
+                .generate()
+                .map_err(|e| ApiError::argument(e.to_string()))?,
+            (None, None) => default_explore_spec()
+                .generate()
+                .expect("the built-in explore spec is valid"),
+        };
+        let policy_name = req.policy.as_deref().unwrap_or("edf");
+        let Some(policy) = PolicyKind::parse(policy_name) else {
+            return Err(ApiError::argument(format!(
+                "unknown policy `{policy_name}` (known: {})",
+                PolicyKind::NAMES.join(", ")
+            )));
+        };
+        let models = trace_models(&trace.spec)?;
+        Ok(TrafficWorkload {
+            trace,
+            models,
+            policy,
+            batching: Batching::default(),
+        })
+    }
+
+    /// The `cimc trace` core: generate from a spec, or describe an
+    /// existing trace.
+    fn trace(req: &TraceRequest) -> Result<(Option<Trace>, String), ApiError> {
+        match (&req.spec, &req.trace) {
+            (Some(spec), None) => {
+                let trace = spec
+                    .generate()
+                    .map_err(|e| ApiError::argument(e.to_string()))?;
+                let description = trace.describe();
+                Ok((Some(trace), description))
+            }
+            (None, Some(trace)) => {
+                let trace = revalidated(trace)?;
+                Ok((None, trace.describe()))
+            }
+            _ => Err(ApiError::argument(
+                "a trace request needs exactly one of `spec` (generate) or `trace` (describe)",
+            )),
+        }
+    }
+
+    /// The `cimc simulate` core: resolve trace, architecture, placement
+    /// and policies, price the partitions once (through the resolved
+    /// cache), and replay the trace once per policy.
+    fn simulate(&self, req: &SimulateRequest) -> Result<Vec<TrafficReport>, ApiError> {
+        let trace = match (&req.trace, &req.spec) {
+            (Some(trace), None) => revalidated(trace)?,
+            (None, Some(spec)) => spec
+                .generate()
+                .map_err(|e| ApiError::argument(e.to_string()))?,
+            _ => {
+                return Err(ApiError::argument(
+                    "a simulate request needs exactly one of `trace` or `spec`",
+                ));
+            }
+        };
+        let arch = preset(req.arch.as_deref().unwrap_or("isaac")).map_err(ApiError::input)?;
+        let placement = match &req.placement {
+            Some(partitions) => {
+                let placement = Placement {
+                    partitions: partitions.clone(),
+                };
+                placement
+                    .validate(&arch)
+                    .map_err(|e| ApiError::argument(e.to_string()))?;
+                placement
+            }
+            None => Placement::balanced(&arch, &trace.spec)
+                .map_err(|e| ApiError::input(e.to_string()))?,
+        };
+        let policies: Vec<PolicyKind> = match &req.policies {
+            None => PolicyKind::ALL.to_vec(),
+            Some(names) => names
+                .iter()
+                .map(|name| {
+                    PolicyKind::parse(name).ok_or_else(|| {
+                        ApiError::argument(format!(
+                            "unknown policy `{name}` (known: {})",
+                            PolicyKind::NAMES.join(", ")
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if policies.is_empty() {
+            return Err(ApiError::argument("no policies to simulate"));
+        }
+        let batching = Batching {
+            max_batch: req.max_batch.unwrap_or(8),
+            max_wait: req.max_wait.unwrap_or(0),
+        };
+        if batching.max_batch == 0 {
+            return Err(ApiError::argument("--max-batch must be at least 1"));
+        }
+        let models = trace_models(&trace.spec)?;
+        let threads = if req.jobs == 0 {
+            available_parallelism()
+        } else {
+            req.jobs
+        };
+        // Pricing compiles each placed model once; an in-memory cache by
+        // default lets partitions with shared pipeline prefixes reuse
+        // artifacts, like bench/explore.
+        let cache = self.resolve_cache(&req.cache, || {
+            Some(Arc::new(MemoryCache::new()) as Arc<dyn CompileCache>)
+        })?;
+        let services =
+            cim_traffic::price_placement(&arch, &placement, &models, cache.as_ref(), threads)
+                .map_err(|e| ApiError::input(e.to_string()))?;
+        policies
+            .iter()
+            .map(|&policy| {
+                let started = Instant::now();
+                let config = SimConfig { policy, batching };
+                let (mut report, _) =
+                    simulate_priced(&trace, &arch, &placement, &services, &config, threads)
+                        .map_err(|e| ApiError::input(e.to_string()))?;
+                report.timing = TrafficTiming {
+                    total_ms: started.elapsed().as_secs_f64() * 1e3,
+                    threads,
+                };
+                Ok(report)
+            })
+            .collect()
     }
 
     /// The `cimc list` core: the discoverable vocabularies, one value
@@ -426,10 +641,12 @@ impl Handler {
             "modes" => ScheduleMode::ALL.iter().map(|m| m.name()).collect(),
             "strategies" => StrategyKind::NAMES.to_vec(),
             "objectives" => Metric::NAMES.to_vec(),
+            "policies" => PolicyKind::NAMES.to_vec(),
+            "traces" => GeneratorKind::NAMES.to_vec(),
             other => {
                 return Err(ApiError::argument(format!(
-                    "unknown list category `{other}` (expected models, archs, modes, strategies \
-                     or objectives)"
+                    "unknown list category `{other}` (expected models, archs, modes, strategies, \
+                     objectives, policies or traces)"
                 )));
             }
         };

@@ -40,6 +40,7 @@ pub use handler::Handler;
 use cim_bench::{BenchReport, CompileTimeRecord, ScheduleMode};
 use cim_compiler::{CacheStats, CompileMetrics, PassTimeline, PerfReport};
 use cim_dse::{DesignSpace, DseReport};
+use cim_traffic::{Partition, Trace, TraceSpec, TrafficReport};
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire protocol (requests *and* responses). Bump on any
@@ -308,12 +309,76 @@ pub struct ExploreRequest {
     /// Which cache candidate evaluation shares.
     #[serde(default)]
     pub cache: CachePolicy,
+    /// Pre-generated trace candidates are simulated under when the
+    /// objective includes a traffic metric (`p99_latency`, `throughput`,
+    /// `miss_rate`). Mutually exclusive with `trace_spec`.
+    #[serde(default)]
+    pub trace: Option<Trace>,
+    /// Trace spec to generate the workload from (alternative to
+    /// `trace`). When both are absent and the objective needs traffic,
+    /// a fixed built-in two-tenant spec is used.
+    #[serde(default)]
+    pub trace_spec: Option<TraceSpec>,
+    /// Scheduling policy for traffic evaluation (default `edf`).
+    #[serde(default)]
+    pub policy: Option<String>,
+}
+
+/// `cimc trace` as a request: generate a trace from an inline spec, or
+/// describe an existing trace. Exactly one of `spec`/`trace` must be
+/// set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Spec to generate from (the generated trace is returned).
+    #[serde(default)]
+    pub spec: Option<TraceSpec>,
+    /// An existing trace to describe.
+    #[serde(default)]
+    pub trace: Option<Trace>,
+}
+
+/// `cimc simulate` as a request: replay a trace against an architecture
+/// under one or more scheduling policies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateRequest {
+    /// The trace to replay. Mutually exclusive with `spec`; exactly one
+    /// must be set.
+    #[serde(default)]
+    pub trace: Option<Trace>,
+    /// Spec to generate the trace from (alternative to `trace`).
+    #[serde(default)]
+    pub spec: Option<TraceSpec>,
+    /// Preset name or `.json` architecture path (default `isaac`).
+    #[serde(default)]
+    pub arch: Option<String>,
+    /// Explicit per-model partitions; absent means a balanced carve
+    /// derived from the trace's tenant weights.
+    #[serde(default)]
+    pub placement: Option<Vec<Partition>>,
+    /// Policy names to simulate, in report order (default all
+    /// built-ins).
+    #[serde(default)]
+    pub policies: Option<Vec<String>>,
+    /// Largest batch one dispatch may carry (default 8).
+    #[serde(default)]
+    pub max_batch: Option<usize>,
+    /// Longest head-of-line wait before a partial batch dispatches, in
+    /// cycles (default 0: dispatch as soon as free).
+    #[serde(default)]
+    pub max_wait: Option<u64>,
+    /// Worker threads; 0 means all available cores.
+    #[serde(default)]
+    pub jobs: usize,
+    /// Which cache partition pricing compiles against.
+    #[serde(default)]
+    pub cache: CachePolicy,
 }
 
 /// `cimc list` as a request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ListRequest {
-    /// One of `models`, `archs`, `modes`, `strategies`, `objectives`.
+    /// One of `models`, `archs`, `modes`, `strategies`, `objectives`,
+    /// `policies`, `traces`.
     pub category: String,
 }
 
@@ -348,7 +413,13 @@ pub enum Request {
     Bench(BenchRequest),
     /// Run a design-space exploration.
     Explore(ExploreRequest),
-    /// List a vocabulary (models, archs, modes, strategies, objectives).
+    /// Generate or describe a request trace.
+    Trace(TraceRequest),
+    /// Replay a trace against an architecture under scheduling
+    /// policies.
+    Simulate(SimulateRequest),
+    /// List a vocabulary (models, archs, modes, strategies, objectives,
+    /// policies, traces).
     List(ListRequest),
     /// Measure the compile-time gate workloads once.
     CompilePerf(CompilePerfRequest),
@@ -381,6 +452,24 @@ impl Request {
                 e.strategy.as_deref().unwrap_or("hill-climb"),
                 e.model.as_deref().unwrap_or("lenet5")
             ),
+            Request::Trace(t) => {
+                let name = t
+                    .spec
+                    .as_ref()
+                    .map(|s| s.name.as_str())
+                    .or_else(|| t.trace.as_ref().map(|t| t.spec.name.as_str()))
+                    .unwrap_or("?");
+                format!("trace {name}")
+            }
+            Request::Simulate(s) => {
+                let name = s
+                    .trace
+                    .as_ref()
+                    .map(|t| t.spec.name.as_str())
+                    .or_else(|| s.spec.as_ref().map(|sp| sp.name.as_str()))
+                    .unwrap_or("?");
+                format!("simulate {name}@{}", s.arch.as_deref().unwrap_or("isaac"))
+            }
             Request::List(l) => format!("list {}", l.category),
             Request::CompilePerf(_) => "compile-perf".to_owned(),
             Request::Ping => "ping".to_owned(),
@@ -533,6 +622,19 @@ pub enum ResponseBody {
     Explore {
         /// The exploration report.
         report: DseReport,
+    },
+    /// A trace request's result.
+    Trace {
+        /// The generated trace (present when a spec was given;
+        /// describing an existing trace echoes nothing back).
+        trace: Option<Trace>,
+        /// Human-readable per-tenant description table.
+        description: String,
+    },
+    /// A simulate request's result.
+    Simulate {
+        /// One report per requested policy, in request order.
+        reports: Vec<TrafficReport>,
     },
     /// A list request's result.
     List {

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 use cim_bench::BenchReport;
 use cim_compiler::{CacheStats, CompileMetrics, PassTimeline, PerfReport};
 use cim_dse::DseReport;
+use cim_traffic::TrafficReport;
 use serde::Serialize;
 
 use super::{ApiError, CompileOutcome, ErrorKind};
@@ -217,6 +218,31 @@ pub fn render_explore(report: &DseReport) -> String {
     );
     if let Some(stats) = &report.cache_stats {
         let _ = writeln!(out, "cache: {}", stats.render());
+    }
+    out
+}
+
+/// Renders a trace response: the human-readable description (the
+/// generated trace itself goes to `--out`, which stays in the shim).
+#[must_use]
+pub fn render_trace(description: &str) -> String {
+    description.to_owned()
+}
+
+/// Renders a simulate response: each policy's full report, then — when
+/// more than one policy ran — the ranked comparison table.
+#[must_use]
+pub fn render_simulate(reports: &[TrafficReport]) -> String {
+    let mut out = String::new();
+    for (idx, report) in reports.iter().enumerate() {
+        if idx > 0 {
+            out.push('\n');
+        }
+        out.push_str(&report.render());
+    }
+    if reports.len() > 1 {
+        out.push('\n');
+        out.push_str(&TrafficReport::render_ranked(reports));
     }
     out
 }

@@ -23,7 +23,7 @@ use cim_mlc::api::args::{
 };
 use cim_mlc::api::{
     render, ApiError, BenchRequest, CompilePerfRequest, CompileRequest, ExploreRequest, Handler,
-    LevelArg, ListRequest, ModeArg, Request, ResponseBody, StageArg,
+    LevelArg, ListRequest, ModeArg, Request, ResponseBody, SimulateRequest, StageArg, TraceRequest,
 };
 use cim_mlc::compiler::TieredCache;
 use cim_mlc::loadtest::{run_loadtest, send_shutdown, LoadtestOptions};
@@ -34,8 +34,8 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str =
-    "usage:\n  cimc archs\n  cimc models\n  cimc list <models|archs|modes|strategies|objectives>\n  \
+const USAGE: &str = "usage:\n  cimc archs\n  cimc models\n  \
+cimc list <models|archs|modes|strategies|objectives|policies|traces>\n  \
 cimc compile --model <name|file.json> --arch <preset> \
 [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--jobs <n>] [--schedule] [--flow <lines>] [--verify] \
 [--timings] [--dump-stage cg|mvm|vvm] [--json] [--cache-dir <dir>] [--no-cache]\n  \
@@ -46,8 +46,14 @@ cimc compile-perf [--samples <n>] [--attempts <n>] [--baseline <file.json>] \
 [--tolerance <pct>]\n  \
 cimc explore [--model <name|file.json>] [--space <file.json>] \
 [--strategy exhaustive|random|hill-climb|evolutionary] [--budget <n>] [--seed <n>] \
-[--objective <metric[:w],..>] [--jobs <n>] [--out <file.json>] [--comparable] \
-[--cache-dir <dir>] [--no-cache]\n  \
+[--objective <metric[:w],..>] [--trace <file.json>] [--policy fifo|priority|edf] [--jobs <n>] \
+[--out <file.json>] [--comparable] [--cache-dir <dir>] [--no-cache]\n  \
+cimc trace [--models <a,b,..>] [--kind poisson|bursty|mix] [--name <s>] [--seed <n>] \
+[--horizon <cycles>] [--mean-gap <cycles>] [--burst-len <n>] [--idle-gap <cycles>] \
+[--deadline <cycles>] [--spec <file.json>] [--describe <trace.json>] [--out <file.json>]\n  \
+cimc simulate (--trace <file.json> | --spec <file.json>) [--arch <preset>] \
+[--policies <a,b,..>] [--max-batch <n>] [--max-wait <cycles>] [--jobs <n>] \
+[--out <file.json>] [--comparable] [--cache-dir <dir>] [--no-cache]\n  \
 cimc serve [--tcp <host:port>] [--stdio] [--workers <n>] [--queue <n>] \
 [--deadline-ms <ms>] [--cache-dir <dir>] [--no-cache]\n  \
 cimc loadtest --addr <host:port> [--requests <n>] [--concurrency <n>] \
@@ -310,7 +316,10 @@ fn cmd_compile(args: &[String]) -> ExitCode {
 /// into `xargs`/scripts instead of reading source).
 fn cmd_list(args: &[String]) -> ExitCode {
     let Some(category) = args.first() else {
-        eprintln!("`cimc list` needs a category (models, archs, modes, strategies or objectives)");
+        eprintln!(
+            "`cimc list` needs a category (models, archs, modes, strategies, objectives, \
+             policies or traces)"
+        );
         return usage();
     };
     if let Some(extra) = args.get(1) {
@@ -337,6 +346,18 @@ fn load_space_file(path: &str) -> Result<DesignSpace, String> {
     serde_json::from_str(&json).map_err(|e| format!("invalid design space `{path}`: {e}"))
 }
 
+/// Loads and validates a trace document (`cimc trace --out` output).
+fn load_trace_file(path: &str) -> Result<Trace, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e).render_chain())?;
+    Trace::from_json(&json).map_err(|e| format!("invalid trace `{path}`: {e}"))
+}
+
+/// Loads a trace spec file (validation happens in the handler).
+fn load_spec_file(path: &str) -> Result<TraceSpec, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e).render_chain())?;
+    serde_json::from_str(&json).map_err(|e| format!("invalid trace spec `{path}`: {e}"))
+}
+
 #[allow(clippy::too_many_lines)]
 fn cmd_explore(args: &[String]) -> ExitCode {
     let mut model_name: Option<String> = None;
@@ -345,6 +366,8 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut budget: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut objective_expr: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut policy_name: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut comparable = false;
@@ -353,7 +376,8 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--model" | "--space" | "--strategy" | "--objective" | "--out" | "--cache-dir" => {
+            "--model" | "--space" | "--strategy" | "--objective" | "--trace" | "--policy"
+            | "--out" | "--cache-dir" => {
                 let flag = args[i].clone();
                 let value = match value_of(args, &flag, i) {
                     Ok(v) => v,
@@ -367,6 +391,8 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                     "--space" => space_path = Some(value),
                     "--strategy" => strategy_name = Some(value),
                     "--objective" => objective_expr = Some(value),
+                    "--trace" => trace_path = Some(value),
+                    "--policy" => policy_name = Some(value),
                     "--out" => out = Some(value),
                     _ => cache_dir = Some(value),
                 }
@@ -458,11 +484,24 @@ fn cmd_explore(args: &[String]) -> ExitCode {
         },
         None => None,
     };
+    let trace = match &trace_path {
+        Some(path) => match load_trace_file(path) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let request = Request::Explore(ExploreRequest {
         model: model_name,
         space,
         strategy: strategy_name,
         objective: objective_expr,
+        trace,
+        trace_spec: None,
+        policy: policy_name,
         budget,
         seed,
         jobs: jobs.unwrap_or(0),
@@ -484,6 +523,406 @@ fn cmd_explore(args: &[String]) -> ExitCode {
         } else {
             report.to_json()
         };
+        json.push('\n');
+        if let Err(e) = write_atomic(Path::new(&path), json.as_bytes()) {
+            eprintln!("cannot write report to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cimc trace` — generate a seeded request trace (or describe an
+/// existing one with `--describe`). Flags build a [`TraceSpec`] inline;
+/// `--spec` loads one from JSON for full per-tenant control.
+#[allow(clippy::too_many_lines)]
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut models: Option<Vec<String>> = None;
+    let mut kind: Option<GeneratorKind> = None;
+    let mut name: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut horizon: Option<u64> = None;
+    let mut mean_gap: Option<f64> = None;
+    let mut burst_len: Option<u32> = None;
+    let mut idle_gap: Option<f64> = None;
+    let mut deadline: Option<u64> = None;
+    let mut spec_path: Option<String> = None;
+    let mut describe_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--models" | "--name" | "--spec" | "--describe" | "--out" => {
+                let flag = args[i].clone();
+                let value = match value_of(args, &flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match flag.as_str() {
+                    "--models" => models = Some(split_list(&value)),
+                    "--name" => name = Some(value),
+                    "--spec" => spec_path = Some(value),
+                    "--describe" => describe_path = Some(value),
+                    _ => out = Some(value),
+                }
+                i += 2;
+            }
+            "--kind" => {
+                let value = match value_of(args, "--kind", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                kind = GeneratorKind::parse(&value);
+                if kind.is_none() {
+                    eprintln!(
+                        "invalid --kind `{value}` (expected {})",
+                        GeneratorKind::NAMES.join(", ")
+                    );
+                    return usage();
+                }
+                i += 2;
+            }
+            "--seed" | "--horizon" | "--burst-len" | "--deadline" => {
+                let flag = args[i].clone();
+                let value = match value_of(args, &flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_unsigned(&flag, &value) {
+                    Ok(n) => match flag.as_str() {
+                        "--seed" => seed = Some(n),
+                        "--horizon" => horizon = Some(n),
+                        #[allow(clippy::cast_possible_truncation)]
+                        "--burst-len" => burst_len = Some(n.min(u64::from(u32::MAX)) as u32),
+                        _ => deadline = Some(n),
+                    },
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--mean-gap" | "--idle-gap" => {
+                let flag = args[i].clone();
+                let value = match value_of(args, &flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match value.parse::<f64>() {
+                    Ok(gap) if gap.is_finite() && gap >= 1.0 => {
+                        if flag == "--mean-gap" {
+                            mean_gap = Some(gap);
+                        } else {
+                            idle_gap = Some(gap);
+                        }
+                    }
+                    _ => {
+                        eprintln!("invalid {flag} value `{value}` (expected cycles >= 1)");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let generation_flags = models.is_some()
+        || kind.is_some()
+        || name.is_some()
+        || seed.is_some()
+        || horizon.is_some()
+        || mean_gap.is_some()
+        || burst_len.is_some()
+        || idle_gap.is_some()
+        || deadline.is_some();
+    let request = if let Some(path) = &describe_path {
+        if generation_flags || spec_path.is_some() || out.is_some() {
+            eprintln!("--describe cannot be combined with generation flags, --spec or --out");
+            return usage();
+        }
+        let trace = match load_trace_file(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        TraceRequest {
+            spec: None,
+            trace: Some(trace),
+        }
+    } else if let Some(path) = &spec_path {
+        if generation_flags {
+            eprintln!("--spec cannot be combined with inline generation flags");
+            return usage();
+        }
+        let spec = match load_spec_file(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        TraceRequest {
+            spec: Some(spec),
+            trace: None,
+        }
+    } else {
+        let Some(models) = models else {
+            eprintln!("`cimc trace` needs --models <a,b,..> (or --spec / --describe)");
+            return usage();
+        };
+        let kind = kind.unwrap_or(GeneratorKind::Poisson);
+        let mean_gap = mean_gap.unwrap_or(5_000.0);
+        // Earlier-listed tenants get higher priority so the `priority`
+        // policy is meaningful on inline-generated traces; full
+        // per-tenant control lives in `--spec`.
+        let count = models.len();
+        let tenants = models
+            .into_iter()
+            .enumerate()
+            .map(|(idx, model)| TenantSpec {
+                name: format!("tenant{idx}"),
+                model,
+                weight: 1.0,
+                priority: u32::try_from(count - 1 - idx).unwrap_or(0),
+                deadline,
+            })
+            .collect();
+        let spec = TraceSpec {
+            name: name.unwrap_or_else(|| "trace".to_owned()),
+            kind,
+            seed: seed.unwrap_or(42),
+            horizon: horizon.unwrap_or(1_000_000),
+            mean_gap,
+            burst_len: burst_len.unwrap_or(8),
+            // Bursty streams idle an order of magnitude longer than they
+            // burst unless told otherwise.
+            idle_gap: idle_gap.unwrap_or(mean_gap * 10.0),
+            tenants,
+        };
+        TraceRequest {
+            spec: Some(spec),
+            trace: None,
+        }
+    };
+    let (trace, description) = match Handler::new().handle(&Request::Trace(request)) {
+        ResponseBody::Trace { trace, description } => (trace, description),
+        ResponseBody::Error(e) => return fail(&e),
+        _ => unreachable!("trace requests yield trace responses"),
+    };
+    print!("{}", render::render_trace(&description));
+    if let Some(path) = out {
+        let Some(trace) = trace else {
+            eprintln!("--out needs a generated trace");
+            return usage();
+        };
+        let mut json = trace.to_json();
+        json.push('\n');
+        if let Err(e) = write_atomic(Path::new(&path), json.as_bytes()) {
+            eprintln!("cannot write trace to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cimc simulate` — replay a trace against a chip partitioned across
+/// the trace's models, once per scheduling policy, and rank the
+/// policies. `--out` writes the JSON report array atomically.
+#[allow(clippy::too_many_lines)]
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let mut trace_path: Option<String> = None;
+    let mut spec_path: Option<String> = None;
+    let mut arch_name: Option<String> = None;
+    let mut policies: Option<Vec<String>> = None;
+    let mut max_batch: Option<usize> = None;
+    let mut max_wait: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut comparable = false;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" | "--spec" | "--arch" | "--out" | "--cache-dir" => {
+                let flag = args[i].clone();
+                let value = match value_of(args, &flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match flag.as_str() {
+                    "--trace" => trace_path = Some(value),
+                    "--spec" => spec_path = Some(value),
+                    "--arch" => arch_name = Some(value),
+                    "--out" => out = Some(value),
+                    _ => cache_dir = Some(value),
+                }
+                i += 2;
+            }
+            "--policies" => {
+                match value_of(args, "--policies", i) {
+                    Ok(v) => policies = Some(split_list(&v)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--max-batch" => {
+                let value = match value_of(args, "--max-batch", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_positive("--max-batch", &value) {
+                    Ok(n) => max_batch = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--max-wait" => {
+                let value = match value_of(args, "--max-wait", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_unsigned("--max-wait", &value) {
+                    Ok(n) => max_wait = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                let value = match value_of(args, "--jobs", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_positive("--jobs", &value) {
+                    Ok(n) => jobs = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--comparable" => {
+                comparable = true;
+                i += 1;
+            }
+            "--no-cache" => {
+                no_cache = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let cache = match cache_policy(no_cache, cache_dir) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let (trace, spec) = match (&trace_path, &spec_path) {
+        (Some(_), Some(_)) => {
+            eprintln!("--trace cannot be combined with --spec");
+            return usage();
+        }
+        (Some(path), None) => match load_trace_file(path) {
+            Ok(t) => (Some(t), None),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(path)) => match load_spec_file(path) {
+            Ok(s) => (None, Some(s)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => {
+            eprintln!("`cimc simulate` needs --trace <file.json> or --spec <file.json>");
+            return usage();
+        }
+    };
+    let request = Request::Simulate(SimulateRequest {
+        trace,
+        spec,
+        arch: arch_name,
+        placement: None,
+        policies,
+        max_batch,
+        max_wait,
+        jobs: jobs.unwrap_or(0),
+        cache,
+    });
+    let reports = match Handler::new().handle(&request) {
+        ResponseBody::Simulate { reports } => reports,
+        ResponseBody::Error(e) => return fail(&e),
+        _ => unreachable!("simulate requests yield traffic reports"),
+    };
+    print!("{}", render::render_simulate(&reports));
+    if let Some(path) = out {
+        // Atomic like `bench --out`; `--comparable` zeroes the wall
+        // clocks so committed baselines only change when metrics do.
+        let docs: Vec<TrafficReport> = if comparable {
+            reports.iter().map(TrafficReport::comparable).collect()
+        } else {
+            reports.clone()
+        };
+        let mut json =
+            serde_json::to_string_pretty(&docs).expect("traffic reports always serialize");
         json.push('\n');
         if let Err(e) = write_atomic(Path::new(&path), json.as_bytes()) {
             eprintln!("cannot write report to `{path}`: {e}");
@@ -1251,6 +1690,8 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("compile-perf") => cmd_compile_perf(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("help" | "--help" | "-h") => {
@@ -1260,7 +1701,7 @@ fn main() -> ExitCode {
         Some(other) => {
             eprintln!(
                 "unknown subcommand `{other}` (expected archs, models, list, compile, bench, \
-                 compile-perf, explore, serve, loadtest or help)"
+                 compile-perf, explore, trace, simulate, serve, loadtest or help)"
             );
             usage()
         }

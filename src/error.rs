@@ -28,6 +28,7 @@ use cim_bench::{ReportError, SweepError};
 use cim_compiler::CompileError;
 use cim_dse::{DseError, DseReportError};
 use cim_graph::GraphError;
+use cim_traffic::{TraceError, TrafficError};
 
 /// Any error the CIM-MLC stack can produce, with the subsystem error as
 /// its [`source`](std::error::Error::source).
@@ -48,6 +49,10 @@ pub enum Error {
     Dse(DseError),
     /// An exploration report document was rejected.
     DseReport(DseReportError),
+    /// A trace spec or trace document was rejected.
+    Trace(TraceError),
+    /// A traffic simulation could not run.
+    Traffic(TrafficError),
     /// An API request failed (see [`crate::api::ApiError::kind`]).
     Api(crate::api::ApiError),
     /// A file could not be read or written.
@@ -94,6 +99,8 @@ impl fmt::Display for Error {
             Error::Report(_) => write!(f, "invalid bench report"),
             Error::Dse(_) => write!(f, "invalid exploration"),
             Error::DseReport(_) => write!(f, "invalid exploration report"),
+            Error::Trace(_) => write!(f, "invalid trace"),
+            Error::Traffic(_) => write!(f, "traffic simulation failed"),
             Error::Api(_) => write!(f, "request failed"),
             Error::Io { path, .. } => write!(f, "cannot access `{path}`"),
         }
@@ -110,6 +117,8 @@ impl StdError for Error {
             Error::Report(e) => Some(e),
             Error::Dse(e) => Some(e),
             Error::DseReport(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::Traffic(e) => Some(e),
             Error::Api(e) => Some(e),
             Error::Io { source, .. } => Some(source),
         }
@@ -155,6 +164,18 @@ impl From<DseError> for Error {
 impl From<DseReportError> for Error {
     fn from(e: DseReportError) -> Self {
         Error::DseReport(e)
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<TrafficError> for Error {
+    fn from(e: TrafficError) -> Self {
+        Error::Traffic(e)
     }
 }
 
@@ -204,6 +225,8 @@ mod tests {
         let _: Error = ReportError::Parse("x".into()).into();
         let _: Error = DseError::ZeroBudget.into();
         let _: Error = DseReportError::Parse("x".into()).into();
+        let _: Error = TraceError::InvalidSpec("x".into()).into();
+        let _: Error = TrafficError::UnplacedModel("x".into()).into();
         let _: Error = crate::api::ApiError::argument("x").into();
     }
 }

@@ -24,7 +24,12 @@
 //! * [`dse`] (`cim-dse`) — design-space exploration: pluggable search
 //!   strategies over the parameterized architecture axes,
 //!   multi-objective Pareto fronts, cached parallel candidate
-//!   evaluation (`cimc explore`).
+//!   evaluation (`cimc explore`);
+//! * [`traffic`] (`cim-traffic`) — trace-driven multi-tenant serving
+//!   simulation: seeded workload generators, spatial crossbar
+//!   partitioning, pluggable batching/scheduling policies, and
+//!   deterministic latency/throughput reports (`cimc trace`,
+//!   `cimc simulate`).
 //!
 //! ## Quickstart: the staged pipeline
 //!
@@ -89,6 +94,7 @@ pub use cim_dse as dse;
 pub use cim_graph as graph;
 pub use cim_mop as mop;
 pub use cim_sim as sim;
+pub use cim_traffic as traffic;
 
 pub mod api;
 mod error;
@@ -126,6 +132,10 @@ pub mod prelude {
     pub use cim_graph::{zoo, Graph, NodeId, OpKind, Shape};
     pub use cim_mop::{FlowStats, MopFlow};
     pub use cim_sim::{reference, trace, Machine, WeightStore};
+    pub use cim_traffic::{
+        run_simulation, Batching, GeneratorKind, Partition, Placement, PolicyKind, SimConfig,
+        TenantSpec, Trace, TraceSpec, TrafficError, TrafficReport,
+    };
 }
 
 #[cfg(test)]

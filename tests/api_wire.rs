@@ -6,8 +6,9 @@
 use cim_mlc::api::{
     ApiError, BenchRequest, CachePolicy, CompilePerfRequest, CompileRequest, ExploreRequest,
     Handler, LevelArg, ListRequest, ModeArg, Request, RequestEnvelope, Response, ResponseBody,
-    SleepRequest, StageArg, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    SimulateRequest, SleepRequest, StageArg, TraceRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use cim_mlc::traffic::{GeneratorKind, TenantSpec, TraceSpec};
 use proptest::prelude::*;
 
 fn names(vocab: &'static [&'static str]) -> impl Strategy<Value = String> {
@@ -102,6 +103,9 @@ fn explore_requests() -> impl Strategy<Value = Request> {
                 space: None,
                 strategy,
                 objective,
+                trace: None,
+                trace_spec: None,
+                policy: None,
                 budget,
                 seed,
                 jobs,
@@ -305,6 +309,9 @@ fn wire_samples() -> Vec<String> {
             space: None,
             strategy: Some("random".to_owned()),
             objective: Some("latency:2,energy:1".to_owned()),
+            trace: None,
+            trace_spec: None,
+            policy: None,
             budget: Some(64),
             seed: Some(42),
             jobs: 0,
@@ -315,6 +322,43 @@ fn wire_samples() -> Vec<String> {
         4,
         Request::List(ListRequest {
             category: "modes".to_owned(),
+        }),
+    );
+    let spec = TraceSpec {
+        name: "wire-pin".to_owned(),
+        kind: GeneratorKind::Bursty,
+        seed: 7,
+        horizon: 100_000,
+        mean_gap: 250.0,
+        burst_len: 16,
+        idle_gap: 4_000.0,
+        tenants: vec![TenantSpec {
+            name: "interactive".to_owned(),
+            model: "lenet5".to_owned(),
+            weight: 1.0,
+            priority: 1,
+            deadline: Some(20_000),
+        }],
+    };
+    let trace = RequestEnvelope::new(
+        13,
+        Request::Trace(TraceRequest {
+            spec: Some(spec.clone()),
+            trace: None,
+        }),
+    );
+    let simulate = RequestEnvelope::new(
+        14,
+        Request::Simulate(SimulateRequest {
+            trace: None,
+            spec: Some(spec),
+            arch: Some("isaac".to_owned()),
+            placement: None,
+            policies: Some(vec!["edf".to_owned(), "fifo".to_owned()]),
+            max_batch: Some(4),
+            max_wait: Some(0),
+            jobs: 1,
+            cache: CachePolicy::Default,
         }),
     );
     let control = [
@@ -356,7 +400,7 @@ fn wire_samples() -> Vec<String> {
 
     let mut lines: Vec<String> = Vec::new();
     lines.extend(
-        [compile, bench, explore, list]
+        [compile, bench, explore, list, trace, simulate]
             .iter()
             .map(RequestEnvelope::to_json),
     );

@@ -563,7 +563,16 @@ fn list_categories_enumerate_the_vocabularies() {
 
     let out = cimc(&["list", "objectives"]);
     assert!(out.status.success());
-    assert!(stdout(&out).lines().any(|l| l == "latency"));
+    let text = stdout(&out);
+    assert!(text.lines().any(|l| l == "latency") && text.lines().any(|l| l == "p99_latency"));
+
+    let out = cimc(&["list", "policies"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).lines().any(|l| l == "edf"));
+
+    let out = cimc(&["list", "traces"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).lines().any(|l| l == "bursty"));
 }
 
 #[test]
@@ -833,9 +842,139 @@ fn golden_explore_seeded() {
 fn golden_archs_models_and_lists() {
     assert_matches_golden(&["archs"], "archs");
     assert_matches_golden(&["models"], "models");
-    for category in ["models", "archs", "modes", "strategies", "objectives"] {
+    for category in [
+        "models",
+        "archs",
+        "modes",
+        "strategies",
+        "objectives",
+        "policies",
+        "traces",
+    ] {
         assert_matches_golden(&["list", category], &format!("list_{category}"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// `cimc trace` / `cimc simulate` — trace generation and the traffic
+// simulator (engine semantics are tested in cim-traffic; this is the
+// CLI surface).
+
+#[test]
+fn trace_generation_is_deterministic_and_self_describing() {
+    let first = tmp_path("trace_first.json");
+    let second = tmp_path("trace_second.json");
+    let args = ["trace", "--models", "lenet5,mlp", "--seed", "7"];
+    let out = cimc(&[&args[..], &["--out", first.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("tenant0"), "{}", stdout(&out));
+    let out = cimc(&[&args[..], &["--out", second.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    let a = std::fs::read(&first).expect("first trace written");
+    let b = std::fs::read(&second).expect("second trace written");
+    assert_eq!(a, b, "identical (spec, seed) must yield identical traces");
+
+    // --describe round-trips the written file.
+    let out = cimc(&["trace", "--describe", first.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("lenet5"), "{}", stdout(&out));
+
+    let _ = std::fs::remove_file(&first);
+    let _ = std::fs::remove_file(&second);
+}
+
+#[test]
+fn trace_rejects_conflicting_and_missing_inputs() {
+    let out = cimc(&["trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--models"), "{}", stderr(&out));
+
+    let out = cimc(&["trace", "--describe", "x.json", "--models", "lenet5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--describe"), "{}", stderr(&out));
+
+    let out = cimc(&["trace", "--models", "lenet5", "--kind", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("`bogus`") && err.contains("poisson"), "{err}");
+}
+
+#[test]
+fn simulate_ranks_policies_and_is_reproducible_across_jobs() {
+    let trace = tmp_path("sim_trace.json");
+    let out = cimc(&[
+        "trace",
+        "--models",
+        "lenet5,mlp",
+        "--kind",
+        "bursty",
+        "--deadline",
+        "30000",
+        "--horizon",
+        "400000",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let report1 = tmp_path("sim_report_j1.json");
+    let report4 = tmp_path("sim_report_j4.json");
+    for (jobs, path) in [("1", &report1), ("4", &report4)] {
+        let out = cimc(&[
+            "simulate",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--jobs",
+            jobs,
+            "--comparable",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("ranked policies"), "{text}");
+        assert!(text.contains("edf"), "{text}");
+    }
+    let a = std::fs::read(&report1).expect("jobs=1 report written");
+    let b = std::fs::read(&report4).expect("jobs=4 report written");
+    assert_eq!(a, b, "comparable reports must not depend on --jobs");
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&report1);
+    let _ = std::fs::remove_file(&report4);
+}
+
+#[test]
+fn simulate_rejects_bad_arguments_with_the_offending_value() {
+    let out = cimc(&["simulate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace"), "{}", stderr(&out));
+
+    let out = cimc(&["simulate", "--trace", "a.json", "--spec", "b.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--spec"), "{}", stderr(&out));
+
+    let out = cimc(&["simulate", "--trace", "/nonexistent/trace.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("trace"), "{}", stderr(&out));
+}
+
+#[test]
+fn explore_rejects_traffic_objectives_only_when_unservable() {
+    // A traffic metric with no trace still works (built-in default
+    // workload), but an unknown policy is an argument error.
+    let out = cimc(&[
+        "explore",
+        "--objective",
+        "p99_latency",
+        "--policy",
+        "bogus",
+        "--budget",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("`bogus`") && err.contains("edf"), "{err}");
 }
 
 // ---------------------------------------------------------------------------
