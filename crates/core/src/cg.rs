@@ -16,10 +16,12 @@
 
 use crate::alloc::{self, AllocItem};
 use crate::perf::{phase_power, PerfReport};
+use crate::region::RegionMemo;
 use crate::scratch::ScratchArena;
 use crate::stage::{extract_stages, movement_cycles, Stage};
 use crate::{CompileError, Result};
 use cim_arch::CimArchitecture;
+use std::sync::Arc;
 
 /// Feature toggles for CG-grained optimization (used standalone for the
 /// Figure 21a ablations).
@@ -237,6 +239,38 @@ pub fn schedule_cg_stages_in(
     jobs: usize,
     scratch: &ScratchArena,
 ) -> Result<CgSchedule> {
+    schedule_cg_stages_memo(
+        model,
+        stages,
+        arch,
+        options,
+        act_bits,
+        jobs,
+        scratch,
+        &RegionMemo::new(),
+    )
+}
+
+/// [`schedule_cg_stages_in`] with an explicit per-session [`RegionMemo`]
+/// — the incremental-recompilation entry point. Candidate-segment
+/// latencies and chosen-segment schedules are keyed by the region-id
+/// sequences they cover, so a memo retained across
+/// [`Session::recompile`](crate::Session::recompile) calls answers
+/// unchanged segments without rescheduling them.
+///
+/// # Errors
+/// As [`schedule_cg_stages`].
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_cg_stages_memo(
+    model: &str,
+    stages: Vec<Stage>,
+    arch: &CimArchitecture,
+    options: CgOptions,
+    act_bits: u32,
+    jobs: usize,
+    scratch: &ScratchArena,
+    memo: &RegionMemo,
+) -> Result<CgSchedule> {
     if stages.is_empty() {
         return Err(CompileError::NothingToMap {
             model: model.to_owned(),
@@ -275,80 +309,46 @@ pub fn schedule_cg_stages_in(
     // nodes while the DP latency improves). Stages whose single replica
     // exceeds the chip fold across it and stand alone.
     let n = stages.len();
-    // Per-stage scheduling stats, computed ONCE: the DP below evaluates
-    // O(n²) candidate segments, and every segment is a contiguous stage
-    // range, so its allocator input is a slice of this table.
-    let needs: Vec<u64> = stages
-        .iter()
-        .map(|s| u64::from(s.mapping.cores_per_replica(arch)))
-        .collect();
-    let cpms: Vec<u64> = stages
-        .iter()
-        .map(|s| s.mapping.cycles_per_mvm(arch, act_bits))
-        .collect();
-    let items_all: Vec<AllocItem> = stages
-        .iter()
-        .zip(&cpms)
-        .map(|(stage, &cpm)| AllocItem {
-            cost: stage.mapping.cores_per_replica(arch),
-            latency: stage.mapping.mvm_count as f64 * cpm as f64,
-            max_dup: duplication_cap(stage, arch, act_bits, cpm),
-        })
-        .collect();
+    // Candidate-segment memoization. DNNs repeat blocks, so many of the
+    // DP's O(n²) contiguous ranges contain *identical* per-stage content
+    // sequences (a ViT body repeats with period 6, a ResNet with its
+    // block size) and therefore evaluate to bit-identical latencies.
+    // Intern each stage's content fingerprint to a small region id; a
+    // candidate segment is then keyed by its id slice, and equal keys
+    // imply equal inputs — a hit returns exactly what the evaluation
+    // would have computed. The same ids key the chosen segments below,
+    // which is what lets a memo retained across recompiles splice cached
+    // schedules for unedited regions.
+    let ids: Vec<u32> = memo.intern_stages(&stages);
+    // Per-stage scheduling stats, cached by region id: the DP below
+    // evaluates O(n²) candidate segments, and every segment is a
+    // contiguous stage range, so its allocator input is a slice of this
+    // table. Repeated blocks (and every unedited stage of a recompile)
+    // answer from the memo instead of re-deriving the crossbar math.
+    let mut needs: Vec<u64> = Vec::with_capacity(n);
+    let mut cpms: Vec<u64> = Vec::with_capacity(n);
+    let mut items_all: Vec<AllocItem> = Vec::with_capacity(n);
+    for (stage, &id) in stages.iter().zip(&ids) {
+        let st = memo.stage_stats(id, || {
+            let cpm = stage.mapping.cycles_per_mvm(arch, act_bits);
+            let cost = stage.mapping.cores_per_replica(arch);
+            crate::region::StageStats {
+                need: u64::from(cost),
+                cpm,
+                item: AllocItem {
+                    cost,
+                    latency: stage.mapping.mvm_count as f64 * cpm as f64,
+                    max_dup: duplication_cap(stage, arch, act_bits, cpm),
+                },
+            }
+        });
+        needs.push(st.need);
+        cpms.push(st.cpm);
+        items_all.push(st.item);
+    }
     let whole_model_cores: u64 = needs.iter().sum();
     let prefer_resident =
         !arch.crossbar().cell_type().writes_are_cheap() && whole_model_cores <= core_count;
-
-    // Candidate-segment memoization. DNNs repeat blocks, so many of the
-    // DP's O(n²) contiguous ranges contain *identical* per-stage feature
-    // sequences (a ViT body repeats with period 6, a ResNet with its
-    // block size) and therefore evaluate to bit-identical latencies.
-    // Intern each stage's full `eval_latency`-relevant feature tuple to a
-    // small id; a candidate segment is then keyed by its id slice, and
-    // equal keys imply equal inputs — a hit returns exactly what the
-    // evaluation would have computed.
-    #[derive(Hash, PartialEq, Eq)]
-    struct StageFeatures {
-        cpr: u32,
-        cap: u32,
-        cpm: u64,
-        mvm: u64,
-        mov_bits: u64,
-        alu_ops: u64,
-        fill_bits: u64,
-        write_bits: u64,
-    }
-    let mut feature_ids: std::collections::HashMap<StageFeatures, u32> =
-        std::collections::HashMap::new();
-    let ids: Vec<u32> = stages
-        .iter()
-        .enumerate()
-        .map(|(i, stage)| {
-            let write_bits = if stage.dynamic_weights {
-                (arch
-                    .cost()
-                    .write_cycles(stage.mapping.rows.min(arch.crossbar().shape().rows))
-                    as f64)
-                    .to_bits()
-            } else {
-                0
-            };
-            let key = StageFeatures {
-                cpr: stage.mapping.cores_per_replica(arch),
-                cap: items_all[i].max_dup,
-                cpm: cpms[i],
-                mvm: stage.mapping.mvm_count,
-                mov_bits: movement_cycles(stage, arch, act_bits).to_bits(),
-                alu_ops: stage.alu_ops,
-                fill_bits: stage.fill_fraction.to_bits(),
-                write_bits,
-            };
-            let next = feature_ids.len() as u32;
-            *feature_ids.entry(key).or_insert(next)
-        })
-        .collect();
-    let memo: std::sync::Mutex<std::collections::HashMap<Box<[u32]>, f64>> =
-        std::sync::Mutex::new(std::collections::HashMap::new());
 
     // Latency of the candidate segment `start..=end` (all replica-fitting
     // stages): exactly `schedule_segment`'s latency, minus the plan /
@@ -357,7 +357,7 @@ pub fn schedule_cg_stages_in(
     let eval_latency =
         |start: usize, end: usize, dup: &mut Vec<u32>, lat_fill: &mut Vec<(f64, f64)>| -> f64 {
             let range_key = &ids[start..=end];
-            if let Some(&hit) = memo.lock().expect("segment memo poisoned").get(range_key) {
+            if let Some(hit) = memo.cost(range_key) {
                 return hit;
             }
             let items = &items_all[start..=end];
@@ -382,9 +382,7 @@ pub fn schedule_cg_stages_in(
             } else {
                 lat_fill.iter().map(|&(l, _)| l).sum()
             };
-            memo.lock()
-                .expect("segment memo poisoned")
-                .insert(range_key.into(), latency);
+            memo.store_cost(range_key, latency);
             latency
         };
 
@@ -403,29 +401,48 @@ pub fn schedule_cg_stages_in(
         // `dp` — so they fan out onto the worker pool; the recurrence
         // itself then runs sequentially over precomputed latencies, which
         // keeps the schedule byte-identical for every `jobs` value.
-        let row = |i: &usize| -> Vec<f64> {
+        let row = |i: &usize| -> Arc<[f64]> {
             let i = *i;
-            let mut row = Vec::new();
+            // The row's budget window is content-determined (`needs` come
+            // from stage content), so the whole row is keyed by the
+            // region-id run it covers: on recompile, one memo probe
+            // answers every candidate of a row outside the edit's window.
+            let window_end = if needs[i] > core_count {
+                i + 1
+            } else {
+                let mut cores: u64 = 0;
+                let mut end = i;
+                for &need in &needs[i..] {
+                    if need > core_count || cores + need > core_count {
+                        break;
+                    }
+                    cores += need;
+                    end += 1;
+                }
+                end
+            };
+            let window = &ids[i..window_end];
+            if let Some(hit) = memo.row(window) {
+                return hit;
+            }
+            let mut row = Vec::with_capacity(window_end - i);
             if needs[i] > core_count {
                 // Single over-weight stage: folds across the whole chip.
                 let folds = needs[i].div_ceil(core_count) as u32;
                 row.push(stage_latency(&stages[i], arch, act_bits, 1, cpms[i], folds));
-                return row;
-            }
-            let mut dup = scratch.u32s(8);
-            let mut lat_fill = scratch.pairs(8);
-            let mut cores: u64 = 0;
-            for (k, &need) in needs.iter().enumerate().skip(i) {
-                if need > core_count || cores + need > core_count {
-                    break;
+            } else {
+                let mut dup = scratch.u32s(8);
+                let mut lat_fill = scratch.pairs(8);
+                for k in i..window_end {
+                    row.push(eval_latency(i, k, &mut dup, &mut lat_fill));
                 }
-                cores += need;
-                row.push(eval_latency(i, k, &mut dup, &mut lat_fill));
             }
+            let row: Arc<[f64]> = row.into();
+            memo.store_row(window, row.clone());
             row
         };
         let indices: Vec<usize> = (0..n).collect();
-        let rows: Vec<Vec<f64>> = if jobs > 1 {
+        let rows: Vec<Arc<[f64]>> = if jobs > 1 {
             crate::pool::run_ordered(&indices, jobs, row)
         } else {
             indices.iter().map(row).collect()
@@ -462,8 +479,12 @@ pub fn schedule_cg_stages_in(
     // execution order, keeping totals and peak selection byte-identical
     // to the sequential walk.
     let full_segment = |&(start, end): &(usize, usize)| -> Segment {
+        let key = &ids[start..end];
+        if let Some(seg) = memo.cg_segment(key, start) {
+            return seg;
+        }
         let idxs: Vec<usize> = (start..end).collect();
-        schedule_segment(
+        let seg = schedule_segment(
             &stages,
             &idxs,
             arch,
@@ -471,7 +492,9 @@ pub fn schedule_cg_stages_in(
             act_bits,
             core_count,
             xb_per_core,
-        )
+        );
+        memo.store_cg_segment(key, start, &seg);
+        seg
     };
     let scheduled: Vec<Segment> = if jobs > 1 && seg_ranges.len() > 1 {
         crate::pool::run_ordered(&seg_ranges, jobs, full_segment)

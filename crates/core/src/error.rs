@@ -36,6 +36,14 @@ pub enum CompileError {
         /// Configured limit.
         limit: u64,
     },
+    /// A [`GraphDelta`](cim_graph::GraphDelta) handed to
+    /// [`Session::recompile`](crate::Session::recompile) failed
+    /// validation against the session's current graph.
+    InvalidDelta {
+        /// The underlying [`DeltaError`](cim_graph::DeltaError) message,
+        /// naming the offending node or edge.
+        message: String,
+    },
     /// Internal invariant violation (a bug in the scheduler).
     Internal {
         /// Description.
@@ -66,6 +74,9 @@ impl fmt::Display for CompileError {
                 "generated flow would hold ~{estimated} meta-operators (limit {limit}); raise \
                  CompileOptions::max_flow_ops or compile a smaller model"
             ),
+            CompileError::InvalidDelta { message } => {
+                write!(f, "invalid graph delta: {message}")
+            }
             CompileError::Internal { message } => write!(f, "internal scheduler error: {message}"),
         }
     }

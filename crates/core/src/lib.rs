@@ -69,6 +69,7 @@ pub mod pass;
 pub mod perf;
 pub mod pipeline;
 pub mod pool;
+pub mod region;
 pub mod scratch;
 pub mod stage;
 pub mod vvm;
@@ -87,6 +88,7 @@ pub use pipeline::{
     VvmPass,
 };
 pub use pool::{run_ordered, Pool, PoolFull};
+pub use region::RegionMemo;
 pub use scratch::{ScratchArena, ScratchVec};
 
 /// Convenient result alias for fallible compilation operations.
@@ -122,4 +124,7 @@ const _: () = {
     // The scratch arena is leased from concurrently by `pool::run_ordered`
     // workers inside a pass.
     assert_send_sync::<ScratchArena>();
+    // The per-region memo is shared by a pass's worker threads, and
+    // pinned sessions holding one move across `cimc serve` handlers.
+    assert_send_sync::<RegionMemo>();
 };

@@ -14,6 +14,7 @@
 
 use crate::cg::{pipeline_latency, stage_latency, CgSchedule, Segment, StagePlan};
 use crate::perf::{phase_power, PerfReport};
+use crate::region::RegionMemo;
 use cim_arch::CimArchitecture;
 
 /// The MVM-grained refinement of a CG schedule.
@@ -95,9 +96,36 @@ pub fn schedule_mvm_jobs(
     act_bits: u32,
     jobs: usize,
 ) -> MvmSchedule {
+    schedule_mvm_memo(cg, arch, options, act_bits, jobs, &RegionMemo::new())
+}
+
+/// [`schedule_mvm_jobs`] with an explicit per-session [`RegionMemo`] —
+/// the incremental-recompilation entry point. Refined segments are keyed
+/// by the region-id run they cover: a memo retained across
+/// [`Session::recompile`](crate::Session::recompile) calls answers
+/// unchanged segments without re-refining them.
+#[must_use]
+pub fn schedule_mvm_memo(
+    cg: &CgSchedule,
+    arch: &CimArchitecture,
+    options: MvmOptions,
+    act_bits: u32,
+    jobs: usize,
+    memo: &RegionMemo,
+) -> MvmSchedule {
     let xb_per_core = arch.core().xb_count();
+    // Region ids of every stage; a segment's memo key is the id run of
+    // the (contiguous) stages its plans cover. Identical runs produce
+    // identical CG segments (scheduling is a pure function of stage
+    // content), so equal keys imply equal refinement inputs.
+    let ids = memo.intern_stages(&cg.stages);
 
     let refine = |seg: &Segment| -> Segment {
+        let start = seg.plans.first().map_or(0, |p| p.stage);
+        let key: Vec<u32> = seg.plans.iter().map(|p| ids[p.stage]).collect();
+        if let Some(cached) = memo.mvm_segment(&key, start) {
+            return cached;
+        }
         let mut plans = Vec::with_capacity(seg.plans.len());
         let mut lat_fill = Vec::with_capacity(seg.plans.len());
         for plan in &seg.plans {
@@ -172,12 +200,14 @@ pub fn schedule_mvm_jobs(
         } else {
             plans.iter().map(per_plan_active).max().unwrap_or(0)
         };
-        Segment {
+        let refined = Segment {
             plans,
             latency,
             active_crossbars: active,
             streaming_bits_per_cycle: seg.streaming_bits_per_cycle,
-        }
+        };
+        memo.store_mvm_segment(&key, start, &refined);
+        refined
     };
 
     let segments: Vec<Segment> = if jobs > 1 && cg.segments.len() > 1 {

@@ -55,6 +55,7 @@
 use crate::cache::Fingerprint;
 use crate::compile::CompileOptions;
 use crate::pipeline::Artifact;
+use crate::region::RegionMemo;
 use crate::scratch::ScratchArena;
 use crate::Result;
 use cim_arch::CimArchitecture;
@@ -77,6 +78,13 @@ pub struct PassContext<'a> {
     /// The session's pooled scratch buffers (see [`crate::scratch`]).
     /// Peak usage per pass lands in [`PassRecord::scratch_peak_bytes`].
     pub scratch: &'a ScratchArena,
+    /// The session's per-region schedule memo (see [`crate::region`]).
+    /// Scheduling passes thread it into the `_memo` scheduler entry
+    /// points so [`Session::recompile`](crate::Session::recompile) can
+    /// reuse schedules for unedited regions; per-pass hit/miss deltas
+    /// land in [`PassRecord::region_hits`] /
+    /// [`PassRecord::region_misses`].
+    pub memo: &'a RegionMemo,
 }
 
 /// Per-pass diagnostics sink: free-form notes a pass wants surfaced in
@@ -171,6 +179,18 @@ pub struct PassRecord {
     pub scratch_peak_bytes: u64,
     /// Diagnostics the pass emitted.
     pub diagnostics: Vec<String>,
+    /// Regions the pass's schedulers answered from the session's
+    /// [`RegionMemo`]. Recorded only during
+    /// [`Session::recompile`](crate::Session::recompile) (0 on cold
+    /// compiles, and for passes that do not consult the memo). Absent
+    /// fields deserialize as 0, so pre-existing serialized timelines
+    /// still parse.
+    #[serde(default)]
+    pub region_hits: u64,
+    /// Regions the pass's schedulers had to reschedule. Same recording
+    /// rules as [`PassRecord::region_hits`].
+    #[serde(default)]
+    pub region_misses: u64,
 }
 
 /// The per-pass instrumentation of one pipeline session: what ran, in
@@ -182,6 +202,7 @@ pub struct PassTimeline {
 }
 
 impl PassTimeline {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
         pass: &str,
@@ -190,6 +211,8 @@ impl PassTimeline {
         cache: &str,
         scratch_peak_bytes: u64,
         diag: Diagnostics,
+        region_hits: u64,
+        region_misses: u64,
     ) {
         self.records.push(PassRecord {
             pass: pass.to_owned(),
@@ -199,6 +222,8 @@ impl PassTimeline {
             summary: artifact.summary(),
             scratch_peak_bytes,
             diagnostics: diag.into_notes(),
+            region_hits,
+            region_misses,
         });
     }
 
@@ -211,6 +236,8 @@ impl PassTimeline {
             summary: String::new(),
             scratch_peak_bytes: 0,
             diagnostics: Vec::new(),
+            region_hits: 0,
+            region_misses: 0,
         });
     }
 
@@ -238,6 +265,17 @@ impl PassTimeline {
     #[must_use]
     pub fn total_ms(&self) -> f64 {
         self.records.iter().map(|r| r.wall_ms).sum()
+    }
+
+    /// Totals the per-region memo outcomes recorded across this
+    /// timeline's passes as `(hits, misses)`. Non-zero only for
+    /// timelines produced by
+    /// [`Session::recompile`](crate::Session::recompile).
+    #[must_use]
+    pub fn region_stats(&self) -> (u64, u64) {
+        self.records
+            .iter()
+            .fold((0, 0), |(h, m), r| (h + r.region_hits, m + r.region_misses))
     }
 
     /// Renders the timeline as a text table, one row per pass, with
@@ -281,6 +319,8 @@ mod tests {
             summary: "1 segment(s)".into(),
             scratch_peak_bytes: 4096,
             diagnostics: vec!["note one".into()],
+            region_hits: 3,
+            region_misses: 1,
         });
         t.record_skip("mvm");
         let text = t.render();
@@ -304,12 +344,15 @@ mod tests {
                 summary: String::new(),
                 scratch_peak_bytes: 0,
                 diagnostics: Vec::new(),
+                region_hits: 2,
+                region_misses: 1,
             });
         }
         let stats = t.cache_stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.stores, 1);
+        assert_eq!(t.region_stats(), (8, 4));
     }
 
     #[test]

@@ -43,18 +43,20 @@
 //! ```
 
 use crate::cache::{source_fingerprint, CompileCache, Fingerprint, FingerprintBuilder};
-use crate::cg::{schedule_cg_stages_in, CgSchedule, Segment};
+use crate::cg::{schedule_cg_stages_memo, CgSchedule, Segment};
 use crate::codegen::{generate_flow, FlowLayout};
 use crate::compile::{CompileOptions, Compiled, OptLevel};
-use crate::mvm::{schedule_mvm_jobs, MvmSchedule};
+use crate::mvm::{schedule_mvm_memo, MvmSchedule};
 use crate::pass::{Diagnostics, Pass, PassContext, PassTimeline};
 use crate::perf::PerfReport;
+use crate::region::RegionMemo;
 use crate::stage::{extract_stages, Stage};
-use crate::vvm::{schedule_vvm, VvmSchedule};
+use crate::vvm::{schedule_vvm_memo, VvmSchedule};
 use crate::{CompileError, Result};
 use cim_arch::{CimArchitecture, ComputingMode};
-use cim_graph::Graph;
+use cim_graph::{Graph, GraphDelta};
 use cim_mop::MopFlow;
+use std::borrow::Cow;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -486,7 +488,7 @@ impl Pass for CgPass {
         // Policy lives here, mechanism in the scheduler: the requested
         // worker count is clamped to the machine so `--jobs 4` on a
         // single-core box takes the zero-overhead sequential path.
-        let cg = schedule_cg_stages_in(
+        let cg = schedule_cg_stages_memo(
             cx.graph.name(),
             staged.stages,
             cx.arch,
@@ -494,6 +496,7 @@ impl Pass for CgPass {
             cx.options.act_bits,
             crate::pool::effective_threads(cx.options.jobs),
             cx.scratch,
+            cx.memo,
         )?;
         diag.note(format!(
             "{} segment(s), {:.0} reprogram cycle(s)",
@@ -536,12 +539,13 @@ impl Pass for MvmPass {
             return Err(stage_mismatch(self.name(), "cg", &input));
         };
         let cg = a.cg;
-        let mvm = schedule_mvm_jobs(
+        let mvm = schedule_mvm_memo(
             &cg,
             cx.arch,
             cx.options.mvm,
             cx.options.act_bits,
             crate::pool::effective_threads(cx.options.jobs),
+            cx.memo,
         );
         let refined = mvm
             .segments
@@ -587,7 +591,7 @@ impl Pass for VvmPass {
             return Err(stage_mismatch(self.name(), "mvm", &input));
         };
         let MvmScheduled { cg, mvm } = *a;
-        let vvm = schedule_vvm(&cg, &mvm, cx.arch, cx.options.act_bits);
+        let vvm = schedule_vvm_memo(&cg, &mvm, cx.arch, cx.options.act_bits, cx.memo);
         let remapped = vvm
             .spreads
             .iter()
@@ -788,8 +792,8 @@ impl Pipeline {
         options: CompileOptions,
     ) -> Session<'a> {
         Session {
-            graph,
-            arch,
+            graph: Cow::Borrowed(graph),
+            arch: Cow::Borrowed(arch),
             options,
             passes: self.passes,
             cursor: 0,
@@ -798,6 +802,8 @@ impl Pipeline {
             cache: None,
             chain: None,
             scratch: crate::scratch::ScratchArena::new(),
+            memo: RegionMemo::new(),
+            record_regions: false,
         }
     }
 }
@@ -815,8 +821,11 @@ impl Pipeline {
 /// stepping re-runs from the failed pass, which will reject the stale
 /// stage — start a fresh session instead.
 pub struct Session<'a> {
-    graph: &'a Graph,
-    arch: &'a CimArchitecture,
+    /// Borrowed from the caller on a fresh session; owned after
+    /// [`Session::recompile`] (the delta produces a new graph) or
+    /// [`Session::into_owned`].
+    graph: Cow<'a, Graph>,
+    arch: Cow<'a, CimArchitecture>,
     options: CompileOptions,
     passes: Vec<Box<dyn Pass>>,
     cursor: usize,
@@ -833,6 +842,15 @@ pub struct Session<'a> {
     /// bracketing around each pass feeds
     /// [`PassRecord::scratch_peak_bytes`](crate::PassRecord::scratch_peak_bytes).
     scratch: crate::scratch::ScratchArena,
+    /// Per-region schedule memo shared by every pass of this session (see
+    /// [`crate::region`]). Populated on the first (cold) run; consulted
+    /// by [`Session::recompile`] to reuse schedules for unedited regions.
+    memo: RegionMemo,
+    /// Whether [`Session::step`] records per-pass region hit/miss deltas
+    /// into the timeline. Off on cold compiles (region counts would
+    /// double-count intra-model repetition); on during
+    /// [`Session::recompile`].
+    record_regions: bool,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -852,15 +870,21 @@ impl std::fmt::Debug for Session<'_> {
 
 impl<'a> Session<'a> {
     /// The model being compiled.
+    ///
+    /// Since incremental recompilation landed, the session may own its
+    /// graph (after [`Session::recompile`] or [`Session::into_owned`]),
+    /// so the returned borrow is tied to `&self` rather than the
+    /// session's lifetime parameter.
     #[must_use]
-    pub fn graph(&self) -> &'a Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
     }
 
-    /// The target architecture.
+    /// The target architecture. Borrow tied to `&self`, as with
+    /// [`Session::graph`].
     #[must_use]
-    pub fn arch(&self) -> &'a CimArchitecture {
-        self.arch
+    pub fn arch(&self) -> &CimArchitecture {
+        &self.arch
     }
 
     /// The options in force.
@@ -880,7 +904,7 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<dyn CompileCache>) -> Self {
         self.chain = (self.cursor == 0 && matches!(self.artifact, Artifact::Source))
-            .then(|| source_fingerprint(self.graph, self.arch));
+            .then(|| source_fingerprint(&self.graph, &self.arch));
         self.cache = Some(cache);
         self
     }
@@ -946,10 +970,11 @@ impl<'a> Session<'a> {
             return Ok(false);
         };
         let cx = PassContext {
-            graph: self.graph,
-            arch: self.arch,
+            graph: &self.graph,
+            arch: &self.arch,
             options: &self.options,
             scratch: &self.scratch,
+            memo: &self.memo,
         };
         // Advance the cache-key chain: this pass's key links its
         // fingerprint onto the chain that produced the current artifact.
@@ -968,7 +993,7 @@ impl<'a> Session<'a> {
                 let mut diag = Diagnostics::default();
                 diag.note(format!("served from cache ({key})"));
                 self.timeline
-                    .record(pass.name(), &artifact, wall_ms, "hit", 0, diag);
+                    .record(pass.name(), &artifact, wall_ms, "hit", 0, diag, 0, 0);
                 self.artifact = artifact;
                 self.cursor += 1;
                 return Ok(true);
@@ -977,6 +1002,7 @@ impl<'a> Session<'a> {
         let mut diag = Diagnostics::default();
         let input = std::mem::replace(&mut self.artifact, Artifact::Source);
         self.scratch.reset_peak();
+        let (region_hits_0, region_misses_0) = self.memo.counters();
         let output = match pass.run(&cx, &mut diag, input) {
             Ok(output) => output,
             Err(e) => {
@@ -984,6 +1010,20 @@ impl<'a> Session<'a> {
                 return Err(e);
             }
         };
+        let (region_hits_1, region_misses_1) = self.memo.counters();
+        let (region_hits, region_misses) = if self.record_regions {
+            (
+                region_hits_1 - region_hits_0,
+                region_misses_1 - region_misses_0,
+            )
+        } else {
+            (0, 0)
+        };
+        if region_hits + region_misses > 0 {
+            diag.note(format!(
+                "regions: {region_hits} hit(s), {region_misses} miss(es)"
+            ));
+        }
         let scratch_peak = self.scratch.peak_bytes();
         let cache_outcome = match (self.cache.as_ref(), key) {
             (Some(cache), Some(key)) => {
@@ -1003,6 +1043,8 @@ impl<'a> Session<'a> {
             cache_outcome,
             scratch_peak,
             diag,
+            region_hits,
+            region_misses,
         );
         self.artifact = output;
         self.cursor += 1;
@@ -1048,6 +1090,83 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn into_parts(self) -> (Artifact, PassTimeline) {
         (self.artifact, self.timeline)
+    }
+
+    /// Converts the current artifact into a [`Compiled`] result without
+    /// consuming the session — the inspection point after
+    /// [`Session::recompile`], which keeps the session alive for further
+    /// deltas.
+    ///
+    /// # Errors
+    /// [`CompileError::Internal`] when no scheduling level has run yet.
+    pub fn compiled(&self) -> Result<Compiled> {
+        self.artifact
+            .clone()
+            .into_compiled(self.graph.name(), self.arch.name(), self.options)
+    }
+
+    /// Applies a typed [`GraphDelta`] to the session's graph and re-runs
+    /// the pipeline, reusing per-region schedules for every segment whose
+    /// region content the delta did not touch (see [`crate::region`]).
+    ///
+    /// This is the sole graph-mutation entry point that preserves
+    /// incremental state: [`Session::artifact_mut`] /
+    /// [`Session::replace_artifact`] hand the artifact to the caller and
+    /// stop cache participation, whereas `recompile` re-derives
+    /// everything from the mutated graph. The timeline is reset so its
+    /// records (including the per-pass
+    /// [`region_hits`](crate::PassRecord::region_hits) /
+    /// [`region_misses`](crate::PassRecord::region_misses) columns)
+    /// describe this recompilation alone; the scheduling memo persists,
+    /// which is what makes the recompile incremental. Works from any
+    /// session state, including a partially-stepped or failed one — the
+    /// cursor rewinds to the first pass.
+    ///
+    /// The result is bit-identical to a fresh compile of the mutated
+    /// graph: region keys hash everything the schedulers read, so a memo
+    /// hit returns exactly what rescheduling would have computed.
+    ///
+    /// # Errors
+    /// [`CompileError::InvalidDelta`] when the delta does not validate
+    /// against the current graph (the message names the offending node or
+    /// edge); pass errors as [`Session::run`].
+    pub fn recompile(&mut self, delta: &GraphDelta) -> Result<()> {
+        let mutated = delta
+            .apply(&self.graph)
+            .map_err(|e| CompileError::InvalidDelta {
+                message: e.to_string(),
+            })?;
+        self.graph = Cow::Owned(mutated);
+        self.cursor = 0;
+        self.artifact = Artifact::Source;
+        self.timeline = PassTimeline::default();
+        if self.cache.is_some() {
+            self.chain = Some(source_fingerprint(&self.graph, &self.arch));
+        }
+        self.record_regions = true;
+        self.run()
+    }
+
+    /// Detaches the session from its borrowed inputs by cloning the graph
+    /// and architecture into the session, yielding a `Session<'static>`
+    /// that can outlive the caller's data — what `cimc serve` uses to pin
+    /// sessions across requests for [`Session::recompile`].
+    #[must_use]
+    pub fn into_owned(self) -> Session<'static> {
+        Session {
+            graph: Cow::Owned(self.graph.into_owned()),
+            arch: Cow::Owned(self.arch.into_owned()),
+            options: self.options,
+            passes: self.passes,
+            cursor: self.cursor,
+            artifact: self.artifact,
+            timeline: self.timeline,
+            cache: self.cache,
+            chain: self.chain,
+            scratch: self.scratch,
+            memo: self.memo,
+            record_regions: self.record_regions,
+        }
     }
 }
 
@@ -1172,6 +1291,53 @@ mod tests {
             assert_eq!(StageKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(StageKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn recompile_matches_fresh_compile_and_reuses_regions() {
+        let graph = zoo::vit_base();
+        let arch = presets::isaac_baseline();
+        let opts = CompileOptions::default();
+        let mut session = Pipeline::plan(&opts, &arch).session(&graph, &arch, opts);
+        session.run().unwrap();
+
+        // Retune one layer's fc1 width; every other layer keeps its
+        // region content.
+        let delta = cim_graph::GraphDelta::new().with(cim_graph::GraphEdit::RetuneOpParams {
+            node: "l4.fc1".into(),
+            op: cim_graph::OpKind::Linear { out_features: 1024 },
+        });
+        session.recompile(&delta).unwrap();
+        let incremental = session.compiled().unwrap();
+
+        let fresh_graph = delta.apply(&graph).unwrap();
+        let fresh = Compiler::new().compile(&fresh_graph, &arch).unwrap();
+        assert_eq!(incremental.cg, fresh.cg);
+        assert_eq!(incremental.mvm, fresh.mvm);
+        assert_eq!(incremental.vvm, fresh.vvm);
+
+        // The unedited regions were answered from the memo.
+        let (hits, misses) = session.timeline().region_stats();
+        assert!(hits > 0, "no region hits ({hits} hit / {misses} miss)");
+        assert!(
+            session.timeline().records.iter().any(|r| r.region_hits > 0),
+            "no pass recorded region hits"
+        );
+    }
+
+    #[test]
+    fn recompile_rejects_invalid_deltas() {
+        let graph = zoo::lenet5();
+        let arch = presets::isaac_baseline();
+        let opts = CompileOptions::default();
+        let mut session = Pipeline::plan(&opts, &arch).session(&graph, &arch, opts);
+        session.run().unwrap();
+        let delta = cim_graph::GraphDelta::new().with(cim_graph::GraphEdit::RemoveNode {
+            node: "no-such-node".into(),
+        });
+        let err = session.recompile(&delta).unwrap_err();
+        assert!(matches!(err, CompileError::InvalidDelta { .. }), "{err}");
+        assert!(err.to_string().contains("no-such-node"), "{err}");
     }
 
     #[test]

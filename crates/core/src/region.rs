@@ -1,0 +1,321 @@
+//! Per-region schedule memoization for incremental recompilation.
+//!
+//! A *region* is one pipeline stage, identified by its content
+//! fingerprint ([`crate::cache::region_fingerprint`])
+//! rather than its position or [`NodeId`](cim_graph::NodeId). The
+//! CG/MVM/VVM schedulers intern each stage into a [`RegionMemo`] and key
+//! every per-segment schedule they produce by the *sequence of region
+//! ids* the segment covers. When [`Session::recompile`](crate::Session::recompile)
+//! re-runs the pipeline after a [`GraphDelta`](cim_graph::GraphDelta),
+//! segments whose region-id sequences are unchanged are answered from the
+//! memo — only segments containing an edited region are rescheduled.
+//!
+//! # Validity
+//!
+//! A memo lives inside one [`Session`](crate::Session), whose
+//! architecture and options are fixed for its lifetime. Region ids
+//! therefore fully determine every cached value: two stages with equal
+//! content fingerprints are scheduled identically under the session's
+//! (arch, options, act_bits), so serving the cached segment is
+//! correctness-preserving — verified bit-for-bit by the equivalence
+//! proptests and the `incremental-smoke` CI gate.
+//!
+//! # Counters
+//!
+//! [`RegionMemo::counters`] reports hits/misses at *segment lookup*
+//! granularity, weighted by the number of stages (regions) the segment
+//! covers, so the numbers read as "regions reused" vs "regions
+//! rescheduled". The internal DP cost memo is not counted — it is a
+//! latency-estimation shortcut, not a schedule reuse.
+
+use crate::alloc::AllocItem;
+use crate::cache::{region_fingerprint, Fingerprint};
+use crate::cg::Segment;
+use crate::stage::Stage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A memo key: the run of region ids a cached value covers.
+type RegionKey = Box<[u32]>;
+
+/// A memoized DP row: one latency per budget-feasible candidate segment.
+type Row = Arc<[f64]>;
+
+/// Per-session memo of region ids and region-keyed schedules.
+///
+/// Shared by the scheduler's worker threads (all maps are behind
+/// mutexes; counters are atomic). Create one per [`Session`](crate::Session);
+/// the schedulers' `_memo` entry points thread it through the pipeline.
+#[derive(Debug, Default)]
+pub struct RegionMemo {
+    /// Content-fingerprint → dense region id, in insertion order.
+    /// Interning happens serially before any parallel fan-out, so ids are
+    /// deterministic for a given stage list; their numeric values never
+    /// influence schedules, only memo keys.
+    ids: Mutex<HashMap<Fingerprint, u32>>,
+    /// DP range-latency memo (CG segmentation cost estimates), keyed by
+    /// the region-id run `[start..=end]`. Not counted in hit/miss.
+    costs: Mutex<HashMap<RegionKey, f64>>,
+    /// DP row memo: every budget-feasible candidate-segment latency for a
+    /// row, keyed by the region-id run of the row's budget window. One
+    /// lookup answers a whole row, so recompiles skip the per-candidate
+    /// probes for every row outside the edit's window. Not counted in
+    /// hit/miss (like `costs`, a latency-estimation shortcut).
+    rows: Mutex<HashMap<RegionKey, Row>>,
+    /// Per-region scheduling stats (core need, cycles per MVM, allocator
+    /// item), indexed by region id — content-determined under the
+    /// session's fixed (arch, act_bits), so a recompile recomputes them
+    /// only for regions it has never seen. Not counted in hit/miss.
+    stats: Mutex<Vec<Option<StageStats>>>,
+    /// CG segment schedules keyed by the region-id run they cover, with
+    /// plans rebased to segment-relative stage indices.
+    cg_segments: Mutex<HashMap<RegionKey, Segment>>,
+    /// MVM-refined segment schedules, same keying as `cg_segments`.
+    mvm_segments: Mutex<HashMap<RegionKey, Segment>>,
+    /// VVM-refined segment schedules plus their per-plan spread factors.
+    vvm_segments: Mutex<HashMap<RegionKey, (Segment, Vec<u32>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RegionMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        RegionMemo::default()
+    }
+
+    /// Interns every stage, returning one dense region id per stage.
+    ///
+    /// Called serially (before any parallel fan-out) so id assignment is
+    /// deterministic in stage order.
+    #[must_use]
+    pub fn intern_stages(&self, stages: &[Stage]) -> Vec<u32> {
+        let mut ids = self.ids.lock().unwrap();
+        stages
+            .iter()
+            .map(|s| {
+                let fp = region_fingerprint(s);
+                let next = ids.len() as u32;
+                *ids.entry(fp).or_insert(next)
+            })
+            .collect()
+    }
+
+    /// Cached DP latency estimate for the region run `key`, if any.
+    #[must_use]
+    pub fn cost(&self, key: &[u32]) -> Option<f64> {
+        self.costs.lock().unwrap().get(key).copied()
+    }
+
+    /// Stores a DP latency estimate.
+    pub fn store_cost(&self, key: &[u32], cost: f64) {
+        self.costs.lock().unwrap().insert(key.into(), cost);
+    }
+
+    /// Per-region stats for region `id`, computing and caching them on
+    /// first sight. `compute` must be a pure function of the region's
+    /// content (plus the session-fixed arch/options), like every other
+    /// entry in the memo.
+    pub fn stage_stats(&self, id: u32, compute: impl FnOnce() -> StageStats) -> StageStats {
+        let mut stats = self.stats.lock().unwrap();
+        let slot = id as usize;
+        if slot >= stats.len() {
+            stats.resize(slot + 1, None);
+        }
+        *stats[slot].get_or_insert_with(compute)
+    }
+
+    /// Cached DP row (candidate-segment latencies) for the budget window
+    /// `key`, if any.
+    #[must_use]
+    pub fn row(&self, key: &[u32]) -> Option<Row> {
+        self.rows.lock().unwrap().get(key).cloned()
+    }
+
+    /// Stores a DP row for the budget window `key`.
+    pub fn store_row(&self, key: &[u32], row: Row) {
+        self.rows.lock().unwrap().insert(key.into(), row);
+    }
+
+    /// Cached CG segment for the region run `key`, with plan stage
+    /// indices rebased onto `start` (the run's global first-stage index).
+    #[must_use]
+    pub fn cg_segment(&self, key: &[u32], start: usize) -> Option<Segment> {
+        let found = self.cg_segments.lock().unwrap().get(key).cloned();
+        self.count(found.is_some(), key.len());
+        found.map(|seg| rebase(seg, start))
+    }
+
+    /// Stores a CG segment whose plans start at global stage `start`.
+    pub fn store_cg_segment(&self, key: &[u32], start: usize, seg: &Segment) {
+        self.cg_segments
+            .lock()
+            .unwrap()
+            .insert(key.into(), unbase(seg.clone(), start));
+    }
+
+    /// Cached MVM-refined segment for the region run `key`.
+    #[must_use]
+    pub fn mvm_segment(&self, key: &[u32], start: usize) -> Option<Segment> {
+        let found = self.mvm_segments.lock().unwrap().get(key).cloned();
+        self.count(found.is_some(), key.len());
+        found.map(|seg| rebase(seg, start))
+    }
+
+    /// Stores an MVM-refined segment whose plans start at `start`.
+    pub fn store_mvm_segment(&self, key: &[u32], start: usize, seg: &Segment) {
+        self.mvm_segments
+            .lock()
+            .unwrap()
+            .insert(key.into(), unbase(seg.clone(), start));
+    }
+
+    /// Cached VVM-refined segment (and per-plan spreads) for `key`.
+    #[must_use]
+    pub fn vvm_segment(&self, key: &[u32], start: usize) -> Option<(Segment, Vec<u32>)> {
+        let found = self.vvm_segments.lock().unwrap().get(key).cloned();
+        self.count(found.is_some(), key.len());
+        found.map(|(seg, spreads)| (rebase(seg, start), spreads))
+    }
+
+    /// Stores a VVM-refined segment and its spreads.
+    pub fn store_vvm_segment(&self, key: &[u32], start: usize, seg: &Segment, spreads: &[u32]) {
+        self.vvm_segments
+            .lock()
+            .unwrap()
+            .insert(key.into(), (unbase(seg.clone(), start), spreads.to_vec()));
+    }
+
+    /// (hits, misses) across all segment-level lookups, weighted by the
+    /// number of regions each segment covers.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn count(&self, hit: bool, regions: usize) {
+        let n = regions as u64;
+        if hit {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-region scheduling stats the CG DP reads for every stage.
+///
+/// Cached by [`RegionMemo::stage_stats`] so the per-stage prep scan costs
+/// one vector index per stage instead of re-deriving the crossbar math.
+#[derive(Debug, Clone, Copy)]
+pub struct StageStats {
+    /// Cores one replica occupies.
+    pub need: u64,
+    /// Cycles per MVM.
+    pub cpm: u64,
+    /// The allocator's view of the stage (cost, latency, duplication cap).
+    pub item: AllocItem,
+}
+
+/// Shifts a stored (segment-relative) segment onto global stage indices.
+fn rebase(mut seg: Segment, start: usize) -> Segment {
+    for plan in &mut seg.plans {
+        plan.stage += start;
+    }
+    seg
+}
+
+/// Shifts a freshly-scheduled segment down to segment-relative indices
+/// for position-independent storage.
+fn unbase(mut seg: Segment, start: usize) -> Segment {
+    for plan in &mut seg.plans {
+        plan.stage -= start;
+    }
+    seg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::StagePlan;
+    use crate::stage::extract_stages;
+    use cim_arch::presets;
+    use cim_graph::zoo;
+
+    fn segment(stages: &[usize]) -> Segment {
+        Segment {
+            plans: stages
+                .iter()
+                .map(|&s| StagePlan {
+                    stage: s,
+                    duplication: 1,
+                    cores: 1,
+                    folds: 1,
+                    latency: 10.0,
+                })
+                .collect(),
+            latency: 10.0,
+            active_crossbars: 4,
+            streaming_bits_per_cycle: 1.0,
+        }
+    }
+
+    #[test]
+    fn interning_is_content_addressed() {
+        let g = zoo::vit_base();
+        let arch = presets::isaac_baseline();
+        let stages = extract_stages(&g, &arch, 8);
+        let memo = RegionMemo::new();
+        let ids = memo.intern_stages(&stages);
+        assert_eq!(ids.len(), stages.len());
+        // Identical transformer layers produce identical region ids.
+        let by_name = |n: &str| {
+            stages
+                .iter()
+                .position(|s| s.name == n)
+                .unwrap_or_else(|| panic!("no stage {n}"))
+        };
+        assert_eq!(ids[by_name("l0.q")], ids[by_name("l1.q")]);
+        // Distinct content produces distinct ids.
+        assert_ne!(ids[by_name("l0.q")], ids[by_name("patch_embed")]);
+        // Re-interning the same stages yields the same ids.
+        assert_eq!(memo.intern_stages(&stages), ids);
+    }
+
+    #[test]
+    fn segments_rebase_on_load() {
+        let memo = RegionMemo::new();
+        let key = [3u32, 3, 7];
+        // Stored from global stages 10..13 …
+        memo.store_cg_segment(&key, 10, &segment(&[10, 11, 12]));
+        // … reusable at any other position with the same content run.
+        let out = memo.cg_segment(&key, 50).unwrap();
+        let got: Vec<usize> = out.plans.iter().map(|p| p.stage).collect();
+        assert_eq!(got, vec![50, 51, 52]);
+        assert!(memo.cg_segment(&[9u32], 0).is_none());
+        assert_eq!(memo.counters(), (3, 1));
+    }
+
+    #[test]
+    fn costs_do_not_touch_counters() {
+        let memo = RegionMemo::new();
+        assert_eq!(memo.cost(&[1, 2]), None);
+        memo.store_cost(&[1, 2], 42.0);
+        assert_eq!(memo.cost(&[1, 2]), Some(42.0));
+        assert_eq!(memo.counters(), (0, 0));
+    }
+
+    #[test]
+    fn vvm_round_trips_spreads() {
+        let memo = RegionMemo::new();
+        memo.store_vvm_segment(&[5u32], 2, &segment(&[2]), &[4]);
+        let (seg, spreads) = memo.vvm_segment(&[5u32], 8).unwrap();
+        assert_eq!(seg.plans[0].stage, 8);
+        assert_eq!(spreads, vec![4]);
+    }
+}

@@ -11,7 +11,6 @@
 use crate::mapping::OpMapping;
 use cim_arch::CimArchitecture;
 use cim_graph::{Graph, NodeId, OpKind};
-use std::collections::HashMap;
 
 /// One pipeline stage: a CIM operator plus its attached digital work.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,26 +113,29 @@ pub fn extract_stages(graph: &Graph, arch: &CimArchitecture, weight_bits: u32) -
     if cim_ids.is_empty() {
         return Vec::new();
     }
-    // Stage index of each CIM node.
-    let stage_of_cim: HashMap<NodeId, usize> =
-        cim_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    // Stage index of each CIM node. Node ids are dense arena indices, so
+    // plain vectors beat hash maps on this hot path (re-run per
+    // recompile).
+    let mut stage_of_cim: Vec<Option<usize>> = vec![None; graph.len()];
+    for (i, &id) in cim_ids.iter().enumerate() {
+        stage_of_cim[id.index()] = Some(i);
+    }
     // Propagate "latest CIM ancestor stage" through the graph.
-    let mut latest_stage: HashMap<NodeId, usize> = HashMap::new();
+    let mut latest_stage: Vec<usize> = vec![0; graph.len()];
     let mut attached: Vec<Vec<NodeId>> = vec![Vec::new(); cim_ids.len()];
     for node in graph.nodes() {
         let id = node.id();
-        if let Some(&s) = stage_of_cim.get(&id) {
-            latest_stage.insert(id, s);
+        if let Some(s) = stage_of_cim[id.index()] {
+            latest_stage[id.index()] = s;
             continue;
         }
-        let ancestor = node
+        let stage = node
             .inputs()
             .iter()
-            .filter_map(|i| latest_stage.get(i))
+            .map(|i| latest_stage[i.index()])
             .max()
-            .copied();
-        let stage = ancestor.unwrap_or(0);
-        latest_stage.insert(id, stage);
+            .unwrap_or(0);
+        latest_stage[id.index()] = stage;
         if !matches!(node.op(), OpKind::Input { .. }) {
             attached[stage].push(id);
         }

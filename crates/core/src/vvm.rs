@@ -16,6 +16,7 @@
 use crate::cg::{pipeline_latency, CgSchedule, Segment, StagePlan};
 use crate::mvm::MvmSchedule;
 use crate::perf::{phase_power, PerfReport};
+use crate::region::RegionMemo;
 use crate::stage::{movement_cycles, Stage};
 use cim_arch::CimArchitecture;
 
@@ -101,7 +102,26 @@ pub fn schedule_vvm(
     arch: &CimArchitecture,
     act_bits: u32,
 ) -> VvmSchedule {
+    schedule_vvm_memo(cg, mvm, arch, act_bits, &RegionMemo::new())
+}
+
+/// [`schedule_vvm`] with an explicit per-session [`RegionMemo`] — the
+/// incremental-recompilation entry point. Remapped segments (and their
+/// spread factors) are keyed by the region-id run they cover: a memo
+/// retained across [`Session::recompile`](crate::Session::recompile)
+/// calls answers unchanged segments without re-running the d×k sweep.
+#[must_use]
+pub fn schedule_vvm_memo(
+    cg: &CgSchedule,
+    mvm: &MvmSchedule,
+    arch: &CimArchitecture,
+    act_bits: u32,
+    memo: &RegionMemo,
+) -> VvmSchedule {
     let xb_per_core = arch.core().xb_count();
+    // Region ids of every stage; segment memo keys are id runs, as in the
+    // CG and MVM levels.
+    let ids = memo.intern_stages(&cg.stages);
     let mut segments = Vec::with_capacity(mvm.segments.len());
     let mut spreads = Vec::with_capacity(mvm.segments.len());
     let mut total_latency = 0.0;
@@ -110,6 +130,24 @@ pub fn schedule_vvm(
     let mut peak_breakdown = Default::default();
 
     for seg in &mvm.segments {
+        let start = seg.plans.first().map_or(0, |p| p.stage);
+        let key: Vec<u32> = seg.plans.iter().map(|p| ids[p.stage]).collect();
+        if let Some((cached, cached_spreads)) = memo.vvm_segment(&key, start) {
+            let (power, breakdown) = phase_power(
+                arch,
+                cached.active_crossbars,
+                cached.streaming_bits_per_cycle,
+            );
+            if power > peak_power {
+                peak_power = power;
+                peak_active = cached.active_crossbars;
+                peak_breakdown = breakdown;
+            }
+            total_latency += cached.latency;
+            segments.push(cached);
+            spreads.push(cached_spreads);
+            continue;
+        }
         let mut plans = Vec::with_capacity(seg.plans.len());
         let mut seg_spreads = Vec::with_capacity(seg.plans.len());
         let mut lat_fill = Vec::with_capacity(seg.plans.len());
@@ -198,12 +236,14 @@ pub fn schedule_vvm(
             peak_breakdown = breakdown;
         }
         total_latency += latency;
-        segments.push(Segment {
+        let refined = Segment {
             plans,
             latency,
             active_crossbars: active,
             streaming_bits_per_cycle: seg.streaming_bits_per_cycle,
-        });
+        };
+        memo.store_vvm_segment(&key, start, &refined, &seg_spreads);
+        segments.push(refined);
         spreads.push(seg_spreads);
     }
 

@@ -32,11 +32,13 @@ fn pass_by_name(name: &str) -> Box<dyn Pass> {
 /// walks.
 fn job_key(graph: &Graph, arch: &CimArchitecture, options: &CompileOptions) -> Fingerprint {
     let scratch = cim_compiler::ScratchArena::new();
+    let memo = cim_compiler::RegionMemo::new();
     let cx = PassContext {
         graph,
         arch,
         options,
         scratch: &scratch,
+        memo: &memo,
     };
     let mut key = source_fingerprint(graph, arch);
     for name in Pipeline::plan(options, arch).names() {

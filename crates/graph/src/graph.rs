@@ -444,6 +444,46 @@ impl Graph {
         Ok(id)
     }
 
+    /// Parameter-only graph surgery behind
+    /// [`GraphDelta`](crate::GraphDelta): clones the arena, swaps the
+    /// retuned operators in place, and re-infers every output shape from
+    /// the first edited node onward (insertion order is topological, so
+    /// one forward sweep reaches every affected node). No topology
+    /// changes means names, ids and the edge pool are reusable as-is —
+    /// this skips the flatten/rebuild round-trip on the recompile hot
+    /// path.
+    ///
+    /// On failure returns the id of the node whose shape inference
+    /// rejected its (possibly retuned) inputs, so the caller can name it.
+    pub(crate) fn retuned_many(
+        &self,
+        retunes: &[(NodeId, OpKind)],
+    ) -> Result<Graph, (NodeId, GraphError)> {
+        let mut g = self.clone();
+        let mut first = g.nodes.len();
+        for (id, op) in retunes {
+            let op = g.intern_op(op.clone());
+            g.nodes[id.index()].op = op;
+            first = first.min(id.index());
+        }
+        for i in first..g.nodes.len() {
+            let out = {
+                let rec = &g.nodes[i];
+                let start = rec.in_start as usize;
+                let in_shapes: Vec<&Shape> = g.in_pool[start..start + rec.in_len as usize]
+                    .iter()
+                    .map(|id| &g.shapes[g.nodes[id.index()].out_shape.index()])
+                    .collect();
+                g.ops[rec.op.index()]
+                    .infer(&in_shapes)
+                    .map_err(|e| (NodeId::from_index(i), e))?
+            };
+            let out = g.intern_shape(out);
+            g.nodes[i].out_shape = out;
+        }
+        Ok(g)
+    }
+
     /// A view of the node with id `id`.
     ///
     /// # Panics

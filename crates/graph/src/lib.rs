@@ -29,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod graph;
 mod op;
 mod serde_io;
 mod shape;
 pub mod zoo;
 
+pub use delta::{DeltaError, GraphDelta, GraphEdit};
 pub use graph::{Adjacency, Graph, GraphError, Node, NodeId, Nodes, OpId, ShapeId};
 pub use op::{OpKind, PoolKind};
 pub use serde_io::{from_json, to_json};
@@ -46,6 +48,8 @@ const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = {
     assert_send_sync::<Graph>();
     assert_send_sync::<GraphError>();
+    assert_send_sync::<GraphDelta>();
+    assert_send_sync::<DeltaError>();
 };
 
 /// Convenient result alias for fallible graph operations.

@@ -26,6 +26,7 @@ fn main() {
         verify: true,
         dump_stage: None,
         cache: CachePolicy::Default,
+        session: None,
     });
     let envelope = RequestEnvelope::new(1, request);
     println!("client sends:  {}", envelope.to_json());

@@ -5,17 +5,18 @@
 //! pre-API `cimc` printed to stderr, because the CLI now renders these
 //! responses verbatim — there is exactly one copy of each message.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cim_arch::{presets, CimArchitecture};
 use cim_bench::{measure_gate_entries, run_sweep_cached, BenchReport, ScheduleMode, SweepSpec};
 use cim_compiler::{
-    Artifact, CodegenPass, CompileCache, CompileOptions, DiskCache, MemoryCache, Pipeline,
+    Artifact, CodegenPass, CompileCache, CompileOptions, DiskCache, MemoryCache, Pipeline, Session,
     StageKind,
 };
 use cim_dse::{DesignSpace, DseReport, Explorer, Metric, Objective, StrategyKind, TrafficWorkload};
-use cim_graph::{zoo, Graph};
+use cim_graph::{zoo, Graph, GraphDelta};
 use cim_mop::FlowStats;
 use cim_sim::{reference, Machine, WeightStore};
 use cim_traffic::{
@@ -25,8 +26,9 @@ use cim_traffic::{
 
 use super::{
     ApiError, BenchRequest, CachePolicy, CompileOutcome, CompilePerfRequest, CompileRequest,
-    ExploreRequest, FlowSummary, ListRequest, Request, RequestEnvelope, Response, ResponseBody,
-    SimulateRequest, TraceRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ExploreRequest, FlowSummary, ListRequest, RecompileOutcome, RecompileRequest, Request,
+    RequestEnvelope, Response, ResponseBody, SimulateRequest, TraceRequest, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::Error;
 
@@ -131,9 +133,18 @@ fn default_explore_spec() -> TraceSpec {
 /// process with a shared memory(+disk) cache
 /// ([`Handler::with_shared_cache`]) so every request after the first
 /// compiles warm.
+///
+/// Handlers also hold the *pinned sessions* incremental recompilation
+/// edits: a [`CompileRequest`] with `session: Some(name)` keeps its
+/// finished [`Session`] alive under that name, and subsequent
+/// [`Request::Recompile`]s address it to reuse its per-region
+/// scheduling memo. Pinning is only useful on a long-lived handler
+/// (`cimc serve`) — a one-shot CLI handler drops pinned sessions when
+/// the process exits.
 #[derive(Default)]
 pub struct Handler {
     shared_cache: Option<Arc<dyn CompileCache>>,
+    sessions: Mutex<HashMap<String, Session<'static>>>,
 }
 
 impl Handler {
@@ -151,6 +162,7 @@ impl Handler {
     pub fn with_shared_cache(cache: Arc<dyn CompileCache>) -> Self {
         Handler {
             shared_cache: Some(cache),
+            sessions: Mutex::new(HashMap::new()),
         }
     }
 
@@ -189,6 +201,10 @@ impl Handler {
         match request {
             Request::Compile(req) => match self.compile(req) {
                 Ok(outcome) => ResponseBody::Compile(outcome),
+                Err(e) => ResponseBody::Error(e),
+            },
+            Request::Recompile(req) => match self.recompile(req) {
+                Ok(outcome) => ResponseBody::Recompiled(outcome),
                 Err(e) => ResponseBody::Error(e),
             },
             Request::Bench(req) => match self.bench(req) {
@@ -312,7 +328,20 @@ impl Handler {
             }
         }
 
-        let (artifact, timeline) = session.into_parts();
+        // Pinning keeps the finished session (and its per-region memo)
+        // alive for later `Recompile` requests, so the outcome is built
+        // from clones instead of consuming it.
+        let (artifact, timeline) = match &req.session {
+            Some(name) => {
+                let parts = (session.artifact().clone(), session.timeline().clone());
+                self.sessions
+                    .lock()
+                    .expect("sessions mutex poisoned")
+                    .insert(name.clone(), session.into_owned());
+                parts
+            }
+            None => session.into_parts(),
+        };
         let (compiled, flow_pack) = match artifact {
             Artifact::Codegenned(c) => {
                 let c = *c;
@@ -385,6 +414,150 @@ impl Handler {
             flow_head,
             flow_stats,
             dumps,
+        })
+    }
+
+    /// The `cimc recompile` core: route to the pinned-session or
+    /// one-shot flavor, rejecting ambiguous addressing.
+    fn recompile(&self, req: &RecompileRequest) -> Result<RecompileOutcome, ApiError> {
+        match (&req.session, &req.compile) {
+            (Some(_), Some(_)) => Err(ApiError::argument(
+                "a recompile request takes `session` or `compile`, not both",
+            )),
+            (Some(name), None) => self.recompile_pinned(name, &req.delta),
+            (None, Some(compile)) => Self::recompile_oneshot(compile, &req.delta),
+            (None, None) => Err(ApiError::argument(
+                "a recompile request needs exactly one of `session` (a pinned session) or \
+                 `compile` (a one-shot cold compile)",
+            )),
+        }
+    }
+
+    /// Applies a delta to a session pinned by an earlier compile
+    /// request, reusing its per-region scheduling memo in place.
+    fn recompile_pinned(
+        &self,
+        name: &str,
+        delta: &GraphDelta,
+    ) -> Result<RecompileOutcome, ApiError> {
+        let mut sessions = self.sessions.lock().expect("sessions mutex poisoned");
+        let session = sessions.get_mut(name).ok_or_else(|| {
+            ApiError::input(format!(
+                "unknown session `{name}` (pin one with a compile request's `session` field)"
+            ))
+        })?;
+        let started = Instant::now();
+        session
+            .recompile(delta)
+            .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
+        let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+        let incremental = Self::session_outcome(session, false)?;
+        let (region_hits, region_misses) = incremental.timeline.region_stats();
+        Ok(RecompileOutcome {
+            cold: None,
+            incremental,
+            fresh: None,
+            equivalent: None,
+            cold_ms: None,
+            incremental_ms,
+            region_hits,
+            region_misses,
+        })
+    }
+
+    /// One-shot incremental recompilation: cold-compile the embedded
+    /// request, recompile with the delta against the still-warm
+    /// per-region memo, then compile the mutated graph from scratch and
+    /// judge equivalence — the full evidence chain in one request.
+    fn recompile_oneshot(
+        req: &CompileRequest,
+        delta: &GraphDelta,
+    ) -> Result<RecompileOutcome, ApiError> {
+        if req.flow.is_some() || req.verify || req.dump_stage.is_some() {
+            return Err(ApiError::argument(
+                "a recompile request's embedded compile does not support `flow`, `verify` or \
+                 `dump_stage`",
+            ));
+        }
+        let graph = model(&req.model).map_err(ApiError::input)?;
+        let mut arch = preset(&req.arch).map_err(ApiError::input)?;
+        if let Some(m) = req.mode {
+            arch = arch.with_mode(m.into());
+        }
+        let options = CompileOptions {
+            level: req.level.map(Into::into).unwrap_or_default(),
+            jobs: if req.jobs == 0 { 1 } else { req.jobs },
+            ..CompileOptions::default()
+        };
+
+        let pipeline = Pipeline::plan(&options, &arch);
+        let mut session = pipeline.session(&graph, &arch, options);
+        let cold_started = Instant::now();
+        session
+            .run()
+            .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
+        let cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+        let cold = Self::session_outcome(&session, req.schedule)?;
+
+        let started = Instant::now();
+        session
+            .recompile(delta)
+            .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
+        let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+        // The incremental/fresh outcomes always carry the rendered
+        // schedule so `equivalent` (and clients byte-comparing the two)
+        // covers the full per-stage plans, not just the summary reports.
+        let incremental = Self::session_outcome(&session, true)?;
+        let (region_hits, region_misses) = incremental.timeline.region_stats();
+
+        let mutated = delta
+            .apply(&graph)
+            .map_err(|e| ApiError::input(format!("invalid graph delta: {e}")))?;
+        let mut fresh_session = Pipeline::plan(&options, &arch).session(&mutated, &arch, options);
+        fresh_session
+            .run()
+            .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
+        let fresh = Self::session_outcome(&fresh_session, true)?;
+
+        let equivalent = incremental.model == fresh.model
+            && incremental.level == fresh.level
+            && incremental.reports == fresh.reports
+            && incremental.metrics == fresh.metrics
+            && incremental.schedule == fresh.schedule;
+        Ok(RecompileOutcome {
+            cold: Some(Box::new(cold)),
+            incremental,
+            fresh: Some(Box::new(fresh)),
+            equivalent: Some(equivalent),
+            cold_ms: Some(cold_ms),
+            incremental_ms,
+            region_hits,
+            region_misses,
+        })
+    }
+
+    /// Builds the [`CompileOutcome`] surface of an already-run session
+    /// without consuming it (recompilation needs the session alive).
+    fn session_outcome(session: &Session<'_>, schedule: bool) -> Result<CompileOutcome, ApiError> {
+        let compiled = session
+            .compiled()
+            .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
+        let arch = session.arch();
+        Ok(CompileOutcome {
+            model: compiled.model().to_owned(),
+            arch: compiled.arch_name().to_owned(),
+            mode: arch.mode().name().to_owned(),
+            level: compiled.report().level.to_owned(),
+            reports: compiled.reports().into_iter().cloned().collect(),
+            metrics: compiled.metrics(arch),
+            timeline: session.timeline().clone(),
+            cache_stats: None,
+            verified: None,
+            verified_outputs: 0,
+            schedule: schedule.then(|| compiled.render_schedule()),
+            flow_head: Vec::new(),
+            flow_stats: None,
+            dumps: Vec::new(),
         })
     }
 
@@ -676,6 +849,10 @@ impl std::fmt::Debug for Handler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Handler")
             .field("shared_cache", &self.shared_cache.is_some())
+            .field(
+                "sessions",
+                &self.sessions.lock().expect("sessions mutex poisoned").len(),
+            )
             .finish()
     }
 }

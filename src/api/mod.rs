@@ -40,15 +40,24 @@ pub use handler::Handler;
 use cim_bench::{BenchReport, CompileTimeRecord, ScheduleMode};
 use cim_compiler::{CacheStats, CompileMetrics, PassTimeline, PerfReport};
 use cim_dse::{DesignSpace, DseReport};
+use cim_graph::GraphDelta;
 use cim_traffic::{Partition, Trace, TraceSpec, TrafficReport};
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire protocol (requests *and* responses). Bump on any
 /// backwards-incompatible change to the types in this module.
 ///
+/// Purely *additive* changes — a new [`Request`]/[`ResponseBody`]
+/// variant, a new `#[serde(default)]` field — do **not** bump the
+/// version: old clients never produce the new shapes, and old servers
+/// answer them with a parse-level [`ErrorKind::Protocol`] error rather
+/// than misreading them.
+///
 /// # History
 ///
-/// * **1** — initial protocol.
+/// * **1** — initial protocol. Later extended in place (additively) with
+///   [`Request::Recompile`] / [`ResponseBody::Recompiled`] and the
+///   `session` pinning field on [`CompileRequest`].
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Oldest protocol version this toolchain still accepts.
@@ -252,6 +261,37 @@ pub struct CompileRequest {
     /// Which cache to compile against.
     #[serde(default)]
     pub cache: CachePolicy,
+    /// Pin the finished compile session under this name so later
+    /// [`Request::Recompile`]s can edit it incrementally. Only
+    /// meaningful against a persistent handler (`cimc serve`); one-shot
+    /// CLI handlers accept and ignore it.
+    #[serde(default)]
+    pub session: Option<String>,
+}
+
+/// `cimc recompile` as a request: apply a typed
+/// [`GraphDelta`] to an existing compile session
+/// and re-run only the scheduling work whose per-region fingerprints
+/// changed.
+///
+/// Two addressing modes, exactly one of which must be set:
+///
+/// * `session` — edit a session previously pinned by a
+///   [`CompileRequest`] with `session: Some(name)` on the same server.
+/// * `compile` — one-shot: cold-compile the embedded request first,
+///   then recompile with the delta, and additionally compile the
+///   mutated graph from scratch to report byte-level `equivalent`ness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecompileRequest {
+    /// Name of a pinned server-side session to edit in place.
+    #[serde(default)]
+    pub session: Option<String>,
+    /// One-shot mode: the cold compile to run (and time) before the
+    /// incremental recompile.
+    #[serde(default)]
+    pub compile: Option<CompileRequest>,
+    /// The typed edit batch to apply.
+    pub delta: GraphDelta,
 }
 
 /// `cimc bench` as a request.
@@ -409,6 +449,8 @@ pub struct SleepRequest {
 pub enum Request {
     /// Compile one model for one architecture.
     Compile(CompileRequest),
+    /// Incrementally recompile a session after a typed graph edit.
+    Recompile(RecompileRequest),
     /// Run a benchmark sweep.
     Bench(BenchRequest),
     /// Run a design-space exploration.
@@ -438,6 +480,11 @@ impl Request {
     pub fn key(&self) -> String {
         match self {
             Request::Compile(c) => format!("compile {}@{}", c.model, c.arch),
+            Request::Recompile(r) => match (&r.session, &r.compile) {
+                (Some(name), _) => format!("recompile session {name}"),
+                (None, Some(c)) => format!("recompile {}@{}", c.model, c.arch),
+                (None, None) => "recompile ?".to_owned(),
+            },
             Request::Bench(b) => {
                 if b.quick {
                     "bench quick".to_owned()
@@ -594,16 +641,62 @@ impl CompileOutcome {
     /// Whether this compile ran fully warm: every cacheable pass was
     /// served from the cache (per the timeline's per-pass records, which
     /// are immune to concurrent requests touching the shared counters).
-    /// `None` when no pass touched a cache at all.
+    ///
+    /// Incremental recompiles reuse work at *region* granularity instead
+    /// of whole-pass granularity, so when no pass-level cache was in
+    /// play the verdict falls back to the per-region counters: warm
+    /// means every region was served from the session's memo. `None`
+    /// when neither level recorded any traffic.
     #[must_use]
     pub fn warm(&self) -> Option<bool> {
         let stats = self.timeline.cache_stats();
         if stats.lookups() == 0 {
-            None
+            let (hits, misses) = self.timeline.region_stats();
+            if hits + misses == 0 {
+                None
+            } else {
+                Some(misses == 0 && hits > 0)
+            }
         } else {
             Some(stats.misses == 0 && stats.hits > 0)
         }
     }
+}
+
+/// Everything a successful recompile request produced.
+///
+/// The `incremental` outcome is shaped exactly like a fresh
+/// [`CompileOutcome`] (same reports, metrics and timeline), so every
+/// existing renderer works on it unchanged; the extra fields carry the
+/// incrementality evidence (timings, per-region counters, equivalence).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecompileOutcome {
+    /// The cold compile that seeded the session (one-shot mode only;
+    /// pinned-session recompiles edit an already-compiled session).
+    #[serde(default)]
+    pub cold: Option<Box<CompileOutcome>>,
+    /// The incremental recompile's outcome after applying the delta.
+    pub incremental: CompileOutcome,
+    /// A from-scratch compile of the mutated graph (one-shot mode only)
+    /// — the ground truth `equivalent` was judged against, returned so
+    /// clients can diff or byte-compare the two outcomes themselves.
+    #[serde(default)]
+    pub fresh: Option<Box<CompileOutcome>>,
+    /// Whether the incremental schedules, reports and metrics are
+    /// identical to the fresh compile of the mutated graph (one-shot
+    /// mode only — checking it requires the fresh compile to compare
+    /// against).
+    #[serde(default)]
+    pub equivalent: Option<bool>,
+    /// Wall-clock of the cold compile, milliseconds (one-shot mode).
+    #[serde(default)]
+    pub cold_ms: Option<f64>,
+    /// Wall-clock of the incremental recompile, milliseconds.
+    pub incremental_ms: f64,
+    /// Scheduling regions served from the session's memo.
+    pub region_hits: u64,
+    /// Scheduling regions that had to be recomputed.
+    pub region_misses: u64,
 }
 
 /// Every way a request can conclude, externally tagged on the wire.
@@ -613,6 +706,8 @@ impl CompileOutcome {
 pub enum ResponseBody {
     /// A compile request's result.
     Compile(CompileOutcome),
+    /// A recompile request's result.
+    Recompiled(RecompileOutcome),
     /// A bench request's result.
     Bench {
         /// The sweep report.

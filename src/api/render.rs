@@ -10,16 +10,19 @@ use cim_dse::DseReport;
 use cim_traffic::TrafficReport;
 use serde::Serialize;
 
-use super::{ApiError, CompileOutcome, ErrorKind};
+use super::{ApiError, CompileOutcome, ErrorKind, RecompileOutcome};
 
 /// Version of the `cimc compile --json` document layout.
 ///
-/// History: **3** added the per-record `scratch_peak_bytes` column
-/// inside `timeline` (peak scratch-arena footprint of each pass);
-/// **2** added `cache_stats` and the per-record `cache` column inside
-/// `timeline` (mirroring the bench report's v2 bump); **1** was the
-/// initial layout.
-pub const COMPILE_DOC_VERSION: u32 = 3;
+/// History: **4** added the top-level `region_hits`/`region_misses`
+/// summary and the per-record `region_hits`/`region_misses` columns
+/// inside `timeline` (per-region reuse counters of incremental
+/// recompilation; zero on cold compiles); **3** added the per-record
+/// `scratch_peak_bytes` column inside `timeline` (peak scratch-arena
+/// footprint of each pass); **2** added `cache_stats` and the
+/// per-record `cache` column inside `timeline` (mirroring the bench
+/// report's v2 bump); **1** was the initial layout.
+pub const COMPILE_DOC_VERSION: u32 = 4;
 
 /// The machine-readable document `cimc compile --json` emits (analogous
 /// to `cimc bench --out`'s report).
@@ -35,6 +38,79 @@ struct CompileDoc {
     timeline: PassTimeline,
     cache_stats: Option<CacheStats>,
     verified: Option<bool>,
+    region_hits: u64,
+    region_misses: u64,
+}
+
+impl CompileDoc {
+    fn of(outcome: &CompileOutcome) -> CompileDoc {
+        let (region_hits, region_misses) = outcome.timeline.region_stats();
+        CompileDoc {
+            schema_version: COMPILE_DOC_VERSION,
+            model: outcome.model.clone(),
+            arch: outcome.arch.clone(),
+            mode: outcome.mode.clone(),
+            level: outcome.level.clone(),
+            reports: outcome.reports.clone(),
+            metrics: outcome.metrics.clone(),
+            timeline: outcome.timeline.clone(),
+            cache_stats: outcome.cache_stats,
+            verified: outcome.verified,
+            region_hits,
+            region_misses,
+        }
+    }
+}
+
+/// The machine-readable document `cimc recompile --json` emits: the
+/// incrementality evidence plus the incremental compile's full
+/// document.
+#[derive(Serialize)]
+struct RecompileDoc {
+    schema_version: u32,
+    cold_ms: Option<f64>,
+    incremental_ms: f64,
+    region_hits: u64,
+    region_misses: u64,
+    equivalent: Option<bool>,
+    incremental: CompileDoc,
+}
+
+/// The deterministic subset of a compile outcome that
+/// `cimc recompile --out-incremental`/`--out-fresh` write: no
+/// wall-clock, no counters — two equivalent compiles produce
+/// byte-identical files, so CI can `cmp` them directly.
+#[derive(Serialize)]
+struct ComparableDoc {
+    schema_version: u32,
+    model: String,
+    arch: String,
+    mode: String,
+    level: String,
+    reports: Vec<PerfReport>,
+    metrics: CompileMetrics,
+    schedule: Option<String>,
+}
+
+/// Renders the byte-comparable document of a compile outcome: the
+/// schedule-bearing, timing-free subset used to check incremental/fresh
+/// equivalence at the file level.
+#[must_use]
+#[allow(clippy::missing_panics_doc)] // infallible serialization
+pub fn render_comparable(outcome: &CompileOutcome) -> String {
+    let doc = ComparableDoc {
+        schema_version: COMPILE_DOC_VERSION,
+        model: outcome.model.clone(),
+        arch: outcome.arch.clone(),
+        mode: outcome.mode.clone(),
+        level: outcome.level.clone(),
+        reports: outcome.reports.clone(),
+        metrics: outcome.metrics.clone(),
+        schedule: outcome.schedule.clone(),
+    };
+    let mut doc = serde_json::to_string_pretty(&doc).expect("compile reports always serialize");
+    doc.push('\n');
+    doc
 }
 
 /// What a CLI shim prints and how it exits. `code` 2 means "argument
@@ -93,6 +169,13 @@ pub fn render_compile(outcome: &CompileOutcome, json: bool, timings: bool) -> Re
             if let Some(stats) = &outcome.cache_stats {
                 let _ = writeln!(out, "cache: {}", stats.render());
             }
+            let (region_hits, region_misses) = outcome.timeline.region_stats();
+            if region_hits + region_misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "regions: {region_hits} hit(s), {region_misses} miss(es)"
+                );
+            }
         }
     }
     if let Some(schedule) = &outcome.schedule {
@@ -124,17 +207,91 @@ pub fn render_compile(outcome: &CompileOutcome, json: bool, timings: bool) -> Re
         _ => {}
     }
     if json {
-        let doc = CompileDoc {
+        let mut doc = serde_json::to_string_pretty(&CompileDoc::of(outcome))
+            .expect("compile reports always serialize");
+        doc.push('\n');
+        out.push_str(&doc);
+    }
+    Rendered {
+        stdout: out,
+        stderr: err,
+        code,
+    }
+}
+
+/// Renders a recompile outcome: the incremental compile's report lines,
+/// `--timings`, and the one-line incrementality summary (cold vs
+/// incremental wall clock, per-region reuse counters, equivalence
+/// verdict). A one-shot recompile whose incremental result *differs*
+/// from the fresh compile exits 1 — that is the regression the request
+/// exists to catch.
+#[must_use]
+#[allow(clippy::missing_panics_doc)] // infallible String writes
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // ms → integer display
+pub fn render_recompile(outcome: &RecompileOutcome, json: bool, timings: bool) -> Rendered {
+    let mut out = String::new();
+    let mut err = String::new();
+    let mut code = 0u8;
+    let inc = &outcome.incremental;
+    if !json {
+        for report in &inc.reports {
+            let _ = writeln!(
+                out,
+                "level {:<12} latency {:>14.0} cycles   peak power {:>10.1}   energy {:>14.1}   segments {}",
+                report.level,
+                report.latency_cycles,
+                report.peak_power,
+                report.energy.total(),
+                report.segments
+            );
+        }
+        if timings {
+            let _ = writeln!(out, "\n{}", inc.timeline.render());
+        }
+        let hits = outcome.region_hits;
+        let misses = outcome.region_misses;
+        let inc_ms = outcome.incremental_ms.round() as u64;
+        match outcome.cold_ms {
+            Some(cold_ms) => {
+                let pct = if cold_ms > 0.0 {
+                    (outcome.incremental_ms / cold_ms * 100.0).round() as u64
+                } else {
+                    100
+                };
+                let verdict = match outcome.equivalent {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "unchecked",
+                };
+                let _ = writeln!(
+                    out,
+                    "recompile: cold {} ms, incremental {inc_ms} ms ({pct}% of cold), regions \
+                     {hits} hit(s) / {misses} miss(es), equivalent: {verdict}",
+                    cold_ms.round() as u64
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "recompile: incremental {inc_ms} ms, regions {hits} hit(s) / {misses} \
+                     miss(es)"
+                );
+            }
+        }
+    }
+    if outcome.equivalent == Some(false) {
+        err.push_str("recompile: incremental result differs from a fresh compile\n");
+        code = 1;
+    }
+    if json {
+        let doc = RecompileDoc {
             schema_version: COMPILE_DOC_VERSION,
-            model: outcome.model.clone(),
-            arch: outcome.arch.clone(),
-            mode: outcome.mode.clone(),
-            level: outcome.level.clone(),
-            reports: outcome.reports.clone(),
-            metrics: outcome.metrics.clone(),
-            timeline: outcome.timeline.clone(),
-            cache_stats: outcome.cache_stats,
-            verified: outcome.verified,
+            cold_ms: outcome.cold_ms,
+            incremental_ms: outcome.incremental_ms,
+            region_hits: outcome.region_hits,
+            region_misses: outcome.region_misses,
+            equivalent: outcome.equivalent,
+            incremental: CompileDoc::of(inc),
         };
         let mut doc = serde_json::to_string_pretty(&doc).expect("compile reports always serialize");
         doc.push('\n');

@@ -23,9 +23,11 @@ use cim_mlc::api::args::{
 };
 use cim_mlc::api::{
     render, ApiError, BenchRequest, CompilePerfRequest, CompileRequest, ExploreRequest, Handler,
-    LevelArg, ListRequest, ModeArg, Request, ResponseBody, SimulateRequest, StageArg, TraceRequest,
+    LevelArg, ListRequest, ModeArg, RecompileRequest, Request, ResponseBody, SimulateRequest,
+    StageArg, TraceRequest,
 };
 use cim_mlc::compiler::TieredCache;
+use cim_mlc::graph::GraphDelta;
 use cim_mlc::loadtest::{run_loadtest, send_shutdown, LoadtestOptions};
 use cim_mlc::prelude::*;
 use cim_mlc::serve::{run_stdio, run_tcp, ServeOptions};
@@ -39,6 +41,9 @@ cimc list <models|archs|modes|strategies|objectives|policies|traces>\n  \
 cimc compile --model <name|file.json> --arch <preset> \
 [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--jobs <n>] [--schedule] [--flow <lines>] [--verify] \
 [--timings] [--dump-stage cg|mvm|vvm] [--json] [--cache-dir <dir>] [--no-cache]\n  \
+cimc recompile --model <name|file.json> --arch <preset> --delta <file.json> \
+[--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--jobs <n>] [--timings] [--json] \
+[--out-incremental <file.json>] [--out-fresh <file.json>]\n  \
 cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] [--compile-time] \
 [--baseline <file.json>] [--fail-on-regression] [--tolerance <pct>] [--models <a,b,..>] \
 [--archs <a,b,..>] [--modes <a,b,..>] [--cache-dir <dir>] [--no-cache]\n  \
@@ -303,11 +308,181 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         verify,
         dump_stage,
         cache,
+        session: None,
     });
     match Handler::new().handle(&request) {
         ResponseBody::Compile(outcome) => finish(&render::render_compile(&outcome, json, timings)),
         ResponseBody::Error(e) => fail(&e),
         _ => unreachable!("compile requests yield compile outcomes"),
+    }
+}
+
+/// Loads a graph-delta document (`{"edits": [...]}`) for
+/// `cimc recompile --delta`.
+fn load_delta_file(path: &str) -> Result<GraphDelta, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e).render_chain())?;
+    serde_json::from_str(&json).map_err(|e| format!("invalid graph delta `{path}`: {e}"))
+}
+
+/// `cimc recompile` — the one-shot incremental-recompilation shim: cold
+/// compile, apply `--delta` through [`Session::recompile`], fresh
+/// compile of the mutated graph, and report timings, per-region reuse,
+/// and equivalence. `--out-incremental`/`--out-fresh` write the two
+/// byte-comparable result documents for external diffing (CI `cmp`s
+/// them).
+#[allow(clippy::too_many_lines)]
+fn cmd_recompile(args: &[String]) -> ExitCode {
+    let mut model_name = None;
+    let mut arch_name = None;
+    let mut mode: Option<ModeArg> = None;
+    let mut level: Option<LevelArg> = None;
+    let mut jobs: Option<usize> = None;
+    let mut delta_path: Option<String> = None;
+    let mut timings = false;
+    let mut json = false;
+    let mut out_incremental: Option<String> = None;
+    let mut out_fresh: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" | "--arch" | "--delta" | "--out-incremental" | "--out-fresh" => {
+                let flag = args[i].clone();
+                let value = match value_of(args, &flag, i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match flag.as_str() {
+                    "--model" => model_name = Some(value),
+                    "--arch" => arch_name = Some(value),
+                    "--delta" => delta_path = Some(value),
+                    "--out-incremental" => out_incremental = Some(value),
+                    _ => out_fresh = Some(value),
+                }
+                i += 2;
+            }
+            "--mode" => {
+                mode = match args.get(i + 1).map(String::as_str) {
+                    Some("cm") => Some(ModeArg::Cm),
+                    Some("xbm") => Some(ModeArg::Xbm),
+                    Some("wlm") => Some(ModeArg::Wlm),
+                    Some(other) => {
+                        eprintln!("invalid --mode `{other}` (expected cm, xbm or wlm)");
+                        return usage();
+                    }
+                    None => {
+                        eprintln!("missing value for `--mode`");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--level" => {
+                level = match args.get(i + 1).map(String::as_str) {
+                    Some("cg") => Some(LevelArg::Cg),
+                    Some("mvm") => Some(LevelArg::Mvm),
+                    Some("vvm") => Some(LevelArg::Vvm),
+                    Some(other) => {
+                        eprintln!("invalid --level `{other}` (expected cg, mvm or vvm)");
+                        return usage();
+                    }
+                    None => {
+                        eprintln!("missing value for `--level`");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--jobs" => {
+                let value = match value_of(args, "--jobs", i) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                match parse_positive("--jobs", &value) {
+                    Ok(n) => jobs = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--timings" => {
+                timings = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let (Some(model_name), Some(arch_name), Some(delta_path)) = (model_name, arch_name, delta_path)
+    else {
+        eprintln!("`cimc recompile` needs --model, --arch and --delta");
+        return usage();
+    };
+    let delta = match load_delta_file(&delta_path) {
+        Ok(delta) => delta,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = Request::Recompile(RecompileRequest {
+        session: None,
+        compile: Some(CompileRequest {
+            model: model_name,
+            arch: arch_name,
+            mode,
+            level,
+            jobs: jobs.unwrap_or(0),
+            schedule: false,
+            flow: None,
+            verify: false,
+            dump_stage: None,
+            cache: CachePolicy::Off,
+            session: None,
+        }),
+        delta,
+    });
+    match Handler::new().handle(&request) {
+        ResponseBody::Recompiled(outcome) => {
+            if let Some(path) = out_incremental {
+                let doc = render::render_comparable(&outcome.incremental);
+                if let Err(e) = write_atomic(Path::new(&path), doc.as_bytes()) {
+                    eprintln!("cannot write report to `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(path) = out_fresh {
+                let Some(fresh) = &outcome.fresh else {
+                    eprintln!("--out-fresh needs a one-shot recompile (no fresh compile ran)");
+                    return ExitCode::FAILURE;
+                };
+                let doc = render::render_comparable(fresh);
+                if let Err(e) = write_atomic(Path::new(&path), doc.as_bytes()) {
+                    eprintln!("cannot write report to `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            finish(&render::render_recompile(&outcome, json, timings))
+        }
+        ResponseBody::Error(e) => fail(&e),
+        _ => unreachable!("recompile requests yield recompile outcomes"),
     }
 }
 
@@ -1687,6 +1862,7 @@ fn main() -> ExitCode {
         Some("models") => cmd_models(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
+        Some("recompile") => cmd_recompile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("compile-perf") => cmd_compile_perf(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
@@ -1700,8 +1876,8 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!(
-                "unknown subcommand `{other}` (expected archs, models, list, compile, bench, \
-                 compile-perf, explore, trace, simulate, serve, loadtest or help)"
+                "unknown subcommand `{other}` (expected archs, models, list, compile, recompile, \
+                 bench, compile-perf, explore, trace, simulate, serve, loadtest or help)"
             );
             usage()
         }

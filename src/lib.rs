@@ -106,8 +106,8 @@ pub use error::Error;
 /// Convenient single-import surface for applications.
 pub mod prelude {
     pub use crate::api::{
-        ApiError, CachePolicy, Handler, Request, RequestEnvelope, Response, ResponseBody,
-        MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+        ApiError, CachePolicy, Handler, RecompileOutcome, RecompileRequest, Request,
+        RequestEnvelope, Response, ResponseBody, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
     };
     pub use crate::loadtest::{run_loadtest, LoadtestOptions};
     pub use crate::serve::{run_stdio, run_tcp, ServeOptions};
@@ -129,7 +129,7 @@ pub mod prelude {
         pareto_front, DesignPoint, DesignSpace, DseError, DseReport, Explorer, Metric, Objective,
         SearchStrategy, StrategyKind,
     };
-    pub use cim_graph::{zoo, Graph, NodeId, OpKind, Shape};
+    pub use cim_graph::{zoo, DeltaError, Graph, GraphDelta, GraphEdit, NodeId, OpKind, Shape};
     pub use cim_mop::{FlowStats, MopFlow};
     pub use cim_sim::{reference, trace, Machine, WeightStore};
     pub use cim_traffic::{

@@ -71,6 +71,7 @@ pub fn default_script() -> Vec<Request> {
                 verify: false,
                 dump_stage: None,
                 cache: crate::api::CachePolicy::Default,
+                session: None,
             }));
         }
     }

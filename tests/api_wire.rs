@@ -5,9 +5,11 @@
 
 use cim_mlc::api::{
     ApiError, BenchRequest, CachePolicy, CompilePerfRequest, CompileRequest, ExploreRequest,
-    Handler, LevelArg, ListRequest, ModeArg, Request, RequestEnvelope, Response, ResponseBody,
-    SimulateRequest, SleepRequest, StageArg, TraceRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    Handler, LevelArg, ListRequest, ModeArg, RecompileRequest, Request, RequestEnvelope, Response,
+    ResponseBody, SimulateRequest, SleepRequest, StageArg, TraceRequest, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
+use cim_mlc::prelude::{GraphDelta, GraphEdit, OpKind};
 use cim_mlc::traffic::{GeneratorKind, TenantSpec, TraceSpec};
 use proptest::prelude::*;
 
@@ -46,9 +48,21 @@ fn compile_requests() -> impl Strategy<Value = Request> {
             Just(StageArg::Vvm)
         ]),
         cache_policies(),
+        proptest::option::of(names(&["pinned", "sess-1"])),
     )
         .prop_map(
-            |(model, arch, mode, level, jobs, (schedule, verify), flow, dump_stage, cache)| {
+            |(
+                model,
+                arch,
+                mode,
+                level,
+                jobs,
+                (schedule, verify),
+                flow,
+                dump_stage,
+                cache,
+                session,
+            )| {
                 Request::Compile(CompileRequest {
                     model,
                     arch,
@@ -60,6 +74,7 @@ fn compile_requests() -> impl Strategy<Value = Request> {
                     verify,
                     dump_stage,
                     cache,
+                    session,
                 })
             },
         )
@@ -194,6 +209,7 @@ fn compile_outcomes_round_trip_through_the_wire() {
         verify: true,
         dump_stage: Some(StageArg::Mvm),
         cache: CachePolicy::Default,
+        session: None,
     });
     let envelope = RequestEnvelope::new(7, request);
     let response = handler.respond(&envelope);
@@ -285,6 +301,7 @@ fn wire_samples() -> Vec<String> {
                 cache: CachePolicy::Disk {
                     dir: "/tmp/cache".to_owned(),
                 },
+                session: None,
             }),
         );
         envelope.deadline_ms = Some(2500.0);
@@ -361,6 +378,19 @@ fn wire_samples() -> Vec<String> {
             cache: CachePolicy::Default,
         }),
     );
+    let recompile = RequestEnvelope::new(
+        15,
+        Request::Recompile(RecompileRequest {
+            session: Some("pinned".to_owned()),
+            compile: None,
+            delta: GraphDelta {
+                edits: vec![GraphEdit::RetuneOpParams {
+                    node: "head.fc".to_owned(),
+                    op: OpKind::Linear { out_features: 512 },
+                }],
+            },
+        }),
+    );
     let control = [
         RequestEnvelope::new(5, Request::CompilePerf(CompilePerfRequest { samples: 3 })),
         RequestEnvelope::new(6, Request::Ping),
@@ -400,7 +430,7 @@ fn wire_samples() -> Vec<String> {
 
     let mut lines: Vec<String> = Vec::new();
     lines.extend(
-        [compile, bench, explore, list, trace, simulate]
+        [compile, bench, explore, list, trace, simulate, recompile]
             .iter()
             .map(RequestEnvelope::to_json),
     );

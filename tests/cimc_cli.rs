@@ -475,7 +475,8 @@ fn compile_json_emits_a_machine_readable_report() {
 #[test]
 fn compile_json_documents_carry_the_scratch_column() {
     // Doc schema v3: every timeline record reports the pass's peak
-    // scratch-arena footprint.
+    // scratch-arena footprint. Schema v4 adds the per-region hit/miss
+    // columns of the incremental recompilation memo.
     let out = cimc(&["compile", "--model", "lenet5", "--arch", "isaac", "--json"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -483,9 +484,139 @@ fn compile_json_documents_carry_the_scratch_column() {
     let entries = doc.as_map().expect("top-level object");
     assert_eq!(
         serde::Value::lookup(entries, "schema_version"),
-        Some(&serde::Value::U64(3))
+        Some(&serde::Value::U64(4))
     );
     assert!(text.contains("scratch_peak_bytes"), "{text}");
+    assert!(text.contains("region_hits"), "{text}");
+    assert!(text.contains("region_misses"), "{text}");
+}
+
+// ---------------------------------------------------------------------------
+// `cimc recompile` — the one-shot incremental-recompilation shim.
+
+/// Writes a delta file retuning `node` to a Linear with `out_features`.
+fn write_delta(name: &str, node: &str, out_features: usize) -> PathBuf {
+    let path = tmp_path(name);
+    let delta = format!(
+        r#"{{"edits":[{{"retune_op_params":{{"node":"{node}","op":{{"Linear":{{"out_features":{out_features}}}}}}}}}]}}"#
+    );
+    std::fs::write(&path, delta).expect("delta file writes");
+    path
+}
+
+#[test]
+fn recompile_reports_reuse_and_equivalence() {
+    // vgg7 on the 16-core jia preset splits into several segments, so a
+    // tail edit leaves most region schedules reusable (hits > 0); a
+    // fully-resident model would be a single always-invalidated segment.
+    let delta = write_delta("recompile_basic.json", "fc2", 32);
+    let out = cimc(&[
+        "recompile",
+        "--model",
+        "vgg7",
+        "--arch",
+        "jia",
+        "--delta",
+        delta.to_str().unwrap(),
+    ]);
+    let _ = std::fs::remove_file(&delta);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("equivalent: yes"), "{text}");
+    assert!(text.contains("hit(s)"), "{text}");
+    // An edited model reuses at least one region schedule.
+    assert!(!text.contains("regions 0 hit(s)"), "{text}");
+}
+
+#[test]
+fn recompile_json_document_carries_timings_and_counters() {
+    let delta = write_delta("recompile_json.json", "fc2", 32);
+    let out = cimc(&[
+        "recompile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--delta",
+        delta.to_str().unwrap(),
+        "--json",
+    ]);
+    let _ = std::fs::remove_file(&delta);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let doc: serde::Value = serde_json::from_str(&text).expect("valid JSON document");
+    let entries = doc.as_map().expect("top-level object");
+    for key in [
+        "schema_version",
+        "cold_ms",
+        "incremental_ms",
+        "region_hits",
+        "region_misses",
+        "equivalent",
+    ] {
+        assert!(
+            serde::Value::lookup(entries, key).is_some(),
+            "missing `{key}` in {text}"
+        );
+    }
+    assert_eq!(
+        serde::Value::lookup(entries, "equivalent"),
+        Some(&serde::Value::Bool(true))
+    );
+}
+
+#[test]
+fn recompile_out_files_are_byte_identical() {
+    let delta = write_delta("recompile_cmp.json", "fc2", 32);
+    let inc = tmp_path("recompile_inc.txt");
+    let fresh = tmp_path("recompile_fresh.txt");
+    let out = cimc(&[
+        "recompile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--delta",
+        delta.to_str().unwrap(),
+        "--out-incremental",
+        inc.to_str().unwrap(),
+        "--out-fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    let _ = std::fs::remove_file(&delta);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let a = std::fs::read(&inc).expect("incremental document written");
+    let b = std::fs::read(&fresh).expect("fresh document written");
+    let _ = std::fs::remove_file(&inc);
+    let _ = std::fs::remove_file(&fresh);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "incremental and fresh compile documents differ");
+}
+
+#[test]
+fn recompile_rejects_a_delta_naming_an_unknown_node() {
+    let delta = write_delta("recompile_unknown.json", "no_such_layer", 32);
+    let out = cimc(&[
+        "recompile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--delta",
+        delta.to_str().unwrap(),
+    ]);
+    let _ = std::fs::remove_file(&delta);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("no_such_layer"), "{err}");
+}
+
+#[test]
+fn recompile_requires_model_arch_and_delta() {
+    let out = cimc(&["recompile", "--model", "lenet5"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--delta"), "{err}");
 }
 
 #[test]

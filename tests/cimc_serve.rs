@@ -116,6 +116,7 @@ fn compile_request(model: &str, arch: &str) -> Request {
         verify: false,
         dump_stage: None,
         cache: CachePolicy::Default,
+        session: None,
     })
 }
 
