@@ -18,7 +18,6 @@
 use crate::sweep::SweepError;
 use cim_compiler::{CompileOptions, Compiler};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// One model/arch/jobs combination the compile-perf gate measures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,13 +109,13 @@ pub fn measure_entry(
     let samples = samples.max(1);
     let mut times_ms: Vec<f64> = (0..samples)
         .map(|_| {
-            let start = Instant::now();
+            let start = cim_obs::stopwatch();
             let compiled = Compiler::with_options(options)
                 .session(&graph, &arch)
                 .finish()
                 .expect("gate entries compile on their presets");
             std::hint::black_box(&compiled);
-            start.elapsed().as_secs_f64() * 1e3
+            start.elapsed_ms()
         })
         .collect();
     times_ms.sort_by(f64::total_cmp);

@@ -27,7 +27,6 @@ use cim_compiler::{CompileCache, CompileOptions, Compiler, MemoryCache, OptLevel
 use cim_graph::zoo;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Scheduling-depth axis of a sweep: the [`OptLevel`]s a job matrix can
 /// request, with stable serialized names.
@@ -264,7 +263,7 @@ fn run_job(job: &JobSpec, cache: Option<&Arc<dyn CompileCache>>) -> JobOutcome {
         level: job.mode.opt_level(),
         ..CompileOptions::default()
     };
-    let started = Instant::now();
+    let started = cim_obs::stopwatch();
     // Drive the staged pipeline explicitly (equivalent to the one-shot
     // `Compiler::compile` wrapper); `compile_ms` covers every pass,
     // including cache lookups.
@@ -274,7 +273,7 @@ fn run_job(job: &JobSpec, cache: Option<&Arc<dyn CompileCache>>) -> JobOutcome {
     }
     match session.finish() {
         Ok(compiled) => {
-            let compile_ms = started.elapsed().as_secs_f64() * 1e3;
+            let compile_ms = started.elapsed_ms();
             JobOutcome::Ok(Box::new(JobRecord {
                 model: job.model.clone(),
                 arch: job.arch.clone(),
@@ -337,9 +336,9 @@ pub fn run_sweep_cached(
     // Snapshot so a long-lived cache reports only *this* sweep's
     // activity in the report's cache_stats block.
     let stats_before = cache.as_ref().map(|c| c.stats());
-    let started = Instant::now();
+    let started = cim_obs::stopwatch();
     let outcomes = run_ordered(&jobs, threads, |job| run_job(job, cache.as_ref()));
-    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let total_ms = started.elapsed_ms();
     let mut records = Vec::new();
     let mut failures = Vec::new();
     for outcome in outcomes {

@@ -56,9 +56,9 @@ use crate::{CompileError, Result};
 use cim_arch::{CimArchitecture, ComputingMode};
 use cim_graph::{Graph, GraphDelta};
 use cim_mop::MopFlow;
+use cim_obs::{keys, TraceClock};
 use std::borrow::Cow;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which stage of the flow an [`Artifact`] represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -985,11 +985,15 @@ impl<'a> Session<'a> {
             _ => None,
         };
         self.chain = key;
-        let started = Instant::now();
+        let started = TraceClock::global().stopwatch();
+        let mut span = cim_obs::span("pass", pass.name());
+        cim_obs::count("compile.passes", 1);
         if let Some(key) = key {
             let cache = self.cache.as_ref().expect("a key implies a cache");
             if let Some(artifact) = cache.load(&key) {
-                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let wall_ms = started.elapsed_ms();
+                cim_obs::count("compile.cache.hits", 1);
+                span.set(keys::CACHE, "hit");
                 let mut diag = Diagnostics::default();
                 diag.note(format!("served from cache ({key})"));
                 self.timeline
@@ -1027,6 +1031,7 @@ impl<'a> Session<'a> {
         let scratch_peak = self.scratch.peak_bytes();
         let cache_outcome = match (self.cache.as_ref(), key) {
             (Some(cache), Some(key)) => {
+                cim_obs::count("compile.cache.misses", 1);
                 if cache.store(&key, &output) {
                     "miss+store"
                 } else {
@@ -1035,7 +1040,10 @@ impl<'a> Session<'a> {
             }
             _ => "",
         };
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        span.set(keys::CACHE, cache_outcome);
+        span.set(keys::REGION_HITS, region_hits);
+        span.set(keys::REGION_MISSES, region_misses);
+        let wall_ms = started.elapsed_ms();
         self.timeline.record(
             pass.name(),
             &output,

@@ -14,7 +14,18 @@
 //! Worker threads are named `cim-pool-{i}` so they are identifiable in
 //! debuggers, profilers and panic backtraces, and a panic inside `f` is
 //! re-raised on the caller with the index of the job that panicked.
+//!
+//! # Observability
+//!
+//! Both schedulers are instrumented through [`cim_obs`] (free when the
+//! collector is disabled): [`run_ordered`] wraps each item in a
+//! `pool:job` span, and [`Pool`] records per-job queue wait
+//! (`pool.queue_wait_us` histogram plus a `pool:queue_wait` trace
+//! span), live queue depth (`pool.queue_depth` gauge), job and busy
+//! counters (`pool.jobs`, `pool.busy_us`) for worker-utilization math
+//! (`busy_us / (workers × wall time)`).
 
+use cim_obs::{keys, TraceClock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -63,7 +74,11 @@ where
             let worker_loop = || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    let mut span = cim_obs::span("pool", "job");
+                    span.set(keys::INDEX, i as u64);
+                    f(item)
+                })) {
                     Ok(out) => {
                         *slots[i].lock().expect("pool worker poisoned a slot") = Some(out);
                     }
@@ -124,8 +139,15 @@ impl std::fmt::Display for PoolFull {
 
 impl std::error::Error for PoolFull {}
 
+/// A pending job stamped with its enqueue time, so the dequeueing
+/// worker can attribute queue wait without touching the clock twice.
+struct Queued {
+    job: Box<dyn FnOnce() + Send>,
+    enqueued_us: u64,
+}
+
 struct PoolState {
-    jobs: std::collections::VecDeque<Box<dyn FnOnce() + Send>>,
+    jobs: std::collections::VecDeque<Queued>,
     draining: bool,
 }
 
@@ -184,11 +206,11 @@ impl Pool {
 
     fn worker_loop(shared: &PoolShared) {
         loop {
-            let job = {
+            let (queued, depth) = {
                 let mut state = shared.state.lock().expect("pool state poisoned");
                 loop {
-                    if let Some(job) = state.jobs.pop_front() {
-                        break job;
+                    if let Some(queued) = state.jobs.pop_front() {
+                        break (queued, state.jobs.len());
                     }
                     if state.draining {
                         return;
@@ -199,6 +221,16 @@ impl Pool {
                         .expect("pool state poisoned while waiting");
                 }
             };
+            let Queued { job, enqueued_us } = queued;
+            let dequeued_us = TraceClock::global().now_us();
+            cim_obs::gauge_set("pool.queue_depth", depth as i64);
+            cim_obs::observe_us(
+                "pool.queue_wait_us",
+                dequeued_us.saturating_sub(enqueued_us),
+            );
+            cim_obs::complete_span("pool", "queue_wait", enqueued_us, dequeued_us, Vec::new());
+            cim_obs::count("pool.jobs", 1);
+            let started = TraceClock::global().stopwatch();
             if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
                 let text = payload
                     .downcast_ref::<&str>()
@@ -207,6 +239,7 @@ impl Pool {
                     .unwrap_or_else(|| "non-string panic payload".to_owned());
                 eprintln!("cim-pool worker: job panicked: {text}");
             }
+            cim_obs::count("pool.busy_us", started.elapsed_us());
         }
     }
 
@@ -253,8 +286,13 @@ impl Pool {
                 capacity: self.shared.capacity,
             });
         }
-        state.jobs.push_back(job);
+        state.jobs.push_back(Queued {
+            job,
+            enqueued_us: TraceClock::global().now_us(),
+        });
+        let depth = state.jobs.len();
         drop(state);
+        cim_obs::gauge_set("pool.queue_depth", depth as i64);
         self.shared.available.notify_one();
         Ok(())
     }

@@ -124,7 +124,11 @@ impl RegionMemo {
         if slot >= stats.len() {
             stats.resize(slot + 1, None);
         }
-        *stats[slot].get_or_insert_with(compute)
+        *stats[slot].get_or_insert_with(|| {
+            let mut span = cim_obs::span("region", "stage_stats");
+            span.set(cim_obs::keys::INDEX, u64::from(id));
+            compute()
+        })
     }
 
     /// Cached DP row (candidate-segment latencies) for the budget window
@@ -202,8 +206,10 @@ impl RegionMemo {
         let n = regions as u64;
         if hit {
             self.hits.fetch_add(n, Ordering::Relaxed);
+            cim_obs::count("compile.regions.hits", n);
         } else {
             self.misses.fetch_add(n, Ordering::Relaxed);
+            cim_obs::count("compile.regions.misses", n);
         }
     }
 }

@@ -29,7 +29,6 @@ use cim_graph::Graph;
 use cim_traffic::{simulate_priced, Batching, Placement, PolicyKind, SimConfig, Trace};
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Why an exploration could not start.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,7 +174,7 @@ impl Explorer {
         }
         let base = space.base_arch();
         let stats_before = self.cache.as_ref().map(|c| c.stats());
-        let started = Instant::now();
+        let started = cim_obs::stopwatch();
 
         let mut history = History::new();
         let mut trace = Vec::new();
@@ -230,7 +229,7 @@ impl Explorer {
             });
         }
 
-        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        let total_ms = started.elapsed_ms();
         let (candidates, failures) = history.into_parts();
         let vectors: Vec<Vec<f64>> = candidates.iter().map(|c| c.objectives.clone()).collect();
         let front = pareto_front(&vectors);
@@ -276,7 +275,7 @@ fn evaluate(
     traffic: Option<&TrafficWorkload>,
     cache: Option<&Arc<dyn CompileCache>>,
 ) -> Result<(JobMetrics, Option<TrafficEval>, f64), String> {
-    let started = Instant::now();
+    let started = cim_obs::stopwatch();
     let arch = point
         .realize(base)
         .map_err(|e| format!("invalid architecture: {e}"))?;
@@ -296,7 +295,7 @@ fn evaluate(
         Some(w) => Some(evaluate_traffic(&arch, w, cache)?),
         None => None,
     };
-    let eval_ms = started.elapsed().as_secs_f64() * 1e3;
+    let eval_ms = started.elapsed_ms();
     Ok((metrics, traffic_eval, eval_ms))
 }
 

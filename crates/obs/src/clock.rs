@@ -1,0 +1,134 @@
+//! Monotonic time shared by every subsystem.
+//!
+//! Before `cim-obs`, each crate kept its own `std::time::Instant`
+//! pattern (`started.elapsed().as_secs_f64() * 1e3`) — the compiler's
+//! [`PassTimeline`](../../cim_compiler/struct.PassTimeline.html), the
+//! loadtest client, the traffic engine. [`TraceClock`] replaces them
+//! with one process-wide monotonic epoch so every timestamp in a trace,
+//! a metrics histogram, or a report column is on the same axis and can
+//! be correlated across threads and subsystems.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic clock anchored at a fixed epoch.
+///
+/// Timestamps are microseconds since the epoch (`u64`), the native unit
+/// of Chrome trace events. [`TraceClock::global`] returns the shared
+/// process clock — the one every span and stopwatch in the stack uses —
+/// so timestamps from different crates and threads are directly
+/// comparable.
+#[derive(Debug)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl TraceClock {
+    /// A fresh clock anchored at "now". Prefer [`TraceClock::global`]
+    /// unless a test needs an isolated epoch.
+    #[must_use]
+    pub fn new() -> TraceClock {
+        TraceClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The process-wide clock, anchored the first time anything asks
+    /// for it.
+    #[must_use]
+    pub fn global() -> &'static TraceClock {
+        static GLOBAL: OnceLock<TraceClock> = OnceLock::new();
+        GLOBAL.get_or_init(TraceClock::new)
+    }
+
+    /// Microseconds elapsed since this clock's epoch.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// A stopwatch started now, measuring against this clock.
+    #[must_use]
+    pub fn stopwatch(&self) -> Stopwatch<'_> {
+        Stopwatch {
+            clock: self,
+            start_us: self.now_us(),
+        }
+    }
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        TraceClock::new()
+    }
+}
+
+/// An elapsed-time reading against a [`TraceClock`].
+///
+/// The drop-in replacement for the `let started = Instant::now(); …
+/// started.elapsed().as_secs_f64() * 1e3` pattern:
+///
+/// ```
+/// let started = cim_obs::stopwatch();
+/// // … work …
+/// let wall_ms = started.elapsed_ms();
+/// assert!(wall_ms >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch<'a> {
+    clock: &'a TraceClock,
+    start_us: u64,
+}
+
+impl Stopwatch<'_> {
+    /// The start timestamp, in microseconds since the clock's epoch —
+    /// pair with a later [`TraceClock::now_us`] reading to emit a
+    /// cross-thread [`complete_span`](crate::complete_span).
+    #[must_use]
+    pub fn start_us(&self) -> u64 {
+        self.start_us
+    }
+
+    /// Microseconds elapsed since the stopwatch started.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.clock.now_us().saturating_sub(self.start_us)
+    }
+
+    /// Milliseconds elapsed since the stopwatch started.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_us() as f64 / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = TraceClock::new();
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_forward() {
+        let sw = TraceClock::global().stopwatch();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_us() >= 1_000);
+        assert!(sw.elapsed_ms() >= 1.0);
+        assert!(sw.start_us() <= TraceClock::global().now_us());
+    }
+
+    #[test]
+    fn global_clock_is_one_instance() {
+        let a = TraceClock::global().now_us();
+        let b = TraceClock::global().now_us();
+        // Two reads off the same epoch are close together; two separate
+        // epochs would both read near zero.
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,170 @@
+//! The process-wide event collector.
+//!
+//! Every thread that emits a span gets its own buffer (registered here
+//! on first use), so the hot path locks an uncontended per-thread mutex
+//! rather than a global one. [`Collector::drain`] takes every buffer's
+//! events — per-thread order preserved, buffers ordered by thread id —
+//! into a [`Trace`] for the exporters.
+//!
+//! # Disabled cost
+//!
+//! The enabled flag is a single `AtomicBool` read with
+//! [`Ordering::Relaxed`] — the only work tracing does when off.
+
+use crate::span::TraceEvent;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper bound on buffered events per thread; beyond it new events are
+/// counted as dropped instead of buffered, so a run that never drains
+/// cannot grow without limit.
+const PER_THREAD_CAP: usize = 1 << 20;
+
+struct ThreadBuffer {
+    tid: u64,
+    name: String,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// The global span collector: an on/off gate plus the registry of
+/// per-thread event buffers. Obtain it via [`collector`].
+pub struct Collector {
+    enabled: AtomicBool,
+    threads: Mutex<Vec<Arc<ThreadBuffer>>>,
+    next_tid: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// The process-wide [`Collector`].
+#[must_use]
+pub fn collector() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(|| Collector {
+        enabled: AtomicBool::new(false),
+        threads: Mutex::new(Vec::new()),
+        next_tid: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+impl Collector {
+    /// Starts recording spans.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording spans (already-buffered events stay until
+    /// [`Collector::drain`]).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether spans are being recorded — the one relaxed atomic load
+    /// on every disabled-path call.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Takes every buffered event into a [`Trace`], leaving the buffers
+    /// empty (thread registrations persist, so long-lived workers keep
+    /// their ids across drains).
+    ///
+    /// # Panics
+    /// Panics if an emitting thread panicked while holding its buffer
+    /// lock (events are pushed outside any panicking region in this
+    /// crate, so that indicates a bug here).
+    #[must_use]
+    pub fn drain(&self) -> Trace {
+        let mut buffers: Vec<Arc<ThreadBuffer>> = self
+            .threads
+            .lock()
+            .expect("collector thread registry poisoned")
+            .clone();
+        buffers.sort_by_key(|b| b.tid);
+        let mut events = Vec::new();
+        let mut threads = Vec::new();
+        for buffer in buffers {
+            let mut taken = std::mem::take(
+                &mut *buffer
+                    .events
+                    .lock()
+                    .expect("collector thread buffer poisoned"),
+            );
+            threads.push((buffer.tid, buffer.name.clone()));
+            events.append(&mut taken);
+        }
+        Trace {
+            events,
+            threads,
+            dropped: self.dropped.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    fn buffer_for_current_thread(&self) -> Arc<ThreadBuffer> {
+        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{tid}"), str::to_owned);
+        let buffer = Arc::new(ThreadBuffer {
+            tid,
+            name,
+            events: Mutex::new(Vec::new()),
+        });
+        self.threads
+            .lock()
+            .expect("collector thread registry poisoned")
+            .push(Arc::clone(&buffer));
+        buffer
+    }
+}
+
+thread_local! {
+    static BUFFER: RefCell<Option<Arc<ThreadBuffer>>> = const { RefCell::new(None) };
+}
+
+/// Appends `event` to the current thread's buffer (registering the
+/// thread on first use) and stamps its `tid`.
+pub(crate) fn push(mut event: TraceEvent) {
+    BUFFER.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buffer = slot.get_or_insert_with(|| collector().buffer_for_current_thread());
+        event.tid = buffer.tid;
+        let mut events = buffer
+            .events
+            .lock()
+            .expect("collector thread buffer poisoned");
+        if events.len() >= PER_THREAD_CAP {
+            collector().dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(event);
+        }
+    });
+}
+
+/// A drained batch of events, ready for an exporter.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All events: grouped by thread id, per-thread emission order
+    /// preserved (timestamps within a thread are non-decreasing).
+    pub events: Vec<TraceEvent>,
+    /// `(tid, thread name)` for every thread that ever emitted, sorted
+    /// by tid.
+    pub threads: Vec<(u64, String)>,
+    /// Events discarded because a thread exceeded its buffer cap.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Events of phase [`Phase::Complete`](crate::Phase::Complete) plus
+    /// matched begin/end pairs — the span count an exporter will emit.
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        use crate::span::Phase;
+        self.events
+            .iter()
+            .filter(|e| matches!(e.phase, Phase::End | Phase::Complete))
+            .count()
+    }
+}

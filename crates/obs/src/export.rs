@@ -1,0 +1,366 @@
+//! Exporters: Chrome trace-event JSON and a human profile tree.
+//!
+//! [`chrome_trace_json`] renders a drained [`Trace`] in the Chrome
+//! trace-event format — open the file in [Perfetto](https://ui.perfetto.dev)
+//! or `chrome://tracing` to get a per-thread flame view of the run.
+//! [`validate_chrome_trace`] re-parses an exported file and checks the
+//! schema (the CLI self-checks every `--trace-out` file with it before
+//! writing). [`profile_tree`] renders the same spans as a merged call
+//! tree with inclusive/exclusive wall time. [`metrics_text`] renders a
+//! [`MetricsSnapshot`] as grep-friendly lines.
+
+use crate::collector::Trace;
+use crate::metrics::MetricsSnapshot;
+use crate::span::{ArgValue, Phase, TraceEvent};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The `pid` stamped on every exported event (one process).
+const PID: u64 = 1;
+
+fn arg_value(v: &ArgValue) -> Value {
+    match v {
+        ArgValue::Bool(b) => Value::Bool(*b),
+        ArgValue::U64(n) => Value::U64(*n),
+        ArgValue::I64(n) => Value::I64(*n),
+        ArgValue::F64(n) => Value::F64(*n),
+        ArgValue::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn complete_event(
+    name: &str,
+    cat: &'static str,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+    args: &[(&'static str, ArgValue)],
+) -> Value {
+    let mut entries = vec![
+        ("name".to_owned(), Value::Str(name.to_owned())),
+        ("cat".to_owned(), Value::Str(cat.to_owned())),
+        ("ph".to_owned(), Value::Str("X".to_owned())),
+        ("ts".to_owned(), Value::U64(ts_us)),
+        ("dur".to_owned(), Value::U64(dur_us)),
+        ("pid".to_owned(), Value::U64(PID)),
+        ("tid".to_owned(), Value::U64(tid)),
+    ];
+    if !args.is_empty() {
+        entries.push((
+            "args".to_owned(),
+            Value::Map(
+                args.iter()
+                    .map(|(k, v)| ((*k).to_owned(), arg_value(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Map(entries)
+}
+
+fn metadata_event(name: &str, tid: u64, value: &str) -> Value {
+    Value::Map(vec![
+        ("name".to_owned(), Value::Str(name.to_owned())),
+        ("ph".to_owned(), Value::Str("M".to_owned())),
+        ("pid".to_owned(), Value::U64(PID)),
+        ("tid".to_owned(), Value::U64(tid)),
+        (
+            "args".to_owned(),
+            Value::Map(vec![("name".to_owned(), Value::Str(value.to_owned()))]),
+        ),
+    ])
+}
+
+/// A resolved span: its begin event, its duration, and the attributes
+/// collected by the time it closed.
+type MatchedSpan = (TraceEvent, u64, Vec<(&'static str, ArgValue)>);
+
+/// Matched spans of one trace: `(begin event index, end event)` pairs
+/// resolved per thread, plus `Complete` events passed through.
+fn matched_spans(trace: &Trace) -> Vec<MatchedSpan> {
+    // Per-tid stack of open Begin events; an End closes the top.
+    let mut stacks: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    let mut spans = Vec::new();
+    for event in &trace.events {
+        match event.phase {
+            Phase::Begin => stacks.entry(event.tid).or_default().push(event.clone()),
+            Phase::End => {
+                // An End without a Begin means the buffer was drained
+                // mid-span; drop it rather than fabricate a start time.
+                if let Some(begin) = stacks.entry(event.tid).or_default().pop() {
+                    let dur = event.ts_us.saturating_sub(begin.ts_us);
+                    spans.push((begin, dur, event.args.clone()));
+                }
+            }
+            Phase::Complete => {
+                spans.push((event.clone(), event.dur_us, event.args.clone()));
+            }
+        }
+    }
+    spans
+}
+
+/// Renders a drained [`Trace`] as Chrome trace-event JSON.
+///
+/// Begin/end pairs become complete (`"ph": "X"`) events; process and
+/// thread names are attached as metadata (`"ph": "M"`) events. The
+/// output loads directly in Perfetto or `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut events = vec![metadata_event("process_name", 0, "cimc")];
+    for (tid, name) in &trace.threads {
+        events.push(metadata_event("thread_name", *tid, name));
+    }
+    for (begin, dur_us, args) in matched_spans(trace) {
+        events.push(complete_event(
+            &begin.name,
+            begin.cat,
+            begin.ts_us,
+            dur_us,
+            begin.tid,
+            &args,
+        ));
+    }
+    let doc = Value::Map(vec![
+        ("traceEvents".to_owned(), Value::Seq(events)),
+        ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+    ]);
+    serde_json::to_string(&doc).expect("the vendored serializer is infallible")
+}
+
+/// What [`validate_chrome_trace`] found in a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"ph": "X"`) span events.
+    pub complete: usize,
+    /// Metadata (`"ph": "M"`) events.
+    pub metadata: usize,
+    /// Complete-span count per category, sorted by category.
+    pub by_cat: Vec<(String, usize)>,
+}
+
+impl ChromeTraceSummary {
+    /// Complete spans recorded under `cat`.
+    #[must_use]
+    pub fn spans_in(&self, cat: &str) -> usize {
+        self.by_cat
+            .iter()
+            .find(|(c, _)| c == cat)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    Value::lookup(entries, key)
+}
+
+fn require_u64(entries: &[(String, Value)], key: &str, i: usize) -> Result<u64, String> {
+    match field(entries, key) {
+        Some(Value::U64(n)) => Ok(*n),
+        Some(other) => Err(format!(
+            "traceEvents[{i}].{key} must be an unsigned integer, got {other:?}"
+        )),
+        None => Err(format!("traceEvents[{i}] is missing `{key}`")),
+    }
+}
+
+fn require_str(entries: &[(String, Value)], key: &str, i: usize) -> Result<String, String> {
+    match field(entries, key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(format!(
+            "traceEvents[{i}].{key} must be a string, got {other:?}"
+        )),
+        None => Err(format!("traceEvents[{i}] is missing `{key}`")),
+    }
+}
+
+/// Parses `json` and checks the Chrome trace-event schema: a top-level
+/// object with a `traceEvents` array whose entries carry a known `ph`,
+/// a string `name`, integer `pid`/`tid`, and (for span phases) integer
+/// `ts`/`dur` timestamps.
+///
+/// # Errors
+/// Returns a message naming the first offending event when the
+/// document does not conform.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Some(top) = doc.as_map() else {
+        return Err("top level must be an object".to_owned());
+    };
+    let Some(Value::Seq(events)) = field(top, "traceEvents") else {
+        return Err("top level must contain a `traceEvents` array".to_owned());
+    };
+    let mut summary = ChromeTraceSummary {
+        events: events.len(),
+        complete: 0,
+        metadata: 0,
+        by_cat: Vec::new(),
+    };
+    let mut by_cat: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let Some(entries) = event.as_map() else {
+            return Err(format!("traceEvents[{i}] must be an object"));
+        };
+        let ph = require_str(entries, "ph", i)?;
+        require_str(entries, "name", i)?;
+        require_u64(entries, "pid", i)?;
+        require_u64(entries, "tid", i)?;
+        match ph.as_str() {
+            "X" => {
+                require_u64(entries, "ts", i)?;
+                require_u64(entries, "dur", i)?;
+                summary.complete += 1;
+                let cat = require_str(entries, "cat", i)?;
+                *by_cat.entry(cat).or_insert(0) += 1;
+            }
+            "B" | "E" | "i" | "C" => {
+                require_u64(entries, "ts", i)?;
+            }
+            "M" => summary.metadata += 1,
+            other => {
+                return Err(format!(
+                    "traceEvents[{i}].ph `{other}` is not a known phase"
+                ))
+            }
+        }
+    }
+    summary.by_cat = by_cat.into_iter().collect();
+    Ok(summary)
+}
+
+#[derive(Default)]
+struct ProfileNode {
+    count: u64,
+    incl_us: u64,
+    children: BTreeMap<String, ProfileNode>,
+}
+
+impl ProfileNode {
+    fn child_incl_us(&self) -> u64 {
+        self.children.values().map(|c| c.incl_us).sum()
+    }
+}
+
+/// Renders a drained [`Trace`] as a merged call tree with
+/// inclusive/exclusive wall time per node.
+///
+/// Spans with the same `cat:name` path are merged across threads
+/// (counts add); children are ordered by inclusive time, descending,
+/// then name. Exclusive time is inclusive minus the children's
+/// inclusive total.
+#[must_use]
+pub fn profile_tree(trace: &Trace) -> String {
+    // Rebuild each thread's stack to attribute spans to their parents,
+    // merging identical paths across threads.
+    let mut root = ProfileNode::default();
+    let mut stacks: BTreeMap<u64, Vec<(String, u64)>> = BTreeMap::new();
+    let mut total_spans = 0u64;
+    for event in &trace.events {
+        let label = if event.cat.is_empty() {
+            event.name.clone()
+        } else {
+            format!("{}:{}", event.cat, event.name)
+        };
+        match event.phase {
+            Phase::Begin => stacks
+                .entry(event.tid)
+                .or_default()
+                .push((label, event.ts_us)),
+            Phase::End => {
+                let stack = stacks.entry(event.tid).or_default();
+                // An End with no Begin means the buffer was drained
+                // mid-span; there is no start to attribute.
+                let Some((_, begin_ts)) = stack.last().cloned() else {
+                    continue;
+                };
+                let mut node = &mut root;
+                for (seg, _) in stack.iter() {
+                    node = node.children.entry(seg.clone()).or_default();
+                }
+                node.count += 1;
+                node.incl_us += event.ts_us.saturating_sub(begin_ts);
+                total_spans += 1;
+                stack.pop();
+            }
+            Phase::Complete => {
+                let stack = stacks.entry(event.tid).or_default();
+                let mut node = &mut root;
+                for (seg, _) in stack.iter() {
+                    node = node.children.entry(seg.clone()).or_default();
+                }
+                let node = node.children.entry(label).or_default();
+                node.count += 1;
+                node.incl_us += event.dur_us;
+                total_spans += 1;
+            }
+        }
+    }
+    let mut out = format!(
+        "profile: {} span(s) across {} thread(s)\n",
+        total_spans,
+        trace.threads.len().max(1)
+    );
+    if trace.dropped > 0 {
+        let _ = writeln!(out, "  (buffer cap dropped {} event(s))", trace.dropped);
+    }
+    render_children(&root, 1, &mut out);
+    out
+}
+
+fn render_children(node: &ProfileNode, depth: usize, out: &mut String) {
+    let mut children: Vec<(&String, &ProfileNode)> = node.children.iter().collect();
+    children.sort_by(|a, b| b.1.incl_us.cmp(&a.1.incl_us).then_with(|| a.0.cmp(b.0)));
+    for (name, child) in children {
+        let excl_us = child.incl_us.saturating_sub(child.child_incl_us());
+        let _ = writeln!(
+            out,
+            "{:indent$}{name:<w$} ×{:<6} {:>9.3}ms incl {:>9.3}ms excl",
+            "",
+            child.count,
+            child.incl_us as f64 / 1e3,
+            excl_us as f64 / 1e3,
+            indent = depth * 2,
+            w = 28usize.saturating_sub(depth * 2) + 2,
+        );
+        render_children(child, depth + 1, out);
+    }
+}
+
+/// Renders a [`MetricsSnapshot`] as grep-friendly text, one instrument
+/// per line:
+///
+/// ```text
+/// server metrics (schema 1, enabled)
+///   counter requests_total 200
+///   gauge queue_depth 0
+///   histogram pool.queue_wait_us count=200 sum_us=8123 min=2 max=912
+/// ```
+#[must_use]
+pub fn metrics_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = format!(
+        "server metrics (schema {}, {})\n",
+        snapshot.schema_version,
+        if snapshot.enabled {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
+    for c in &snapshot.counters {
+        let _ = writeln!(out, "  counter {} {}", c.name, c.value);
+    }
+    for g in &snapshot.gauges {
+        let _ = writeln!(out, "  gauge {} {}", g.name, g.value);
+    }
+    for h in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "  histogram {} count={} sum_us={} min={} max={}",
+            h.name, h.count, h.sum, h.min, h.max
+        );
+    }
+    out
+}

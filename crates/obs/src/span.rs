@@ -1,0 +1,252 @@
+//! RAII trace spans with typed argument keys.
+//!
+//! A [`SpanGuard`] (from [`span`]) pushes a [`Phase::Begin`] event into
+//! the current thread's buffer when created and the matching
+//! [`Phase::End`] when dropped. Guards are `!Send`, so begin/end pairs
+//! always land on one thread and nest like the call stack — the
+//! well-formedness the profile exporter and the span proptests rely on.
+//!
+//! # Disabled cost
+//!
+//! When the [`Collector`](crate::Collector) is disabled (the default),
+//! [`span`] performs exactly one relaxed atomic load and returns an
+//! inert guard: no allocation, no clock read, no buffer touch.
+//! [`SpanGuard::set`] on an inert guard is a no-op. Keep dynamic names
+//! out of the call (use a static name plus [`SpanGuard::set`]) and the
+//! disabled cost stays at that single load.
+
+use crate::collector::{collector, push};
+use crate::TraceClock;
+use std::marker::PhantomData;
+
+/// One trace event in a thread's buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Begin, end, or a pre-measured complete span.
+    pub phase: Phase,
+    /// The span's name (duplicated on begin and end).
+    pub name: String,
+    /// Subsystem category: `"pass"`, `"region"`, `"pool"`, `"serve"`, ….
+    pub cat: &'static str,
+    /// Microseconds since the global [`TraceClock`] epoch. For
+    /// [`Phase::Complete`] this is the span's *start*.
+    pub ts_us: u64,
+    /// Duration, used by [`Phase::Complete`] only (0 otherwise).
+    pub dur_us: u64,
+    /// The emitting thread's collector-assigned id.
+    pub tid: u64,
+    /// Typed arguments; attached to the end event of a guard-scoped
+    /// span (they are usually only known at the end).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A guard-scoped span opened.
+    Begin,
+    /// The most recent open span on this thread closed.
+    End,
+    /// A span measured externally (e.g. a queue wait whose start was
+    /// stamped on another thread) emitted in one piece.
+    Complete,
+}
+
+/// A typed argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Booleans.
+    Bool(bool),
+    /// Unsigned integers.
+    U64(u64),
+    /// Signed integers.
+    I64(i64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> ArgValue {
+        ArgValue::Bool(v)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> ArgValue {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> ArgValue {
+        ArgValue::F64(v)
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+/// A typed span-argument key: the name is fixed, the value type is
+/// carried in the type parameter, so `span.set(keys::INDEX, "oops")`
+/// fails to compile instead of producing a mistyped trace.
+#[derive(Debug)]
+pub struct Key<T> {
+    name: &'static str,
+    _ty: PhantomData<fn(T)>,
+}
+
+impl<T> Key<T> {
+    /// Declares a key. Prefer the shared vocabulary in [`keys`].
+    #[must_use]
+    pub const fn new(name: &'static str) -> Key<T> {
+        Key {
+            name,
+            _ty: PhantomData,
+        }
+    }
+
+    /// The key's wire name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<T> Clone for Key<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Key<T> {}
+
+/// The shared argument-key vocabulary, so the same concept has the same
+/// name in every subsystem's spans.
+pub mod keys {
+    use super::Key;
+
+    /// Pass/compile cache outcome: `hit`, `miss`, `miss+store`, `off`.
+    pub const CACHE: Key<String> = Key::new("cache");
+    /// Model name.
+    pub const MODEL: Key<String> = Key::new("model");
+    /// Architecture name.
+    pub const ARCH: Key<String> = Key::new("arch");
+    /// Request or span kind.
+    pub const KIND: Key<String> = Key::new("kind");
+    /// A zero-based item index (pool job, region id, …).
+    pub const INDEX: Key<u64> = Key::new("index");
+    /// Region-memo hits inside the span.
+    pub const REGION_HITS: Key<u64> = Key::new("region_hits");
+    /// Region-memo misses inside the span.
+    pub const REGION_MISSES: Key<u64> = Key::new("region_misses");
+    /// A queue depth observed inside the span.
+    pub const DEPTH: Key<u64> = Key::new("depth");
+    /// Whether the span's work succeeded.
+    pub const OK: Key<bool> = Key::new("ok");
+}
+
+struct ActiveSpan {
+    name: String,
+    cat: &'static str,
+    args: Vec<(&'static str, ArgValue)>,
+    // Guards must close on the thread that opened them (that is what
+    // keeps per-thread buffers balanced and properly nested).
+    _not_send: PhantomData<*const ()>,
+}
+
+/// An RAII span handle; see [`span`]. Dropping it closes the span.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Attaches a typed argument, recorded on the span's end event.
+    /// No-op (no allocation) on a disabled-collector guard.
+    pub fn set<T: Into<ArgValue>, V: Into<T>>(&mut self, key: Key<T>, value: V) {
+        if let Some(active) = &mut self.0 {
+            active.args.push((key.name, value.into().into()));
+        }
+    }
+
+    /// Whether this guard is actually recording (collector enabled at
+    /// creation time).
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            // Emitted even if tracing was disabled mid-span, so every
+            // thread's buffer stays balanced.
+            push(TraceEvent {
+                phase: Phase::End,
+                name: active.name,
+                cat: active.cat,
+                ts_us: TraceClock::global().now_us(),
+                dur_us: 0,
+                tid: 0, // stamped by push()
+                args: active.args,
+            });
+        }
+    }
+}
+
+/// Opens a span scoped to the returned guard's lifetime.
+///
+/// `cat` groups spans by subsystem (`"pass"`, `"serve"`, …); `name` is
+/// the span label. When the collector is disabled this costs one
+/// relaxed atomic load — pass a *static* `name` and attach dynamic
+/// detail via [`SpanGuard::set`] so the disabled path never allocates.
+#[must_use]
+pub fn span(cat: &'static str, name: &str) -> SpanGuard {
+    if !collector().is_enabled() {
+        return SpanGuard(None);
+    }
+    push(TraceEvent {
+        phase: Phase::Begin,
+        name: name.to_owned(),
+        cat,
+        ts_us: TraceClock::global().now_us(),
+        dur_us: 0,
+        tid: 0, // stamped by push()
+        args: Vec::new(),
+    });
+    SpanGuard(Some(ActiveSpan {
+        name: name.to_owned(),
+        cat,
+        args: Vec::new(),
+        _not_send: PhantomData,
+    }))
+}
+
+/// Records a span measured externally — e.g. a queue wait whose start
+/// was stamped by the submitting thread — in one piece on the current
+/// thread. `start_us`/`end_us` are global [`TraceClock`] timestamps.
+/// One relaxed atomic load when the collector is disabled.
+pub fn complete_span(
+    cat: &'static str,
+    name: &str,
+    start_us: u64,
+    end_us: u64,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !collector().is_enabled() {
+        return;
+    }
+    push(TraceEvent {
+        phase: Phase::Complete,
+        name: name.to_owned(),
+        cat,
+        ts_us: start_us,
+        dur_us: end_us.saturating_sub(start_us),
+        tid: 0, // stamped by push()
+        args,
+    });
+}

@@ -1,0 +1,227 @@
+//! Property tests for the spans core and the exporters:
+//!
+//! * span well-formedness — every thread's buffer is balanced (each
+//!   end closes the most recent begin, nothing left open) and child
+//!   spans nest strictly within their parents' time ranges, for
+//!   arbitrary span trees executed on several threads at once;
+//! * the Chrome exporter always emits schema-valid JSON whose complete
+//!   span count equals the trace's matched-pair count;
+//! * the disabled path records nothing.
+//!
+//! The collector is process-global, so every test takes `GUARD` and
+//! starts from a flushed buffer.
+
+use cim_obs::{keys, Phase, Trace, TraceEvent};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the collector enabled and exclusive, returning what it
+/// buffered.
+fn record<F: FnOnce()>(f: F) -> Trace {
+    let _guard = GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = cim_obs::drain(); // flush any prior test's leftovers
+    cim_obs::enable();
+    f();
+    cim_obs::disable();
+    cim_obs::drain()
+}
+
+/// Interprets `codes` as a span tree: each code opens one span named
+/// `s{code % 5}` with `code % 3` child subtrees consumed recursively.
+fn emit_tree(codes: &mut std::slice::Iter<'_, u8>) {
+    if let Some(&code) = codes.next() {
+        let name = format!("s{}", code % 5);
+        let mut span = cim_obs::span("test", &name);
+        span.set(keys::INDEX, u64::from(code));
+        for _ in 0..code % 3 {
+            emit_tree(codes);
+        }
+    }
+}
+
+/// Consumes the whole script as a forest of span trees, so every code
+/// opens exactly one span.
+fn emit_forest(script: &[u8]) {
+    let mut codes = script.iter();
+    while codes.len() > 0 {
+        emit_tree(&mut codes);
+    }
+}
+
+/// Checks stack discipline per thread and returns the matched
+/// `(begin, end)` pairs.
+fn check_well_formed(trace: &Trace) -> Vec<(TraceEvent, TraceEvent)> {
+    let mut stacks: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    let mut pairs = Vec::new();
+    for event in &trace.events {
+        match event.phase {
+            Phase::Begin => stacks.entry(event.tid).or_default().push(event.clone()),
+            Phase::End => {
+                let begin = stacks
+                    .entry(event.tid)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("end without begin on tid {}", event.tid));
+                assert_eq!(begin.name, event.name, "end closes a different span");
+                assert_eq!(begin.cat, event.cat);
+                assert!(begin.ts_us <= event.ts_us, "span ends before it begins");
+                pairs.push((begin, event.clone()));
+            }
+            Phase::Complete => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(
+            stack.is_empty(),
+            "tid {tid} left {} span(s) open",
+            stack.len()
+        );
+    }
+    pairs
+}
+
+proptest! {
+    /// Balanced begin/end per thread and parent⊇child nesting, for
+    /// arbitrary span trees run concurrently on up to 4 threads.
+    #[test]
+    fn spans_are_balanced_and_nested(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..24),
+            1..4,
+        ),
+    ) {
+        let trace = record(|| {
+            std::thread::scope(|scope| {
+                for script in &scripts {
+                    scope.spawn(move || emit_forest(script));
+                }
+            });
+        });
+        let pairs = check_well_formed(&trace);
+        // Total spans = total codes consumed (each code opens one span).
+        let expected: usize = scripts.iter().map(Vec::len).sum();
+        prop_assert_eq!(pairs.len(), expected);
+        // Nesting: reconstruct each thread's interval stack; every
+        // child's [begin, end] lies within its parent's.
+        let mut open: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut ends: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for event in &trace.events {
+            match event.phase {
+                Phase::Begin => open.entry(event.tid).or_default().push((event.ts_us, 0)),
+                Phase::End => {
+                    let stack = open.entry(event.tid).or_default();
+                    let (begin_ts, _) = stack.pop().expect("balanced");
+                    if let Some((parent_begin, _)) = stack.last() {
+                        prop_assert!(*parent_begin <= begin_ts);
+                    }
+                    // Parent end (seen later) must be >= this end:
+                    // timestamps are monotone per thread, checked below.
+                    ends.entry(event.tid).or_default().push(event.ts_us);
+                    prop_assert!(begin_ts <= event.ts_us);
+                }
+                Phase::Complete => {}
+            }
+        }
+        // Per-thread emission order implies non-decreasing timestamps,
+        // which together with stack discipline gives child ⊆ parent.
+        let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+        for event in &trace.events {
+            let last = last_ts.entry(event.tid).or_insert(0);
+            prop_assert!(event.ts_us >= *last, "timestamps regressed within a thread");
+            *last = event.ts_us;
+        }
+    }
+
+    /// The Chrome exporter emits schema-valid JSON with one complete
+    /// event per matched pair (plus metadata), for arbitrary trees.
+    #[test]
+    fn chrome_export_is_always_schema_valid(
+        script in proptest::collection::vec(0u8..255, 0..32),
+    ) {
+        let trace = record(|| emit_forest(&script));
+        let pairs = check_well_formed(&trace).len();
+        let json = cim_obs::chrome_trace_json(&trace);
+        let summary = cim_obs::validate_chrome_trace(&json)
+            .expect("exporter output must validate");
+        prop_assert_eq!(summary.complete, pairs);
+        prop_assert_eq!(summary.spans_in("test"), pairs);
+        prop_assert!(summary.metadata >= 1, "process_name metadata missing");
+    }
+}
+
+#[test]
+fn disabled_collector_records_nothing() {
+    let _guard = GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = cim_obs::drain();
+    cim_obs::disable();
+    {
+        let mut span = cim_obs::span("test", "ignored");
+        assert!(!span.is_recording());
+        span.set(keys::INDEX, 1u64);
+        cim_obs::complete_span("test", "ignored", 0, 10, Vec::new());
+    }
+    assert!(cim_obs::drain().events.is_empty());
+}
+
+#[test]
+fn complete_spans_survive_export_and_profile() {
+    let trace = record(|| {
+        let start = cim_obs::stopwatch();
+        {
+            let _outer = cim_obs::span("pass", "cg");
+            let _inner = cim_obs::span("region", "stage_stats");
+        }
+        cim_obs::complete_span(
+            "serve",
+            "queue",
+            start.start_us(),
+            cim_obs::TraceClock::global().now_us(),
+            Vec::new(),
+        );
+    });
+    assert_eq!(trace.span_count(), 3);
+    let json = cim_obs::chrome_trace_json(&trace);
+    let summary = cim_obs::validate_chrome_trace(&json).expect("valid");
+    assert_eq!(summary.complete, 3);
+    assert_eq!(summary.spans_in("pass"), 1);
+    assert_eq!(summary.spans_in("serve"), 1);
+    let profile = cim_obs::profile_tree(&trace);
+    assert!(profile.contains("pass:cg"), "{profile}");
+    assert!(profile.contains("region:stage_stats"), "{profile}");
+    assert!(profile.contains("serve:queue"), "{profile}");
+    assert!(profile.contains("incl"), "{profile}");
+}
+
+#[test]
+fn invalid_chrome_documents_are_rejected() {
+    assert!(cim_obs::validate_chrome_trace("not json").is_err());
+    assert!(cim_obs::validate_chrome_trace("[]").is_err());
+    assert!(cim_obs::validate_chrome_trace("{}").is_err());
+    let bad_phase = r#"{"traceEvents":[{"name":"x","ph":"Z","pid":1,"tid":0}]}"#;
+    assert!(cim_obs::validate_chrome_trace(bad_phase).is_err());
+    let missing_ts = r#"{"traceEvents":[{"name":"x","cat":"c","ph":"X","dur":1,"pid":1,"tid":0}]}"#;
+    assert!(cim_obs::validate_chrome_trace(missing_ts).is_err());
+    let ok = r#"{"traceEvents":[{"name":"x","cat":"c","ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]}"#;
+    let summary = cim_obs::validate_chrome_trace(ok).expect("minimal valid doc");
+    assert_eq!(summary.complete, 1);
+}
+
+#[test]
+fn metrics_text_is_grep_friendly() {
+    let reg = cim_obs::MetricsRegistry::new();
+    reg.enable();
+    reg.count("requests_total", 7);
+    reg.gauge_set("queue_depth", 2);
+    reg.observe_us("queue_wait_us", 1200);
+    let text = cim_obs::metrics_text(&reg.snapshot());
+    assert!(text.contains("counter requests_total 7"), "{text}");
+    assert!(text.contains("gauge queue_depth 2"), "{text}");
+    assert!(text.contains("histogram queue_wait_us count=1"), "{text}");
+}

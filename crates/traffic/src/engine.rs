@@ -31,7 +31,6 @@ use cim_compiler::CompileCache;
 use cim_graph::Graph;
 use cim_sim::ServiceModel;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Why a simulation could not run.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,11 +122,11 @@ pub fn run_simulation(
     cache: Option<&Arc<dyn CompileCache>>,
     threads: usize,
 ) -> Result<TrafficReport, TrafficError> {
-    let started = Instant::now();
+    let started = cim_obs::stopwatch();
     let services = price_placement(arch, placement, models, cache, threads)?;
     let (mut report, _) = simulate_priced(trace, arch, placement, &services, config, threads)?;
     report.timing = TrafficTiming {
-        total_ms: started.elapsed().as_secs_f64() * 1e3,
+        total_ms: started.elapsed_ms(),
         threads: threads.max(1),
     };
     Ok(report)

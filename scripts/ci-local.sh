@@ -6,15 +6,17 @@
 # dse-smoke (seeded exploration determinism + warm-cache reuse),
 # compile-perf (median cold-compile budgets + drift vs the baseline),
 # serve-smoke (persistent server under a scripted loadtest),
-# traffic-smoke (deterministic multi-tenant serving simulation), and
+# traffic-smoke (deterministic multi-tenant serving simulation),
 # incremental-smoke (one-layer edit recompiles in <= 25% of cold,
-# bit-identical to a fresh compile).
+# bit-identical to a fresh compile), and obs-smoke (live metrics scrape
+# agrees with the loadtest, --trace-out emits a valid Chrome trace, and
+# the compile-time budgets still hold with tracing enabled).
 #
 # usage: scripts/ci-local.sh [job...]
 #   job ∈ build-and-test | lint | bench-report | cache-consistency |
 #         dse-smoke | compile-perf | serve-smoke | traffic-smoke |
-#         incremental-smoke
-#   (no arguments = run all nine, in CI order)
+#         incremental-smoke | obs-smoke
+#   (no arguments = run all ten, in CI order)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -285,9 +287,76 @@ incremental_smoke() {
     test "$ratio_ok" -eq 1
 }
 
+# Observability smoke gate: the three promises the cim-obs layer makes
+# to operators, checked end to end against the release binary.
+# (a) A `cimc serve --metrics` server scraped by
+#     `cimc loadtest --metrics` reports a requests_total counter equal
+#     to the loadtest's own ok + error count — the serve layer counts a
+#     request exactly when it answers it (overload/deadline shedding and
+#     the scrape itself have their own counters).
+# (b) `cimc compile --trace-out` writes a file that is genuinely a
+#     Chrome trace-event document (chrome://tracing / Perfetto
+#     loadable), with a complete span per compiler pass.
+# (c) The compile-perf budgets still pass with the collector recording
+#     (CIM_OBS=1) — tracing must be cheap enough to leave on.
+# Set OBS_SMOKE_DIR to keep the logs (CI uploads them).
+obs_smoke() {
+    local dir="${OBS_SMOKE_DIR:-}"
+    local cleanup_dir=0
+    if [ -z "$dir" ]; then
+        dir="$(mktemp -d)"
+        cleanup_dir=1
+    fi
+    mkdir -p "$dir"
+    cargo build --release --bin cimc
+
+    bold "obs-smoke: start cimc serve --metrics on an ephemeral port"
+    ./target/release/cimc serve --tcp 127.0.0.1:0 --metrics > "$dir/server.log" &
+    local server_pid=$!
+    trap 'kill "$server_pid" 2>/dev/null || true
+          if [ "$cleanup_dir" -eq 1 ]; then rm -rf "$dir"; fi' RETURN
+    local addr="" i
+    for i in $(seq 1 100); do
+        addr=$(sed -n 's/^cimc serve: listening on //p' "$dir/server.log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    test -n "$addr"
+    echo "server up at $addr (pid $server_pid)"
+
+    bold "obs-smoke: replay 200 requests, scrape metrics, shut down"
+    ./target/release/cimc loadtest --addr "$addr" --requests 200 --concurrency 4 \
+        --metrics --shutdown | tee "$dir/loadtest.log"
+    wait "$server_pid"
+
+    bold "obs-smoke: requests_total == loadtest ok + error count"
+    local ok errors total
+    ok=$(sed -n 's/^outcomes: \([0-9][0-9]*\) ok.*/\1/p' "$dir/loadtest.log")
+    errors=$(sed -n 's/^outcomes: [0-9]* ok, \([0-9][0-9]*\) error(s).*/\1/p' "$dir/loadtest.log")
+    total=$(awk '$1 == "counter" && $2 == "requests_total" { print $3 }' "$dir/loadtest.log")
+    echo "ok=${ok} errors=${errors} requests_total=${total}"
+    test -n "$ok" && test -n "$errors" && test -n "$total"
+    test "$((ok + errors))" -eq "$total"
+
+    bold "obs-smoke: compile --trace-out emits a valid Chrome trace"
+    ./target/release/cimc compile --model lenet5 --arch isaac \
+        --trace-out "$dir/trace.json" > /dev/null 2> "$dir/trace.log"
+    cat "$dir/trace.log"
+    grep -E '^trace: [1-9][0-9]* events \([1-9][0-9]* spans\) written to ' "$dir/trace.log"
+    grep -q '"traceEvents"' "$dir/trace.json"
+    local pass
+    for pass in stages cg mvm; do
+        grep -q "\"name\":\"$pass\",\"cat\":\"pass\"" "$dir/trace.json"
+    done
+
+    bold "obs-smoke: compile-perf budgets hold with tracing on (CIM_OBS=1)"
+    CIM_OBS=1 ./target/release/cimc compile-perf \
+        --baseline bench/baseline.json --tolerance 100
+}
+
 jobs=("$@")
 if [ ${#jobs[@]} -eq 0 ]; then
-    jobs=(build-and-test lint bench-report cache-consistency dse-smoke compile-perf serve-smoke traffic-smoke incremental-smoke)
+    jobs=(build-and-test lint bench-report cache-consistency dse-smoke compile-perf serve-smoke traffic-smoke incremental-smoke obs-smoke)
 fi
 for job in "${jobs[@]}"; do
     case "$job" in
@@ -300,8 +369,9 @@ for job in "${jobs[@]}"; do
         serve-smoke) serve_smoke ;;
         traffic-smoke) traffic_smoke ;;
         incremental-smoke) incremental_smoke ;;
+        obs-smoke) obs_smoke ;;
         *)
-            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency, dse-smoke, compile-perf, serve-smoke, traffic-smoke or incremental-smoke)" >&2
+            echo "unknown job \`$job\` (expected build-and-test, lint, bench-report, cache-consistency, dse-smoke, compile-perf, serve-smoke, traffic-smoke, incremental-smoke or obs-smoke)" >&2
             exit 2
             ;;
     esac

@@ -7,7 +7,6 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use cim_arch::{presets, CimArchitecture};
 use cim_bench::{measure_gate_entries, run_sweep_cached, BenchReport, ScheduleMode, SweepSpec};
@@ -232,6 +231,9 @@ impl Handler {
                 Err(e) => ResponseBody::Error(e),
             },
             Request::Ping => ResponseBody::Pong,
+            Request::Metrics => ResponseBody::Metrics {
+                metrics: cim_obs::metrics().snapshot(),
+            },
             Request::Sleep(req) => {
                 let ms = if req.ms.is_finite() {
                     req.ms.max(0.0)
@@ -253,7 +255,7 @@ impl Handler {
     /// the queue.)
     #[must_use]
     pub fn respond(&self, envelope: &RequestEnvelope) -> Response {
-        let start = Instant::now();
+        let start = cim_obs::stopwatch();
         let body = if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&envelope.protocol_version)
         {
             self.handle(&envelope.request)
@@ -263,7 +265,7 @@ impl Handler {
                 envelope.protocol_version, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION
             )))
         };
-        Response::new(envelope.id, start.elapsed().as_secs_f64() * 1e3, body)
+        Response::new(envelope.id, start.elapsed_ms(), body)
     }
 
     /// The `cimc compile` core: staged pipeline, optional codegen, and
@@ -446,11 +448,11 @@ impl Handler {
                 "unknown session `{name}` (pin one with a compile request's `session` field)"
             ))
         })?;
-        let started = Instant::now();
+        let started = cim_obs::stopwatch();
         session
             .recompile(delta)
             .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
-        let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+        let incremental_ms = started.elapsed_ms();
         let incremental = Self::session_outcome(session, false)?;
         let (region_hits, region_misses) = incremental.timeline.region_stats();
         Ok(RecompileOutcome {
@@ -492,18 +494,18 @@ impl Handler {
 
         let pipeline = Pipeline::plan(&options, &arch);
         let mut session = pipeline.session(&graph, &arch, options);
-        let cold_started = Instant::now();
+        let cold_started = cim_obs::stopwatch();
         session
             .run()
             .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
-        let cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+        let cold_ms = cold_started.elapsed_ms();
         let cold = Self::session_outcome(&session, req.schedule)?;
 
-        let started = Instant::now();
+        let started = cim_obs::stopwatch();
         session
             .recompile(delta)
             .map_err(|e| ApiError::input(format!("compile error: {e}")))?;
-        let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+        let incremental_ms = started.elapsed_ms();
         // The incremental/fresh outcomes always carry the rendered
         // schedule so `equivalent` (and clients byte-comparing the two)
         // covers the full per-stage plans, not just the summary reports.
@@ -791,13 +793,13 @@ impl Handler {
         policies
             .iter()
             .map(|&policy| {
-                let started = Instant::now();
+                let started = cim_obs::stopwatch();
                 let config = SimConfig { policy, batching };
                 let (mut report, _) =
                     simulate_priced(&trace, &arch, &placement, &services, &config, threads)
                         .map_err(|e| ApiError::input(e.to_string()))?;
                 report.timing = TrafficTiming {
-                    total_ms: started.elapsed().as_secs_f64() * 1e3,
+                    total_ms: started.elapsed_ms(),
                     threads,
                 };
                 Ok(report)
@@ -816,10 +818,11 @@ impl Handler {
             "objectives" => Metric::NAMES.to_vec(),
             "policies" => PolicyKind::NAMES.to_vec(),
             "traces" => GeneratorKind::NAMES.to_vec(),
+            "exporters" => vec!["chrome_trace", "profile", "metrics_json"],
             other => {
                 return Err(ApiError::argument(format!(
                     "unknown list category `{other}` (expected models, archs, modes, strategies, \
-                     objectives, policies or traces)"
+                     objectives, policies, traces or exporters)"
                 )));
             }
         };

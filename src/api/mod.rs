@@ -418,7 +418,7 @@ pub struct SimulateRequest {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ListRequest {
     /// One of `models`, `archs`, `modes`, `strategies`, `objectives`,
-    /// `policies`, `traces`.
+    /// `policies`, `traces`, `exporters`.
     pub category: String,
 }
 
@@ -461,7 +461,7 @@ pub enum Request {
     /// policies.
     Simulate(SimulateRequest),
     /// List a vocabulary (models, archs, modes, strategies, objectives,
-    /// policies, traces).
+    /// policies, traces, exporters).
     List(ListRequest),
     /// Measure the compile-time gate workloads once.
     CompilePerf(CompilePerfRequest),
@@ -469,6 +469,12 @@ pub enum Request {
     Ping,
     /// Occupy a worker for a fixed duration (diagnostics only).
     Sleep(SleepRequest),
+    /// Scrape the server's live metrics snapshot. Answered inline (not
+    /// through the worker pool), so the scrape itself never appears in
+    /// the request counters it reads. Additive since protocol v2 — old
+    /// servers reject it as an unknown request, which is the standard
+    /// additive-variant compatibility story, so no version bump.
+    Metrics,
     /// Ask the server to stop accepting work and drain gracefully.
     Shutdown,
 }
@@ -521,6 +527,7 @@ impl Request {
             Request::CompilePerf(_) => "compile-perf".to_owned(),
             Request::Ping => "ping".to_owned(),
             Request::Sleep(s) => format!("sleep {}ms", s.ms),
+            Request::Metrics => "metrics".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
         }
     }
@@ -747,6 +754,13 @@ pub enum ResponseBody {
     Slept {
         /// How long the worker slept, in milliseconds.
         ms: f64,
+    },
+    /// Answer to [`Request::Metrics`]: the server's live counters,
+    /// gauges and latency histograms.
+    Metrics {
+        /// The snapshot, schema-versioned (see
+        /// [`cim_obs::METRICS_SCHEMA_VERSION`]).
+        metrics: cim_obs::MetricsSnapshot,
     },
     /// Answer to [`Request::Shutdown`]: the server stops admitting work
     /// and drains.

@@ -37,32 +37,36 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage:\n  cimc archs\n  cimc models\n  \
-cimc list <models|archs|modes|strategies|objectives|policies|traces>\n  \
+cimc list <models|archs|modes|strategies|objectives|policies|traces|exporters>\n  \
 cimc compile --model <name|file.json> --arch <preset> \
 [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--jobs <n>] [--schedule] [--flow <lines>] [--verify] \
-[--timings] [--dump-stage cg|mvm|vvm] [--json] [--cache-dir <dir>] [--no-cache]\n  \
+[--timings] [--dump-stage cg|mvm|vvm] [--json] [--cache-dir <dir>] [--no-cache] \
+[--trace-out <file>] [--profile]\n  \
 cimc recompile --model <name|file.json> --arch <preset> --delta <file.json> \
 [--mode cm|xbm|wlm] [--level cg|mvm|vvm] [--jobs <n>] [--timings] [--json] \
 [--out-incremental <file.json>] [--out-fresh <file.json>]\n  \
 cimc bench [--quick] [--jobs <n>] [--out <file.json>] [--comparable] [--compile-time] \
 [--baseline <file.json>] [--fail-on-regression] [--tolerance <pct>] [--models <a,b,..>] \
-[--archs <a,b,..>] [--modes <a,b,..>] [--cache-dir <dir>] [--no-cache]\n  \
+[--archs <a,b,..>] [--modes <a,b,..>] [--cache-dir <dir>] [--no-cache] \
+[--trace-out <file>] [--profile]\n  \
 cimc compile-perf [--samples <n>] [--attempts <n>] [--baseline <file.json>] \
 [--tolerance <pct>]\n  \
 cimc explore [--model <name|file.json>] [--space <file.json>] \
 [--strategy exhaustive|random|hill-climb|evolutionary] [--budget <n>] [--seed <n>] \
 [--objective <metric[:w],..>] [--trace <file.json>] [--policy fifo|priority|edf] [--jobs <n>] \
-[--out <file.json>] [--comparable] [--cache-dir <dir>] [--no-cache]\n  \
+[--out <file.json>] [--comparable] [--cache-dir <dir>] [--no-cache] \
+[--trace-out <file>] [--profile]\n  \
 cimc trace [--models <a,b,..>] [--kind poisson|bursty|mix] [--name <s>] [--seed <n>] \
 [--horizon <cycles>] [--mean-gap <cycles>] [--burst-len <n>] [--idle-gap <cycles>] \
 [--deadline <cycles>] [--spec <file.json>] [--describe <trace.json>] [--out <file.json>]\n  \
 cimc simulate (--trace <file.json> | --spec <file.json>) [--arch <preset>] \
 [--policies <a,b,..>] [--max-batch <n>] [--max-wait <cycles>] [--jobs <n>] \
-[--out <file.json>] [--comparable] [--cache-dir <dir>] [--no-cache]\n  \
+[--out <file.json>] [--comparable] [--cache-dir <dir>] [--no-cache] \
+[--trace-out <file>] [--profile]\n  \
 cimc serve [--tcp <host:port>] [--stdio] [--workers <n>] [--queue <n>] \
-[--deadline-ms <ms>] [--cache-dir <dir>] [--no-cache]\n  \
+[--deadline-ms <ms>] [--cache-dir <dir>] [--no-cache] [--metrics]\n  \
 cimc loadtest --addr <host:port> [--requests <n>] [--concurrency <n>] \
-[--deadline-ms <ms>] [--script <file.json>] [--out <file.json>] [--shutdown]\n\
+[--deadline-ms <ms>] [--script <file.json>] [--out <file.json>] [--shutdown] [--metrics]\n\
 presets: isaac isaac-wlm jia puma jain table2 sensitivity";
 
 fn usage() -> ExitCode {
@@ -86,6 +90,57 @@ fn finish(rendered: &render::Rendered) -> ExitCode {
 /// Renders a handler error the way the old inline subcommands did.
 fn fail(error: &ApiError) -> ExitCode {
     finish(&render::render_error(error))
+}
+
+/// The observability flags shared by `compile`, `bench`, `explore` and
+/// `simulate`: `--trace-out <file>` exports a Chrome trace-event
+/// document (load it in Perfetto or chrome://tracing), `--profile`
+/// prints a hot-path tree to stderr. Either flag turns the trace
+/// collector on for the span of the command.
+#[derive(Default)]
+struct ObsFlags {
+    trace_out: Option<String>,
+    profile: bool,
+}
+
+impl ObsFlags {
+    fn active(&self) -> bool {
+        self.trace_out.is_some() || self.profile
+    }
+
+    /// Enables the collector right before the request executes.
+    fn begin(&self) {
+        if self.active() {
+            cim_obs::enable();
+        }
+    }
+
+    /// Drains the collector and writes/prints the requested exports.
+    /// The Chrome document is validated against the trace-event schema
+    /// before it is written, so an exporter bug fails the command
+    /// loudly instead of producing a file the viewer rejects.
+    fn finish(&self) -> Result<(), String> {
+        if !self.active() {
+            return Ok(());
+        }
+        cim_obs::disable();
+        let trace = cim_obs::drain();
+        if let Some(path) = &self.trace_out {
+            let json = cim_obs::chrome_trace_json(&trace);
+            let summary = cim_obs::validate_chrome_trace(&json)
+                .map_err(|e| format!("internal error: exported an invalid chrome trace: {e}"))?;
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+            eprintln!(
+                "trace: {} events ({} spans) written to {path}",
+                summary.events, summary.complete
+            );
+        }
+        if self.profile {
+            eprint!("{}", cim_obs::profile_tree(&trace));
+        }
+        Ok(())
+    }
 }
 
 fn cmd_archs(args: &[String]) -> ExitCode {
@@ -136,9 +191,24 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     let mut dump_stage: Option<StageArg> = None;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut obs = ObsFlags::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                match value_of(args, "--trace-out", i) {
+                    Ok(v) => obs.trace_out = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--profile" => {
+                obs.profile = true;
+                i += 1;
+            }
             "--model" => {
                 match value_of(args, "--model", i) {
                     Ok(v) => model_name = Some(v),
@@ -310,7 +380,13 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         cache,
         session: None,
     });
-    match Handler::new().handle(&request) {
+    obs.begin();
+    let response = Handler::new().handle(&request);
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    match response {
         ResponseBody::Compile(outcome) => finish(&render::render_compile(&outcome, json, timings)),
         ResponseBody::Error(e) => fail(&e),
         _ => unreachable!("compile requests yield compile outcomes"),
@@ -493,7 +569,7 @@ fn cmd_list(args: &[String]) -> ExitCode {
     let Some(category) = args.first() else {
         eprintln!(
             "`cimc list` needs a category (models, archs, modes, strategies, objectives, \
-             policies or traces)"
+             policies, traces or exporters)"
         );
         return usage();
     };
@@ -548,9 +624,24 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut comparable = false;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut obs = ObsFlags::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                match value_of(args, "--trace-out", i) {
+                    Ok(v) => obs.trace_out = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--profile" => {
+                obs.profile = true;
+                i += 1;
+            }
             "--model" | "--space" | "--strategy" | "--objective" | "--trace" | "--policy"
             | "--out" | "--cache-dir" => {
                 let flag = args[i].clone();
@@ -682,7 +773,13 @@ fn cmd_explore(args: &[String]) -> ExitCode {
         jobs: jobs.unwrap_or(0),
         cache,
     });
-    let report = match Handler::new().handle(&request) {
+    obs.begin();
+    let response = Handler::new().handle(&request);
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let report = match response {
         ResponseBody::Explore { report } => report,
         ResponseBody::Error(e) => return fail(&e),
         _ => unreachable!("explore requests yield exploration reports"),
@@ -940,9 +1037,24 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     let mut comparable = false;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut obs = ObsFlags::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                match value_of(args, "--trace-out", i) {
+                    Ok(v) => obs.trace_out = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--profile" => {
+                obs.profile = true;
+                i += 1;
+            }
             "--trace" | "--spec" | "--arch" | "--out" | "--cache-dir" => {
                 let flag = args[i].clone();
                 let value = match value_of(args, &flag, i) {
@@ -1082,7 +1194,13 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         jobs: jobs.unwrap_or(0),
         cache,
     });
-    let reports = match Handler::new().handle(&request) {
+    obs.begin();
+    let response = Handler::new().handle(&request);
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let reports = match response {
         ResponseBody::Simulate { reports } => reports,
         ResponseBody::Error(e) => return fail(&e),
         _ => unreachable!("simulate requests yield traffic reports"),
@@ -1123,9 +1241,24 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut modes: Option<Vec<ScheduleMode>> = None;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut obs = ObsFlags::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                match value_of(args, "--trace-out", i) {
+                    Ok(v) => obs.trace_out = Some(v),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--profile" => {
+                obs.profile = true;
+                i += 1;
+            }
             "--quick" => {
                 quick = true;
                 i += 1;
@@ -1280,7 +1413,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         compile_time,
         cache,
     });
-    let report = match Handler::new().handle(&request) {
+    obs.begin();
+    let response = Handler::new().handle(&request);
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let report = match response {
         ResponseBody::Bench { report } => report,
         ResponseBody::Error(e) => return fail(&e),
         _ => unreachable!("bench requests yield bench reports"),
@@ -1527,9 +1666,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut deadline_ms: Option<f64> = None;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--metrics" => {
+                metrics = true;
+                i += 1;
+            }
             "--tcp" => {
                 match value_of(args, "--tcp", i) {
                     Ok(v) => tcp_addr = Some(v),
@@ -1648,6 +1792,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         workers,
         queue_capacity: queue,
         default_deadline_ms: deadline_ms,
+        metrics,
     };
     let result = match tcp_addr {
         Some(addr) => {
@@ -1693,9 +1838,14 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
     let mut script_path: Option<String> = None;
     let mut out: Option<String> = None;
     let mut shutdown = false;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--metrics" => {
+                metrics = true;
+                i += 1;
+            }
             "--addr" => {
                 match value_of(args, "--addr", i) {
                     Ok(v) => addr = Some(v),
@@ -1826,6 +1976,17 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
             }
             println!("report written to {path}");
         }
+        if metrics {
+            // Scrape before shutting the server down — afterwards
+            // there is nothing left to answer.
+            match cim_mlc::loadtest::fetch_metrics(&addr) {
+                Ok(snapshot) => print!("{}", cim_obs::metrics_text(&snapshot)),
+                Err(e) => {
+                    eprintln!("{}", e.render_chain());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         if shutdown {
             if let Err(e) = send_shutdown(&addr) {
                 eprintln!("{}", e.render_chain());
@@ -1842,6 +2003,15 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
         }
         ExitCode::SUCCESS
     } else {
+        if metrics {
+            match cim_mlc::loadtest::fetch_metrics(&addr) {
+                Ok(snapshot) => print!("{}", cim_obs::metrics_text(&snapshot)),
+                Err(e) => {
+                    eprintln!("{}", e.render_chain());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         match send_shutdown(&addr) {
             Ok(()) => {
                 println!("shutdown sent to {addr}");
@@ -1856,6 +2026,12 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // CIM_OBS=1 turns tracing and metrics on for any subcommand without
+    // touching its flags — how CI re-runs the compile-perf gate with the
+    // collector live to prove instrumentation stays within budget.
+    if std::env::var("CIM_OBS").is_ok_and(|v| v == "1") {
+        cim_obs::enable();
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("archs") => cmd_archs(&args[1..]),

@@ -93,6 +93,7 @@ pub use cim_compiler as compiler;
 pub use cim_dse as dse;
 pub use cim_graph as graph;
 pub use cim_mop as mop;
+pub use cim_obs as obs;
 pub use cim_sim as sim;
 pub use cim_traffic as traffic;
 

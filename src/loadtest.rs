@@ -15,7 +15,6 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use cim_bench::{LoadSample, LoadtestReport, SampleClass};
 
@@ -101,7 +100,7 @@ pub fn run_loadtest(options: &LoadtestOptions) -> Result<LoadtestReport, Error> 
     drop(probe);
 
     let next = AtomicUsize::new(0);
-    let started = Instant::now();
+    let started = cim_obs::stopwatch();
     let mut samples: Vec<LoadSample> = Vec::with_capacity(options.requests);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..options.concurrency)
@@ -111,7 +110,7 @@ pub fn run_loadtest(options: &LoadtestOptions) -> Result<LoadtestReport, Error> 
             samples.extend(handle.join().expect("loadtest connection thread panicked"));
         }
     });
-    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let total_ms = started.elapsed_ms();
     Ok(LoadtestReport::from_samples(
         &samples,
         options.concurrency,
@@ -152,7 +151,7 @@ fn replay_connection(options: &LoadtestOptions, next: &AtomicUsize) -> Vec<LoadS
         let key = request.key();
         let mut envelope = RequestEnvelope::new(index as u64 + 1, request);
         envelope.deadline_ms = options.deadline_ms;
-        let sent_at = Instant::now();
+        let sent_at = cim_obs::stopwatch();
         if writeln!(writer, "{}", envelope.to_json())
             .and_then(|()| writer.flush())
             .is_err()
@@ -168,7 +167,7 @@ fn replay_connection(options: &LoadtestOptions, next: &AtomicUsize) -> Vec<LoadS
                 return samples;
             }
         }
-        let latency_ms = sent_at.elapsed().as_secs_f64() * 1e3;
+        let latency_ms = sent_at.elapsed_ms();
         let (class, warm) = match Response::from_json(&line) {
             Ok(response) if response.id == envelope.id => match &response.body {
                 ResponseBody::Overloaded { .. } => (SampleClass::Overloaded, None),
@@ -190,12 +189,42 @@ fn replay_connection(options: &LoadtestOptions, next: &AtomicUsize) -> Vec<LoadS
     }
 }
 
-fn protocol_sample(key: String, sent_at: Instant) -> LoadSample {
+fn protocol_sample(key: String, sent_at: cim_obs::Stopwatch<'_>) -> LoadSample {
     LoadSample {
         key,
         class: SampleClass::Protocol,
-        latency_ms: sent_at.elapsed().as_secs_f64() * 1e3,
+        latency_ms: sent_at.elapsed_ms(),
         warm: None,
+    }
+}
+
+/// Scrapes a running server's live metrics snapshot
+/// ([`Request::Metrics`]). The scrape is answered inline by the server
+/// (it never occupies a worker), so it works even under full queues.
+///
+/// # Errors
+/// Returns [`Error::Io`] when the server cannot be reached and
+/// [`Error::Api`] when it answers with anything but a metrics body
+/// (e.g. an old server that predates the request).
+pub fn fetch_metrics(addr: &str) -> Result<cim_obs::MetricsSnapshot, Error> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| Error::io(addr, e))?;
+    let envelope = RequestEnvelope::new(0, Request::Metrics);
+    writeln!(stream, "{}", envelope.to_json()).map_err(|e| Error::io(addr, e))?;
+    stream.flush().map_err(|e| Error::io(addr, e))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| Error::io(addr, e))?;
+    let response = Response::from_json(&line)
+        .map_err(|e| Error::from(ApiError::protocol(format!("invalid metrics response: {e}"))))?;
+    match response.body {
+        ResponseBody::Metrics { metrics } => Ok(metrics),
+        ResponseBody::Error(e) => Err(e.into()),
+        other => Err(ApiError::protocol(format!(
+            "unexpected response to a metrics request: {other:?}"
+        ))
+        .into()),
     }
 }
 

@@ -21,14 +21,28 @@
 //!   queued job, flushes the answers and joins its workers.
 //! * **Malformed input** — an unparseable line gets an `error` response
 //!   with kind `protocol` (id 0); the connection stays usable.
+//!
+//! # Observability
+//!
+//! With [`ServeOptions::metrics`] (CLI: `cimc serve --metrics`) the
+//! server keeps live counters — `requests_total` (pool-executed
+//! requests answered `ok` or `error`), `responses_ok_total`,
+//!   `responses_error_total`, `overloaded_total`,
+//! `deadline_exceeded_total` — plus a `queue_depth` gauge, scrapeable
+//! over the wire with [`Request::Metrics`] (answered inline, never
+//! through the pool, so the scrape cannot count itself). When the trace
+//! collector is enabled, every request is decomposed into
+//! `serve:parse` → `serve:queue` → `serve:execute` → `serve:render`
+//! spans.
 
 use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cim_bench::pool::Pool;
+use cim_obs::{keys, TraceClock};
 
 use crate::api::{
     ApiError, Handler, Request, RequestEnvelope, Response, ResponseBody, MIN_PROTOCOL_VERSION,
@@ -48,6 +62,9 @@ pub struct ServeOptions {
     pub queue_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline_ms: Option<f64>,
+    /// Reset and enable the process-wide metrics registry at startup,
+    /// making [`Request::Metrics`] scrapes return live counters.
+    pub metrics: bool,
 }
 
 impl Default for ServeOptions {
@@ -56,6 +73,7 @@ impl Default for ServeOptions {
             workers: 0,
             queue_capacity: 64,
             default_deadline_ms: None,
+            metrics: false,
         }
     }
 }
@@ -81,6 +99,32 @@ struct ServerState {
 
 type Respond = Arc<dyn Fn(Response) + Send + Sync>;
 
+/// Bumps the response-class counters: `requests_total` counts requests
+/// that produced an `ok` or `error` body (what a load generator counts
+/// as completed work), admission and deadline rejections get their own
+/// counters, and control-plane answers (shutdown, metrics) count
+/// nothing. No-ops entirely while the registry is disabled.
+fn record_response(body: &ResponseBody) {
+    match body {
+        ResponseBody::Overloaded { .. } => cim_obs::count("overloaded_total", 1),
+        ResponseBody::DeadlineExceeded { .. } => cim_obs::count("deadline_exceeded_total", 1),
+        ResponseBody::Error(_) => {
+            cim_obs::count("requests_total", 1);
+            cim_obs::count("responses_error_total", 1);
+        }
+        ResponseBody::ShuttingDown { .. } | ResponseBody::Metrics { .. } => {}
+        _ => {
+            cim_obs::count("requests_total", 1);
+            cim_obs::count("responses_ok_total", 1);
+        }
+    }
+}
+
+/// Microseconds-to-milliseconds on the shared [`TraceClock`] timeline.
+fn ms_since(start_us: u64, end_us: u64) -> f64 {
+    end_us.saturating_sub(start_us) as f64 / 1e3
+}
+
 /// Parses and dispatches one input line. Returns `false` when the line
 /// asked the server to shut down.
 fn handle_line(state: &Arc<ServerState>, pool: &Pool, line: &str, respond: &Respond) -> bool {
@@ -88,25 +132,39 @@ fn handle_line(state: &Arc<ServerState>, pool: &Pool, line: &str, respond: &Resp
     if line.is_empty() {
         return true;
     }
-    let envelope = match RequestEnvelope::from_json(line) {
+    let parsed = {
+        let _parse = cim_obs::span("serve", "parse");
+        RequestEnvelope::from_json(line)
+    };
+    let envelope = match parsed {
         Ok(envelope) => envelope,
         Err(e) => {
-            respond(Response::new(
-                0,
-                0.0,
-                ResponseBody::Error(ApiError::protocol(format!("invalid request: {e}"))),
-            ));
+            let body = ResponseBody::Error(ApiError::protocol(format!("invalid request: {e}")));
+            record_response(&body);
+            respond(Response::new(0, 0.0, body));
             return true;
         }
     };
     if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&envelope.protocol_version) {
+        let body = ResponseBody::Error(ApiError::protocol(format!(
+            "unsupported protocol version {} (supported {}..={})",
+            envelope.protocol_version, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION
+        )));
+        record_response(&body);
+        respond(Response::new(envelope.id, 0.0, body));
+        return true;
+    }
+    // Control-plane requests are answered inline, never through the
+    // pool: a metrics scrape must not occupy a worker (or count itself
+    // in the request counters), and shutdown must work under overload.
+    if matches!(envelope.request, Request::Metrics) {
+        cim_obs::gauge_set("queue_depth", pool.depth() as i64);
         respond(Response::new(
             envelope.id,
             0.0,
-            ResponseBody::Error(ApiError::protocol(format!(
-                "unsupported protocol version {} (supported {}..={})",
-                envelope.protocol_version, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION
-            ))),
+            ResponseBody::Metrics {
+                metrics: cim_obs::metrics().snapshot(),
+            },
         ));
         return true;
     }
@@ -122,32 +180,37 @@ fn handle_line(state: &Arc<ServerState>, pool: &Pool, line: &str, respond: &Resp
         return false;
     }
     if state.draining.load(Ordering::SeqCst) {
-        respond(Response::new(
-            envelope.id,
-            0.0,
-            ResponseBody::Error(ApiError::unavailable("server is draining")),
-        ));
+        let body = ResponseBody::Error(ApiError::unavailable("server is draining"));
+        record_response(&body);
+        respond(Response::new(envelope.id, 0.0, body));
         return true;
     }
 
-    let received = Instant::now();
+    let received_us = TraceClock::global().now_us();
     let deadline_ms = envelope.deadline_ms.or(state.default_deadline_ms);
     let id = envelope.id;
     let request = envelope.request;
     let job_state = Arc::clone(state);
     let job_respond = Arc::clone(respond);
     let job = Box::new(move || {
-        let expired = |now: Instant| deadline_ms.is_some_and(|ms| ms_between(received, now) > ms);
+        let dequeued_us = TraceClock::global().now_us();
+        cim_obs::complete_span("serve", "queue", received_us, dequeued_us, Vec::new());
+        let expired =
+            |now_us: u64| deadline_ms.is_some_and(|ms| ms_since(received_us, now_us) > ms);
         // Check the deadline both at dequeue (the request may have sat in
         // the queue past it — skip the work entirely) and after running
         // (a late answer is as useless as none).
-        let body = if expired(Instant::now()) {
+        let body = if expired(dequeued_us) {
             ResponseBody::DeadlineExceeded {
                 deadline_ms: deadline_ms.expect("expired implies a deadline"),
             }
         } else {
-            let body = job_state.handler.handle(&request);
-            if expired(Instant::now()) {
+            let body = {
+                let mut span = cim_obs::span("serve", "execute");
+                span.set(keys::KIND, request.key());
+                job_state.handler.handle(&request)
+            };
+            if expired(TraceClock::global().now_us()) {
                 ResponseBody::DeadlineExceeded {
                     deadline_ms: deadline_ms.expect("expired implies a deadline"),
                 }
@@ -155,27 +218,27 @@ fn handle_line(state: &Arc<ServerState>, pool: &Pool, line: &str, respond: &Resp
                 body
             }
         };
+        record_response(&body);
+        let _render = cim_obs::span("serve", "render");
         job_respond(Response::new(
             id,
-            ms_between(received, Instant::now()),
+            ms_since(received_us, TraceClock::global().now_us()),
             body,
         ));
     });
     if let Err(full) = pool.try_submit(job) {
+        let body = ResponseBody::Overloaded {
+            queue_depth: full.depth,
+            capacity: full.capacity,
+        };
+        record_response(&body);
         respond(Response::new(
             id,
-            ms_between(received, Instant::now()),
-            ResponseBody::Overloaded {
-                queue_depth: full.depth,
-                capacity: full.capacity,
-            },
+            ms_since(received_us, TraceClock::global().now_us()),
+            body,
         ));
     }
     true
-}
-
-fn ms_between(start: Instant, end: Instant) -> f64 {
-    end.duration_since(start).as_secs_f64() * 1e3
 }
 
 /// Serves the JSON-lines protocol on stdin/stdout until EOF or a
@@ -185,6 +248,10 @@ fn ms_between(start: Instant, end: Instant) -> f64 {
 /// Propagates stdin read failures. Write failures on stdout are
 /// swallowed (the peer is gone; nothing useful can be reported to it).
 pub fn run_stdio(handler: Handler, options: &ServeOptions) -> io::Result<()> {
+    if options.metrics {
+        cim_obs::metrics().reset();
+        cim_obs::metrics().enable();
+    }
     let state = Arc::new(ServerState {
         handler,
         draining: AtomicBool::new(false),
@@ -216,6 +283,10 @@ pub fn run_stdio(handler: Handler, options: &ServeOptions) -> io::Result<()> {
 /// Propagates listener configuration and accept failures. Per-connection
 /// IO failures terminate only that connection.
 pub fn run_tcp(handler: Handler, listener: &TcpListener, options: &ServeOptions) -> io::Result<()> {
+    if options.metrics {
+        cim_obs::metrics().reset();
+        cim_obs::metrics().enable();
+    }
     let state = Arc::new(ServerState {
         handler,
         draining: AtomicBool::new(false),

@@ -704,6 +704,14 @@ fn list_categories_enumerate_the_vocabularies() {
     let out = cimc(&["list", "traces"]);
     assert!(out.status.success());
     assert!(stdout(&out).lines().any(|l| l == "bursty"));
+
+    let out = cimc(&["list", "exporters"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(
+        text.lines().any(|l| l == "chrome_trace") && text.lines().any(|l| l == "metrics_json"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -981,6 +989,7 @@ fn golden_archs_models_and_lists() {
         "objectives",
         "policies",
         "traces",
+        "exporters",
     ] {
         assert_matches_golden(&["list", category], &format!("list_{category}"));
     }
@@ -1215,4 +1224,79 @@ fn loadtest_fails_cleanly_when_the_server_is_unreachable() {
     let out = cimc(&["loadtest", "--addr", "127.0.0.1:1", "--requests", "10"]);
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("127.0.0.1:1"), "{}", stderr(&out));
+}
+
+// ---------------------------------------------------------------------------
+// Observability flags — `--trace-out` exports a schema-valid Chrome
+// trace with at least one event per compiler pass; `--profile` prints a
+// hot-path tree; neither may change the command's stdout.
+
+#[test]
+fn compile_trace_out_writes_a_valid_chrome_trace_covering_every_pass() {
+    let path = tmp_path("compile_trace.json");
+    let out = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("trace:"), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = cim_mlc::obs::validate_chrome_trace(&json).expect("schema-valid chrome trace");
+    assert!(
+        summary.complete >= 3,
+        "expected pass spans, got {summary:?}"
+    );
+    // Every pipeline pass for lenet5@isaac shows up as a `pass` span.
+    for pass in ["stages", "cg", "mvm"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{pass}\",\"cat\":\"pass\"")),
+            "missing pass span `{pass}` in {json}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn compile_profile_prints_a_tree_without_changing_stdout() {
+    let plain = cimc(&["compile", "--model", "lenet5", "--arch", "isaac"]);
+    let profiled = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--profile",
+    ]);
+    assert!(profiled.status.success(), "{}", stderr(&profiled));
+    let err = stderr(&profiled);
+    assert!(err.contains("profile:") && err.contains("pass:cg"), "{err}");
+    assert_eq!(
+        normalize_timings(&stdout(&plain)),
+        normalize_timings(&stdout(&profiled)),
+        "--profile changed the report"
+    );
+}
+
+#[test]
+fn trace_out_rejects_an_unwritable_path() {
+    let out = cimc(&[
+        "compile",
+        "--model",
+        "lenet5",
+        "--arch",
+        "isaac",
+        "--trace-out",
+        "/nonexistent-dir/trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("cannot write trace"),
+        "{}",
+        stderr(&out)
+    );
 }
